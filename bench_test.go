@@ -1,0 +1,242 @@
+package cwc
+
+// One benchmark per table/figure of the paper's evaluation, plus
+// microbenchmarks of the core algorithms. Each FigNN benchmark runs the
+// corresponding experiment driver end-to-end and reports the headline
+// quantity as a custom metric, so `go test -bench=.` regenerates the
+// paper's results in one sweep. cmd/cwc-bench prints the full series.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/core"
+	"cwc/internal/coremark"
+	"cwc/internal/device"
+	"cwc/internal/expt"
+	"cwc/internal/tasks"
+	"cwc/internal/trace"
+)
+
+// Figure 1: CoreMark kernels (list, matrix, state machine + CRC).
+func BenchmarkFig1CoreMark(b *testing.B) {
+	sink := uint32(0)
+	for i := 0; i < b.N; i++ {
+		sink ^= coremark.Run(10)
+	}
+	_ = sink
+}
+
+// Figures 2(a-c): the 15-user, 8-week charging-behaviour study.
+func BenchmarkFig2ChargingIntervals(b *testing.B) {
+	var nightMedian float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig23(int64(i)+1, 56)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nightMedian = r.NightMedianHours
+	}
+	b.ReportMetric(nightMedian, "night-median-h")
+}
+
+// Figure 3: unplug (failure) likelihood by hour.
+func BenchmarkFig3Availability(b *testing.B) {
+	var byEight float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i) + 1))
+		events := trace.GenerateStudy(trace.DefaultUsers(), 56, rng)
+		study := trace.NewStudy(trace.Intervals(events))
+		byEight = study.FailureCDFByHour()[7]
+	}
+	b.ReportMetric(byEight, "failures-by-8am")
+}
+
+// Figure 4: 600 s WiFi bandwidth stability at three houses.
+func BenchmarkFig4WiFiStability(b *testing.B) {
+	var worstCoV float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig4(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstCoV = 0
+		for _, h := range r.Houses {
+			if h.CoV > worstCoV {
+				worstCoV = h.CoV
+			}
+		}
+	}
+	b.ReportMetric(worstCoV, "worst-CoV")
+}
+
+// Figure 5: 600 files over 6 mixed-link phones vs 4 fast-link phones.
+func BenchmarkFig5BandwidthMatters(b *testing.B) {
+	var p90All, p90Fast float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig5(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p90All, p90Fast = r.AllPhones.P90Ms, r.FastPhones.P90Ms
+	}
+	b.ReportMetric(p90All, "p90-6phones-ms")
+	b.ReportMetric(p90Fast, "p90-4fast-ms")
+}
+
+// Figure 6: clock-scaling speedup prediction vs measured speedups.
+func BenchmarkFig6SpeedupModel(b *testing.B) {
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig6(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanErr = r.MeanAbsErr
+	}
+	b.ReportMetric(meanErr*100, "mean-abs-err-%")
+}
+
+// Figure 10: ideal vs heavy vs MIMD-throttled charging (HTC Sensation).
+func BenchmarkFig10Throttling(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig10(device.HTCSensation)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = r.ComputePenalty
+	}
+	b.ReportMetric(penalty*100, "compute-penalty-%")
+}
+
+// Figure 12(a): greedy vs equal-split vs round-robin on the 18-phone
+// testbed with the 150-task workload.
+func BenchmarkFig12aSchedulers(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig12(int64(i) + 2012)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.EqualSplitMakespanMs / r.GreedyMakespanMs
+	}
+	b.ReportMetric(ratio, "equalsplit/greedy")
+}
+
+// Figure 12(b): fraction of tasks the greedy scheduler keeps whole.
+func BenchmarkFig12bPartitions(b *testing.B) {
+	var whole float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig12(int64(i) + 2012)
+		if err != nil {
+			b.Fatal(err)
+		}
+		whole = r.WholeFraction
+	}
+	b.ReportMetric(whole*100, "whole-%")
+}
+
+// Figure 12(c): recovery time after unplugging three phones mid-run.
+func BenchmarkFig12cFailures(b *testing.B) {
+	var recovery float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig12(int64(i) + 2012)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovery = r.RecoveryMs / 1000
+	}
+	b.ReportMetric(recovery, "recovery-s")
+}
+
+// Figure 13: greedy vs LP-relaxation lower bound over random configs
+// (paper runs 1000; each bench iteration runs 5 to keep -bench wall time
+// sane — use cwc-bench -fig 13 -configs 1000 for the full sweep).
+func BenchmarkFig13LPBound(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig13(int64(i)+1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = r.MedianGap
+	}
+	b.ReportMetric(gap*100, "median-gap-%")
+}
+
+// Scheduler ablations (DESIGN.md §6): bandwidth-blind and no-binary-search
+// variants against the full greedy.
+func BenchmarkAblations(b *testing.B) {
+	var blind float64
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Ablation(int64(i)+1, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blind = r.BlindPenalty
+	}
+	b.ReportMetric(blind*100, "blind-penalty-%")
+}
+
+// Microbenchmark: one full greedy scheduling pass (150 jobs, 18 phones).
+func BenchmarkGreedyScheduler(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tb, err := expt.NewTestbed(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := expt.PaperWorkload(rng, 1.0)
+	inst := tb.Instance(jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Greedy(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Microbenchmark: the LP relaxation solve (2700 variables).
+func BenchmarkLPRelaxation(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tb, err := expt.NewTestbed(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := expt.PaperWorkload(rng, 1.0)
+	inst := tb.Instance(jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RelaxedLowerBound(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end: a full scheduling round over a live loopback cluster.
+func BenchmarkClusterRound(b *testing.B) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c, err := cluster.Start(ctx, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Master.MeasureBandwidths(ctx); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	input := tasks.GenText(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Master.Submit(tasks.WordCount{Word: "sale"}, input, false); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Master.RunRound(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The dispatcher accepts every documented figure id and rejects unknowns.
+// Cheap figures run for real; the expensive simulation figures are
+// exercised by the expt package tests and the top-level benchmarks.
+func TestRunDispatch(t *testing.T) {
+	for _, fig := range []string{"1", "4", "cost", "11"} {
+		if err := run(fig, 7, 2, 7); err != nil {
+			t.Errorf("run(%q) failed: %v", fig, err)
+		}
+	}
+	if err := run("99", 7, 2, 7); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunFeasibilityFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study generation in -short mode")
+	}
+	if err := run("2", 7, 2, 14); err != nil {
+		t.Errorf("run(2): %v", err)
+	}
+	if err := run("5", 7, 2, 14); err != nil {
+		t.Errorf("run(5): %v", err)
+	}
+	if err := run("6", 7, 2, 14); err != nil {
+		t.Errorf("run(6): %v", err)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSeries(dir, 7, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig2a_night.dat", "fig2a_day.dat", "fig2b.dat", "fig2c.dat",
+		"fig3a.dat", "fig4_house1.dat", "fig4_house2.dat", "fig4_house3.dat",
+		"fig5_6phones.dat", "fig5_4fast.dat", "fig6.dat",
+		"fig10_ideal.dat", "fig10_heavy.dat", "fig10_throttled.dat",
+		"fig12b.dat", "fig13_greedy.dat", "fig13_relaxed.dat",
+	} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if info.Size() < 10 {
+			t.Errorf("%s is suspiciously small (%d bytes)", name, info.Size())
+		}
+	}
+}

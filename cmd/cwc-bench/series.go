@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cwc/internal/battery"
+	"cwc/internal/device"
+	"cwc/internal/expt"
+	"cwc/internal/stats"
+)
+
+// writeSeries regenerates the figures and writes gnuplot-ready data files
+// (x y pairs, '#'-prefixed headers) into dir — the raw series behind every
+// CDF and curve the paper plots.
+func writeSeries(dir string, seed int64, configs, days int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating series dir: %w", err)
+	}
+
+	// Figures 2-3: the charging study.
+	study, err := expt.Fig23(seed, days)
+	if err != nil {
+		return err
+	}
+	night, day := study.Study.DurationCDFs()
+	if err := writeCDF(dir, "fig2a_night.dat", "interval hours vs CDF (night)", night, 200); err != nil {
+		return err
+	}
+	if err := writeCDF(dir, "fig2a_day.dat", "interval hours vs CDF (day)", day, 200); err != nil {
+		return err
+	}
+	if err := writeCDF(dir, "fig2b.dat", "night transfer MB vs CDF", study.Study.NightTransferCDF(), 200); err != nil {
+		return err
+	}
+	if err := writeXY(dir, "fig2c.dat", "user vs mean idle hours (sd)", func(emit func(...float64)) {
+		for _, u := range study.IdlePerUser {
+			emit(float64(u.User), u.MeanHours, u.StdHours)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := writeXY(dir, "fig3a.dat", "hour vs cumulative unplug fraction", func(emit func(...float64)) {
+		for h, v := range study.FailureCDF {
+			emit(float64(h), v)
+		}
+	}); err != nil {
+		return err
+	}
+
+	// Figure 4: per-house bandwidth series.
+	f4, err := expt.Fig4(seed)
+	if err != nil {
+		return err
+	}
+	for _, h := range f4.Houses {
+		name := fmt.Sprintf("fig4_house%d.dat", h.House)
+		if err := writeXY(dir, name, "second vs KB/s", func(emit func(...float64)) {
+			for i, v := range h.Series {
+				emit(float64(i), v)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Figure 5: service-time CDFs.
+	f5, err := expt.Fig5(seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCDF(dir, "fig5_6phones.dat", "service ms vs CDF (6 phones)", f5.AllPhones.ServiceCDF, 200); err != nil {
+		return err
+	}
+	if err := writeCDF(dir, "fig5_4fast.dat", "service ms vs CDF (4 fast phones)", f5.FastPhones.ServiceCDF, 200); err != nil {
+		return err
+	}
+
+	// Figure 6: predicted vs measured speedups.
+	f6, err := expt.Fig6(seed)
+	if err != nil {
+		return err
+	}
+	if err := writeXY(dir, "fig6.dat", "predicted vs measured speedup", func(emit func(...float64)) {
+		for _, p := range f6.Points {
+			emit(p.Predicted, p.Measured)
+		}
+	}); err != nil {
+		return err
+	}
+
+	// Figure 10: charging curves.
+	f10, err := expt.Fig10(device.HTCSensation)
+	if err != nil {
+		return err
+	}
+	curves := []struct {
+		name  string
+		curve []battery.ChargePoint
+	}{
+		{"fig10_ideal.dat", f10.IdealCurve},
+		{"fig10_heavy.dat", f10.HeavyCurve},
+		{"fig10_throttled.dat", f10.ThrottledCurve},
+	}
+	for _, c := range curves {
+		curve := c.curve
+		if err := writeXY(dir, c.name, "minutes vs percent", func(emit func(...float64)) {
+			for _, p := range curve {
+				emit(p.Seconds/60, p.Percent)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Figure 12(b): partition CDF. 12(a)'s timeline is ASCII via -fig 12.
+	f12, err := expt.Fig12(seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCDF(dir, "fig12b.dat", "extra pieces vs CDF", expt.PartitionCDF(f12.GreedyPartitions), 50); err != nil {
+		return err
+	}
+
+	// Figure 13: makespan CDFs.
+	f13, err := expt.Fig13(seed, configs)
+	if err != nil {
+		return err
+	}
+	if err := writeCDF(dir, "fig13_greedy.dat", "makespan ms vs CDF (greedy)", f13.GreedyCDF, 200); err != nil {
+		return err
+	}
+	return writeCDF(dir, "fig13_relaxed.dat", "makespan ms vs CDF (LP bound)", f13.RelaxedCDF, 200)
+}
+
+// writeCDF dumps up to n (x, P) points of a CDF.
+func writeCDF(dir, name, header string, cdf *stats.CDF, n int) error {
+	return writeXY(dir, name, header, func(emit func(...float64)) {
+		for _, p := range cdf.Points(n) {
+			emit(p.X, p.Y)
+		}
+	})
+}
+
+// writeXY writes whitespace-separated rows produced by gen.
+func writeXY(dir, name, header string, gen func(emit func(...float64))) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", name, err)
+	}
+	fmt.Fprintf(f, "# %s\n", header)
+	gen(func(vals ...float64) {
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Fprint(f, " ")
+			}
+			fmt.Fprintf(f, "%g", v)
+		}
+		fmt.Fprintln(f)
+	})
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command cwc-profile drives the charging-behaviour study (paper §3.1):
+// it generates (or reads) profiler logs in the app's line format and
+// reports the Figure 2/3 statistics.
+//
+// Usage:
+//
+//	cwc-profile -days 56 -out study.log     # generate + analyse
+//	cwc-profile -in study.log               # analyse an existing log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"cwc/internal/trace"
+)
+
+func main() {
+	var (
+		days = flag.Int("days", 56, "study length in days when generating")
+		seed = flag.Int64("seed", 2012, "generator seed")
+		out  = flag.String("out", "", "write the generated log to this file")
+		in   = flag.String("in", "", "analyse an existing profiler log instead of generating")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "cwc-profile: ", 0)
+
+	var events []trace.Event
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer f.Close()
+		events, err = trace.ParseLog(f)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("parsed %d events from %s", len(events), *in)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		events = trace.GenerateStudy(trace.DefaultUsers(), *days, rng)
+		logger.Printf("generated %d events for 15 users over %d days", len(events), *days)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			if err := trace.WriteLog(f, events); err != nil {
+				logger.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("wrote %s", *out)
+		}
+	}
+
+	study := trace.NewStudy(trace.Intervals(events))
+	nightCDF, dayCDF := study.DurationCDFs()
+	nightMed, err := nightCDF.Quantile(0.5)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	dayMed, err := dayCDF.Quantile(0.5)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("charging intervals: night median %.1f h (%d), day median %.2f h (%d)\n",
+		nightMed, nightCDF.Len(), dayMed, dayCDF.Len())
+	fmt.Printf("night transfers <= 2 MB: %.0f%%\n", study.NightTransferCDF().At(2)*100)
+	fmt.Printf("idle night charging per user:\n")
+	for _, u := range study.NightIdlePerUser() {
+		fmt.Printf("  user %2d: %.1f h (sd %.1f)\n", u.User, u.MeanHours, u.StdHours)
+	}
+	cdf := study.FailureCDFByHour()
+	fmt.Printf("unplug likelihood through 8 AM: %.0f%%\n", cdf[7]*100)
+	fmt.Printf("shutdown fraction: %.1f%%\n", study.ShutdownFraction()*100)
+}

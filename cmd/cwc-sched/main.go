@@ -1,0 +1,89 @@
+// Command cwc-sched runs the CWC scheduler standalone: it reads a JSON
+// instance (phones with bandwidths, jobs with sizes, a cost matrix or the
+// clock-scaling shortcut) and prints the assignment plan as JSON.
+//
+// Usage:
+//
+//	cwc-sched -in instance.json
+//	cwc-sched -in instance.json -algo roundrobin
+//	cwc-sched -in instance.json -improve -bound
+//
+// Instance format (ms/KB everywhere):
+//
+//	{
+//	  "phones": [{"id": 0, "b_ms_per_kb": 2.5, "cpu_mhz": 1200}, ...],
+//	  "jobs":   [{"id": 0, "task": "primes", "exec_kb": 12,
+//	              "input_kb": 1500, "base_ms_per_kb_1ghz": 120}, ...]
+//	}
+//
+// or with an explicit "c" matrix instead of cpu_mhz/base costs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cwc/internal/core"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "-", "instance JSON file ('-' for stdin)")
+		algo    = flag.String("algo", "greedy", "scheduler: greedy, equalsplit, roundrobin, blind")
+		improve = flag.Bool("improve", false, "apply the local-search refinement after scheduling")
+		bound   = flag.Bool("bound", false, "also compute the LP-relaxation lower bound (to stderr)")
+	)
+	flag.Parse()
+	if err := run(*in, *algo, *improve, *bound); err != nil {
+		fmt.Fprintln(os.Stderr, "cwc-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, algo string, improve, bound bool) error {
+	src := os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	inst, err := core.ReadInstance(src)
+	if err != nil {
+		return err
+	}
+
+	var sched *core.Schedule
+	switch algo {
+	case "greedy":
+		sched, err = core.Greedy(inst)
+	case "equalsplit":
+		sched, err = core.EqualSplit(inst)
+	case "roundrobin":
+		sched, err = core.RoundRobin(inst)
+	case "blind":
+		sched, err = core.BandwidthBlind(inst)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	if improve {
+		var moves int
+		sched, moves = core.Improve(inst, sched, 500)
+		fmt.Fprintf(os.Stderr, "local search: %d accepted moves\n", moves)
+	}
+	if bound {
+		lb, err := core.RelaxedLowerBound(inst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "LP lower bound: %.1f ms (schedule is %.1f%% above)\n",
+			lb, (sched.Makespan/lb-1)*100)
+	}
+	return core.WriteSchedule(os.Stdout, inst, sched)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	sample := `{
+	  "phones": [{"id": 0, "b_ms_per_kb": 2, "cpu_mhz": 1000},
+	             {"id": 1, "b_ms_per_kb": 30, "cpu_mhz": 806}],
+	  "jobs": [{"id": 0, "task": "t", "exec_kb": 5, "input_kb": 500,
+	            "base_ms_per_kb_1ghz": 100}]
+	}`
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeSample(t)
+	for _, algo := range []string{"greedy", "equalsplit", "roundrobin", "blind"} {
+		if err := run(path, algo, false, false); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	if err := run(path, "greedy", true, true); err != nil {
+		t.Errorf("improve+bound: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeSample(t)
+	if err := run(path, "quantum", false, false); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "greedy", false, false); err == nil {
+		t.Error("missing file should error")
+	}
+}

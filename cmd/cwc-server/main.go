@@ -1,0 +1,148 @@
+// Command cwc-server runs the CWC central server: it listens for phone
+// workers, waits for a quorum, measures bandwidths, and then runs
+// scheduling rounds over a demonstration workload (or just idles as a
+// registration target with -wait 0).
+//
+// Usage:
+//
+//	cwc-server -listen :9128 -phones 3
+//
+// Pair it with cwc-worker processes pointed at the same address.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"cwc/internal/server"
+	"cwc/internal/tasks"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9128", "listen address")
+		phones    = flag.Int("phones", 2, "phones to wait for before scheduling")
+		waitSec   = flag.Int("wait", 60, "seconds to wait for phones (0: register-only mode, run forever)")
+		keepalive = flag.Duration("keepalive", 30*time.Second, "application keepalive period")
+		misses    = flag.Int("misses", 3, "keepalive misses tolerated before declaring offline failure")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		stateFile = flag.String("state", "", "snapshot file: restored at start if present, written on exit")
+		inputKB   = flag.Int("input-kb", 256, "per-job input size for the demo workload")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "cwc-server: ", log.LstdFlags)
+	m := server.New(server.Config{
+		Addr:               *listen,
+		KeepalivePeriod:    *keepalive,
+		KeepaliveTolerance: *misses,
+		Logger:             logger,
+	})
+	if err := m.Start(); err != nil {
+		logger.Fatal(err)
+	}
+	defer m.Close()
+	logger.Printf("listening on %s", m.Addr())
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			if err := m.LoadState(f); err != nil {
+				logger.Fatalf("restoring %s: %v", *stateFile, err)
+			}
+			f.Close()
+			logger.Printf("restored state from %s (%d pending items)", *stateFile, m.PendingItems())
+		}
+		defer func() {
+			f, err := os.Create(*stateFile)
+			if err != nil {
+				logger.Print(err)
+				return
+			}
+			if err := m.SaveState(f); err != nil {
+				logger.Print(err)
+			}
+			f.Close()
+			logger.Printf("state saved to %s", *stateFile)
+		}()
+	}
+
+	if *waitSec == 0 {
+		logger.Print("register-only mode; ctrl-c to exit")
+		select {}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*waitSec)*time.Second)
+	defer cancel()
+	if err := m.WaitForPhones(ctx, *phones); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("%d phones registered", *phones)
+	if err := m.MeasureBandwidths(ctx); err != nil {
+		logger.Fatal(err)
+	}
+	for _, p := range m.Phones() {
+		logger.Printf("phone %d: %s %.0f MHz, b=%.3f ms/KB", p.ID, p.Model, p.CPUMHz, p.BMsPerKB)
+	}
+
+	// Demo workload: prime counting, word counting and a photo blur.
+	rng := rand.New(rand.NewSource(*seed))
+	jobIDs := map[int]string{}
+	submit := func(task tasks.Task, input []byte, atomic bool, label string) {
+		id, err := m.Submit(task, input, atomic)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		jobIDs[id] = label
+	}
+	submit(tasks.PrimeCount{}, tasks.GenIntegers(float64(*inputKB), 1e6, rng), false, "primes")
+	submit(tasks.WordCount{Word: "inventory"}, tasks.GenText(float64(*inputKB), rng), false, "wordcount")
+	img, err := tasks.GenImageKB(float64(*inputKB)/4, rng)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	submit(tasks.Blur{}, img, true, "blur")
+
+	// Drive rounds through the scheduling loop (the paper's periodic
+	// scheduling instants) until every submission has a result.
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+	go func() {
+		round := 0
+		err := m.RunLoop(runCtx, 250*time.Millisecond, func(report *server.RoundReport) {
+			round++
+			logger.Printf("round %d: %d items, predicted %.0f ms, wall %v, completed %v, requeued %d",
+				round, report.Items, report.PredictedMakespanMs, report.Wall,
+				report.CompletedJobs, report.Requeued)
+		})
+		if err != nil && err != context.Canceled {
+			logger.Print(err)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Minute)
+	for time.Now().Before(deadline) {
+		done := 0
+		for id := range jobIDs {
+			if _, ok := m.Result(id); ok {
+				done++
+			}
+		}
+		if done == len(jobIDs) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	runCancel()
+	for id, label := range jobIDs {
+		if res, ok := m.Result(id); ok {
+			preview := string(res)
+			if len(preview) > 40 {
+				preview = preview[:40] + "..."
+			}
+			fmt.Printf("%s (job %d): %s\n", label, id, preview)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command cwc-worker runs one CWC phone worker: it connects to the
+// central server, registers its (emulated) device personality, and
+// executes whatever the scheduler assigns. -unplug-after emulates the
+// owner detaching the charger; -vanish-after emulates a silent
+// connectivity loss the server must detect via keepalives.
+//
+// Usage:
+//
+//	cwc-worker -server 127.0.0.1:9128 -model "HTC G2"
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"cwc/internal/device"
+	"cwc/internal/worker"
+)
+
+func main() {
+	var (
+		addr     = flag.String("server", "127.0.0.1:9128", "central server address")
+		model    = flag.String("model", "Nexus S", "device model from the catalog (or free-form with -mhz)")
+		mhz      = flag.Float64("mhz", 0, "CPU clock override in MHz (0: from catalog model)")
+		ram      = flag.Int("ram", 0, "RAM override in MB (0: from catalog model)")
+		delay    = flag.Duration("delay-per-kb", 0, "emulated extra execution delay per input KB")
+		unplugIn = flag.Duration("unplug-after", 0, "emulate an unplug (online failure) after this duration")
+		vanishIn = flag.Duration("vanish-after", 0, "emulate a silent death (offline failure) after this duration")
+		charge   = flag.Float64("charge-scale", 0, "emulate the battery + MIMD task throttling, accelerating battery time by this factor (0: off)")
+		chargePc = flag.Float64("charge-start", 30, "initial battery percent for -charge-scale")
+		token    = flag.String("token", "", "enrolment token when the server requires one")
+		replugIn = flag.Duration("replug-after", 0, "after -unplug-after or -vanish-after, rejoin the pool this long after leaving (0: stay out)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "cwc-worker: ", log.LstdFlags)
+
+	cpuMHz, ramMB := *mhz, *ram
+	for _, spec := range device.Catalog() {
+		if spec.Model == *model {
+			if cpuMHz == 0 {
+				cpuMHz = spec.CPU.ClockMHz
+			}
+			if ramMB == 0 {
+				ramMB = spec.RAMMB
+			}
+		}
+	}
+	if cpuMHz == 0 {
+		logger.Fatalf("unknown model %q and no -mhz given; catalog models: %v",
+			*model, catalogModels())
+	}
+	if ramMB == 0 {
+		ramMB = 512
+	}
+
+	var charging *worker.Charging
+	if *charge > 0 {
+		spec := device.NexusS.Battery
+		for _, s := range device.Catalog() {
+			if s.Model == *model {
+				spec = s.Battery
+			}
+		}
+		charging = &worker.Charging{
+			Battery:      spec,
+			StartPercent: *chargePc,
+			TimeScale:    *charge,
+		}
+	}
+	w, err := worker.New(worker.Config{
+		ServerAddr: *addr,
+		Model:      *model,
+		CPUMHz:     cpuMHz,
+		RAMMB:      ramMB,
+		DelayPerKB: *delay,
+		Charging:   charging,
+		AuthToken:  *token,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *unplugIn > 0 {
+		time.AfterFunc(*unplugIn, func() {
+			logger.Print("unplugging (online failure)")
+			w.Unplug()
+		})
+	}
+	if *vanishIn > 0 {
+		time.AfterFunc(*vanishIn, func() {
+			logger.Print("vanishing (offline failure)")
+			w.Vanish()
+		})
+	}
+	logger.Printf("connecting to %s as %s (%.0f MHz, %d MB)", *addr, *model, cpuMHz, ramMB)
+	for {
+		if err := w.Run(context.Background()); err != nil {
+			logger.Fatal(err)
+		}
+		if *replugIn <= 0 {
+			break
+		}
+		// The paper's phones re-enter the pool after short absences.
+		logger.Printf("left the pool; replugging in %v", *replugIn)
+		time.Sleep(*replugIn)
+		w.Replug()
+	}
+	logger.Print("exited cleanly")
+}
+
+func catalogModels() []string {
+	var out []string
+	for _, spec := range device.Catalog() {
+		out = append(out, spec.Model)
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+// Package cwc is a from-scratch Go reproduction of "Computing While
+// Charging: Building a Distributed Computing Infrastructure Using
+// Smartphones" (Arslan et al., CoNEXT 2012).
+//
+// CWC turns a fleet of smartphones that are plugged in overnight into a
+// distributed computing substrate: a single lightweight central server
+// measures each phone's bandwidth, predicts per-task execution speed from
+// CPU clocks, schedules breakable and atomic jobs to minimize makespan
+// with a greedy bin-packing algorithm, ships executables and input
+// partitions over persistent TCP connections, migrates interrupted work
+// via checkpoints when a phone is unplugged, and throttles on-phone CPU
+// usage so computing never delays a full charge.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable entry points are the commands under cmd/ and the
+// programs under examples/. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation; EXPERIMENTS.md
+// records paper-versus-measured outcomes.
+package cwc

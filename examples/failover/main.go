@@ -1,0 +1,85 @@
+// Failover: a live demonstration of CWC's failure handling. A long
+// prime-counting job is dispatched across the fleet; mid-run, one phone is
+// unplugged (online failure: it checkpoints and reports before leaving)
+// and another silently vanishes (offline failure: the server notices via
+// missed keepalives). Subsequent scheduling rounds migrate the lost work
+// to the surviving phones and the final count still matches a local run.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/tasks"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	opts := cluster.Options{
+		// Slow execution so the unplug lands mid-task.
+		DelayPerKB: 10 * time.Millisecond,
+	}
+	// Scaled-down offline detector: 100 ms pings, 2 misses.
+	opts.Server.KeepalivePeriod = 100 * time.Millisecond
+	opts.Server.KeepaliveTolerance = 2
+
+	c, err := cluster.Start(ctx, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Master.MeasureBandwidths(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	input := tasks.GenIntegers(192, 200000, rand.New(rand.NewSource(5)))
+	var ck tasks.Checkpoint
+	want, err := (tasks.PrimeCount{}).Process(context.Background(), input, &ck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobID, err := c.Master.Submit(tasks.PrimeCount{}, input, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %0.f KB prime scan to %d phones (local answer: %s)\n",
+		float64(len(input))/1024, len(c.Workers), want)
+
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		fmt.Println(">> phone 0 unplugged (online failure: checkpoint + report)")
+		c.Workers[0].Unplug()
+		time.Sleep(200 * time.Millisecond)
+		fmt.Println(">> phone 1 vanished (offline failure: keepalives must catch it)")
+		c.Workers[1].Vanish()
+	}()
+
+	for round := 1; ; round++ {
+		report, err := c.Master.RunRound(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: wall %v, completed %v, failed phones %v, requeued %d\n",
+			round, report.Wall.Round(time.Millisecond), report.CompletedJobs,
+			report.FailedPhones, report.Requeued)
+		if result, ok := c.Master.Result(jobID); ok {
+			fmt.Printf("final count after migration: %s\n", result)
+			if string(result) != string(want) {
+				log.Fatal("migrated result diverged from local run")
+			}
+			fmt.Println("migrated execution matches the uninterrupted run")
+			return
+		}
+		if round > 10 {
+			log.Fatal("job did not converge")
+		}
+	}
+}

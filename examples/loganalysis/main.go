@@ -1,0 +1,81 @@
+// Loganalysis: the paper's IT-department scenario — "gather machine logs
+// throughout the day and analyze them for certain types of failures at
+// night". The day's logs are one large breakable input; CWC partitions
+// them across the overnight phone fleet and sums the per-partition
+// failure counts at the server.
+//
+//	go run ./examples/loganalysis
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/tasks"
+)
+
+// genMachineLogs synthesizes a day of service logs with a known number of
+// failure lines mixed into routine entries.
+func genMachineLogs(lines int, rng *rand.Rand) (data []byte, failures int) {
+	services := []string{"auth", "billing", "search", "cart", "mailer"}
+	var buf bytes.Buffer
+	for i := 0; i < lines; i++ {
+		svc := services[rng.Intn(len(services))]
+		switch {
+		case rng.Float64() < 0.02:
+			fmt.Fprintf(&buf, "12:%02d:%02d %s FAILURE disk timeout on volume %d\n",
+				rng.Intn(60), rng.Intn(60), svc, rng.Intn(8))
+			failures++
+		case rng.Float64() < 0.1:
+			fmt.Fprintf(&buf, "12:%02d:%02d %s WARN retrying request\n",
+				rng.Intn(60), rng.Intn(60), svc)
+		default:
+			fmt.Fprintf(&buf, "12:%02d:%02d %s OK served request in %dms\n",
+				rng.Intn(60), rng.Intn(60), svc, rng.Intn(400))
+		}
+	}
+	return buf.Bytes(), failures
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	c, err := cluster.Start(ctx, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Master.MeasureBandwidths(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	logs, wantFailures := genMachineLogs(20000, rng)
+	fmt.Printf("analysing %.0f KB of machine logs overnight on %d phones\n",
+		float64(len(logs))/1024, len(c.Workers))
+
+	jobID, err := c.Master.Submit(tasks.WordCount{Word: "FAILURE"}, logs, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := c.Master.RunRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, ok := c.Master.Result(jobID)
+	if !ok {
+		log.Fatal("analysis did not complete")
+	}
+	fmt.Printf("failures found: %s (ground truth %d) in %v\n",
+		result, wantFailures, report.Wall.Round(time.Millisecond))
+	if string(result) != fmt.Sprint(wantFailures) {
+		log.Fatal("distributed count disagrees with ground truth")
+	}
+	fmt.Println("distributed analysis matches ground truth")
+}

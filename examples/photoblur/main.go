@@ -1,0 +1,80 @@
+// Photoblur: the paper's movie-studio scenario. Photo blurring is an
+// *atomic* task — every output pixel depends on its neighbours, so one
+// photo cannot be split across phones — but a batch of photos still runs
+// concurrently, one photo per phone. The server pre-processes photos into
+// the text-pixel format (the prototype's Dalvik workaround), ships them,
+// and re-creates the blurred photos from the returned pixels.
+//
+//	go run ./examples/photoblur
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/tasks"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	c, err := cluster.Start(ctx, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Master.MeasureBandwidths(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// A batch of 8 "scenes" of varying sizes.
+	rng := rand.New(rand.NewSource(7))
+	type scene struct {
+		jobID    int
+		original *tasks.Image
+	}
+	var scenes []scene
+	for k := 0; k < 8; k++ {
+		w, h := 24+rng.Intn(40), 24+rng.Intn(40)
+		img := tasks.GenImage(w, h, rng)
+		encoded, err := tasks.EncodeImage(img) // server-side pre-processing
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := c.Master.Submit(tasks.Blur{}, encoded, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenes = append(scenes, scene{jobID: id, original: img})
+	}
+	fmt.Printf("submitted %d photos to %d phones\n", len(scenes), len(c.Workers))
+
+	report, err := c.Master.RunRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch done in %v; %d photos completed\n",
+		report.Wall.Round(time.Millisecond), len(report.CompletedJobs))
+
+	for i, s := range scenes {
+		raw, ok := c.Master.Result(s.jobID)
+		if !ok {
+			log.Fatalf("photo %d missing", i)
+		}
+		blurred, err := tasks.DecodeImage(raw) // server-side re-creation
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := tasks.GrayscaleDistance(s.original, blurred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  photo %d (%dx%d): blurred, mean pixel shift %.1f\n",
+			i, blurred.W, blurred.H, dist)
+	}
+}

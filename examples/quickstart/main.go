@@ -1,0 +1,61 @@
+// Quickstart: stand up an in-process CWC deployment (a central server and
+// six emulated phones over loopback TCP), submit a breakable word-count
+// job, and let the scheduler partition it across the fleet.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/tasks"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// 1. Start the cluster: master + 6 phones from the device catalog.
+	c, err := cluster.Start(ctx, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	fmt.Printf("cluster up: master at %s with %d phones\n", c.Master.Addr(), len(c.Workers))
+
+	// 2. Measure per-phone bandwidth (the b_i of the cost model).
+	if err := c.Master.MeasureBandwidths(ctx); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range c.Master.Phones() {
+		fmt.Printf("  phone %d: %-18s %4.0f MHz  b=%.3f ms/KB\n",
+			p.ID, p.Model, p.CPUMHz, p.BMsPerKB)
+	}
+
+	// 3. Submit a breakable job: count "sale" in ~256 KB of records.
+	input := tasks.GenText(256, rand.New(rand.NewSource(42)))
+	jobID, err := c.Master.Submit(tasks.WordCount{Word: "sale"}, input, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. One scheduling round: profile, schedule, dispatch, aggregate.
+	report, err := c.Master.RunRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round complete in %v (predicted makespan %.0f ms)\n",
+		report.Wall.Round(time.Millisecond), report.PredictedMakespanMs)
+
+	// 5. Read the aggregated result.
+	result, ok := c.Master.Result(jobID)
+	if !ok {
+		log.Fatal("job did not complete")
+	}
+	fmt.Printf("occurrences of %q: %s\n", "sale", result)
+}

@@ -1,0 +1,127 @@
+// Salesreport: the paper's department-store scenario (its Lowe's
+// example) — "a department store gathers the sales records from several
+// locations. These records can be partitioned and shipped to phones to
+// quantify what types of goods are sold the most." Each store's records
+// are a separate breakable job; a final maxint job finds the largest
+// single transaction of the day.
+//
+//	go run ./examples/salesreport
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/tasks"
+)
+
+var goods = []string{"lumber", "paint", "tools", "garden", "lighting"}
+
+// genStoreRecords produces one store's sales lines ("SALE <good> <cents>")
+// and returns per-good ground-truth counts plus the largest transaction.
+func genStoreRecords(lines int, rng *rand.Rand) ([]byte, map[string]int, int64) {
+	var buf bytes.Buffer
+	counts := map[string]int{}
+	var maxCents int64
+	for i := 0; i < lines; i++ {
+		g := goods[rng.Intn(len(goods))]
+		cents := int64(100 + rng.Intn(500000))
+		if cents > maxCents {
+			maxCents = cents
+		}
+		counts[g]++
+		fmt.Fprintf(&buf, "SALE %s %d\n", g, cents)
+	}
+	return buf.Bytes(), counts, maxCents
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	c, err := cluster.Start(ctx, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Master.MeasureBandwidths(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	const stores = 4
+	wantCounts := map[string]int{}
+	var wantMax int64
+	var allRecords [][]byte
+	for s := 0; s < stores; s++ {
+		rec, counts, maxC := genStoreRecords(4000, rng)
+		allRecords = append(allRecords, rec)
+		for g, n := range counts {
+			wantCounts[g] += n
+		}
+		if maxC > wantMax {
+			wantMax = maxC
+		}
+	}
+	merged := bytes.Join(allRecords, nil)
+
+	// One counting job per good (what sells the most) plus the largest
+	// transaction across all stores. Amounts are on their own lines for
+	// the maxint scan.
+	jobs := map[string]int{}
+	for _, g := range goods {
+		id, err := c.Master.Submit(tasks.WordCount{Word: g}, merged, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs[g] = id
+	}
+	var amounts bytes.Buffer
+	for _, line := range bytes.Split(merged, []byte{'\n'}) {
+		fields := bytes.Fields(line)
+		if len(fields) == 3 {
+			amounts.Write(fields[2])
+			amounts.WriteByte('\n')
+		}
+	}
+	maxID, err := c.Master.Submit(tasks.MaxInt{}, amounts.Bytes(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := c.Master.RunRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sales analysis for %d stores done in %v\n",
+		stores, report.Wall.Round(time.Millisecond))
+
+	best, bestCount := "", -1
+	for _, g := range goods {
+		res, ok := c.Master.Result(jobs[g])
+		if !ok {
+			log.Fatalf("count for %s missing", g)
+		}
+		fmt.Printf("  %-9s sold %s times (ground truth %d)\n", g, res, wantCounts[g])
+		if string(res) != fmt.Sprint(wantCounts[g]) {
+			log.Fatalf("count mismatch for %s", g)
+		}
+		if wantCounts[g] > bestCount {
+			best, bestCount = g, wantCounts[g]
+		}
+	}
+	maxRes, ok := c.Master.Result(maxID)
+	if !ok {
+		log.Fatal("max transaction missing")
+	}
+	fmt.Printf("top seller: %s; largest transaction: %s cents (ground truth %d)\n",
+		best, maxRes, wantMax)
+	if string(maxRes) != fmt.Sprint(wantMax) {
+		log.Fatal("max transaction mismatch")
+	}
+}

@@ -1,0 +1,3 @@
+module cwc
+
+go 1.22

@@ -1,0 +1,324 @@
+// Package battery models smartphone charging and implements CWC's MIMD
+// CPU throttler (paper §4.3, Figure 10).
+//
+// The plant: residual battery percentage grows linearly with time while a
+// phone charges (the paper observes a predictable linear profile). A CPU
+// under *sustained* heavy load makes the charging controller throttle the
+// charge current — thermally averaged utilization above a device-specific
+// threshold reduces the charging rate, stretching the HTC Sensation's full
+// charge from 100 to 135 minutes. Short bursts below the sustained
+// threshold are free, which is exactly why the paper's run-δ/2 / sleep-δ/2
+// duty cycling works.
+//
+// The controller: CWC measures δ, the time for the battery to gain 1% with
+// no job running (the target charging parameter). It then alternates
+// running the task for δ/2 and sleeping, measuring β, the actual time per
+// 1% gain. β ≈ δ means headroom remains: the sleep interval shrinks by
+// ×0.75. β > δ means the task is hurting the charge: the sleep interval
+// doubles. Multiplicative increase, multiplicative decrease — MIMD.
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"cwc/internal/device"
+)
+
+// Plant simulates one phone's battery while plugged in.
+type Plant struct {
+	pctPerSec float64 // ideal charging rate, percent per second
+	penalty   float64 // rate loss fraction at sustained full load
+	threshold float64 // sustained utilization where the penalty starts
+	tau       float64 // thermal averaging time constant, seconds
+
+	percent float64 // residual charge, 0..100
+	avgUtil float64 // thermally averaged utilization (EWMA)
+}
+
+// NewPlant builds a plant from a device battery spec, starting at 0%.
+func NewPlant(spec device.Battery) *Plant {
+	return &Plant{
+		pctPerSec: 100 / (spec.FullChargeMin * 60),
+		penalty:   spec.LoadPenalty,
+		threshold: spec.SustainThreshold,
+		tau:       60,
+	}
+}
+
+// SetPercent sets the residual charge (clamped to [0,100]).
+func (p *Plant) SetPercent(pct float64) {
+	p.percent = math.Min(100, math.Max(0, pct))
+}
+
+// Percent returns the exact residual charge.
+func (p *Plant) Percent() float64 { return p.percent }
+
+// ReportedPercent returns the charge as the OS reports it: a whole
+// percentage point. The throttler only sees this value.
+func (p *Plant) ReportedPercent() int { return int(p.percent) }
+
+// Full reports whether the battery has reached 100%.
+func (p *Plant) Full() bool { return p.percent >= 100 }
+
+// Rate returns the current charging rate in percent/second given the
+// present thermal state.
+func (p *Plant) Rate() float64 {
+	over := p.avgUtil - p.threshold
+	if over <= 0 {
+		return p.pctPerSec
+	}
+	frac := over / (1 - p.threshold)
+	if frac > 1 {
+		frac = 1
+	}
+	return p.pctPerSec * (1 - p.penalty*frac)
+}
+
+// Step advances the plant by dt seconds with the CPU at the given
+// utilization (0..1).
+func (p *Plant) Step(dt, util float64) {
+	if util < 0 {
+		util = 0
+	} else if util > 1 {
+		util = 1
+	}
+	// EWMA with time constant tau.
+	alpha := dt / p.tau
+	if alpha > 1 {
+		alpha = 1
+	}
+	p.avgUtil += (util - p.avgUtil) * alpha
+	p.percent += p.Rate() * dt
+	if p.percent > 100 {
+		p.percent = 100
+	}
+}
+
+// Policy decides the CPU utilization demanded from the phone at each
+// simulation step while charging.
+type Policy interface {
+	// Util returns the utilization in [0,1] for the step beginning at
+	// simulated time now (seconds) given the OS-reported battery percent.
+	Util(now float64, reportedPct int) float64
+}
+
+// Idle is the no-job policy: the phone just charges.
+type Idle struct{}
+
+// Util implements Policy.
+func (Idle) Util(float64, int) float64 { return 0 }
+
+// Heavy runs a CPU-intensive task continuously — the paper's
+// "heavily utilized" scenario.
+type Heavy struct{}
+
+// Util implements Policy.
+func (Heavy) Util(float64, int) float64 { return 1 }
+
+// Throttler is the MIMD duty-cycle controller.
+type Throttler struct {
+	// IncreaseFactor multiplies the sleep time when charging falls behind
+	// (β > δ); the paper uses 2.
+	IncreaseFactor float64
+	// DecreaseFactor multiplies the sleep time when charging is on target
+	// (β == δ); the paper uses 0.75.
+	DecreaseFactor float64
+	// Tolerance is the relative slack for deciding β == δ; the OS reports
+	// integer percentages, so exact equality is meaningless.
+	Tolerance float64
+
+	delta float64 // target charging parameter: seconds per +1%, idle
+	run   float64 // run interval, fixed at δ/2
+	sleep float64 // current sleep interval (adapted by MIMD)
+
+	state        throttleState
+	started      bool
+	phaseRunning bool
+	phaseLeft    float64
+	windowStart  float64 // sim time when the current 1% window began
+	lastPct      int
+	measureStart float64
+
+	workSeconds float64 // accumulated full-speed CPU seconds delivered
+	adjustments []Adjustment
+}
+
+type throttleState int
+
+const (
+	measuringDelta throttleState = iota
+	dutyCycling
+)
+
+// Adjustment records one MIMD decision, for the Figure 10 inset.
+type Adjustment struct {
+	Time     float64 // seconds
+	Beta     float64
+	Delta    float64
+	NewSleep float64
+	Raised   bool // true when sleep was increased (β > δ)
+}
+
+// NewThrottler returns a throttler with the paper's constants.
+func NewThrottler() *Throttler {
+	return &Throttler{
+		IncreaseFactor: 2,
+		DecreaseFactor: 0.75,
+		Tolerance:      0.05,
+	}
+}
+
+// WorkSeconds returns the cumulative CPU-seconds of task execution the
+// throttler has allowed.
+func (t *Throttler) WorkSeconds() float64 { return t.workSeconds }
+
+// Delta returns the current target charging parameter (0 until measured).
+func (t *Throttler) Delta() float64 { return t.delta }
+
+// Adjustments returns the MIMD decision log.
+func (t *Throttler) Adjustments() []Adjustment { return t.adjustments }
+
+// Util implements Policy. It runs the δ measurement first (task paused),
+// then the adaptive duty cycle.
+func (t *Throttler) Util(now float64, reportedPct int) float64 {
+	switch t.state {
+	case measuringDelta:
+		if !t.started {
+			// First call: anchor the measurement at the current percent.
+			t.started = true
+			t.lastPct = reportedPct
+			t.measureStart = now
+			return 0
+		}
+		if reportedPct > t.lastPct {
+			t.delta = (now - t.measureStart) / float64(reportedPct-t.lastPct)
+			t.run = t.delta / 2
+			t.sleep = t.delta / 2
+			t.state = dutyCycling
+			t.phaseRunning = true
+			t.phaseLeft = t.run
+			t.windowStart = now
+			t.lastPct = reportedPct
+			return 1
+		}
+		return 0
+	case dutyCycling:
+		// Close a 1% window whenever the OS ticks a percent.
+		if reportedPct > t.lastPct {
+			beta := (now - t.windowStart) / float64(reportedPct-t.lastPct)
+			t.adapt(now, beta)
+			t.windowStart = now
+			t.lastPct = reportedPct
+		}
+		return t.step()
+	}
+	return 0
+}
+
+// adapt applies the MIMD rule for an observed β.
+func (t *Throttler) adapt(now, beta float64) {
+	raised := false
+	if beta > t.delta*(1+t.Tolerance) {
+		t.sleep *= t.IncreaseFactor
+		raised = true
+	} else {
+		t.sleep *= t.DecreaseFactor
+	}
+	// Keep the duty cycle physical: never sleep less than 1/64 of δ nor
+	// more than 4δ.
+	if min := t.delta / 64; t.sleep < min {
+		t.sleep = min
+	}
+	if max := t.delta * 4; t.sleep > max {
+		t.sleep = max
+	}
+	t.adjustments = append(t.adjustments, Adjustment{
+		Time: now, Beta: beta, Delta: t.delta, NewSleep: t.sleep, Raised: raised,
+	})
+}
+
+// step advances the run/sleep alternation by one simulation tick and
+// returns the utilization for that tick. The tick length is applied by
+// the simulation via Tick.
+func (t *Throttler) step() float64 {
+	if t.phaseRunning {
+		return 1
+	}
+	return 0
+}
+
+// Tick informs the throttler that dt seconds elapsed, so it can advance
+// its run/sleep phases and account for the work performed at the
+// utilization it last returned.
+func (t *Throttler) Tick(dt, util float64) {
+	t.workSeconds += dt * util
+	if t.state != dutyCycling {
+		return
+	}
+	t.phaseLeft -= dt
+	for t.phaseLeft <= 0 {
+		if t.phaseRunning {
+			t.phaseRunning = false
+			t.phaseLeft += t.sleep
+		} else {
+			t.phaseRunning = true
+			t.phaseLeft += t.run
+		}
+	}
+}
+
+// ChargePoint is one sample of a charging curve.
+type ChargePoint struct {
+	Seconds float64
+	Percent float64
+}
+
+// RunResult summarizes a charging simulation.
+type RunResult struct {
+	ChargeSeconds float64       // time to reach 100%
+	WorkSeconds   float64       // full-speed CPU seconds delivered to the task
+	Curve         []ChargePoint // sampled every sampleEvery seconds
+	Adjustments   []Adjustment  // non-nil only for throttled runs
+}
+
+// Simulate charges the plant from its current level to 100% under the
+// given policy, stepping dt seconds, sampling the curve every sampleEvery
+// seconds. It returns an error if the battery fails to fill within
+// maxSeconds (a stuck controller).
+func Simulate(p *Plant, pol Policy, dt, sampleEvery, maxSeconds float64) (*RunResult, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("battery: non-positive step %v", dt)
+	}
+	res := &RunResult{}
+	throttler, _ := pol.(*Throttler)
+	now := 0.0
+	nextSample := 0.0
+	work := 0.0
+	for !p.Full() {
+		if now > maxSeconds {
+			return nil, fmt.Errorf("battery: not full after %.0fs (%.1f%%)", maxSeconds, p.Percent())
+		}
+		if now >= nextSample {
+			res.Curve = append(res.Curve, ChargePoint{Seconds: now, Percent: p.Percent()})
+			nextSample += sampleEvery
+		}
+		util := pol.Util(now, p.ReportedPercent())
+		p.Step(dt, util)
+		if throttler != nil {
+			throttler.Tick(dt, util)
+		} else {
+			work += dt * util
+		}
+		now += dt
+	}
+	res.Curve = append(res.Curve, ChargePoint{Seconds: now, Percent: p.Percent()})
+	res.ChargeSeconds = now
+	if throttler != nil {
+		res.WorkSeconds = throttler.WorkSeconds()
+		res.Adjustments = throttler.Adjustments()
+	} else {
+		res.WorkSeconds = work
+	}
+	return res, nil
+}

@@ -1,0 +1,287 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cwc/internal/device"
+)
+
+const (
+	dt     = 0.25
+	sample = 60
+	limit  = 4 * 3600.0
+)
+
+func sensationPlant() *Plant { return NewPlant(device.HTCSensation.Battery) }
+
+func TestIdealChargeTimeMatchesSpec(t *testing.T) {
+	res, err := Simulate(sensationPlant(), Idle{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMin := res.ChargeSeconds / 60
+	if math.Abs(gotMin-100) > 1 {
+		t.Errorf("ideal charge = %.1f min, want ~100 (paper, HTC Sensation)", gotMin)
+	}
+	if res.WorkSeconds != 0 {
+		t.Errorf("idle run did %v work seconds", res.WorkSeconds)
+	}
+}
+
+func TestHeavyLoadStretchesChargeBy35Percent(t *testing.T) {
+	res, err := Simulate(sensationPlant(), Heavy{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMin := res.ChargeSeconds / 60
+	// Paper: 100 -> 135 minutes under continuous CPU load.
+	if gotMin < 130 || gotMin > 140 {
+		t.Errorf("heavy charge = %.1f min, want ~135", gotMin)
+	}
+	// Heavy delivers one work-second per second.
+	if math.Abs(res.WorkSeconds-res.ChargeSeconds) > 1 {
+		t.Errorf("heavy work = %v, elapsed %v", res.WorkSeconds, res.ChargeSeconds)
+	}
+}
+
+func TestThrottledChargeNearIdeal(t *testing.T) {
+	ideal, err := Simulate(sensationPlant(), Idle{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sensationPlant(), NewThrottler(), dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.ChargeSeconds / ideal.ChargeSeconds
+	// Paper Fig 10: "almost the same as in the ideal case".
+	if ratio > 1.06 {
+		t.Errorf("throttled/ideal charge time = %.3f, want <= 1.06", ratio)
+	}
+	if len(res.Adjustments) == 0 {
+		t.Error("throttled run recorded no MIMD adjustments")
+	}
+}
+
+func TestThrottledComputationPenalty(t *testing.T) {
+	heavy, err := Simulate(sensationPlant(), Heavy{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sensationPlant(), NewThrottler(), dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time to deliver the same work as heavy does per unit time:
+	// penalty = elapsed/work - 1. Paper reports ~24.5%.
+	penalty := res.ChargeSeconds/res.WorkSeconds - 1
+	if penalty < 0.10 || penalty > 0.45 {
+		t.Errorf("computation penalty = %.1f%%, want in the neighbourhood of 24.5%%", penalty*100)
+	}
+	_ = heavy
+}
+
+func TestG2UnaffectedByLoad(t *testing.T) {
+	// Paper: HTC G2 showed no significant charging effect under load.
+	plant := NewPlant(device.HTCG2.Battery)
+	idle, err := Simulate(NewPlant(device.HTCG2.Battery), Idle{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Simulate(plant, Heavy{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := heavy.ChargeSeconds / idle.ChargeSeconds
+	if ratio > 1.03 {
+		t.Errorf("G2 heavy/idle = %.3f, want ~1 (no significant effect)", ratio)
+	}
+}
+
+func TestChargingCurveIsLinearWhenIdle(t *testing.T) {
+	res, err := Simulate(sensationPlant(), Idle{}, dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: residual battery exhibits a predictable linear change.
+	// Check percent/second slope is constant across the curve.
+	// The final sample is clamped at 100%, so skip the last segment.
+	var slopes []float64
+	for i := 1; i < len(res.Curve)-1; i++ {
+		ds := res.Curve[i].Seconds - res.Curve[i-1].Seconds
+		if ds == 0 {
+			continue
+		}
+		slopes = append(slopes, (res.Curve[i].Percent-res.Curve[i-1].Percent)/ds)
+	}
+	for _, s := range slopes {
+		if math.Abs(s-slopes[0]) > 1e-9*math.Abs(slopes[0])+1e-12 {
+			t.Fatalf("idle curve not linear: slope %v vs %v", s, slopes[0])
+		}
+	}
+}
+
+func TestCurveMonotonic(t *testing.T) {
+	res, err := Simulate(sensationPlant(), NewThrottler(), dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Percent < res.Curve[i-1].Percent {
+			t.Fatalf("charge decreased at %v", res.Curve[i].Seconds)
+		}
+		if res.Curve[i].Seconds <= res.Curve[i-1].Seconds {
+			t.Fatalf("time not increasing at index %d", i)
+		}
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.Percent < 100 {
+		t.Errorf("final curve point at %v%%", last.Percent)
+	}
+}
+
+func TestPlantRateThreshold(t *testing.T) {
+	p := NewPlant(device.Battery{FullChargeMin: 100, LoadPenalty: 0.3, SustainThreshold: 0.8})
+	base := p.Rate()
+	// Push sustained utilization to exactly the threshold: no penalty.
+	for i := 0; i < 100000; i++ {
+		p.Step(1, 0.8)
+	}
+	if math.Abs(p.Rate()-base) > 1e-9 {
+		t.Errorf("rate at threshold = %v, want %v", p.Rate(), base)
+	}
+	// Sustained full load: full penalty.
+	for i := 0; i < 100000; i++ {
+		p.Step(1, 1)
+	}
+	want := base * 0.7
+	if math.Abs(p.Rate()-want) > 1e-6 {
+		t.Errorf("rate at full sustained load = %v, want %v", p.Rate(), want)
+	}
+}
+
+func TestPlantStepClampsUtilAndPercent(t *testing.T) {
+	p := NewPlant(device.HTCG2.Battery)
+	p.SetPercent(99.999)
+	p.Step(3600, 5)  // absurd utilization is clamped
+	p.Step(3600, -3) // negative too
+	if p.Percent() != 100 {
+		t.Errorf("percent = %v, want clamped 100", p.Percent())
+	}
+	p.SetPercent(-5)
+	if p.Percent() != 0 {
+		t.Errorf("SetPercent(-5) = %v, want 0", p.Percent())
+	}
+	p.SetPercent(150)
+	if p.Percent() != 100 {
+		t.Errorf("SetPercent(150) = %v, want 100", p.Percent())
+	}
+}
+
+func TestReportedPercentIsTruncated(t *testing.T) {
+	p := NewPlant(device.HTCG2.Battery)
+	p.SetPercent(41.97)
+	if got := p.ReportedPercent(); got != 41 {
+		t.Errorf("ReportedPercent = %d, want 41", got)
+	}
+}
+
+func TestSimulateRejectsBadStep(t *testing.T) {
+	if _, err := Simulate(sensationPlant(), Idle{}, 0, sample, limit); err == nil {
+		t.Error("dt=0 should error")
+	}
+}
+
+func TestSimulateTimesOut(t *testing.T) {
+	// A plant that cannot finish within the budget.
+	p := NewPlant(device.Battery{FullChargeMin: 1000, LoadPenalty: 0, SustainThreshold: 1})
+	if _, err := Simulate(p, Idle{}, 1, 60, 10); err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+func TestThrottlerMIMDFactors(t *testing.T) {
+	res, err := Simulate(sensationPlant(), NewThrottler(), dt, sample, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised, lowered := 0, 0
+	for i := 1; i < len(res.Adjustments); i++ {
+		prev, cur := res.Adjustments[i-1], res.Adjustments[i]
+		ratio := cur.NewSleep / prev.NewSleep
+		switch {
+		case cur.Raised:
+			raised++
+			if ratio < 1 && cur.NewSleep != cur.Delta*4 {
+				t.Errorf("raise shrank sleep: %v -> %v", prev.NewSleep, cur.NewSleep)
+			}
+		default:
+			lowered++
+			if ratio > 1 && cur.NewSleep != cur.Delta/64 {
+				t.Errorf("decrease grew sleep: %v -> %v", prev.NewSleep, cur.NewSleep)
+			}
+		}
+	}
+	if lowered == 0 {
+		t.Error("MIMD never decreased sleep — controller not ramping up utilization")
+	}
+	if raised == 0 {
+		t.Error("MIMD never increased sleep — controller never hit the charging limit")
+	}
+}
+
+func TestThrottlerDeltaMatchesPlant(t *testing.T) {
+	plant := sensationPlant()
+	th := NewThrottler()
+	if _, err := Simulate(plant, th, dt, sample, limit); err != nil {
+		t.Fatal(err)
+	}
+	// δ should be ~60 s (100 min for 100%).
+	if th.Delta() < 55 || th.Delta() > 65 {
+		t.Errorf("measured delta = %v s, want ~60", th.Delta())
+	}
+}
+
+// Property: for any device battery spec in the catalog, throttled charging
+// never takes longer than heavy charging, and both complete.
+func TestThrottledNeverWorseThanHeavyProperty(t *testing.T) {
+	for _, spec := range device.Catalog() {
+		spec := spec
+		t.Run(spec.Model, func(t *testing.T) {
+			heavy, err := Simulate(NewPlant(spec.Battery), Heavy{}, dt, sample, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			throttled, err := Simulate(NewPlant(spec.Battery), NewThrottler(), dt, sample, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if throttled.ChargeSeconds > heavy.ChargeSeconds*1.02 {
+				t.Errorf("throttled %.0fs worse than heavy %.0fs",
+					throttled.ChargeSeconds, heavy.ChargeSeconds)
+			}
+		})
+	}
+}
+
+// Property: plant percent is monotone non-decreasing and bounded for any
+// utilization sequence.
+func TestPlantMonotoneProperty(t *testing.T) {
+	f := func(utils []byte) bool {
+		p := NewPlant(device.HTCSensation.Battery)
+		prev := p.Percent()
+		for _, u := range utils {
+			p.Step(1, float64(u)/255)
+			if p.Percent() < prev || p.Percent() > 100 {
+				return false
+			}
+			prev = p.Percent()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,16 @@
+package battery
+
+import (
+	"testing"
+
+	"cwc/internal/device"
+)
+
+func BenchmarkSimulateThrottledCharge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(NewPlant(device.HTCSensation.Battery),
+			NewThrottler(), 0.25, 60, 4*3600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

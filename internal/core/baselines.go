@@ -1,0 +1,84 @@
+package core
+
+// Baseline schedulers the paper compares against (§6, "Comparison with
+// simple practical schedulers"), plus a bandwidth-blind ablation isolating
+// the claim that wireless bandwidth must inform scheduling. The baselines
+// deliberately ignore RAM caps, as the paper's naive alternatives would.
+
+// EqualSplit is the paper's first alternative: every breakable job is
+// split into |P| equal pieces, one per phone, ignoring the phones'
+// bandwidth and CPU differences; atomic jobs are assigned round-robin.
+func EqualSplit(inst *Instance) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(inst.Phones)
+	asgs := make([][]Assignment, n)
+	rr := 0
+	for j, job := range inst.Jobs {
+		if job.Atomic {
+			i := rr % n
+			rr++
+			asgs[i] = append(asgs[i], Assignment{Phone: i, Job: j, SizeKB: job.InputKB})
+			continue
+		}
+		piece := job.InputKB / float64(n)
+		for i := 0; i < n; i++ {
+			asgs[i] = append(asgs[i], Assignment{Phone: i, Job: j, SizeKB: piece})
+		}
+	}
+	s := &Schedule{PerPhone: asgs}
+	s.Makespan = s.Evaluate(inst)
+	return s, nil
+}
+
+// RoundRobin is the paper's second alternative: every job — breakable or
+// not — is assigned whole to phones in rotation.
+func RoundRobin(inst *Instance) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(inst.Phones)
+	asgs := make([][]Assignment, n)
+	for j, job := range inst.Jobs {
+		i := j % n
+		asgs[i] = append(asgs[i], Assignment{Phone: i, Job: j, SizeKB: job.InputKB})
+	}
+	s := &Schedule{PerPhone: asgs}
+	s.Makespan = s.Evaluate(inst)
+	return s, nil
+}
+
+// BandwidthBlind runs the greedy scheduler with every phone's b_i replaced
+// by the fleet mean — the decision model of a Condor-style scheduler that
+// sees CPUs but assumes uniform (Ethernet-like) bandwidth — and then
+// re-costs the resulting schedule under the true bandwidths. The gap to
+// Greedy quantifies the paper's §3.1 claim that bandwidth variability
+// across phones must drive scheduling.
+func BandwidthBlind(inst *Instance) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	mean := 0.0
+	for _, p := range inst.Phones {
+		mean += p.BMsPerKB
+	}
+	mean /= float64(len(inst.Phones))
+
+	blind := &Instance{
+		Phones: make([]Phone, len(inst.Phones)),
+		Jobs:   inst.Jobs,
+		C:      inst.C,
+	}
+	copy(blind.Phones, inst.Phones)
+	for i := range blind.Phones {
+		blind.Phones[i].BMsPerKB = mean
+	}
+	sched, err := Greedy(blind)
+	if err != nil {
+		return nil, err
+	}
+	// The decisions stand; the cost is what the real network charges.
+	sched.Makespan = sched.Evaluate(inst)
+	return sched, nil
+}

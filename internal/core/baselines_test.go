@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualSplitShape(t *testing.T) {
+	inst := &Instance{
+		Phones: []Phone{{ID: 0, BMsPerKB: 1}, {ID: 1, BMsPerKB: 2}, {ID: 2, BMsPerKB: 3}},
+		Jobs: []Job{
+			{ID: 0, Task: "t", ExecKB: 1, InputKB: 300},              // breakable
+			{ID: 1, Task: "t", ExecKB: 1, InputKB: 90, Atomic: true}, // atomic
+			{ID: 2, Task: "t", ExecKB: 1, InputKB: 60, Atomic: true}, // atomic
+		},
+		C: [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}},
+	}
+	s, err := EqualSplit(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	counts := s.PartitionCounts(3)
+	// Breakable split |P| ways; atomics whole, round-robin.
+	if counts[0] != 3 {
+		t.Errorf("breakable split into %d pieces, want 3", counts[0])
+	}
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("atomic partition counts = %v", counts)
+	}
+	// Round-robin: atomic 1 on phone 0, atomic 2 on phone 1.
+	foundOn := func(job int) int {
+		for i, asgs := range s.PerPhone {
+			for _, a := range asgs {
+				if a.Job == job {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	if foundOn(1) != 0 || foundOn(2) != 1 {
+		t.Errorf("atomic round-robin placement wrong: job1 on %d, job2 on %d",
+			foundOn(1), foundOn(2))
+	}
+}
+
+func TestRoundRobinShape(t *testing.T) {
+	inst := randInstance(rand.New(rand.NewSource(4)), 3, 7)
+	s, err := RoundRobin(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	// Every job whole: exactly one partition each.
+	for j, c := range s.PartitionCounts(len(inst.Jobs)) {
+		if c != 1 {
+			t.Errorf("job %d has %d partitions under round-robin", j, c)
+		}
+	}
+	// Job j sits on phone j mod n.
+	for i, asgs := range s.PerPhone {
+		for _, a := range asgs {
+			if a.Job%len(inst.Phones) != i {
+				t.Errorf("job %d on phone %d, want %d", a.Job, i, a.Job%len(inst.Phones))
+			}
+		}
+	}
+}
+
+// The paper's headline scheduling result: greedy beats both baselines on
+// heterogeneous fleets (Figure 12a shows 1.56x / 1.64x).
+func TestGreedyBeatsBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2012))
+	better, trials := 0, 20
+	var gSum, eSum, rSum float64
+	for trial := 0; trial < trials; trial++ {
+		inst := randInstance(rng, 18, 60)
+		g, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := EqualSplit(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RoundRobin(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gSum += g.Makespan
+		eSum += e.Makespan
+		rSum += r.Makespan
+		if g.Makespan <= e.Makespan && g.Makespan <= r.Makespan {
+			better++
+		}
+	}
+	if better < trials*9/10 {
+		t.Errorf("greedy beat both baselines in only %d/%d trials", better, trials)
+	}
+	// The aggregate advantage should be well over 1.3x.
+	if eSum/gSum < 1.3 {
+		t.Errorf("greedy vs equal-split advantage %.2fx, want > 1.3x", eSum/gSum)
+	}
+	if rSum/gSum < 1.3 {
+		t.Errorf("greedy vs round-robin advantage %.2fx, want > 1.3x", rSum/gSum)
+	}
+}
+
+// Greedy keeps most jobs whole (the paper's Figure 12b: ~90% of tasks
+// unpartitioned), while equal-split by construction shreds every
+// breakable job.
+func TestGreedyPartitionsFarLessThanEqualSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := randInstance(rng, 18, 150)
+	g, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EqualSplit(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := func(s *Schedule) int {
+		n := 0
+		for _, c := range s.PartitionCounts(len(inst.Jobs)) {
+			if c == 1 {
+				n++
+			}
+		}
+		return n
+	}
+	gw, ew := whole(g), whole(e)
+	if frac := float64(gw) / float64(len(inst.Jobs)); frac < 0.75 {
+		t.Errorf("greedy kept only %.0f%% of jobs whole, want >= 75%%", frac*100)
+	}
+	if gw <= ew {
+		t.Errorf("greedy whole jobs (%d) should exceed equal-split (%d)", gw, ew)
+	}
+}
+
+func TestBandwidthBlindWorseOnHeterogeneousLinks(t *testing.T) {
+	// Strongly heterogeneous bandwidths (WiFi next to EDGE): ignoring b_i
+	// must hurt. Averaged over seeds to avoid flakiness on any single
+	// draw.
+	rng := rand.New(rand.NewSource(99))
+	var blindSum, greedySum float64
+	for trial := 0; trial < 15; trial++ {
+		inst := randInstance(rng, 12, 50)
+		g, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BandwidthBlind(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(inst); err != nil {
+			t.Fatal(err)
+		}
+		greedySum += g.Makespan
+		blindSum += b.Makespan
+	}
+	if blindSum <= greedySum {
+		t.Errorf("bandwidth-blind (%v) not worse than greedy (%v) in aggregate",
+			blindSum, greedySum)
+	}
+}
+
+func TestBaselinesRejectInvalidInstances(t *testing.T) {
+	bad := &Instance{}
+	if _, err := EqualSplit(bad); err == nil {
+		t.Error("EqualSplit should validate")
+	}
+	if _, err := RoundRobin(bad); err == nil {
+		t.Error("RoundRobin should validate")
+	}
+	if _, err := BandwidthBlind(bad); err == nil {
+		t.Error("BandwidthBlind should validate")
+	}
+	if _, err := Greedy(bad); err == nil {
+		t.Error("Greedy should validate")
+	}
+}
+
+// Property: on single-phone instances every scheduler produces the same
+// makespan — the sum of all costs — since there is nothing to balance.
+func TestSinglePhoneEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randInstance(rng, 1, 1+rng.Intn(8))
+		g, err := Greedy(inst)
+		if err != nil {
+			return false
+		}
+		r, err := RoundRobin(inst)
+		if err != nil {
+			return false
+		}
+		diff := g.Makespan - r.Makespan
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cwc/internal/core"
+)
+
+// ExampleGreedy schedules two jobs — one breakable, one atomic — across
+// two phones with different bandwidths and CPU speeds.
+func ExampleGreedy() {
+	inst := &core.Instance{
+		Phones: []core.Phone{
+			{ID: 0, BMsPerKB: 2},  // fast WiFi
+			{ID: 1, BMsPerKB: 40}, // slow cellular
+		},
+		Jobs: []core.Job{
+			{ID: 0, Task: "primecount", ExecKB: 12, InputKB: 1000},
+			{ID: 1, Task: "blur", ExecKB: 15, InputKB: 200, Atomic: true},
+		},
+		// c_ij in ms/KB: phone 0 is twice as fast.
+		C: [][]float64{{60, 30}, {120, 60}},
+	}
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("makespan: %.0f ms\n", sched.Makespan)
+	for i, asgs := range sched.PerPhone {
+		for _, a := range asgs {
+			fmt.Printf("phone %d runs %.0f KB of job %d\n", i, a.SizeKB, a.Job)
+		}
+	}
+	// Output:
+	// makespan: 50589 ms
+	// phone 0 runs 816 KB of job 0
+	// phone 1 runs 184 KB of job 0
+	// phone 1 runs 200 KB of job 1
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance checks the instance parser never panics and that every
+// accepted instance is schedulable.
+func FuzzReadInstance(f *testing.F) {
+	f.Add(`{"phones":[{"id":0,"b_ms_per_kb":1,"cpu_mhz":1000}],"jobs":[{"id":0,"task":"t","exec_kb":1,"input_kb":10,"base_ms_per_kb_1ghz":5}]}`)
+	f.Add(`{"phones":[],"jobs":[]}`)
+	f.Add(`{"c":[[1]]}`)
+	f.Add(`]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		inst, err := ReadInstance(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted instances passed Validate, so Greedy must not panic;
+		// ErrInfeasible (RAM) is acceptable.
+		if _, err := Greedy(inst); err != nil && err != ErrInfeasible {
+			t.Fatalf("accepted instance unschedulable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// MinPartitionKB is the smallest input partition the packer creates, the
+// paper's 1 KB unit of input.
+const MinPartitionKB = 1.0
+
+// capacityEps absorbs floating-point noise in capacity comparisons.
+const capacityEps = 1e-9
+
+// Greedy schedules the instance with CWC's algorithm: the complementary
+// bin-packing greedy (Algorithm 1) inside a binary search over bin
+// capacity. It returns ErrInfeasible when no packing exists even at the
+// trivial upper-bound capacity (e.g. an atomic job larger than every
+// phone's RAM).
+func Greedy(inst *Instance) (*Schedule, error) {
+	return GreedyOpt(inst, GreedyOptions{})
+}
+
+// GreedyOptions tune the scheduler; the zero value reproduces the paper.
+type GreedyOptions struct {
+	// RelTolerance stops the capacity binary search when the bracket is
+	// within this relative width. Default 1e-4.
+	RelTolerance float64
+	// FixedCapacity skips the binary search and packs at the given
+	// capacity directly (an ablation). Zero means search.
+	FixedCapacity float64
+}
+
+// GreedyOpt is Greedy with options.
+func GreedyOpt(inst *Instance, opt GreedyOptions) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.RelTolerance <= 0 {
+		opt.RelTolerance = 1e-4
+	}
+
+	if opt.FixedCapacity > 0 {
+		sched, ok := packWithCapacity(inst, opt.FixedCapacity, opt)
+		if !ok {
+			return nil, ErrInfeasible
+		}
+		return sched, nil
+	}
+
+	ub := UpperBoundCapacity(inst)
+	lb := LowerBoundMakespan(inst)
+	if lb > ub {
+		lb = 0
+	}
+
+	best, ok := packWithCapacity(inst, ub, opt)
+	if !ok {
+		return nil, ErrInfeasible
+	}
+	hi := best.Makespan
+	lo := lb
+	for hi-lo > opt.RelTolerance*hi+0.5 {
+		c := (lo + hi) / 2
+		if sched, ok := packWithCapacity(inst, c, opt); ok {
+			best = sched
+			hi = math.Min(c, sched.Makespan)
+		} else {
+			lo = c
+		}
+	}
+	return best, nil
+}
+
+// UpperBoundCapacity is the paper's trivial upper bound: every item packed
+// into the single worst bin (the phone maximizing Equation 1 over the
+// whole workload).
+func UpperBoundCapacity(inst *Instance) float64 {
+	worst := 0.0
+	for i := range inst.Phones {
+		total := 0.0
+		for j, job := range inst.Jobs {
+			total += inst.Cost(i, j, job.InputKB, true)
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	return worst
+}
+
+// LowerBoundMakespan is the paper's "magical bin" seed for the binary
+// search: a valid lower bound combining (a) the aggregate-bandwidth
+// transfer bound — in time T the fleet ships at most T·Σ(1/b_i) KB — and
+// (b) a per-job aggregate processing bound — phone i processes at most
+// T/(b_i+c_ij) KB of job j in time T, executables free.
+func LowerBoundMakespan(inst *Instance) float64 {
+	aggBW := 0.0
+	for _, p := range inst.Phones {
+		aggBW += 1 / p.BMsPerKB
+	}
+	totalKB := 0.0
+	bound := 0.0
+	for j, job := range inst.Jobs {
+		totalKB += job.InputKB
+		rate := 0.0
+		for i, p := range inst.Phones {
+			rate += 1 / (p.BMsPerKB + inst.C[i][j])
+		}
+		if jb := job.InputKB / rate; jb > bound {
+			bound = jb
+		}
+	}
+	if tb := totalKB / aggBW; tb > bound {
+		bound = tb
+	}
+	return bound
+}
+
+// item is a job with input remaining to pack (the paper's R_j).
+type item struct {
+	job       int
+	remaining float64
+}
+
+// packer holds the state of one Algorithm 1 run at a fixed capacity.
+type packer struct {
+	inst    *Instance
+	cap     float64
+	opt     GreedyOptions
+	slowest int // phone index whose c-row orders the item list
+
+	items   []item // the sorted list L
+	opened  []bool
+	order   []int // phone indices in opening order
+	height  []float64
+	shipped []map[int]bool
+	asgs    [][]Assignment
+}
+
+// packWithCapacity runs Algorithm 1. ok is false when the capacity does
+// not admit a packing.
+func packWithCapacity(inst *Instance, cap float64, opt GreedyOptions) (*Schedule, bool) {
+	p := &packer{
+		inst:    inst,
+		cap:     cap,
+		opt:     opt,
+		slowest: slowestPhone(inst),
+		opened:  make([]bool, len(inst.Phones)),
+		height:  make([]float64, len(inst.Phones)),
+		shipped: make([]map[int]bool, len(inst.Phones)),
+		asgs:    make([][]Assignment, len(inst.Phones)),
+	}
+	for j, job := range inst.Jobs {
+		p.items = append(p.items, item{job: j, remaining: job.InputKB})
+	}
+	p.sortItems()
+
+	for len(p.items) > 0 {
+		// Find the first item in L that fits any opened bin; pack it into
+		// the minimum-height bin that accepts it.
+		packed := false
+		for idx := range p.items {
+			bin := p.bestOpenBin(p.items[idx])
+			if bin >= 0 {
+				p.pack(bin, idx)
+				packed = true
+				break
+			}
+		}
+		if packed {
+			continue
+		}
+		// No item fits an open bin: open the best bin for the largest
+		// item (line 15 of Algorithm 1).
+		bin := p.bestNewBin(p.items[0])
+		if bin < 0 {
+			return nil, false // no bins left: cannot finish with this C
+		}
+		p.opened[bin] = true
+		p.order = append(p.order, bin)
+		if !p.fits(bin, p.items[0]) {
+			return nil, false // even a fresh best bin rejects the item
+		}
+		p.pack(bin, 0)
+	}
+
+	sched := &Schedule{PerPhone: p.asgs}
+	sched.Makespan = sched.Evaluate(inst)
+	return sched, true
+}
+
+// slowestPhone picks the phone s whose execution times order the item
+// list; with clock-scaled costs this is the slowest-CPU phone for every
+// job, and in general the phone with the largest mean c-row.
+func slowestPhone(inst *Instance) int {
+	best, bestMean := 0, -1.0
+	for i := range inst.Phones {
+		mean := 0.0
+		for j := range inst.Jobs {
+			mean += inst.C[i][j]
+		}
+		if mean > bestMean {
+			best, bestMean = i, mean
+		}
+	}
+	return best
+}
+
+// sortItems orders L by decreasing local execution time on the slowest
+// phone, R_j·c_sj, ties broken by job ID for determinism.
+func (p *packer) sortItems() {
+	s := p.slowest
+	sort.SliceStable(p.items, func(a, b int) bool {
+		ka := p.items[a].remaining * p.inst.C[s][p.items[a].job]
+		kb := p.items[b].remaining * p.inst.C[s][p.items[b].job]
+		if ka != kb {
+			return ka > kb
+		}
+		return p.inst.Jobs[p.items[a].job].ID < p.inst.Jobs[p.items[b].job].ID
+	})
+}
+
+// execCost returns the executable shipping cost for job j on phone i,
+// zero when already shipped there.
+func (p *packer) execCost(i, j int) float64 {
+	if p.shipped[i] != nil && p.shipped[i][j] {
+		return 0
+	}
+	return p.inst.Jobs[j].ExecKB * p.inst.Phones[i].BMsPerKB
+}
+
+// minUnit is the smallest partition this item accepts on phone i.
+func (p *packer) minUnit(i int, it item) float64 {
+	if p.inst.Jobs[it.job].Atomic {
+		return it.remaining
+	}
+	u := math.Min(it.remaining, MinPartitionKB)
+	if ram := p.inst.Phones[i].RAMKB; ram > 0 && ram < u {
+		u = ram
+	}
+	return u
+}
+
+// fits reports whether the item can contribute at least its minimum unit
+// to bin i without exceeding the capacity (and RAM, for atomic items).
+func (p *packer) fits(i int, it item) bool {
+	job := p.inst.Jobs[it.job]
+	if job.Atomic {
+		if ram := p.inst.Phones[i].RAMKB; ram > 0 && it.remaining > ram {
+			return false
+		}
+	}
+	unit := p.minUnit(i, it)
+	need := p.execCost(i, it.job) + unit*(p.inst.Phones[i].BMsPerKB+p.inst.C[i][it.job])
+	return p.height[i]+need <= p.cap*(1+capacityEps)
+}
+
+// bestOpenBin returns the minimum-height opened bin that fits the item,
+// or -1. Ties break toward the earliest-opened bin.
+func (p *packer) bestOpenBin(it item) int {
+	best := -1
+	for _, i := range p.order {
+		if !p.fits(i, it) {
+			continue
+		}
+		if best < 0 || p.height[i] < p.height[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestNewBin returns the unopened phone minimizing Equation 1 for the
+// item's remaining input, or -1 when every bin is open.
+func (p *packer) bestNewBin(it item) int {
+	best, bestCost := -1, math.Inf(1)
+	for i := range p.inst.Phones {
+		if p.opened[i] {
+			continue
+		}
+		cost := p.inst.Cost(i, it.job, it.remaining, true)
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// pack places item items[idx] into bin i: whole if it fits (preferred, to
+// keep server-side aggregation cheap), otherwise its largest partition
+// under the capacity and RAM caps. Partially packed items re-enter L with
+// their remainder.
+func (p *packer) pack(i, idx int) {
+	it := p.items[idx]
+	jobIdx := it.job
+	job := p.inst.Jobs[jobIdx]
+	phone := p.inst.Phones[i]
+	rate := phone.BMsPerKB + p.inst.C[i][jobIdx]
+	exec := p.execCost(i, jobIdx)
+	avail := p.cap*(1+capacityEps) - p.height[i] - exec
+
+	ramOK := phone.RAMKB == 0 || it.remaining <= phone.RAMKB
+	wholeFits := ramOK && it.remaining*rate <= avail
+
+	var size float64
+	switch {
+	case job.Atomic:
+		size = it.remaining
+	case wholeFits:
+		size = it.remaining
+	default:
+		size = avail / rate
+		if phone.RAMKB > 0 && size > phone.RAMKB {
+			size = phone.RAMKB
+		}
+		if size > it.remaining {
+			size = it.remaining
+		}
+		if unit := p.minUnit(i, it); size < unit {
+			size = unit // fits() guaranteed the unit is admissible
+		}
+	}
+
+	if p.shipped[i] == nil {
+		p.shipped[i] = map[int]bool{}
+	}
+	p.shipped[i][jobIdx] = true
+	p.height[i] += exec + size*rate
+	p.asgs[i] = append(p.asgs[i], Assignment{Phone: i, Job: jobIdx, SizeKB: size})
+
+	it.remaining -= size
+	if it.remaining <= sizeTolerance {
+		p.items = append(p.items[:idx], p.items[idx+1:]...)
+	} else {
+		p.items[idx] = it
+		p.sortItems()
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestImproveNeverWorsensAndStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	improvedAny := false
+	for trial := 0; trial < 30; trial++ {
+		inst := randInstance(rng, 2+rng.Intn(10), 1+rng.Intn(40))
+		sched, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		better, moves := Improve(inst, sched, 100)
+		if err := better.Validate(inst); err != nil {
+			t.Fatalf("trial %d: improved schedule invalid: %v", trial, err)
+		}
+		if better.Makespan > sched.Makespan*(1+1e-9) {
+			t.Fatalf("trial %d: Improve worsened %v -> %v", trial, sched.Makespan, better.Makespan)
+		}
+		// Note: accepted moves with an unchanged makespan are possible
+		// when several phones tie at the max — the search flattens one
+		// of them and then stalls on another.
+		if moves > 0 && better.Makespan < sched.Makespan {
+			improvedAny = true
+		}
+		// The original schedule is untouched.
+		if err := sched.Validate(inst); err != nil {
+			t.Fatalf("trial %d: input schedule mutated: %v", trial, err)
+		}
+	}
+	if !improvedAny {
+		t.Error("local search never found a single improving move over 30 instances")
+	}
+}
+
+func TestImproveClosesPartOfTheLPGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	var gapBefore, gapAfter float64
+	for trial := 0; trial < 8; trial++ {
+		inst := randInstance(rng, 10, 40)
+		sched, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		better, _ := Improve(inst, sched, 200)
+		lb, err := RelaxedLowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gapBefore += sched.Makespan/lb - 1
+		gapAfter += better.Makespan/lb - 1
+		if better.Makespan < lb*(1-1e-6) {
+			t.Fatalf("trial %d: improved makespan %v beats the LP bound %v", trial, better.Makespan, lb)
+		}
+	}
+	if gapAfter > gapBefore {
+		t.Errorf("local search widened the LP gap: %.3f -> %.3f", gapBefore/8, gapAfter/8)
+	}
+	t.Logf("mean LP gap: greedy %.1f%%, greedy+local-search %.1f%%",
+		gapBefore/8*100, gapAfter/8*100)
+}
+
+func TestImproveRespectsRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randInstance(rng, 6, 20)
+	for i := range inst.Phones {
+		inst.Phones[i].RAMKB = 300
+	}
+	// RAM caps can make some random instances infeasible for atomic jobs;
+	// shrink them under the cap.
+	for j := range inst.Jobs {
+		if inst.Jobs[j].InputKB > 280 {
+			inst.Jobs[j].InputKB = 280
+		}
+	}
+	sched, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, _ := Improve(inst, sched, 100)
+	if err := better.Validate(inst); err != nil {
+		t.Fatalf("improved schedule violates RAM: %v", err)
+	}
+}
+
+func TestImproveAtomicOnlyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		inst := tinyAtomicInstance(rng)
+		sched, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		better, _ := Improve(inst, sched, 100)
+		if err := better.Validate(inst); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Never below the brute-force optimum.
+		if opt := bruteForceAtomic(inst); better.Makespan < opt*(1-1e-9) {
+			t.Fatalf("trial %d: improved %v beats optimal %v", trial, better.Makespan, opt)
+		}
+	}
+}
+
+func TestImproveDefaultsRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := randInstance(rng, 4, 10)
+	sched, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better, _ := Improve(inst, sched, 0); better == nil {
+		t.Fatal("nil result with default rounds")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON (de)serialization of instances and schedules, used by cmd/cwc-sched
+// so the scheduler is usable as a standalone tool: feed it a fleet + job
+// description, get the assignment plan back.
+
+// instanceJSON is the on-disk shape of an Instance.
+type instanceJSON struct {
+	Phones []phoneJSON `json:"phones"`
+	Jobs   []jobJSON   `json:"jobs"`
+	// C[i][j] in ms/KB; optional when every job carries BaseMsPerKB1GHz
+	// and every phone a CPUMHz (the clock-scaling shortcut).
+	C [][]float64 `json:"c,omitempty"`
+}
+
+type phoneJSON struct {
+	ID       int     `json:"id"`
+	BMsPerKB float64 `json:"b_ms_per_kb"`
+	RAMKB    float64 `json:"ram_kb,omitempty"`
+	CPUMHz   float64 `json:"cpu_mhz,omitempty"`
+}
+
+type jobJSON struct {
+	ID              int     `json:"id"`
+	Task            string  `json:"task"`
+	ExecKB          float64 `json:"exec_kb"`
+	InputKB         float64 `json:"input_kb"`
+	Atomic          bool    `json:"atomic,omitempty"`
+	BaseMsPerKB1GHz float64 `json:"base_ms_per_kb_1ghz,omitempty"`
+}
+
+// ReadInstance parses an instance from JSON. The cost matrix may be given
+// explicitly as "c", or derived from per-job base costs and per-phone CPU
+// clocks via the paper's scaling model c_ij = base_j * 1000 / MHz_i.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var in instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: parsing instance: %w", err)
+	}
+	inst := &Instance{}
+	for _, p := range in.Phones {
+		inst.Phones = append(inst.Phones, Phone{ID: p.ID, BMsPerKB: p.BMsPerKB, RAMKB: p.RAMKB})
+	}
+	for _, j := range in.Jobs {
+		inst.Jobs = append(inst.Jobs, Job{
+			ID: j.ID, Task: j.Task, ExecKB: j.ExecKB, InputKB: j.InputKB, Atomic: j.Atomic,
+		})
+	}
+	switch {
+	case in.C != nil:
+		inst.C = in.C
+	default:
+		inst.C = make([][]float64, len(in.Phones))
+		for i, p := range in.Phones {
+			if p.CPUMHz <= 0 {
+				return nil, fmt.Errorf("core: no cost matrix and phone %d has no cpu_mhz", p.ID)
+			}
+			inst.C[i] = make([]float64, len(in.Jobs))
+			for jj, j := range in.Jobs {
+				if j.BaseMsPerKB1GHz <= 0 {
+					return nil, fmt.Errorf("core: no cost matrix and job %d has no base_ms_per_kb_1ghz", j.ID)
+				}
+				inst.C[i][jj] = j.BaseMsPerKB1GHz * 1000 / p.CPUMHz
+			}
+		}
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// scheduleJSON is the on-disk shape of a Schedule.
+type scheduleJSON struct {
+	MakespanMs  float64              `json:"makespan_ms"`
+	Assignments []scheduleAssignJSON `json:"assignments"`
+}
+
+type scheduleAssignJSON struct {
+	PhoneID int     `json:"phone_id"`
+	JobID   int     `json:"job_id"`
+	SizeKB  float64 `json:"size_kb"`
+	Order   int     `json:"order"` // execution position on the phone
+}
+
+// WriteSchedule serializes a schedule against its instance (to map indices
+// back to caller-facing IDs).
+func WriteSchedule(w io.Writer, inst *Instance, s *Schedule) error {
+	out := scheduleJSON{MakespanMs: s.Makespan}
+	for i, asgs := range s.PerPhone {
+		for pos, a := range asgs {
+			out.Assignments = append(out.Assignments, scheduleAssignJSON{
+				PhoneID: inst.Phones[i].ID,
+				JobID:   inst.Jobs[a.Job].ID,
+				SizeKB:  a.SizeKB,
+				Order:   pos,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("core: writing schedule: %w", err)
+	}
+	return nil
+}

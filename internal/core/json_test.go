@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleInstance = `{
+  "phones": [
+    {"id": 10, "b_ms_per_kb": 2, "cpu_mhz": 1000},
+    {"id": 20, "b_ms_per_kb": 40, "cpu_mhz": 806}
+  ],
+  "jobs": [
+    {"id": 1, "task": "primes", "exec_kb": 12, "input_kb": 500, "base_ms_per_kb_1ghz": 120},
+    {"id": 2, "task": "blur", "exec_kb": 15, "input_kb": 200, "atomic": true, "base_ms_per_kb_1ghz": 55}
+  ]
+}`
+
+func TestReadInstanceClockScaling(t *testing.T) {
+	inst, err := ReadInstance(strings.NewReader(sampleInstance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Phones) != 2 || len(inst.Jobs) != 2 {
+		t.Fatalf("parsed %d phones, %d jobs", len(inst.Phones), len(inst.Jobs))
+	}
+	if inst.Phones[1].ID != 20 || inst.Jobs[1].Atomic != true {
+		t.Error("fields not mapped")
+	}
+	// c_00 = 120 * 1000/1000 = 120; c_10 = 120*1000/806.
+	if inst.C[0][0] != 120 {
+		t.Errorf("c[0][0] = %v", inst.C[0][0])
+	}
+	if diff := inst.C[1][0] - 120*1000/806.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("c[1][0] = %v", inst.C[1][0])
+	}
+}
+
+func TestReadInstanceExplicitMatrix(t *testing.T) {
+	in := `{
+	  "phones": [{"id": 0, "b_ms_per_kb": 1}],
+	  "jobs": [{"id": 0, "task": "t", "exec_kb": 1, "input_kb": 10}],
+	  "c": [[5]]
+	}`
+	inst, err := ReadInstance(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.C[0][0] != 5 {
+		t.Errorf("c = %v", inst.C)
+	}
+}
+
+func TestReadInstanceErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"phones": [{"id":0,"b_ms_per_kb":1}], "jobs": [{"id":0,"task":"t","input_kb":10}]}`,                // no c, no cpu_mhz
+		`{"phones": [{"id":0,"b_ms_per_kb":1,"cpu_mhz":1000}], "jobs": [{"id":0,"task":"t","input_kb":10}]}`, // no base cost
+		`{"phones": [], "jobs": []}`,         // fails Validate
+		`{"unknown_field": 1, "phones": []}`, // strict decoding
+	}
+	for _, in := range cases {
+		if _, err := ReadInstance(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestWriteScheduleRoundTrip(t *testing.T) {
+	inst, err := ReadInstance(strings.NewReader(sampleInstance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, inst, sched); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"makespan_ms"`, `"phone_id"`, `"job_id"`, `"size_kb"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedule JSON missing %s:\n%s", want, out)
+		}
+	}
+	// Caller-facing IDs, not indices.
+	if !strings.Contains(out, `"phone_id": 10`) && !strings.Contains(out, `"phone_id": 20`) {
+		t.Errorf("schedule JSON uses indices instead of IDs:\n%s", out)
+	}
+}

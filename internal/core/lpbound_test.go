@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRelaxedLowerBoundSinglePhone(t *testing.T) {
+	// One phone: LP must equal the full cost minus nothing — but with the
+	// reduced form, the exec cost is amortized per KB, so a single phone
+	// and job gives exactly E*b + L*(b+c).
+	inst := oneByOne(2, 3, 10, 100, false)
+	got, err := RelaxedLowerBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-520) > 1e-4 {
+		t.Errorf("bound = %v, want 520", got)
+	}
+}
+
+func TestRelaxedBoundBelowGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		inst := randInstance(rng, 6, 25)
+		g, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := RelaxedLowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// T_relaxed <= T_cwc always.
+		if lb > g.Makespan*(1+1e-6) {
+			t.Fatalf("trial %d: LP bound %v above greedy %v", trial, lb, g.Makespan)
+		}
+		// And the bound should be meaningful, not degenerate.
+		if lb <= 0 {
+			t.Fatalf("trial %d: degenerate bound %v", trial, lb)
+		}
+	}
+}
+
+// The reduced substitution u_ij = l_ij / L_j must give exactly the paper's
+// full relaxation optimum.
+func TestReducedEqualsFullRelaxation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		inst := randInstance(rng, 2+rng.Intn(2), 2+rng.Intn(3))
+		reduced, err := RelaxedLowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := RelaxedLowerBoundFull(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(reduced-full) > 1e-4*(1+full) {
+			t.Fatalf("trial %d: reduced %v != full %v", trial, reduced, full)
+		}
+	}
+}
+
+func TestRelaxedBoundAboveAggregateBound(t *testing.T) {
+	// The LP bound dominates the magical-bin seed bound (it has strictly
+	// more constraints than the aggregate argument).
+	rng := rand.New(rand.NewSource(5))
+	inst := randInstance(rng, 5, 15)
+	lpb, err := RelaxedLowerBound(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := LowerBoundMakespan(inst)
+	if lpb < agg*(1-1e-6) {
+		t.Errorf("LP bound %v below aggregate bound %v", lpb, agg)
+	}
+}
+
+func TestRelaxedBoundRejectsInvalid(t *testing.T) {
+	if _, err := RelaxedLowerBound(&Instance{}); err == nil {
+		t.Error("invalid instance should error")
+	}
+	if _, err := RelaxedLowerBoundFull(&Instance{}); err == nil {
+		t.Error("invalid instance should error")
+	}
+}
+
+// The paper's Figure 13 shape: over random configurations with b_i in
+// [1,70] ms/KB, the greedy makespan is within a modest factor of the LP
+// bound (the paper reports a ~18% median gap).
+func TestFig13ShapeMedianGapModest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1312))
+	var gaps []float64
+	for trial := 0; trial < 25; trial++ {
+		inst := randInstance(rng, 10, 40)
+		g, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := RelaxedLowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps = append(gaps, g.Makespan/lb-1)
+	}
+	// Median gap within [0, 60%] — loose envelope around the paper's 18%.
+	sortedCopy := append([]float64(nil), gaps...)
+	for i := range sortedCopy {
+		for k := i + 1; k < len(sortedCopy); k++ {
+			if sortedCopy[k] < sortedCopy[i] {
+				sortedCopy[i], sortedCopy[k] = sortedCopy[k], sortedCopy[i]
+			}
+		}
+	}
+	median := sortedCopy[len(sortedCopy)/2]
+	if median < 0 || median > 0.6 {
+		t.Errorf("median greedy-vs-LP gap = %.1f%%, want within (0%%, 60%%)", median*100)
+	}
+}

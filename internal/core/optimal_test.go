@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceAtomic computes the exact optimal makespan for an all-atomic
+// instance by enumerating every job->phone mapping. Exponential; keep
+// instances tiny.
+func bruteForceAtomic(inst *Instance) float64 {
+	nP, nJ := len(inst.Phones), len(inst.Jobs)
+	assign := make([]int, nJ)
+	best := math.Inf(1)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == nJ {
+			loads := make([]float64, nP)
+			for jj, p := range assign {
+				loads[p] += inst.Cost(p, jj, inst.Jobs[jj].InputKB, true)
+			}
+			mk := 0.0
+			for _, l := range loads {
+				if l > mk {
+					mk = l
+				}
+			}
+			if mk < best {
+				best = mk
+			}
+			return
+		}
+		for p := 0; p < nP; p++ {
+			assign[j] = p
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// tinyAtomicInstance builds a random all-atomic instance small enough for
+// exhaustive search.
+func tinyAtomicInstance(rng *rand.Rand) *Instance {
+	nP := 2 + rng.Intn(2) // 2-3 phones
+	nJ := 2 + rng.Intn(4) // 2-5 jobs
+	inst := &Instance{}
+	for i := 0; i < nP; i++ {
+		inst.Phones = append(inst.Phones, Phone{ID: i, BMsPerKB: 1 + rng.Float64()*20})
+	}
+	for j := 0; j < nJ; j++ {
+		inst.Jobs = append(inst.Jobs, Job{
+			ID:      j,
+			Task:    "t",
+			ExecKB:  1 + rng.Float64()*10,
+			InputKB: 10 + rng.Float64()*200,
+			Atomic:  true,
+		})
+	}
+	inst.C = make([][]float64, nP)
+	for i := range inst.C {
+		inst.C[i] = make([]float64, nJ)
+		for j := range inst.C[i] {
+			inst.C[i][j] = 1 + rng.Float64()*30
+		}
+	}
+	return inst
+}
+
+// The greedy scheduler against ground truth: never better than optimal
+// (sanity) and within a modest approximation factor on small atomic
+// instances (LPT-style greedy packing is a constant-factor approximation
+// for makespan scheduling).
+func TestGreedyNearOptimalOnTinyAtomicInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	worst := 1.0
+	for trial := 0; trial < 60; trial++ {
+		inst := tinyAtomicInstance(rng)
+		opt := bruteForceAtomic(inst)
+		sched, err := Greedy(inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(inst); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ratio := sched.Makespan / opt
+		if ratio < 1-1e-6 {
+			t.Fatalf("trial %d: greedy %v beats the optimum %v — brute force or cost model broken",
+				trial, sched.Makespan, opt)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > 2.0 {
+			t.Errorf("trial %d: greedy %.1fx the optimum (makespan %v vs %v)",
+				trial, ratio, sched.Makespan, opt)
+		}
+	}
+	t.Logf("worst greedy/optimal ratio over 60 tiny instances: %.3f", worst)
+	// In aggregate greedy should be close to optimal on tiny instances.
+	if worst > 2.0 {
+		t.Errorf("worst ratio %.2f exceeds the expected approximation quality", worst)
+	}
+}
+
+// On single-job instances the greedy result is exactly optimal: the job
+// (whole or split) cannot beat the relaxed single-job optimum by more
+// than the search tolerance.
+func TestGreedyOptimalSingleAtomicJob(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		nP := 2 + rng.Intn(5)
+		inst := &Instance{}
+		for i := 0; i < nP; i++ {
+			inst.Phones = append(inst.Phones, Phone{ID: i, BMsPerKB: 1 + rng.Float64()*30})
+		}
+		inst.Jobs = []Job{{ID: 0, Task: "t", ExecKB: 5, InputKB: 100, Atomic: true}}
+		inst.C = make([][]float64, nP)
+		best := math.Inf(1)
+		for i := range inst.C {
+			inst.C[i] = []float64{1 + rng.Float64()*30}
+			if c := inst.Cost(i, 0, 100, true); c < best {
+				best = c
+			}
+		}
+		sched, err := Greedy(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sched.Makespan-best) > 1e-6*best {
+			t.Errorf("trial %d: single atomic job makespan %v, optimal %v",
+				trial, sched.Makespan, best)
+		}
+	}
+}

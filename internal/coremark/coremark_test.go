@@ -1,0 +1,101 @@
+package coremark
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cwc/internal/device"
+)
+
+func TestPublishedScoresShape(t *testing.T) {
+	scores := PublishedScores()
+	if len(scores) < 5 {
+		t.Fatalf("only %d published scores", len(scores))
+	}
+	// Sorted descending.
+	for i := 1; i < len(scores); i++ {
+		if scores[i].Score > scores[i-1].Score {
+			t.Error("scores not sorted descending")
+		}
+	}
+	// Figure 1's headline: Tegra 3 beats the Core 2 Duo...
+	var tegra3, c2d float64
+	for _, s := range scores {
+		if strings.Contains(s.CPU, "Tegra 3") {
+			tegra3 = s.Score
+		}
+		if strings.Contains(s.CPU, "Core 2 Duo") {
+			c2d = s.Score
+			if s.Mobile {
+				t.Error("Core 2 Duo marked mobile")
+			}
+		}
+	}
+	if tegra3 <= c2d {
+		t.Errorf("Tegra 3 (%v) should outscore Core 2 Duo (%v)", tegra3, c2d)
+	}
+	// ...and the Core 2 Duo outscores every other mobile CPU by > 40%.
+	for _, s := range scores {
+		if s.Mobile && !strings.Contains(s.CPU, "Tegra 3") {
+			if c2d < s.Score*1.4 {
+				t.Errorf("%s score %v too close to Core 2 Duo %v", s.CPU, s.Score, c2d)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicChecksum(t *testing.T) {
+	a := Run(100)
+	b := Run(100)
+	if a != b {
+		t.Errorf("checksums differ: %x vs %x", a, b)
+	}
+	if Run(0) == 0 {
+		t.Error("zero-iteration checksum should be the seed CRC, not 0")
+	}
+	if Run(100) == Run(101) {
+		t.Error("different iteration counts should give different checksums")
+	}
+}
+
+func TestHostScorePositive(t *testing.T) {
+	score := HostScore(50 * time.Millisecond)
+	if score <= 0 {
+		t.Errorf("host score = %v", score)
+	}
+}
+
+func TestEstimateScoreScalesWithDevice(t *testing.T) {
+	g2 := EstimateScore(device.HTCG2)    // 1 core, 806 MHz
+	s3 := EstimateScore(device.GalaxyS3) // 4 cores, 1.5 GHz, efficient
+	s2 := EstimateScore(device.GalaxyS2) // 2 cores
+	if !(g2 < s2 && s2 < s3) {
+		t.Errorf("score ordering wrong: G2 %v, S2 %v, S3 %v", g2, s2, s3)
+	}
+	// The Galaxy S3 (Tegra 3 in the paper's telling) should approach the
+	// published Tegra 3 score.
+	if s3 < 9000 || s3 > 14000 {
+		t.Errorf("Galaxy S3 estimate %v out of Tegra 3 ballpark", s3)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	table := FormatTable()
+	for _, want := range []string{"Tegra 3", "Core 2 Duo", "reference", "mobile"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if lines := strings.Count(table, "\n"); lines != len(PublishedScores()) {
+		t.Errorf("table has %d lines, want %d", lines, len(PublishedScores()))
+	}
+}
+
+func BenchmarkCoreMarkKernels(b *testing.B) {
+	sink := uint32(0)
+	for i := 0; i < b.N; i++ {
+		sink ^= Run(1)
+	}
+	_ = sink
+}

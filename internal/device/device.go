@@ -1,0 +1,233 @@
+// Package device models the smartphones of the CWC testbed: CPU clock
+// speeds, radio interfaces, RAM and battery/charging characteristics.
+//
+// The paper's prototype used 18 Android phones with CPU clocks from
+// 806 MHz (HTC G2) to 1.5 GHz, spread over three houses with WiFi
+// (802.11a/g) and cellular (EDGE, 3G, 4G) connectivity. This package
+// reproduces that population as data: the scheduler and simulator consume
+// only the numbers exposed here.
+package device
+
+import "fmt"
+
+// Radio identifies a phone's wireless interface technology.
+type Radio int
+
+// Radio technologies present in the paper's testbed.
+const (
+	WiFiA Radio = iota // 802.11a, clean channel (house 3)
+	WiFiG              // 802.11g with residential interference (houses 1, 2)
+	EDGE
+	ThreeG
+	FourG
+)
+
+var radioNames = map[Radio]string{
+	WiFiA:  "wifi-802.11a",
+	WiFiG:  "wifi-802.11g",
+	EDGE:   "edge",
+	ThreeG: "3g",
+	FourG:  "4g",
+}
+
+func (r Radio) String() string {
+	if s, ok := radioNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("radio(%d)", int(r))
+}
+
+// ParseRadio converts a radio name (as printed by String) back to a Radio.
+func ParseRadio(s string) (Radio, error) {
+	for r, name := range radioNames {
+		if name == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown radio %q", s)
+}
+
+// CPU describes a phone's processor.
+type CPU struct {
+	Name     string
+	ClockMHz float64
+	Cores    int
+	// Efficiency is the per-clock performance factor relative to the
+	// scaling model's assumption. The paper's Figure 6 shows most phones
+	// match clock-ratio predictions, with a few devices measurably faster
+	// than predicted; Efficiency > 1 reproduces those points.
+	Efficiency float64
+}
+
+// EffectiveMHz is the clock adjusted by per-clock efficiency; it determines
+// actual (measured) task speed in the simulator, while ClockMHz alone
+// drives the scheduler's prediction — exactly the mismatch the paper
+// observes on phones 2 and 9.
+func (c CPU) EffectiveMHz() float64 {
+	return c.ClockMHz * c.Efficiency
+}
+
+// Battery describes charging behaviour.
+type Battery struct {
+	// FullChargeMin is the ideal (no-load) time in minutes to charge from
+	// 0% to 100% on a wall charger; the paper measures ~100 minutes for
+	// the HTC Sensation.
+	FullChargeMin float64
+	// LoadPenalty is the fraction by which the charging rate drops when
+	// the CPU is fully utilized. The Sensation's full charge stretches
+	// from 100 to 135 minutes under load => rate factor 100/135 ≈ 0.74,
+	// i.e. penalty ≈ 0.26. The HTC G2 shows no significant effect.
+	LoadPenalty float64
+	// SustainThreshold is the sustained (thermally averaged) CPU
+	// utilization below which charging is unaffected; the penalty ramps
+	// linearly from the threshold to full utilization. This models the
+	// charging-controller throttling that makes the paper's duty-cycle
+	// approach effective: pausing the CPU lets the device cool, so a
+	// ~80% duty cycle charges like an idle phone while continuous load
+	// does not.
+	SustainThreshold float64
+}
+
+// Spec is a phone model's full description.
+type Spec struct {
+	Model   string
+	CPU     CPU
+	RAMMB   int
+	Battery Battery
+}
+
+// Catalog of phone models contemporary with the paper's testbed. Clock
+// speeds bracket the paper's reported 806 MHz – 1.5 GHz range.
+var (
+	HTCG2 = Spec{
+		Model:   "HTC G2",
+		CPU:     CPU{Name: "Snapdragon S2 MSM7230", ClockMHz: 806, Cores: 1, Efficiency: 1.00},
+		RAMMB:   512,
+		Battery: Battery{FullChargeMin: 90, LoadPenalty: 0.02, SustainThreshold: 0.95},
+	}
+	NexusS = Spec{
+		Model:   "Nexus S",
+		CPU:     CPU{Name: "Hummingbird", ClockMHz: 1000, Cores: 1, Efficiency: 1.02},
+		RAMMB:   512,
+		Battery: Battery{FullChargeMin: 95, LoadPenalty: 0.10, SustainThreshold: 0.90},
+	}
+	OptimusTegra2 = Spec{
+		Model:   "LG Optimus 2X",
+		CPU:     CPU{Name: "Tegra 2", ClockMHz: 1000, Cores: 2, Efficiency: 1.05},
+		RAMMB:   512,
+		Battery: Battery{FullChargeMin: 100, LoadPenalty: 0.15, SustainThreshold: 0.88},
+	}
+	HTCSensation = Spec{
+		Model:   "HTC Sensation",
+		CPU:     CPU{Name: "Snapdragon S3 MSM8260", ClockMHz: 1188, Cores: 2, Efficiency: 1.00},
+		RAMMB:   768,
+		Battery: Battery{FullChargeMin: 100, LoadPenalty: 0.26, SustainThreshold: 0.85},
+	}
+	GalaxyS2 = Spec{
+		Model:   "Samsung Galaxy S2",
+		CPU:     CPU{Name: "Exynos 4210", ClockMHz: 1200, Cores: 2, Efficiency: 1.20},
+		RAMMB:   1024,
+		Battery: Battery{FullChargeMin: 105, LoadPenalty: 0.22, SustainThreshold: 0.85},
+	}
+	GalaxyNexus = Spec{
+		Model:   "Galaxy Nexus",
+		CPU:     CPU{Name: "TI OMAP 4460", ClockMHz: 1200, Cores: 2, Efficiency: 1.00},
+		RAMMB:   1024,
+		Battery: Battery{FullChargeMin: 110, LoadPenalty: 0.20, SustainThreshold: 0.86},
+	}
+	HTCEvo3D = Spec{
+		Model:   "HTC Evo 3D",
+		CPU:     CPU{Name: "Snapdragon S3 MSM8660", ClockMHz: 1200, Cores: 2, Efficiency: 1.00},
+		RAMMB:   1024,
+		Battery: Battery{FullChargeMin: 105, LoadPenalty: 0.24, SustainThreshold: 0.84},
+	}
+	GalaxyS3 = Spec{
+		Model:   "Samsung Galaxy S3",
+		CPU:     CPU{Name: "Tegra 3", ClockMHz: 1500, Cores: 4, Efficiency: 1.30},
+		RAMMB:   2048,
+		Battery: Battery{FullChargeMin: 120, LoadPenalty: 0.28, SustainThreshold: 0.82},
+	}
+)
+
+// Catalog lists every modeled phone spec, slowest CPU first.
+func Catalog() []Spec {
+	return []Spec{
+		HTCG2, NexusS, OptimusTegra2, HTCSensation,
+		GalaxyS2, GalaxyNexus, HTCEvo3D, GalaxyS3,
+	}
+}
+
+// Phone is one concrete device in a deployment: a spec placed in a house
+// and attached to a radio.
+type Phone struct {
+	ID    int
+	Spec  Spec
+	House int
+	Radio Radio
+}
+
+// Name returns a short unique identifier like "phone-07".
+func (p Phone) Name() string {
+	return fmt.Sprintf("phone-%02d", p.ID)
+}
+
+func (p Phone) String() string {
+	return fmt.Sprintf("%s (%s, %.0f MHz, %s, house %d)",
+		p.Name(), p.Spec.Model, p.Spec.CPU.ClockMHz, p.Radio, p.House)
+}
+
+// Testbed reconstructs the paper's experimental deployment: 18 phones in 3
+// houses, 6 per house; in each house 2 phones on the house WiFi AP and 4 on
+// cellular radios spanning EDGE to 4G. Houses 1 and 2 have interfered
+// 802.11g APs, house 3 a clean 802.11a AP. CPU clocks span 806–1500 MHz,
+// with the HTC G2 present as the slowest phone (the scaling-model anchor).
+func Testbed() []Phone {
+	// Per-house composition. The cellular mix covers the whole EDGE..4G
+	// range in every house, matching "4 phones are configured to use
+	// varying cellular technologies (from the slowest EDGE to the fastest
+	// 4G)".
+	cellular := []Radio{EDGE, ThreeG, ThreeG, FourG}
+	specs := [][]Spec{
+		{HTCG2, GalaxyS2, HTCSensation, GalaxyNexus, NexusS, GalaxyS3},
+		{HTCG2, GalaxyS3, OptimusTegra2, HTCEvo3D, GalaxyS2, HTCSensation},
+		{NexusS, GalaxyNexus, HTCSensation, HTCEvo3D, GalaxyS2, GalaxyS3},
+	}
+	var phones []Phone
+	id := 0
+	for house := 1; house <= 3; house++ {
+		wifi := WiFiG
+		if house == 3 {
+			wifi = WiFiA
+		}
+		for slot := 0; slot < 6; slot++ {
+			radio := wifi
+			if slot >= 2 {
+				radio = cellular[slot-2]
+			}
+			phones = append(phones, Phone{
+				ID:    id,
+				Spec:  specs[house-1][slot],
+				House: house,
+				Radio: radio,
+			})
+			id++
+		}
+	}
+	return phones
+}
+
+// Slowest returns the phone with the lowest CPU clock (the paper's scaling
+// anchor, the 806 MHz HTC G2 in the testbed). It panics on an empty slice:
+// a deployment without phones is a programming error.
+func Slowest(phones []Phone) Phone {
+	if len(phones) == 0 {
+		panic("device: Slowest of empty phone set")
+	}
+	best := phones[0]
+	for _, p := range phones[1:] {
+		if p.Spec.CPU.ClockMHz < best.Spec.CPU.ClockMHz {
+			best = p
+		}
+	}
+	return best
+}

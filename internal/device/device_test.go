@@ -1,0 +1,156 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTestbedComposition(t *testing.T) {
+	phones := Testbed()
+	if len(phones) != 18 {
+		t.Fatalf("testbed has %d phones, want 18", len(phones))
+	}
+	houses := map[int]int{}
+	wifiPerHouse := map[int]int{}
+	radios := map[Radio]int{}
+	ids := map[int]bool{}
+	for _, p := range phones {
+		houses[p.House]++
+		radios[p.Radio]++
+		if p.Radio == WiFiA || p.Radio == WiFiG {
+			wifiPerHouse[p.House]++
+		}
+		if ids[p.ID] {
+			t.Errorf("duplicate phone ID %d", p.ID)
+		}
+		ids[p.ID] = true
+	}
+	for h := 1; h <= 3; h++ {
+		if houses[h] != 6 {
+			t.Errorf("house %d has %d phones, want 6", h, houses[h])
+		}
+		if wifiPerHouse[h] != 2 {
+			t.Errorf("house %d has %d WiFi phones, want 2", h, wifiPerHouse[h])
+		}
+	}
+	// House 3 uses 802.11a, houses 1-2 use 802.11g.
+	for _, p := range phones {
+		if p.Radio == WiFiA && p.House != 3 {
+			t.Errorf("802.11a phone in house %d", p.House)
+		}
+		if p.Radio == WiFiG && p.House == 3 {
+			t.Error("802.11g phone in house 3")
+		}
+	}
+	if radios[EDGE] != 3 || radios[FourG] != 3 {
+		t.Errorf("cellular mix: %v", radios)
+	}
+}
+
+func TestTestbedClockRange(t *testing.T) {
+	phones := Testbed()
+	lo, hi := 1e18, 0.0
+	for _, p := range phones {
+		mhz := p.Spec.CPU.ClockMHz
+		if mhz < lo {
+			lo = mhz
+		}
+		if mhz > hi {
+			hi = mhz
+		}
+	}
+	if lo != 806 {
+		t.Errorf("slowest clock = %v MHz, want 806 (HTC G2)", lo)
+	}
+	if hi != 1500 {
+		t.Errorf("fastest clock = %v MHz, want 1500", hi)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	phones := Testbed()
+	s := Slowest(phones)
+	if s.Spec.Model != "HTC G2" {
+		t.Errorf("slowest = %s, want HTC G2", s.Spec.Model)
+	}
+}
+
+func TestSlowestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Slowest(nil) should panic")
+		}
+	}()
+	Slowest(nil)
+}
+
+func TestEffectiveMHz(t *testing.T) {
+	c := CPU{ClockMHz: 1000, Efficiency: 1.2}
+	if got := c.EffectiveMHz(); got != 1200 {
+		t.Errorf("EffectiveMHz = %v, want 1200", got)
+	}
+}
+
+func TestRadioStringRoundTrip(t *testing.T) {
+	for _, r := range []Radio{WiFiA, WiFiG, EDGE, ThreeG, FourG} {
+		got, err := ParseRadio(r.String())
+		if err != nil {
+			t.Fatalf("ParseRadio(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip %v -> %v", r, got)
+		}
+	}
+	if _, err := ParseRadio("carrier-pigeon"); err == nil {
+		t.Error("unknown radio should error")
+	}
+	if !strings.HasPrefix(Radio(99).String(), "radio(") {
+		t.Error("unknown radio String should be diagnostic")
+	}
+}
+
+func TestCatalogOrderedBySlowestFirst(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d specs", len(cat))
+	}
+	if cat[0].Model != "HTC G2" {
+		t.Errorf("catalog[0] = %s, want HTC G2", cat[0].Model)
+	}
+	for _, s := range cat {
+		if s.CPU.ClockMHz <= 0 || s.CPU.Efficiency <= 0 {
+			t.Errorf("%s has non-positive CPU params", s.Model)
+		}
+		if s.Battery.FullChargeMin <= 0 {
+			t.Errorf("%s has non-positive charge time", s.Model)
+		}
+		if s.Battery.LoadPenalty < 0 || s.Battery.LoadPenalty >= 1 {
+			t.Errorf("%s load penalty %v out of [0,1)", s.Model, s.Battery.LoadPenalty)
+		}
+	}
+}
+
+func TestSensationMatchesPaperChargingNumbers(t *testing.T) {
+	// Paper: 100 minutes idle, 135 minutes under heavy CPU load (+35%).
+	b := HTCSensation.Battery
+	if b.FullChargeMin != 100 {
+		t.Errorf("Sensation ideal charge = %v min, want 100", b.FullChargeMin)
+	}
+	loaded := b.FullChargeMin / (1 - b.LoadPenalty)
+	if loaded < 130 || loaded > 140 {
+		t.Errorf("Sensation loaded charge = %v min, want ~135", loaded)
+	}
+}
+
+func TestPhoneNameAndString(t *testing.T) {
+	p := Phone{ID: 7, Spec: HTCG2, House: 2, Radio: ThreeG}
+	if p.Name() != "phone-07" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	s := p.String()
+	for _, want := range []string{"phone-07", "HTC G2", "806", "3g", "house 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cwc/internal/core"
+)
+
+// AblationResult quantifies the design choices DESIGN.md calls out:
+// scheduling with bandwidth awareness (vs the Condor-style
+// bandwidth-blind decision model) and the capacity binary search (vs
+// packing at the loose upper-bound capacity).
+type AblationResult struct {
+	GreedyMs   float64
+	BlindMs    float64 // bandwidth-blind decisions, true costs
+	LooseCapMs float64 // single packing at the worst-bin capacity
+	ImprovedMs float64 // greedy + local-search refinement (extension)
+
+	BlindPenalty    float64 // BlindMs/GreedyMs - 1
+	LooseCapPenalty float64 // LooseCapMs/GreedyMs - 1
+	ImproveGain     float64 // 1 - ImprovedMs/GreedyMs
+}
+
+// Ablation runs the three scheduler variants on the paper workload over
+// the testbed, averaged over the given number of random configurations.
+func Ablation(seed int64, configs int) (*AblationResult, error) {
+	if configs <= 0 {
+		configs = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		return nil, err
+	}
+	r := &AblationResult{}
+	for cfg := 0; cfg < configs; cfg++ {
+		jobs := PaperWorkload(rng, 1.0)
+		inst := tb.Instance(jobs)
+		for i := range inst.Phones {
+			inst.Phones[i].BMsPerKB = 1 + rng.Float64()*69
+		}
+		g, err := core.Greedy(inst)
+		if err != nil {
+			return nil, err
+		}
+		b, err := core.BandwidthBlind(inst)
+		if err != nil {
+			return nil, err
+		}
+		loose, err := core.GreedyOpt(inst, core.GreedyOptions{
+			FixedCapacity: core.UpperBoundCapacity(inst),
+		})
+		if err != nil {
+			return nil, err
+		}
+		improved, _ := core.Improve(inst, g, 200)
+		r.GreedyMs += g.Makespan
+		r.BlindMs += b.Makespan
+		r.LooseCapMs += loose.Makespan
+		r.ImprovedMs += improved.Makespan
+	}
+	n := float64(configs)
+	r.GreedyMs /= n
+	r.BlindMs /= n
+	r.LooseCapMs /= n
+	r.ImprovedMs /= n
+	r.BlindPenalty = r.BlindMs/r.GreedyMs - 1
+	r.LooseCapPenalty = r.LooseCapMs/r.GreedyMs - 1
+	r.ImproveGain = 1 - r.ImprovedMs/r.GreedyMs
+	return r, nil
+}
+
+// Print renders the ablation table.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Scheduler ablations (mean makespan)\n")
+	fmt.Fprintf(w, "  full greedy (CWC)          %8.0f s\n", r.GreedyMs/1000)
+	fmt.Fprintf(w, "  bandwidth-blind decisions  %8.0f s (+%.0f%%)\n",
+		r.BlindMs/1000, r.BlindPenalty*100)
+	fmt.Fprintf(w, "  no capacity binary search  %8.0f s (+%.0f%%)\n",
+		r.LooseCapMs/1000, r.LooseCapPenalty*100)
+	fmt.Fprintf(w, "  greedy + local search      %8.0f s (-%.1f%%)\n",
+		r.ImprovedMs/1000, r.ImproveGain*100)
+}

@@ -1,0 +1,324 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cwc/internal/core"
+	"cwc/internal/trace"
+)
+
+// Charging-aware admission (DESIGN.md §6, an extension beyond the paper's
+// evaluation): the feasibility study gives each user an empirical
+// distribution of *when* they unplug in the morning. A scheduler that
+// knows the schedule starts at 23:00 and will run for T hours can exclude
+// phones likely to unplug inside that window, trading a little parallelism
+// for far less failed work.
+
+// AdmissionResult compares scheduling with and without the risk filter.
+type AdmissionResult struct {
+	Trials        int
+	RiskThreshold float64
+
+	// Baseline: schedule on every plugged phone.
+	BaseMakespanMs float64 // mean over trials, including recovery rounds
+	BaseFailedKB   float64 // mean KB that had to be re-scheduled
+	BaseFailures   float64 // mean phones lost mid-run
+
+	// Admission-controlled: risky phones excluded up front.
+	AdmitMakespanMs float64
+	AdmitFailedKB   float64
+	AdmitFailures   float64
+	AdmittedPhones  float64 // mean fleet size after filtering
+}
+
+// unplugModel is a per-user empirical distribution of morning unplug
+// times, in hours after the 23:00 scheduling instant.
+type unplugModel struct {
+	// hoursAfterStart holds one sample per observed night.
+	hoursAfterStart []float64
+}
+
+// buildUnplugModels derives each user's unplug-time distribution from a
+// generated profiler study.
+func buildUnplugModels(seed int64, days int) map[int]*unplugModel {
+	rng := rand.New(rand.NewSource(seed))
+	events := trace.GenerateStudy(trace.DefaultUsers(), days, rng)
+	models := map[int]*unplugModel{}
+	for _, iv := range trace.Intervals(events) {
+		if !iv.Night() {
+			continue
+		}
+		m := models[iv.User]
+		if m == nil {
+			m = &unplugModel{}
+			models[iv.User] = m
+		}
+		// Hours from 23:00 of the plug-in evening to the unplug.
+		start := iv.Start
+		sched := time.Date(start.Year(), start.Month(), start.Day(), 23, 0, 0, 0, start.Location())
+		if start.Hour() < 12 {
+			// Plugged after midnight: the scheduling instant was the
+			// previous evening.
+			sched = sched.AddDate(0, 0, -1)
+		}
+		m.hoursAfterStart = append(m.hoursAfterStart, iv.End.Sub(sched).Hours())
+	}
+	for _, m := range models {
+		sort.Float64s(m.hoursAfterStart)
+	}
+	return models
+}
+
+// riskWithin returns the empirical probability the user unplugs within
+// the first `hours` after the scheduling instant.
+func (m *unplugModel) riskWithin(hours float64) float64 {
+	if len(m.hoursAfterStart) == 0 {
+		return 1 // unknown user: assume risky
+	}
+	n := sort.SearchFloat64s(m.hoursAfterStart, hours)
+	return float64(n) / float64(len(m.hoursAfterStart))
+}
+
+// sample draws one unplug time (hours after start) from the empirical
+// distribution.
+func (m *unplugModel) sample(rng *rand.Rand) float64 {
+	return m.hoursAfterStart[rng.Intn(len(m.hoursAfterStart))]
+}
+
+// earlyRiserModel models a night-shift owner: the phone charges in the
+// evening and leaves with its owner around 2:30 AM — ~3.5 h after the
+// 23:00 scheduling instant. This is the heterogeneity the paper's §3.1
+// points at ("profiling an individual user's behavior can allow the
+// prediction of device specific failures"): without such users every
+// phone survives the night and admission control has nothing to do.
+func earlyRiserModel(rng *rand.Rand, nights int) *unplugModel {
+	m := &unplugModel{}
+	for k := 0; k < nights; k++ {
+		h := 3.5 + rng.NormFloat64()*0.5
+		if h < 2 {
+			h = 2
+		}
+		m.hoursAfterStart = append(m.hoursAfterStart, h)
+	}
+	sort.Float64s(m.hoursAfterStart)
+	return m
+}
+
+// Admission runs the comparison: `trials` simulated nights of the paper
+// workload on the 18-phone testbed, with each phone's owner drawn from
+// the 15-user study (wrapping).
+func Admission(seed int64, trials int, riskThreshold float64) (*AdmissionResult, error) {
+	if trials <= 0 {
+		trials = 20
+	}
+	if riskThreshold <= 0 {
+		riskThreshold = 0.5
+	}
+	models := buildUnplugModels(seed, 56)
+	rng := rand.New(rand.NewSource(seed + 1))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		return nil, err
+	}
+	// Three phones belong to night-shift owners who unplug around
+	// 2:30 AM; the rest map onto the 15 study users.
+	early := map[int]*unplugModel{
+		2:  earlyRiserModel(rng, 40),
+		8:  earlyRiserModel(rng, 40),
+		14: earlyRiserModel(rng, 40),
+	}
+	owner := func(phoneIdx int) *unplugModel {
+		if m, ok := early[phoneIdx]; ok {
+			return m
+		}
+		return models[phoneIdx%15+1]
+	}
+
+	res := &AdmissionResult{Trials: trials, RiskThreshold: riskThreshold}
+	for trial := 0; trial < trials; trial++ {
+		// A long overnight workload (~4 h on 18 phones): long enough to
+		// collide with the night-shift owners' 2:30 AM unplugs, short
+		// enough that the regular owners' morning unplugs don't matter.
+		jobs := PaperWorkload(rng, 15)
+		inst := tb.Instance(jobs)
+		actual := tb.ActualC(jobs, rng)
+
+		// Estimate the schedule window from a first pass, then filter.
+		probe, err := core.Greedy(inst)
+		if err != nil {
+			return nil, err
+		}
+		windowHours := probe.Makespan / 3.6e6
+
+		// Draw tonight's unplug time for every phone.
+		unplugHours := make([]float64, len(tb.Phones))
+		for i := range tb.Phones {
+			unplugHours[i] = owner(i).sample(rng)
+		}
+
+		// Baseline: all phones.
+		baseMk, baseFailed, baseLost, err := runNight(inst, actual, unplugHours, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.BaseMakespanMs += baseMk
+		res.BaseFailedKB += baseFailed
+		res.BaseFailures += float64(baseLost)
+
+		// Admission control: drop phones whose empirical risk of
+		// unplugging inside the window exceeds the threshold.
+		// Excluding phones stretches the schedule on the survivors, so
+		// judge risk against the stretched window.
+		exclude := map[int]bool{}
+		for i := range tb.Phones {
+			if owner(i).riskWithin(windowHours*1.1) > riskThreshold {
+				exclude[i] = true
+			}
+		}
+		if len(exclude) > 0 && len(exclude) < len(tb.Phones) {
+			stretched := windowHours * float64(len(tb.Phones)) /
+				float64(len(tb.Phones)-len(exclude))
+			for i := range tb.Phones {
+				if owner(i).riskWithin(stretched) > riskThreshold {
+					exclude[i] = true
+				}
+			}
+		}
+		if len(exclude) == len(tb.Phones) {
+			// Never exclude the whole fleet.
+			exclude = map[int]bool{}
+		}
+		admitMk, admitFailed, admitLost, err := runNight(inst, actual, unplugHours, exclude)
+		if err != nil {
+			return nil, err
+		}
+		res.AdmitMakespanMs += admitMk
+		res.AdmitFailedKB += admitFailed
+		res.AdmitFailures += float64(admitLost)
+		res.AdmittedPhones += float64(len(tb.Phones) - len(exclude))
+	}
+	n := float64(trials)
+	res.BaseMakespanMs /= n
+	res.BaseFailedKB /= n
+	res.BaseFailures /= n
+	res.AdmitMakespanMs /= n
+	res.AdmitFailedKB /= n
+	res.AdmitFailures /= n
+	res.AdmittedPhones /= n
+	return res, nil
+}
+
+// runNight schedules on the non-excluded phones, executes with the given
+// per-phone unplug times (hours after start), and runs one recovery round
+// for failed work. Returns total completion time, failed KB and the
+// number of phones that failed mid-run.
+func runNight(orig *core.Instance, actual [][]float64, unplugHours []float64, exclude map[int]bool) (makespanMs, failedKB float64, failures int, err error) {
+	// Build the admitted sub-instance.
+	inst := &core.Instance{Jobs: orig.Jobs}
+	var phoneIdx []int
+	for i, p := range orig.Phones {
+		if exclude[i] {
+			continue
+		}
+		phoneIdx = append(phoneIdx, i)
+		inst.Phones = append(inst.Phones, p)
+	}
+	inst.C = make([][]float64, len(phoneIdx))
+	subActual := make([][]float64, len(phoneIdx))
+	for row, i := range phoneIdx {
+		inst.C[row] = orig.C[i]
+		subActual[row] = actual[i]
+	}
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	unplugs := map[int]float64{}
+	for row, i := range phoneIdx {
+		ms := unplugHours[i] * 3.6e6
+		if ms < sched.Makespan*1.5 { // only model unplugs that can matter
+			unplugs[row] = ms
+		}
+	}
+	run, err := ExecuteSchedule(inst, sched, subActual, unplugs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	makespanMs = run.MakespanMs
+	for _, f := range run.Failed {
+		failedKB += f.RemainingKB
+	}
+	if len(run.Failed) == 0 {
+		return makespanMs, 0, 0, nil
+	}
+	// One recovery round on the survivors.
+	dead := map[int]bool{}
+	for row := range unplugs {
+		if run.PhoneFinish[row] >= unplugs[row]-1e-6 && anyFailedOn(run, row) {
+			dead[row] = true
+		}
+	}
+	failures = len(dead)
+	inst2, phoneIdx2, err := FailedInstance(inst, run.Failed, dead)
+	if err != nil {
+		return makespanMs, failedKB, failures, nil // no survivors: report as-is
+	}
+	sched2, err := core.Greedy(inst2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	actual2 := make([][]float64, len(inst2.Phones))
+	for row, i := range phoneIdx2 {
+		actual2[row] = make([]float64, len(inst2.Jobs))
+		for col, j := range inst2.Jobs {
+			actual2[row][col] = subActual[i][j.ID]
+		}
+	}
+	rec, err := ExecuteSchedule(inst2, sched2, actual2, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return makespanMs + rec.MakespanMs, failedKB, failures, nil
+}
+
+// anyFailedOn reports whether the run recorded failed work on the phone.
+func anyFailedOn(run *ExecResult, phone int) bool {
+	for _, s := range run.Segments {
+		if s.Phone == phone {
+			return true
+		}
+	}
+	return true // conservative: phones with no segments still count
+}
+
+// MeanGainPct is the relative completion-time improvement of admission
+// control over the baseline.
+func (r *AdmissionResult) MeanGainPct() float64 {
+	if r.BaseMakespanMs == 0 {
+		return 0
+	}
+	return (1 - r.AdmitMakespanMs/r.BaseMakespanMs) * 100
+}
+
+// Print renders the comparison.
+func (r *AdmissionResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Charging-aware admission (extension; %d trials, risk threshold %.2f)\n",
+		r.Trials, r.RiskThreshold)
+	fmt.Fprintf(w, "  all 18 phones:    completion %7.0f s, failed %6.0f KB, %.1f phones lost\n",
+		r.BaseMakespanMs/1000, r.BaseFailedKB, r.BaseFailures)
+	fmt.Fprintf(w, "  admission (%4.1f): completion %7.0f s, failed %6.0f KB, %.1f phones lost\n",
+		r.AdmittedPhones, r.AdmitMakespanMs/1000, r.AdmitFailedKB, r.AdmitFailures)
+	fmt.Fprintf(w, "  completion-time gain: %.1f%%, failed-work reduction: %.0f%%\n",
+		r.MeanGainPct(), (1-safeDiv(r.AdmitFailedKB, r.BaseFailedKB))*100)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

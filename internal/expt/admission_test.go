@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAdmissionExtension(t *testing.T) {
+	r, err := Admission(2012, 10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AdmittedPhones <= 0 || r.AdmittedPhones > 18 {
+		t.Errorf("admitted phones = %v", r.AdmittedPhones)
+	}
+	// Admission control must reduce failed work (that's its whole point):
+	// excluded phones are exactly the likely-to-unplug ones.
+	if r.AdmitFailedKB >= r.BaseFailedKB {
+		t.Errorf("admission failed KB %v not below baseline %v",
+			r.AdmitFailedKB, r.BaseFailedKB)
+	}
+	if r.AdmitFailures >= r.BaseFailures {
+		t.Errorf("admission failures %v not below baseline %v",
+			r.AdmitFailures, r.BaseFailures)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "admission") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestAdmissionDefaults(t *testing.T) {
+	r, err := Admission(7, 0, 0) // defaults kick in
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trials != 20 || r.RiskThreshold != 0.5 {
+		t.Errorf("defaults = %d trials, %.2f threshold", r.Trials, r.RiskThreshold)
+	}
+}

@@ -1,0 +1,632 @@
+package expt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cwc/internal/core"
+	"cwc/internal/device"
+)
+
+func TestTestbedConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Phones) != 18 || len(tb.Links) != 18 || len(tb.BMsPerKB) != 18 {
+		t.Fatalf("testbed sizes: %d phones, %d links, %d b",
+			len(tb.Phones), len(tb.Links), len(tb.BMsPerKB))
+	}
+	// The paper's measured b range is [1, 70] ms/KB.
+	for i, b := range tb.BMsPerKB {
+		if b < 0.8 || b > 80 {
+			t.Errorf("phone %d b = %v ms/KB out of plausible range", i, b)
+		}
+	}
+	if tb.SlowestClock() != 806 {
+		t.Errorf("slowest clock = %v, want 806", tb.SlowestClock())
+	}
+}
+
+func TestPaperWorkloadComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	jobs := PaperWorkload(rng, 1.0)
+	if len(jobs) != 150 {
+		t.Fatalf("%d jobs, want 150", len(jobs))
+	}
+	byTask := map[string]int{}
+	atomics := 0
+	for i, j := range jobs {
+		byTask[j.Task]++
+		if j.Atomic {
+			atomics++
+		}
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if j.InputKB <= 0 {
+			t.Errorf("job %d has input %v", i, j.InputKB)
+		}
+	}
+	if byTask["primecount"] != 50 || byTask["wordcount"] != 50 || byTask["blur"] != 50 {
+		t.Errorf("task mix = %v", byTask)
+	}
+	if atomics != 50 {
+		t.Errorf("%d atomic jobs, want 50 (the blurs)", atomics)
+	}
+	// Scale parameter stretches inputs.
+	big := PaperWorkload(rand.New(rand.NewSource(2)), 2.0)
+	if big[0].InputKB != 2*jobs[0].InputKB {
+		t.Error("scale factor not applied")
+	}
+	// Non-positive scale falls back to 1.
+	def := PaperWorkload(rand.New(rand.NewSource(2)), 0)
+	if def[0].InputKB != jobs[0].InputKB {
+		t.Error("zero scale should behave as 1")
+	}
+}
+
+func TestActualNeverSlowerThanPredicted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PaperWorkload(rng, 1.0)
+	pred := tb.PredictedC(jobs)
+	act := tb.ActualC(jobs, rng)
+	for i := range pred {
+		for j := range pred[i] {
+			if act[i][j] > pred[i][j]*(1+1e-9) {
+				t.Fatalf("actual c[%d][%d]=%v exceeds predicted %v", i, j, act[i][j], pred[i][j])
+			}
+		}
+	}
+}
+
+func TestExecuteScheduleMatchesEvaluateWithoutNoise(t *testing.T) {
+	// With actualC == predicted C and no failures, the simulated
+	// makespan must equal the schedule's evaluated makespan.
+	rng := rand.New(rand.NewSource(4))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PaperWorkload(rng, 0.3)
+	inst := tb.Instance(jobs)
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ExecuteSchedule(inst, sched, inst.C, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := run.MakespanMs - sched.Makespan; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("executed %v != evaluated %v", run.MakespanMs, sched.Makespan)
+	}
+	if len(run.Failed) != 0 {
+		t.Errorf("%d failures without unplugs", len(run.Failed))
+	}
+	// Total processed equals total input.
+	var total float64
+	for _, j := range jobs {
+		total += j.InputKB
+	}
+	if diff := run.ProcessedKB - total; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("processed %v KB, want %v", run.ProcessedKB, total)
+	}
+}
+
+func TestExecuteScheduleTimelineConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PaperWorkload(rng, 0.3)
+	inst := tb.Instance(jobs)
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ExecuteSchedule(inst, sched, tb.ActualC(jobs, rng), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per phone: segments non-overlapping, increasing, alternating kinds
+	// starting with a transfer.
+	lastEnd := map[int]float64{}
+	lastKind := map[int]SegmentKind{}
+	for _, s := range run.Segments {
+		if s.EndMs < s.StartMs {
+			t.Fatalf("segment ends before it starts: %+v", s)
+		}
+		if s.StartMs < lastEnd[s.Phone]-1e-9 {
+			t.Fatalf("overlapping segments on phone %d", s.Phone)
+		}
+		if lastKind[s.Phone] == "" && s.Kind != SegTransfer {
+			t.Fatalf("phone %d starts with %s", s.Phone, s.Kind)
+		}
+		lastEnd[s.Phone] = s.EndMs
+		lastKind[s.Phone] = s.Kind
+	}
+}
+
+func TestExecuteScheduleBadActualC(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PaperWorkload(rng, 0.3)
+	inst := tb.Instance(jobs)
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteSchedule(inst, sched, nil, nil); err == nil {
+		t.Error("mismatched actualC should error")
+	}
+}
+
+func TestExecuteScheduleWithUnplugsConservesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PaperWorkload(rng, 0.3)
+	inst := tb.Instance(jobs)
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := tb.ActualC(jobs, rng)
+	unplugs := map[int]float64{2: 20000, 9: 60000, 15: 100000}
+	run, err := ExecuteSchedule(inst, sched, actual, unplugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work conservation: processed + failed-remaining == total input.
+	var failedKB float64
+	for _, f := range run.Failed {
+		if f.RemainingKB < 0 || f.ProcessedKB < 0 {
+			t.Fatalf("negative work in %+v", f)
+		}
+		failedKB += f.RemainingKB
+	}
+	var total float64
+	for _, j := range jobs {
+		total += j.InputKB
+	}
+	got := run.ProcessedKB + failedKB
+	if got < total*(1-1e-6) || got > total*(1+1e-6) {
+		t.Errorf("processed %v + failed %v != total %v", run.ProcessedKB, failedKB, total)
+	}
+	if len(run.Failed) == 0 {
+		t.Error("early unplugs should fail some work")
+	}
+	// Failed phones stop at their unplug times.
+	for p, deadline := range unplugs {
+		if run.PhoneFinish[p] > deadline+1e-6 {
+			t.Errorf("phone %d ran past its unplug time", p)
+		}
+	}
+}
+
+func TestFailedInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PaperWorkload(rng, 0.3)
+	inst := tb.Instance(jobs)
+	failed := []FailedWork{
+		{Job: 3, RemainingKB: 100},
+		{Job: 3, RemainingKB: 50},
+		{Job: 70, RemainingKB: 10},
+	}
+	inst2, phoneIdx, err := FailedInstance(inst, failed, map[int]bool{0: true, 5: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst2.Phones) != 16 || len(phoneIdx) != 16 {
+		t.Errorf("%d surviving phones, want 16", len(inst2.Phones))
+	}
+	if len(inst2.Jobs) != 2 {
+		t.Fatalf("%d failed jobs, want 2", len(inst2.Jobs))
+	}
+	if inst2.Jobs[0].InputKB != 150 {
+		t.Errorf("merged remaining = %v, want 150", inst2.Jobs[0].InputKB)
+	}
+	if err := inst2.Validate(); err != nil {
+		t.Fatalf("failed instance invalid: %v", err)
+	}
+	if _, _, err := FailedInstance(inst, nil, nil); err == nil {
+		t.Error("no failed work should error")
+	}
+	all := map[int]bool{}
+	for i := range inst.Phones {
+		all[i] = true
+	}
+	if _, _, err := FailedInstance(inst, failed, all); err == nil {
+		t.Error("all phones dead should error")
+	}
+}
+
+func TestFig12PaperShape(t *testing.T) {
+	r, err := Fig12(2012)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan in the paper's neighbourhood (~1100 s); we accept a wide
+	// band since the substrate differs.
+	if r.GreedyMakespanMs < 600e3 || r.GreedyMakespanMs > 1800e3 {
+		t.Errorf("greedy makespan %.0f s outside [600,1800]", r.GreedyMakespanMs/1000)
+	}
+	// Prediction within 10% of the run, and an over-estimate (fast
+	// phones finish early).
+	if r.PredictedMakespanMs < r.GreedyMakespanMs {
+		t.Errorf("predicted %v below actual %v", r.PredictedMakespanMs, r.GreedyMakespanMs)
+	}
+	if r.PredictedMakespanMs > r.GreedyMakespanMs*1.10 {
+		t.Errorf("predicted %v more than 10%% above actual %v",
+			r.PredictedMakespanMs, r.GreedyMakespanMs)
+	}
+	// Baselines lose by roughly the paper's factor (1.5-2.5x envelope).
+	for name, ms := range map[string]float64{
+		"equal-split": r.EqualSplitMakespanMs,
+		"round-robin": r.RoundRobinMakespanMs,
+	} {
+		ratio := ms / r.GreedyMakespanMs
+		if ratio < 1.3 || ratio > 3.0 {
+			t.Errorf("%s ratio %.2fx outside [1.3, 3.0]", name, ratio)
+		}
+	}
+	// Fast phones finish early, but the load is well balanced: the
+	// earliest finisher lands within 50% of the makespan (paper: ~20%).
+	if r.EarliestFinishMs <= 0 || r.EarliestFinishMs >= r.GreedyMakespanMs {
+		t.Errorf("earliest finish %v vs makespan %v", r.EarliestFinishMs, r.GreedyMakespanMs)
+	}
+	if spread := 1 - r.EarliestFinishMs/r.GreedyMakespanMs; spread > 0.5 {
+		t.Errorf("earliest-vs-last spread %.0f%% of makespan, want < 50%%", spread*100)
+	}
+	// ~90% of tasks unpartitioned.
+	if r.WholeFraction < 0.8 {
+		t.Errorf("whole fraction %.2f, want >= 0.8 (paper ~0.9)", r.WholeFraction)
+	}
+	// Failure recovery is a small fraction of the makespan (paper:
+	// 113 s after a ~1100 s run).
+	if r.RecoveryMs <= 0 || r.RecoveryMs > 0.35*r.GreedyMakespanMs {
+		t.Errorf("recovery %.0f s out of proportion to makespan %.0f s",
+			r.RecoveryMs/1000, r.GreedyMakespanMs/1000)
+	}
+	if len(r.UnpluggedPhones) != 3 {
+		t.Errorf("unplugged %v, want 3 phones", r.UnpluggedPhones)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 12(a)") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig13PaperShape(t *testing.T) {
+	r, err := Fig13(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MedianGap < 0 {
+		t.Errorf("median gap %v negative: greedy beat the LP bound?!", r.MedianGap)
+	}
+	// Paper: ~18% median gap; accept a generous envelope.
+	if r.MedianGap > 0.5 {
+		t.Errorf("median gap %.1f%% far above the paper's ~18%%", r.MedianGap*100)
+	}
+	if len(r.Gaps) != 12 {
+		t.Errorf("%d gaps, want 12", len(r.Gaps))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 13") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig5PaperShape(t *testing.T) {
+	r, err := Fig5(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's crossover: fewer, faster phones improve the 90th
+	// percentile service time...
+	if r.FastPhones.P90Ms >= r.AllPhones.P90Ms {
+		t.Errorf("4 fast phones p90 %.0f not below 6 phones p90 %.0f",
+			r.FastPhones.P90Ms, r.AllPhones.P90Ms)
+	}
+	// ...while queueing delay increases.
+	if r.FastPhones.MeanQueueMs <= r.AllPhones.MeanQueueMs {
+		t.Errorf("4 fast phones queue %.0f not above 6 phones %.0f",
+			r.FastPhones.MeanQueueMs, r.AllPhones.MeanQueueMs)
+	}
+	if r.AllPhones.Phones != 6 || r.FastPhones.Phones != 4 {
+		t.Error("phone counts wrong")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig6PaperShape(t *testing.T) {
+	r, err := Fig6(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 17*3 {
+		t.Fatalf("%d points, want 51 (17 phones x 3 tasks)", len(r.Points))
+	}
+	// Points cluster around y = x...
+	if r.MeanAbsErr > 0.25 {
+		t.Errorf("mean |error| %.0f%% too large for a clustered Figure 6", r.MeanAbsErr*100)
+	}
+	// ...with some phones measurably faster than predicted (the paper's
+	// rightmost outliers).
+	if r.MaxOverPerf < 1.1 {
+		t.Errorf("max over-performance %.2f, want some phones above prediction", r.MaxOverPerf)
+	}
+	// And never drastically slower than predicted.
+	for _, p := range r.Points {
+		if p.Measured < p.Predicted*0.8 {
+			t.Errorf("%s/%s measured %.2f far below predicted %.2f",
+				p.Phone, p.Task, p.Measured, p.Predicted)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig10PaperShape(t *testing.T) {
+	r, err := Fig10(device.HTCSensation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HeavyPenalty < 0.30 || r.HeavyPenalty > 0.40 {
+		t.Errorf("heavy penalty %.0f%%, want ~35%%", r.HeavyPenalty*100)
+	}
+	if r.ThrottledMin > r.IdealMin*1.06 {
+		t.Errorf("throttled %.1f min not near ideal %.1f min", r.ThrottledMin, r.IdealMin)
+	}
+	if r.ComputePenalty < 0.10 || r.ComputePenalty > 0.45 {
+		t.Errorf("compute penalty %.1f%%, want near 24.5%%", r.ComputePenalty*100)
+	}
+	if len(r.Adjustments) == 0 {
+		t.Error("no MIMD adjustments recorded for the zoom insert")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig23PaperShape(t *testing.T) {
+	r, err := Fig23(2012, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NightMedianHours < 6 || r.NightMedianHours > 8.5 {
+		t.Errorf("median night interval %.1f h, want ~7", r.NightMedianHours)
+	}
+	if r.DayMedianHours < 0.25 || r.DayMedianHours > 0.9 {
+		t.Errorf("median day interval %.2f h, want ~0.5", r.DayMedianHours)
+	}
+	if r.FracUnder2MB < 0.7 || r.FracUnder2MB > 0.92 {
+		t.Errorf("P(<=2MB) = %.2f, want ~0.80", r.FracUnder2MB)
+	}
+	if r.FailureCDF[7] >= 0.30 {
+		t.Errorf("failures by 8AM = %.2f, want < 0.30", r.FailureCDF[7])
+	}
+	if len(r.IdlePerUser) != 15 {
+		t.Errorf("%d users", len(r.IdlePerUser))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 2(a)") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig4PaperShape(t *testing.T) {
+	r, err := Fig4(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Houses) != 3 {
+		t.Fatalf("%d houses", len(r.Houses))
+	}
+	for _, h := range r.Houses {
+		if len(h.Series) != 600 {
+			t.Errorf("house %d series has %d samples, want 600", h.House, len(h.Series))
+		}
+		// The paper's point: WiFi variation is very low.
+		if h.CoV > 0.08 {
+			t.Errorf("house %d CoV %.3f too high for stable WiFi", h.House, h.CoV)
+		}
+	}
+	if r.Houses[2].Radio != device.WiFiA {
+		t.Error("house 3 should run 802.11a")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := Fig1()
+	if r.HostScore <= 0 {
+		t.Error("host score missing")
+	}
+	if len(r.Published) < 5 || len(r.Estimates) < 5 {
+		t.Error("missing series")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Core 2 Duo") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestCostAnalysisMatchesPaper(t *testing.T) {
+	c := Costs()
+	var c2d, nehalem, phone float64
+	for _, e := range c.Entries {
+		switch e.Name {
+		case "Intel Core 2 Duo server":
+			c2d = e.YearlyCost
+		case "Intel Nehalem server":
+			nehalem = e.YearlyCost
+		case "Smartphone (Tegra 3 class)":
+			phone = e.YearlyCost
+		}
+	}
+	// Paper: $74.5/yr (Core 2 Duo with PUE), up to $689/yr (Nehalem),
+	// $1.33/yr (phone).
+	if c2d < 70 || c2d > 80 {
+		t.Errorf("Core 2 Duo yearly = $%.2f, want ~$74.5", c2d)
+	}
+	if nehalem < 650 || nehalem > 720 {
+		t.Errorf("Nehalem yearly = $%.2f, want ~$689", nehalem)
+	}
+	if phone < 1.2 || phone > 1.5 {
+		t.Errorf("phone yearly = $%.2f, want ~$1.33", phone)
+	}
+	if ratio := c.ServerToPhoneRatio(); ratio < 40 {
+		t.Errorf("cost ratio %.0fx, want order-of-magnitude+", ratio)
+	}
+	var buf bytes.Buffer
+	c.Print(&buf)
+	if !strings.Contains(buf.String(), "Energy cost") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	r, err := Ablation(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BlindPenalty <= 0 {
+		t.Errorf("bandwidth-blind penalty %.2f should be positive", r.BlindPenalty)
+	}
+	if r.LooseCapPenalty < 0 {
+		t.Errorf("loose-capacity penalty %.2f should be non-negative", r.LooseCapPenalty)
+	}
+	if r.ImproveGain < 0 {
+		t.Errorf("local-search gain %.3f should be non-negative", r.ImproveGain)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "ablations") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig11Print(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Fig11Print(&buf, tb)
+	fr, err := Fig4(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Print(&buf)
+	if got := strings.Count(buf.String(), "phone-"); got != 18 {
+		t.Errorf("deployment table lists %d phones", got)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	segs := []Segment{
+		{Phone: 0, Job: 1, Kind: SegTransfer, StartMs: 0, EndMs: 100},
+		{Phone: 0, Job: 1, Kind: SegExecute, StartMs: 100, EndMs: 1000},
+		{Phone: 1, Job: 2, Kind: SegTransfer, StartMs: 0, EndMs: 500},
+	}
+	var buf bytes.Buffer
+	RenderTimeline(&buf, segs, 2, 50)
+	out := buf.String()
+	if !strings.Contains(out, "phone  0") || !strings.Contains(out, "phone  1") {
+		t.Errorf("missing phone rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("missing stripe marks:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("missing legend")
+	}
+	// Empty timeline and out-of-range phones do not panic.
+	buf.Reset()
+	RenderTimeline(&buf, nil, 3, 0)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty timeline not reported")
+	}
+	buf.Reset()
+	RenderTimeline(&buf, []Segment{{Phone: 99, StartMs: 0, EndMs: 10}}, 2, 40)
+}
+
+func TestWeekOperations(t *testing.T) {
+	r, err := Week(2012, 7, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nights) != 7 {
+		t.Fatalf("%d nights", len(r.Nights))
+	}
+	for _, n := range r.Nights {
+		if n.OfferedKB <= 0 {
+			t.Errorf("night %d offered nothing", n.Night)
+		}
+		// Work conservation per night.
+		if diff := n.OfferedKB - n.CompletedKB - n.CarriedKB; diff > 1 || diff < -1 {
+			t.Errorf("night %d: offered %v != done %v + carried %v",
+				n.Night, n.OfferedKB, n.CompletedKB, n.CarriedKB)
+		}
+		// A ~17-minute batch fits comfortably inside a night window; it
+		// should complete the same night, possibly after recovery rounds.
+		if n.CarriedKB > n.OfferedKB/2 {
+			t.Errorf("night %d carried over most of its work", n.Night)
+		}
+		// The paper's availability window: nights end well before 8 h.
+		if n.CompletionMs > 8*3.6e6 {
+			t.Errorf("night %d ran %.1f h", n.Night, n.CompletionMs/3.6e6)
+		}
+	}
+	if r.TotalDone <= 0 {
+		t.Error("no work done all week")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "week total") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestWeekDefaults(t *testing.T) {
+	r, err := Week(5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nights) != 7 {
+		t.Errorf("default nights = %d", len(r.Nights))
+	}
+}

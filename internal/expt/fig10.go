@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"cwc/internal/battery"
+	"cwc/internal/device"
+)
+
+// Fig10Result reproduces Figure 10: charging the HTC Sensation under three
+// schemes — no load (ideal), continuous heavy CPU load, and the MIMD
+// throttler — plus §4.3's computation-time penalty.
+type Fig10Result struct {
+	Device string
+
+	IdealMin     float64
+	HeavyMin     float64
+	ThrottledMin float64
+
+	IdealCurve     []battery.ChargePoint
+	HeavyCurve     []battery.ChargePoint
+	ThrottledCurve []battery.ChargePoint
+
+	// MIMD internals for the figure's zoomed insert.
+	Adjustments []battery.Adjustment
+
+	// ComputePenalty is the relative increase in computation time of the
+	// throttled scheme vs continuous execution (paper: ≈24.5%).
+	ComputePenalty float64
+	// HeavyPenalty is the charge-time increase of the heavy scheme vs
+	// ideal (paper: ≈35%).
+	HeavyPenalty float64
+}
+
+// Fig10 simulates the three charging runs on the given device battery
+// (the paper uses the HTC Sensation).
+func Fig10(spec device.Spec) (*Fig10Result, error) {
+	const (
+		dt     = 0.25
+		sample = 30.0
+		limit  = 6 * 3600.0
+	)
+	ideal, err := battery.Simulate(battery.NewPlant(spec.Battery), battery.Idle{}, dt, sample, limit)
+	if err != nil {
+		return nil, fmt.Errorf("expt: ideal charge: %w", err)
+	}
+	heavy, err := battery.Simulate(battery.NewPlant(spec.Battery), battery.Heavy{}, dt, sample, limit)
+	if err != nil {
+		return nil, fmt.Errorf("expt: heavy charge: %w", err)
+	}
+	throttled, err := battery.Simulate(battery.NewPlant(spec.Battery), battery.NewThrottler(), dt, sample, limit)
+	if err != nil {
+		return nil, fmt.Errorf("expt: throttled charge: %w", err)
+	}
+	return &Fig10Result{
+		Device:         spec.Model,
+		IdealMin:       ideal.ChargeSeconds / 60,
+		HeavyMin:       heavy.ChargeSeconds / 60,
+		ThrottledMin:   throttled.ChargeSeconds / 60,
+		IdealCurve:     ideal.Curve,
+		HeavyCurve:     heavy.Curve,
+		ThrottledCurve: throttled.Curve,
+		Adjustments:    throttled.Adjustments,
+		ComputePenalty: throttled.ChargeSeconds/throttled.WorkSeconds - 1,
+		HeavyPenalty:   heavy.ChargeSeconds/ideal.ChargeSeconds - 1,
+	}, nil
+}
+
+// Print renders the figure's series.
+func (r *Fig10Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10: charging times, %s\n", r.Device)
+	fmt.Fprintf(w, "  ideal (no tasks)       %6.1f min\n", r.IdealMin)
+	fmt.Fprintf(w, "  heavy CPU, no throttle %6.1f min (+%.0f%%)\n", r.HeavyMin, r.HeavyPenalty*100)
+	fmt.Fprintf(w, "  MIMD throttled         %6.1f min (+%.1f%% vs ideal)\n",
+		r.ThrottledMin, (r.ThrottledMin/r.IdealMin-1)*100)
+	fmt.Fprintf(w, "  computation-time penalty of throttling: %.1f%% (paper: ~24.5%%)\n",
+		r.ComputePenalty*100)
+	fmt.Fprintf(w, "  MIMD adjustments: %d\n", len(r.Adjustments))
+}

@@ -1,0 +1,194 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"cwc/internal/core"
+	"cwc/internal/stats"
+)
+
+// Fig12Result reproduces Figure 12: (a) the execution timeline and the
+// makespan comparison against the simple schedulers, (b) the CDF of input
+// partitions per task, (c) the failure-recovery run.
+type Fig12Result struct {
+	// (a) Scheduler comparison.
+	PredictedMakespanMs  float64
+	GreedyMakespanMs     float64
+	EqualSplitMakespanMs float64
+	RoundRobinMakespanMs float64
+	// EarliestFinishMs is when the first phone went idle; the paper
+	// observes the earliest-vs-last spread is ≈20% of the makespan
+	// (fast phones finish early).
+	EarliestFinishMs float64
+	Timeline         []Segment
+
+	// (b) Partition counts per job under greedy and equal-split.
+	GreedyPartitions     []int
+	EqualSplitPartitions []int
+	WholeFraction        float64 // fraction of jobs executed unpartitioned
+
+	// (c) Failure run.
+	UnpluggedPhones   []int
+	FailedItems       int
+	RecoveryMs        float64 // second-round makespan (the paper's +113 s)
+	RecoveryMakespan  float64 // first-round survivors' makespan + recovery
+	RecoveryTimeline  []Segment
+	RecoveredKB       float64
+	CheckpointSavedKB float64 // work preserved by online-failure checkpoints
+}
+
+// Fig12 runs the full §6 evaluation: the 150-task workload over the
+// 18-phone testbed, the two baseline schedulers, and a failure run with
+// three phones unplugged at random instants.
+func Fig12(seed int64) (*Fig12Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		return nil, err
+	}
+	jobs := PaperWorkload(rng, 1.0)
+	inst := tb.Instance(jobs)
+	actual := tb.ActualC(jobs, rng)
+
+	greedy, err := core.Greedy(inst)
+	if err != nil {
+		return nil, fmt.Errorf("expt: greedy: %w", err)
+	}
+	if err := greedy.Validate(inst); err != nil {
+		return nil, fmt.Errorf("expt: greedy schedule invalid: %w", err)
+	}
+	equal, err := core.EqualSplit(inst)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := core.RoundRobin(inst)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig12Result{PredictedMakespanMs: greedy.Makespan}
+
+	gRun, err := ExecuteSchedule(inst, greedy, actual, nil)
+	if err != nil {
+		return nil, err
+	}
+	eRun, err := ExecuteSchedule(inst, equal, actual, nil)
+	if err != nil {
+		return nil, err
+	}
+	rRun, err := ExecuteSchedule(inst, rr, actual, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.GreedyMakespanMs = gRun.MakespanMs
+	res.EqualSplitMakespanMs = eRun.MakespanMs
+	res.RoundRobinMakespanMs = rRun.MakespanMs
+	res.EarliestFinishMs = gRun.PhoneFinish[0]
+	for _, f := range gRun.PhoneFinish {
+		if f < res.EarliestFinishMs {
+			res.EarliestFinishMs = f
+		}
+	}
+	res.Timeline = gRun.Segments
+
+	res.GreedyPartitions = greedy.PartitionCounts(len(jobs))
+	res.EqualSplitPartitions = equal.PartitionCounts(len(jobs))
+	whole := 0
+	for _, c := range res.GreedyPartitions {
+		if c == 1 {
+			whole++
+		}
+	}
+	res.WholeFraction = float64(whole) / float64(len(jobs))
+
+	// (c) Failure run: unplug 3 phones at random instants in the first
+	// 60% of the predicted makespan.
+	unplugs := map[int]float64{}
+	for len(unplugs) < 3 {
+		unplugs[rng.Intn(len(tb.Phones))] = rng.Float64() * 0.6 * greedy.Makespan
+	}
+	for p := range unplugs {
+		res.UnpluggedPhones = append(res.UnpluggedPhones, p)
+	}
+	sort.Ints(res.UnpluggedPhones)
+
+	fRun, err := ExecuteSchedule(inst, greedy, actual, unplugs)
+	if err != nil {
+		return nil, err
+	}
+	res.FailedItems = len(fRun.Failed)
+	for _, f := range fRun.Failed {
+		res.RecoveredKB += f.RemainingKB
+		res.CheckpointSavedKB += f.ProcessedKB
+	}
+	dead := map[int]bool{}
+	for p := range unplugs {
+		dead[p] = true
+	}
+	inst2, phoneIdx, err := FailedInstance(inst, fRun.Failed, dead)
+	if err != nil {
+		return nil, err
+	}
+	sched2, err := core.Greedy(inst2)
+	if err != nil {
+		return nil, fmt.Errorf("expt: rescheduling failed work: %w", err)
+	}
+	actual2 := make([][]float64, len(inst2.Phones))
+	for row, i := range phoneIdx {
+		actual2[row] = make([]float64, len(inst2.Jobs))
+		for col, j2 := range inst2.Jobs {
+			actual2[row][col] = actual[i][j2.ID]
+		}
+	}
+	rec, err := ExecuteSchedule(inst2, sched2, actual2, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.RecoveryMs = rec.MakespanMs
+	res.RecoveryMakespan = fRun.MakespanMs + rec.MakespanMs
+	res.RecoveryTimeline = rec.Segments
+	return res, nil
+}
+
+// PartitionCDF returns the Figure 12b series: P(extra pieces <= x) where
+// extra pieces = partitions - 1 (0 means the task ran whole).
+func PartitionCDF(counts []int) *stats.CDF {
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c - 1)
+	}
+	return stats.NewCDF(xs)
+}
+
+// Print renders the figure's series.
+func (r *Fig12Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 12(a): makespans (18 phones, 150 tasks)\n")
+	fmt.Fprintf(w, "  greedy (CWC)     %8.0f s (predicted %.0f s)\n",
+		r.GreedyMakespanMs/1000, r.PredictedMakespanMs/1000)
+	fmt.Fprintf(w, "  equal-split      %8.0f s (%.2fx greedy)\n",
+		r.EqualSplitMakespanMs/1000, r.EqualSplitMakespanMs/r.GreedyMakespanMs)
+	fmt.Fprintf(w, "  round-robin      %8.0f s (%.2fx greedy)\n",
+		r.RoundRobinMakespanMs/1000, r.RoundRobinMakespanMs/r.GreedyMakespanMs)
+	fmt.Fprintf(w, "  earliest phone finished at %.0f s (spread %.0f%% of makespan; paper ~20%%)\n",
+		r.EarliestFinishMs/1000, (1-r.EarliestFinishMs/r.GreedyMakespanMs)*100)
+
+	fmt.Fprintf(w, "Figure 12(a) timeline (greedy):\n")
+	RenderTimeline(w, r.Timeline, 18, 100)
+
+	fmt.Fprintf(w, "Figure 12(b): input partitions\n")
+	cdf := PartitionCDF(r.GreedyPartitions)
+	for _, x := range []float64{0, 1, 2, 4, 8} {
+		fmt.Fprintf(w, "  P(extra pieces <= %2.0f) greedy %.2f\n", x, cdf.At(x))
+	}
+	fmt.Fprintf(w, "  fraction unpartitioned: %.0f%%\n", r.WholeFraction*100)
+
+	fmt.Fprintf(w, "Figure 12(c): failure recovery\n")
+	fmt.Fprintf(w, "  unplugged phones %v, %d failed partitions, %.0f KB rescheduled\n",
+		r.UnpluggedPhones, r.FailedItems, r.RecoveredKB)
+	fmt.Fprintf(w, "  checkpoints preserved %.0f KB of completed work\n", r.CheckpointSavedKB)
+	fmt.Fprintf(w, "  re-scheduling failed tasks required %.0f s after the original makespan\n",
+		r.RecoveryMs/1000)
+}

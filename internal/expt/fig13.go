@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cwc/internal/core"
+	"cwc/internal/stats"
+)
+
+// Fig13Result reproduces Figure 13: over random configurations (b_i
+// uniform in the measured [1,70] ms/KB range, testbed c_ij values, the
+// same 150-task workload), the CDFs of the greedy scheduler's makespan
+// and the LP relaxation's lower bound. The paper reports the greedy
+// median ≈18% above the relaxed bound.
+type Fig13Result struct {
+	Configs    int
+	GreedyCDF  *stats.CDF
+	RelaxedCDF *stats.CDF
+	// Gaps holds greedy/relaxed - 1 per configuration.
+	Gaps      []float64
+	MedianGap float64
+}
+
+// Fig13 runs the comparison over the given number of random
+// configurations (the paper uses 1000; benches usually run fewer).
+func Fig13(seed int64, configs int) (*Fig13Result, error) {
+	if configs <= 0 {
+		configs = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig13Result{Configs: configs}
+	var greedyMs, relaxedMs []float64
+	for cfg := 0; cfg < configs; cfg++ {
+		jobs := PaperWorkload(rng, 1.0)
+		inst := tb.Instance(jobs)
+		// Random b_i in the paper's measured range.
+		for i := range inst.Phones {
+			inst.Phones[i].BMsPerKB = 1 + rng.Float64()*69
+		}
+		sched, err := core.Greedy(inst)
+		if err != nil {
+			return nil, fmt.Errorf("expt: config %d greedy: %w", cfg, err)
+		}
+		bound, err := core.RelaxedLowerBound(inst)
+		if err != nil {
+			return nil, fmt.Errorf("expt: config %d LP: %w", cfg, err)
+		}
+		greedyMs = append(greedyMs, sched.Makespan)
+		relaxedMs = append(relaxedMs, bound)
+		r.Gaps = append(r.Gaps, sched.Makespan/bound-1)
+	}
+	r.GreedyCDF = stats.NewCDF(greedyMs)
+	r.RelaxedCDF = stats.NewCDF(relaxedMs)
+	med, err := stats.Median(r.Gaps)
+	if err != nil {
+		return nil, err
+	}
+	r.MedianGap = med
+	return r, nil
+}
+
+// Print renders the figure's series.
+func (r *Fig13Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 13: greedy vs LP-relaxation makespans (%d random configs)\n", r.Configs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		g, _ := r.GreedyCDF.Quantile(q)
+		l, _ := r.RelaxedCDF.Quantile(q)
+		fmt.Fprintf(w, "  q%.0f%%: greedy %7.0f s, relaxed %7.0f s\n", q*100, g/1000, l/1000)
+	}
+	fmt.Fprintf(w, "  median greedy-over-bound gap: %.1f%% (paper: ~18%%)\n", r.MedianGap*100)
+}

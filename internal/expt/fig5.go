@@ -1,0 +1,151 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cwc/internal/device"
+	"cwc/internal/netsim"
+	"cwc/internal/sim"
+	"cwc/internal/stats"
+)
+
+// Fig5Result reproduces Figure 5: the bandwidth-variability experiment.
+// Six phones with identical CPU clocks but heterogeneous links process 600
+// files FCFS; removing the two slowest-link phones improves the 90th
+// percentile processing time even though queueing delay grows.
+type Fig5Result struct {
+	AllPhones  Fig5Run
+	FastPhones Fig5Run
+}
+
+// Fig5Run is one configuration's outcome.
+type Fig5Run struct {
+	Phones      int
+	ServiceCDF  *stats.CDF // per-file processing time (transfer+compute+return), ms
+	P50Ms       float64
+	P90Ms       float64
+	BatchMs     float64 // completion time of the whole 600-file batch
+	MeanQueueMs float64 // mean time files spent waiting for an idle phone
+}
+
+// fig5File is one of the 600 files.
+type fig5File struct{ sizeKB float64 }
+
+// Fig5 runs the experiment on the discrete-event engine: the server
+// dispatches each file to the first idle phone (files queue when all are
+// busy), mirroring the paper's §3.1 setup.
+func Fig5(seed int64) (*Fig5Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Six identical-CPU phones; links from fast WiFi down to EDGE. The
+	// two slowest connections are the ones removed in the second run.
+	radios := []device.Radio{
+		device.WiFiA, device.WiFiG, device.FourG, device.ThreeG,
+		device.EDGE, device.EDGE,
+	}
+	var links []*netsim.Link
+	for _, r := range radios {
+		l, err := netsim.NewLinkForRadio(r, rng)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+	}
+	// Identify the two slowest links by measured bandwidth.
+	type ranked struct {
+		idx int
+		b   float64
+	}
+	var order []ranked
+	for i, l := range links {
+		order = append(order, ranked{i, l.BFor()})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].b < order[b].b })
+
+	files := make([]fig5File, 600)
+	for i := range files {
+		files[i] = fig5File{sizeKB: 20 + rng.Float64()*60}
+	}
+
+	all := fig5Dispatch(files, links)
+	fast := fig5Dispatch(files, []*netsim.Link{
+		links[order[0].idx], links[order[1].idx],
+		links[order[2].idx], links[order[3].idx],
+	})
+	return &Fig5Result{AllPhones: all, FastPhones: fast}, nil
+}
+
+// fig5Dispatch simulates FCFS dispatch of the files over the given phone
+// links; every phone runs the maxint task at the same CPU speed (1 GHz).
+func fig5Dispatch(files []fig5File, links []*netsim.Link) Fig5Run {
+	const computeMsPerKB = 5.0 // maxint on the identical 1 GHz CPUs
+	const resultKB = 0.05      // tiny result message
+
+	engine := sim.NewEngine()
+	type phone struct {
+		link *netsim.Link
+		busy bool
+	}
+	phones := make([]*phone, len(links))
+	for i, l := range links {
+		phones[i] = &phone{link: l}
+	}
+	queue := files
+	var services, waits []float64
+	queuedAt := make([]time.Duration, len(files))
+	next := 0
+
+	var tryDispatch func()
+	tryDispatch = func() {
+		for next < len(queue) {
+			var idle *phone
+			for _, p := range phones {
+				if !p.busy {
+					idle = p
+					break
+				}
+			}
+			if idle == nil {
+				return
+			}
+			f := queue[next]
+			waits = append(waits, float64(engine.Now()-queuedAt[next])/float64(time.Millisecond))
+			next++
+			idle.busy = true
+			service := f.sizeKB*(netsim.MsPerKB(idle.link.MeanKBps())+computeMsPerKB) +
+				resultKB*netsim.MsPerKB(idle.link.MeanKBps())
+			services = append(services, service)
+			engine.After(time.Duration(service*float64(time.Millisecond)), func() {
+				idle.busy = false
+				tryDispatch()
+			})
+		}
+	}
+	engine.At(0, tryDispatch)
+	engine.Run()
+
+	run := Fig5Run{
+		Phones:      len(links),
+		ServiceCDF:  stats.NewCDF(services),
+		BatchMs:     float64(engine.Now()) / float64(time.Millisecond),
+		MeanQueueMs: stats.Mean(waits),
+	}
+	run.P50Ms, _ = run.ServiceCDF.Quantile(0.5)
+	run.P90Ms, _ = run.ServiceCDF.Quantile(0.9)
+	return run
+}
+
+// Print renders the figure's series.
+func (r *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: CDF of file processing times (600 files)\n")
+	p := func(run Fig5Run, label string) {
+		fmt.Fprintf(w, "  %s: p50 %.0f ms, p90 %.0f ms, batch %.0f s, mean queue %.0f ms\n",
+			label, run.P50Ms, run.P90Ms, run.BatchMs/1000, run.MeanQueueMs)
+	}
+	p(r.AllPhones, "6 phones (mixed links)")
+	p(r.FastPhones, "4 phones (fast links) ")
+}

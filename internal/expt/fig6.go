@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cwc/internal/core"
+	"cwc/internal/device"
+	"cwc/internal/predict"
+	"cwc/internal/tasks"
+)
+
+// Fig6Point is one marker of Figure 6: a (phone, task) pair's predicted
+// speedup (clock ratio vs the slowest phone) against its measured speedup.
+type Fig6Point struct {
+	Phone     string
+	Task      string
+	Predicted float64
+	Measured  float64
+}
+
+// Fig6Result reproduces Figure 6: the CPU-clock scaling model against
+// measured speedups over the testbed for three tasks.
+type Fig6Result struct {
+	Points []Fig6Point
+	// MeanAbsErr is the mean |measured-predicted|/predicted over all
+	// points; the paper's points cluster around y = x.
+	MeanAbsErr float64
+	// MaxOverPerf is the largest measured/predicted ratio — the paper's
+	// rightmost outliers run faster than the model predicts.
+	MaxOverPerf float64
+}
+
+// Fig6 measures speedups on the simulated testbed: each task runs on
+// every phone; measured speedup is t_slowest/t_phone under ground-truth
+// rates, predicted is the clock ratio.
+func Fig6(seed int64) (*Fig6Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		return nil, err
+	}
+	slow := device.Slowest(tb.Phones)
+	est, err := predict.New(slow.Spec.CPU.ClockMHz, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	taskNames := []string{"primecount", "wordcount", "blur"}
+	// Ground-truth per-KB times for a fixed 1000 KB input.
+	jobs := makeFig6Jobs(taskNames)
+	actual := tb.ActualC(jobs, rng)
+
+	// The slowest phone's measured times anchor the speedups (the paper
+	// transfers code and data a priori and times local execution only).
+	slowIdx := 0
+	for i, p := range tb.Phones {
+		if p.ID == slow.ID {
+			slowIdx = i
+		}
+	}
+
+	r := &Fig6Result{MaxOverPerf: 1}
+	var errSum float64
+	for i, p := range tb.Phones {
+		if i == slowIdx {
+			continue
+		}
+		for j, name := range taskNames {
+			predicted := est.PredictedSpeedup(p.Spec.CPU.ClockMHz)
+			measured := actual[slowIdx][j] / actual[i][j]
+			r.Points = append(r.Points, Fig6Point{
+				Phone:     p.Name(),
+				Task:      name,
+				Predicted: predicted,
+				Measured:  measured,
+			})
+			errSum += abs(measured-predicted) / predicted
+			if ratio := measured / predicted; ratio > r.MaxOverPerf {
+				r.MaxOverPerf = ratio
+			}
+		}
+	}
+	r.MeanAbsErr = errSum / float64(len(r.Points))
+	return r, nil
+}
+
+func makeFig6Jobs(names []string) []core.Job {
+	jobs := make([]core.Job, len(names))
+	for i, n := range names {
+		jobs[i] = core.Job{ID: i, Task: n, InputKB: 1000, ExecKB: tasks.BaseComputeMsPerKB[n]}
+	}
+	return jobs
+}
+
+// Print renders the figure's series.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: predicted vs measured speedup (%d points)\n", len(r.Points))
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-9s %-10s predicted %.2f measured %.2f\n",
+			p.Phone, p.Task, p.Predicted, p.Measured)
+	}
+	fmt.Fprintf(w, "  mean |error| %.1f%%, max over-performance %.2fx\n",
+		r.MeanAbsErr*100, r.MaxOverPerf)
+}

@@ -1,0 +1,174 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"cwc/internal/coremark"
+	"cwc/internal/device"
+	"cwc/internal/netsim"
+	"cwc/internal/stats"
+	"cwc/internal/trace"
+)
+
+// Fig1Result reproduces Figure 1: CoreMark scores of smartphone CPUs vs
+// the Intel Core 2 Duo, plus this host's score from the runnable
+// CoreMark-like kernels and scaled estimates for the device catalog.
+type Fig1Result struct {
+	Published []coremark.PublishedScore
+	HostScore float64
+	Estimates map[string]float64
+}
+
+// Fig1 assembles the CoreMark comparison.
+func Fig1() *Fig1Result {
+	r := &Fig1Result{
+		Published: coremark.PublishedScores(),
+		HostScore: coremark.HostScore(100 * time.Millisecond),
+		Estimates: map[string]float64{},
+	}
+	for _, spec := range device.Catalog() {
+		r.Estimates[spec.Model] = coremark.EstimateScore(spec)
+	}
+	return r
+}
+
+// Print renders the figure's series.
+func (r *Fig1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1: CoreMark benchmark (published scores)\n")
+	fmt.Fprint(w, coremark.FormatTable())
+	fmt.Fprintf(w, "host mini-CoreMark: %.0f iterations/s\n", r.HostScore)
+	fmt.Fprintf(w, "catalog estimates:\n")
+	for _, spec := range device.Catalog() {
+		fmt.Fprintf(w, "  %-20s %8.0f\n", spec.Model, r.Estimates[spec.Model])
+	}
+}
+
+// Fig23Result reproduces the charging-behaviour study: Figure 2 (interval
+// durations, night transfers, per-user idle hours) and Figure 3 (unplug
+// likelihood by hour).
+type Fig23Result struct {
+	Study *trace.Study
+
+	NightMedianHours float64
+	DayMedianHours   float64
+	NightIntervals   int
+	DayIntervals     int
+
+	FracUnder2MB float64
+
+	IdlePerUser []trace.UserIdle
+
+	FailureCDF [24]float64
+	// PerUserUnplug holds Figure 3(b)/(c)-style per-user unplug fractions
+	// by hour for two representative users (a regular charger and an
+	// average user).
+	PerUserUnplug map[int][24]float64
+	ShutdownFrac  float64
+	OverlapAt3AM  float64
+	OverlapWindow []float64
+}
+
+// Fig23 generates the 15-user study over the given number of days and
+// computes every Figure 2/3 series.
+func Fig23(seed int64, days int) (*Fig23Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	events := trace.GenerateStudy(trace.DefaultUsers(), days, rng)
+	study := trace.NewStudy(trace.Intervals(events))
+	r := &Fig23Result{Study: study}
+
+	nightCDF, dayCDF := study.DurationCDFs()
+	var err error
+	if r.NightMedianHours, err = nightCDF.Quantile(0.5); err != nil {
+		return nil, fmt.Errorf("expt: night durations: %w", err)
+	}
+	if r.DayMedianHours, err = dayCDF.Quantile(0.5); err != nil {
+		return nil, fmt.Errorf("expt: day durations: %w", err)
+	}
+	r.NightIntervals = nightCDF.Len()
+	r.DayIntervals = dayCDF.Len()
+	r.FracUnder2MB = study.NightTransferCDF().At(2.0)
+	r.IdlePerUser = study.NightIdlePerUser()
+	r.FailureCDF = study.FailureCDFByHour()
+	r.PerUserUnplug = map[int][24]float64{}
+	for _, user := range []int{3, 7} {
+		h := study.UnplugHistogram(user)
+		r.PerUserUnplug[user] = h.Fractions()
+	}
+	r.ShutdownFrac = study.ShutdownFraction()
+	r.OverlapWindow = study.Overlap()
+	r.OverlapAt3AM = r.OverlapWindow[(3+2)*60]
+	return r, nil
+}
+
+// Print renders the figures' series.
+func (r *Fig23Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2(a): charging intervals — median night %.1f h (%d intervals), median day %.2f h (%d intervals)\n",
+		r.NightMedianHours, r.NightIntervals, r.DayMedianHours, r.DayIntervals)
+	fmt.Fprintf(w, "Figure 2(b): P(night transfer <= 2 MB) = %.2f\n", r.FracUnder2MB)
+	fmt.Fprintf(w, "Figure 2(c): mean idle night charging per user:\n")
+	for _, u := range r.IdlePerUser {
+		fmt.Fprintf(w, "  user %2d: %.1f h (sd %.1f, %d nights)\n", u.User, u.MeanHours, u.StdHours, u.Nights)
+	}
+	fmt.Fprintf(w, "Figure 3(a): cumulative unplug likelihood by 8 AM = %.2f (paper: < 0.30)\n", r.FailureCDF[7])
+	for _, user := range []int{3, 7} {
+		fr := r.PerUserUnplug[user]
+		night := fr[0] + fr[1] + fr[2] + fr[3] + fr[4] + fr[5]
+		morning := fr[6] + fr[7] + fr[8] + fr[9]
+		fmt.Fprintf(w, "Figure 3(b/c): user %d unplugs — 12-6 AM %.0f%%, 6-10 AM %.0f%% of events\n",
+			user, night*100, morning*100)
+	}
+	fmt.Fprintf(w, "shutdown fraction: %.1f%% (paper: ~3%%)\n", r.ShutdownFrac*100)
+	fmt.Fprintf(w, "idle plugged phones at 3 AM: %.1f of 15\n", r.OverlapAt3AM)
+}
+
+// Fig4Result reproduces Figure 4: WiFi bandwidth stability over a 600 s
+// iperf run at the three houses.
+type Fig4Result struct {
+	Houses []Fig4House
+}
+
+// Fig4House is one house's series.
+type Fig4House struct {
+	House    int
+	Radio    device.Radio
+	MeanKBps float64
+	CoV      float64
+	Series   []float64
+}
+
+// Fig4 runs the 600 s bandwidth test at each house's WiFi AP.
+func Fig4(seed int64) (*Fig4Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Fig4Result{}
+	for house := 1; house <= 3; house++ {
+		radio := device.WiFiG
+		if house == 3 {
+			radio = device.WiFiA
+		}
+		link, err := netsim.NewLinkForRadio(radio, rng)
+		if err != nil {
+			return nil, err
+		}
+		series := link.Series(600)
+		r.Houses = append(r.Houses, Fig4House{
+			House:    house,
+			Radio:    radio,
+			MeanKBps: stats.Mean(series),
+			CoV:      stats.CoV(series),
+			Series:   series,
+		})
+	}
+	return r, nil
+}
+
+// Print renders the figure's series.
+func (r *Fig4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: WiFi stability (600 s iperf per house)\n")
+	for _, h := range r.Houses {
+		fmt.Fprintf(w, "  house %d (%s): mean %.0f KB/s, CoV %.3f\n",
+			h.House, h.Radio, h.MeanKBps, h.CoV)
+	}
+}

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTimeline draws an execution timeline as ASCII art, one row per
+// phone, mirroring the paper's Figure 12(a)/(c): '#' marks transfer
+// intervals (the figure's black stripes: receiving executable + input)
+// and '.' marks local execution (white regions); spaces are idle. width
+// is the number of character columns used for the time axis.
+func RenderTimeline(w io.Writer, segments []Segment, numPhones int, width int) {
+	if width <= 10 {
+		width = 80
+	}
+	end := 0.0
+	for _, s := range segments {
+		if s.EndMs > end {
+			end = s.EndMs
+		}
+	}
+	if end == 0 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+	scale := float64(width) / end
+	rows := make([][]byte, numPhones)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range segments {
+		if s.Phone < 0 || s.Phone >= numPhones {
+			continue
+		}
+		mark := byte('.')
+		if s.Kind == SegTransfer {
+			mark = '#'
+		}
+		lo := int(s.StartMs * scale)
+		hi := int(s.EndMs * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		for x := lo; x <= hi; x++ {
+			// Transfers win ties so short copies stay visible, as the
+			// figure's black stripes do.
+			if rows[s.Phone][x] != '#' {
+				rows[s.Phone][x] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "time 0 %s %.0f s\n", strings.Repeat("-", width-12), end/1000)
+	for i, row := range rows {
+		fmt.Fprintf(w, "phone %2d |%s|\n", i, row)
+	}
+	fmt.Fprintln(w, "legend: '#' receiving executable+input, '.' executing, ' ' idle")
+}

@@ -1,0 +1,211 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cwc/internal/core"
+)
+
+// Week simulates a week of CWC operations (the §3.1 speculation that
+// overlapping idle charging windows yield "several operational hours for
+// computing, without disturbing users' routine activities"): every night
+// at 23:00 a batch of jobs is scheduled over the plugged fleet, phones
+// leave when their owners unplug (times drawn from the study's per-user
+// distributions), failed work is re-scheduled over survivors in recovery
+// rounds, and anything still unfinished carries over to the next night.
+
+// NightReport summarizes one night.
+type NightReport struct {
+	Night          int
+	OfferedKB      float64 // fresh batch + carryover
+	CompletedKB    float64
+	CarriedKB      float64 // left for the next night
+	Rounds         int     // scheduling rounds used (1 = no failures)
+	PhonesLost     int
+	CompletionMs   float64 // time from 23:00 until the last useful work
+	UnplugFailures int     // failed partitions across the night
+}
+
+// WeekResult is the full week.
+type WeekResult struct {
+	Nights        []NightReport
+	TotalOffered  float64
+	TotalDone     float64
+	CarryoverEnds float64 // KB still pending after the last night
+}
+
+// Week runs the simulation: nights nights, nightly batches scaled by
+// batchScale (1.0 ≈ the paper's 150-task evaluation workload).
+func Week(seed int64, nights int, batchScale float64) (*WeekResult, error) {
+	if nights <= 0 {
+		nights = 7
+	}
+	if batchScale <= 0 {
+		batchScale = 1
+	}
+	models := buildUnplugModels(seed, 56)
+	rng := rand.New(rand.NewSource(seed + 3))
+	tb, err := NewTestbed(rng)
+	if err != nil {
+		return nil, err
+	}
+	owner := func(i int) *unplugModel { return models[i%15+1] }
+
+	res := &WeekResult{}
+	var carryKB float64
+	for night := 1; night <= nights; night++ {
+		jobs := PaperWorkload(rng, batchScale)
+		// Carryover re-enters as one synthetic breakable job (the
+		// server's F_A list compacted; task mix detail is immaterial to
+		// the capacity question).
+		if carryKB > 1 {
+			jobs = append(jobs, core.Job{
+				ID:      len(jobs),
+				Task:    "wordcount",
+				ExecKB:  9,
+				InputKB: carryKB,
+			})
+		}
+		nr, err := runOneNight(tb, owner, jobs, rng)
+		if err != nil {
+			return nil, fmt.Errorf("expt: night %d: %w", night, err)
+		}
+		nr.Night = night
+		carryKB = nr.CarriedKB
+		res.Nights = append(res.Nights, *nr)
+		res.TotalOffered += nr.OfferedKB - carryoverOf(jobs, nr) // fresh only
+		res.TotalDone += nr.CompletedKB
+	}
+	res.CarryoverEnds = carryKB
+	return res, nil
+}
+
+// carryoverOf returns the carryover portion of the night's offer (the
+// last synthetic job, when present).
+func carryoverOf(jobs []core.Job, nr *NightReport) float64 {
+	var fresh float64
+	for _, j := range jobs {
+		fresh += j.InputKB
+	}
+	return nr.OfferedKB - min2(nr.OfferedKB, fresh)
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runOneNight executes schedule + recovery rounds until the work is done
+// or the fleet is gone.
+func runOneNight(tb *Testbed, owner func(int) *unplugModel, jobs []core.Job, rng *rand.Rand) (*NightReport, error) {
+	nr := &NightReport{}
+	for _, j := range jobs {
+		nr.OfferedKB += j.InputKB
+	}
+	inst := tb.Instance(jobs)
+	actual := tb.ActualC(jobs, rng)
+
+	// Tonight's unplug times (ms after 23:00) per phone.
+	unplugAt := make([]float64, len(tb.Phones))
+	for i := range tb.Phones {
+		unplugAt[i] = owner(i).sample(rng) * 3.6e6
+	}
+
+	now := 0.0
+	dead := map[int]bool{}
+	curInst, curActual := inst, actual
+	phoneIdx := make([]int, len(tb.Phones))
+	for i := range phoneIdx {
+		phoneIdx[i] = i
+	}
+
+	for round := 0; round < 8; round++ {
+		nr.Rounds = round + 1
+		sched, err := core.Greedy(curInst)
+		if err != nil {
+			return nil, err
+		}
+		unplugs := map[int]float64{}
+		for row, i := range phoneIdx {
+			remaining := unplugAt[i] - now
+			if remaining < sched.Makespan*2 {
+				if remaining < 0 {
+					remaining = 0
+				}
+				unplugs[row] = remaining
+			}
+		}
+		run, err := ExecuteSchedule(curInst, sched, curActual, unplugs)
+		if err != nil {
+			return nil, err
+		}
+		nr.CompletedKB += run.ProcessedKB
+		nr.UnplugFailures += len(run.Failed)
+		roundEnd := run.MakespanMs
+		for row := range unplugs {
+			if run.PhoneFinish[row] >= unplugs[row]-1e-6 {
+				dead[phoneIdx[row]] = true
+			}
+		}
+		if roundEnd > 0 {
+			now += roundEnd
+		}
+		if len(run.Failed) == 0 {
+			nr.PhonesLost = len(dead)
+			nr.CompletionMs = now
+			return nr, nil
+		}
+		// Build the next round over survivors.
+		deadRows := map[int]bool{}
+		for row, i := range phoneIdx {
+			if dead[i] {
+				deadRows[row] = true
+			}
+		}
+		nextInst, survivorsRows, err := FailedInstance(curInst, run.Failed, deadRows)
+		if err != nil {
+			// Every phone gone: carry the remainder to tomorrow.
+			for _, f := range run.Failed {
+				nr.CarriedKB += f.RemainingKB
+			}
+			nr.PhonesLost = len(dead)
+			nr.CompletionMs = now
+			return nr, nil
+		}
+		nextActual := make([][]float64, len(nextInst.Phones))
+		for row, oldRow := range survivorsRows {
+			nextActual[row] = make([]float64, len(nextInst.Jobs))
+			for col, j := range nextInst.Jobs {
+				nextActual[row][col] = curActual[oldRow][j.ID]
+			}
+		}
+		newPhoneIdx := make([]int, len(survivorsRows))
+		for row, oldRow := range survivorsRows {
+			newPhoneIdx[row] = phoneIdx[oldRow]
+		}
+		// Renumber job IDs positionally so the next round's actual-cost
+		// lookups (indexed by .ID) stay aligned.
+		for col := range nextInst.Jobs {
+			nextInst.Jobs[col].ID = col
+		}
+		curInst, curActual, phoneIdx = nextInst, nextActual, newPhoneIdx
+	}
+	nr.PhonesLost = len(dead)
+	nr.CompletionMs = now
+	return nr, nil
+}
+
+// Print renders the week.
+func (r *WeekResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "One week of CWC operations (18 phones, nightly batches)\n")
+	for _, n := range r.Nights {
+		fmt.Fprintf(w, "  night %d: offered %7.0f KB, done %7.0f KB, carried %6.0f KB, %d round(s), %d failures, finished in %.1f h\n",
+			n.Night, n.OfferedKB, n.CompletedKB, n.CarriedKB, n.Rounds, n.UnplugFailures, n.CompletionMs/3.6e6)
+	}
+	fmt.Fprintf(w, "  week total: %.1f MB offered, %.1f MB completed, %.0f KB pending at week's end\n",
+		r.TotalOffered/1024, r.TotalDone/1024, r.CarryoverEnds)
+}

@@ -1,0 +1,53 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMakespanLP builds a CWC-shaped reduced relaxation.
+func benchMakespanLP(phones, jobs int) *Problem {
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem(Minimize)
+	T := p.AddVar("T")
+	_ = p.SetObjective(T, 1)
+	l := make([][]int, phones)
+	for i := range l {
+		l[i] = make([]int, jobs)
+		for j := range l[i] {
+			l[i][j] = p.AddVar("l")
+		}
+	}
+	for i := 0; i < phones; i++ {
+		terms := make([]Term, 0, jobs+1)
+		for j := 0; j < jobs; j++ {
+			terms = append(terms, Term{l[i][j], 1 + rng.Float64()*70})
+		}
+		terms = append(terms, Term{T, -1})
+		_ = p.AddConstraint(terms, LE, 0)
+	}
+	for j := 0; j < jobs; j++ {
+		terms := make([]Term, 0, phones)
+		for i := 0; i < phones; i++ {
+			terms = append(terms, Term{l[i][j], 1})
+		}
+		_ = p.AddConstraint(terms, EQ, 100+rng.Float64()*1000)
+	}
+	return p
+}
+
+func BenchmarkSimplexSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchMakespanLP(6, 30).Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexPaperSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchMakespanLP(18, 150).Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

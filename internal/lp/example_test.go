@@ -1,0 +1,43 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"cwc/internal/lp"
+)
+
+// Example solves a small production-planning LP.
+func Example() {
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	if err := p.SetObjective(x, 3); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := p.SetObjective(y, 5); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range []struct {
+		terms []lp.Term
+		rhs   float64
+	}{
+		{[]lp.Term{{Var: x, Coef: 1}}, 4},
+		{[]lp.Term{{Var: y, Coef: 2}}, 12},
+		{[]lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, 18},
+	} {
+		if err := p.AddConstraint(c.terms, lp.LE, c.rhs); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("optimum %.0f at (%.0f, %.0f)\n", sol.Objective, sol.X[x], sol.X[y])
+	// Output:
+	// optimum 36 at (2, 6)
+}

@@ -1,0 +1,441 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	min/max  c·x
+//	s.t.     a_k·x (<= | = | >=) b_k   for every constraint k
+//	         x >= 0
+//
+// It exists to reproduce the paper's Figure 13: the makespan scheduling
+// program SCH is relaxed to an LP whose optimum is a lower bound on the
+// optimal makespan (T_relaxed <= T_optimal <= T_cwc). The solver is a
+// straightforward tableau implementation with Dantzig pricing and a switch
+// to Bland's rule under degeneracy, adequate for the few-thousand-variable
+// instances the experiments generate.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects the optimization direction.
+type Sense int
+
+// Optimization directions.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // a·x <= b
+	GE            // a·x >= b
+	EQ            // a·x == b
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Solver failure modes.
+var (
+	ErrInfeasible    = errors.New("lp: problem is infeasible")
+	ErrUnbounded     = errors.New("lp: problem is unbounded")
+	ErrIterationCap  = errors.New("lp: iteration limit exceeded")
+	ErrNoVariables   = errors.New("lp: problem has no variables")
+	ErrBadConstraint = errors.New("lp: constraint references unknown variable")
+)
+
+// Term is one coefficient of a linear expression: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Problem accumulates variables, an objective and constraints, then solves.
+// All variables are implicitly non-negative.
+type Problem struct {
+	sense   Sense
+	names   []string
+	obj     []float64
+	cons    []constraint
+	maxIter int
+}
+
+// NewProblem returns an empty problem with the given optimization sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense, maxIter: 500000}
+}
+
+// SetIterationLimit overrides the default simplex iteration cap.
+func (p *Problem) SetIterationLimit(n int) { p.maxIter = n }
+
+// AddVar adds a non-negative variable and returns its index. The name is
+// used only in diagnostics.
+func (p *Problem) AddVar(name string) int {
+	p.names = append(p.names, name)
+	p.obj = append(p.obj, 0)
+	return len(p.names) - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.names) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjective sets the objective coefficient of variable v.
+func (p *Problem) SetObjective(v int, coef float64) error {
+	if v < 0 || v >= len(p.obj) {
+		return fmt.Errorf("lp: objective references unknown variable %d", v)
+	}
+	p.obj[v] = coef
+	return nil
+}
+
+// AddConstraint appends the constraint terms rel rhs. Terms referencing the
+// same variable are summed.
+func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) error {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.names) {
+			return fmt.Errorf("%w: %d", ErrBadConstraint, t.Var)
+		}
+	}
+	own := append([]Term(nil), terms...)
+	p.cons = append(p.cons, constraint{terms: own, rel: rel, rhs: rhs})
+	return nil
+}
+
+// Solution holds the optimum of a solved problem.
+type Solution struct {
+	Objective  float64   // optimal objective value, in the problem's sense
+	X          []float64 // optimal variable values
+	Iterations int       // total simplex pivots over both phases
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the optimum.
+func (p *Problem) Solve() (*Solution, error) {
+	if len(p.names) == 0 {
+		return nil, ErrNoVariables
+	}
+	t := newTableau(p)
+	iters := 0
+
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nArtificial > 0 {
+		t.setPhase1Costs()
+		n, err := t.iterate(p.maxIter - iters)
+		iters += n
+		if err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: the real objective (converted to minimization).
+	t.setPhase2Costs(p)
+	n, err := t.iterate(p.maxIter - iters)
+	iters += n
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, len(p.names))
+	for i, bv := range t.basis {
+		if bv < len(p.names) {
+			x[bv] = t.rhs(i)
+		}
+	}
+	obj := 0.0
+	for v, c := range p.obj {
+		obj += c * x[v]
+	}
+	return &Solution{Objective: obj, X: x, Iterations: iters}, nil
+}
+
+// tableau is the dense simplex tableau: m constraint rows over
+// (nTotal + 1) columns, the last column being the RHS, plus a maintained
+// objective row.
+type tableau struct {
+	m           int // live constraint rows
+	nTotal      int // structural + slack/surplus + artificial columns
+	nStruct     int
+	nArtificial int
+	artStart    int // first artificial column index
+	rows        [][]float64
+	objRow      []float64
+	basis       []int
+	blocked     map[int]bool // columns barred from entering (retired artificials)
+}
+
+func newTableau(p *Problem) *tableau {
+	nStruct := len(p.names)
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.cons {
+		rel, rhs := c.rel, c.rhs
+		if rhs < 0 { // normalization flips the relation
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &tableau{
+		m:           len(p.cons),
+		nStruct:     nStruct,
+		nArtificial: nArt,
+		artStart:    nStruct + nSlack,
+		nTotal:      nStruct + nSlack + nArt,
+		blocked:     map[int]bool{},
+	}
+	t.rows = make([][]float64, t.m)
+	t.basis = make([]int, t.m)
+	slackCol := nStruct
+	artCol := t.artStart
+	for i, c := range p.cons {
+		row := make([]float64, t.nTotal+1)
+		for _, term := range c.terms {
+			row[term.Var] += term.Coef
+		}
+		rel, rhs := c.rel, c.rhs
+		if rhs < 0 {
+			for j := 0; j < nStruct; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			rel = flip(rel)
+		}
+		row[t.nTotal] = rhs
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1 // surplus
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+func (t *tableau) rhs(i int) float64 { return t.rows[i][t.nTotal] }
+
+// objectiveValue returns the current (minimization) objective value.
+func (t *tableau) objectiveValue() float64 { return -t.objRow[t.nTotal] }
+
+// setCosts installs the minimization cost vector cc and recomputes the
+// reduced-cost objective row r_j = c_j - z_j for the current basis.
+func (t *tableau) setCosts(cc []float64) {
+	t.objRow = make([]float64, t.nTotal+1)
+	copy(t.objRow, cc)
+	// Subtract c_B * B^-1 * A, which for a proper tableau is a pass over
+	// the basic rows.
+	for i, bv := range t.basis {
+		cb := cc[bv]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j <= t.nTotal; j++ {
+			t.objRow[j] -= cb * row[j]
+		}
+	}
+}
+
+func (t *tableau) setPhase1Costs() {
+	cc := make([]float64, t.nTotal+1)
+	for j := t.artStart; j < t.nTotal; j++ {
+		cc[j] = 1
+	}
+	t.setCosts(cc)
+}
+
+func (t *tableau) setPhase2Costs(p *Problem) {
+	cc := make([]float64, t.nTotal+1)
+	for v, c := range p.obj {
+		if p.sense == Maximize {
+			cc[v] = -c
+		} else {
+			cc[v] = c
+		}
+	}
+	// Artificials must never re-enter.
+	for j := t.artStart; j < t.nTotal; j++ {
+		t.blocked[j] = true
+	}
+	t.setCosts(cc)
+}
+
+// iterate pivots until optimality, returning the pivot count.
+func (t *tableau) iterate(maxIter int) (int, error) {
+	const blandAfter = 20000
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return iter, ErrIterationCap
+		}
+		col := t.chooseEntering(iter >= blandAfter)
+		if col < 0 {
+			return iter, nil // optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return iter, ErrUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// chooseEntering picks the entering column: Dantzig's most-negative reduced
+// cost, or Bland's smallest-index rule when bland is set. Returns -1 at
+// optimality.
+func (t *tableau) chooseEntering(bland bool) int {
+	best := -1
+	bestVal := -eps
+	for j := 0; j < t.nTotal; j++ {
+		if t.blocked[j] {
+			continue
+		}
+		r := t.objRow[j]
+		if r < -eps {
+			if bland {
+				return j
+			}
+			if r < bestVal {
+				bestVal = r
+				best = j
+			}
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum ratio test for the entering column,
+// breaking ties by the smallest basis variable index (Bland-compatible).
+// Returns -1 when the column is unbounded.
+func (t *tableau) chooseLeaving(col int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][col]
+		if a <= eps {
+			continue
+		}
+		ratio := t.rhs(i) / a
+		if ratio < bestRatio-eps ||
+			(math.Abs(ratio-bestRatio) <= eps && (best < 0 || t.basis[i] < t.basis[best])) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(prow, pcol int) {
+	prowData := t.rows[prow]
+	pivot := prowData[pcol]
+	inv := 1 / pivot
+	for j := 0; j <= t.nTotal; j++ {
+		prowData[j] *= inv
+	}
+	prowData[pcol] = 1 // kill rounding residue
+	for i := 0; i < t.m; i++ {
+		if i == prow {
+			continue
+		}
+		row := t.rows[i]
+		f := row[pcol]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.nTotal; j++ {
+			row[j] -= f * prowData[j]
+		}
+		row[pcol] = 0
+	}
+	f := t.objRow[pcol]
+	if f != 0 {
+		for j := 0; j <= t.nTotal; j++ {
+			t.objRow[j] -= f * prowData[j]
+		}
+		t.objRow[pcol] = 0
+	}
+	t.basis[prow] = pcol
+}
+
+// driveOutArtificials removes artificial variables left basic at zero after
+// phase 1, pivoting them out where possible and deleting genuinely
+// redundant rows otherwise.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Basic artificial (necessarily at ~0 after a feasible phase 1):
+		// pivot in any eligible non-artificial column.
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Row is redundant; drop it.
+			t.rows = append(t.rows[:i], t.rows[i+1:]...)
+			t.basis = append(t.basis[:i], t.basis[i+1:]...)
+			t.m--
+			i--
+		}
+	}
+}

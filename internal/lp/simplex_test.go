@@ -1,0 +1,471 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMaximizeTextbook(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> z = 36 at (2, 6).
+	p := NewProblem(Maximize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 3)
+	mustObj(t, p, y, 5)
+	mustCon(t, p, []Term{{x, 1}}, LE, 4)
+	mustCon(t, p, []Term{{y, 2}}, LE, 12)
+	mustCon(t, p, []Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 36, 1e-6) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !approx(sol.X[x], 2, 1e-6) || !approx(sol.X[y], 6, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (2, 6)", sol.X[x], sol.X[y])
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 -> z = 20 at (10, 0).
+	p := NewProblem(Minimize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 2)
+	mustObj(t, p, y, 3)
+	mustCon(t, p, []Term{{x, 1}, {y, 1}}, GE, 10)
+	mustCon(t, p, []Term{{x, 1}}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 20, 1e-6) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+	if !approx(sol.X[x], 10, 1e-6) || !approx(sol.X[y], 0, 1e-6) {
+		t.Errorf("solution = (%v, %v), want (10, 0)", sol.X[x], sol.X[y])
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y == 5, y >= 1 -> z = 6 at (4, 1).
+	p := NewProblem(Minimize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 1)
+	mustObj(t, p, y, 2)
+	mustCon(t, p, []Term{{x, 1}, {y, 1}}, EQ, 5)
+	mustCon(t, p, []Term{{y, 1}}, GE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 6, 1e-6) {
+		t.Errorf("objective = %v, want 6", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVar("x")
+	mustObj(t, p, x, 1)
+	mustCon(t, p, []Term{{x, 1}}, LE, 1)
+	mustCon(t, p, []Term{{x, 1}}, GE, 2)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 1)
+	mustCon(t, p, []Term{{y, 1}}, LE, 1)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	p := NewProblem(Minimize)
+	if _, err := p.Solve(); err != ErrNoVariables {
+		t.Errorf("err = %v, want ErrNoVariables", err)
+	}
+}
+
+func TestBadVariableReferences(t *testing.T) {
+	p := NewProblem(Minimize)
+	if err := p.SetObjective(0, 1); err == nil {
+		t.Error("objective on missing var should error")
+	}
+	x := p.AddVar("x")
+	if err := p.AddConstraint([]Term{{x + 1, 1}}, LE, 1); err == nil {
+		t.Error("constraint on missing var should error")
+	}
+	if err := p.AddConstraint([]Term{{-1, 1}}, LE, 1); err == nil {
+		t.Error("constraint on negative var should error")
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2  is  y - x >= 2. min y s.t. that and x >= 1 -> y = 3? No:
+	// min y s.t. y >= x + 2, x >= 0 -> x = 0, y = 2.
+	p := NewProblem(Minimize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, y, 1)
+	mustCon(t, p, []Term{{x, 1}, {y, -1}}, LE, -2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 2, 1e-6) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+	_ = x
+}
+
+func TestDuplicateTermsAreSummed(t *testing.T) {
+	// 0.5x + 0.5x <= 3 -> x <= 3.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x")
+	mustObj(t, p, x, 1)
+	mustCon(t, p, []Term{{x, 0.5}, {x, 0.5}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 3, 1e-6) {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// A classic degenerate instance; must terminate and find z = 1.
+	p := NewProblem(Maximize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 1)
+	mustCon(t, p, []Term{{x, 1}, {y, 1}}, LE, 1)
+	mustCon(t, p, []Term{{x, 1}}, LE, 1)
+	mustCon(t, p, []Term{{x, 1}, {y, 2}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 1, 1e-6) {
+		t.Errorf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Two identical equalities produce a redundant row that phase 1 must
+	// drop (driveOutArtificials row-deletion path).
+	p := NewProblem(Minimize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 1)
+	mustObj(t, p, y, 1)
+	mustCon(t, p, []Term{{x, 1}, {y, 1}}, EQ, 4)
+	mustCon(t, p, []Term{{x, 1}, {y, 1}}, EQ, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 4, 1e-6) {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	mustObj(t, p, x, 3)
+	mustObj(t, p, y, 5)
+	mustCon(t, p, []Term{{x, 1}, {y, 1}}, LE, 10)
+	p.SetIterationLimit(0)
+	if _, err := p.Solve(); err != ErrIterationCap {
+		t.Errorf("err = %v, want ErrIterationCap", err)
+	}
+}
+
+func TestSolutionCountsIterations(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x")
+	mustObj(t, p, x, 1)
+	mustCon(t, p, []Term{{x, 1}}, LE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations < 1 {
+		t.Errorf("iterations = %d, want >= 1", sol.Iterations)
+	}
+}
+
+// brute2D finds the optimum of a 2-variable LP with <= constraints by
+// enumerating all vertices (pairwise constraint intersections plus axes).
+func brute2D(cx, cy float64, cons [][3]float64, maximize bool) (float64, bool) {
+	type pt struct{ x, y float64 }
+	// Treat the axes x>=0, y>=0 as constraints -x <= 0, -y <= 0.
+	all := append([][3]float64{{-1, 0, 0}, {0, -1, 0}}, cons...)
+	var verts []pt
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a1, b1, c1 := all[i][0], all[i][1], all[i][2]
+			a2, b2, c2 := all[j][0], all[j][1], all[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			verts = append(verts, pt{(c1*b2 - c2*b1) / det, (a1*c2 - a2*c1) / det})
+		}
+	}
+	best := math.Inf(-1)
+	if !maximize {
+		best = math.Inf(1)
+	}
+	found := false
+	for _, v := range verts {
+		feasible := v.x >= -1e-7 && v.y >= -1e-7
+		for _, c := range all {
+			if c[0]*v.x+c[1]*v.y > c[2]+1e-7 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		z := cx*v.x + cy*v.y
+		found = true
+		if maximize && z > best {
+			best = z
+		}
+		if !maximize && z < best {
+			best = z
+		}
+	}
+	return best, found
+}
+
+// Property: on random bounded 2-variable LPs the simplex matches vertex
+// enumeration.
+func TestSimplexMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed) + rng.Int63()))
+		nCons := 2 + r.Intn(4)
+		cons := make([][3]float64, 0, nCons+2)
+		// Always include a bounding box so the LP is bounded.
+		bound := 1 + r.Float64()*20
+		cons = append(cons, [3]float64{1, 0, bound}, [3]float64{0, 1, bound})
+		for k := 0; k < nCons; k++ {
+			cons = append(cons, [3]float64{
+				r.Float64()*4 - 1,
+				r.Float64()*4 - 1,
+				r.Float64() * 10,
+			})
+		}
+		cx, cy := r.Float64()*10, r.Float64()*10
+
+		p := NewProblem(Maximize)
+		x := p.AddVar("x")
+		y := p.AddVar("y")
+		if err := p.SetObjective(x, cx); err != nil {
+			return false
+		}
+		if err := p.SetObjective(y, cy); err != nil {
+			return false
+		}
+		for _, c := range cons {
+			if err := p.AddConstraint([]Term{{x, c[0]}, {y, c[1]}}, LE, c[2]); err != nil {
+				return false
+			}
+		}
+		want, feasible := brute2D(cx, cy, cons, true)
+		sol, err := p.Solve()
+		if err == ErrInfeasible {
+			return !feasible
+		}
+		if err != nil {
+			return false
+		}
+		if !feasible {
+			return false
+		}
+		return approx(sol.Objective, want, 1e-5*(1+math.Abs(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reported X always satisfies every constraint and
+// non-negativity, whenever Solve succeeds.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed) ^ rng.Int63()))
+		nVars := 1 + r.Intn(5)
+		nCons := 1 + r.Intn(6)
+		p := NewProblem(Minimize)
+		vars := make([]int, nVars)
+		for i := range vars {
+			vars[i] = p.AddVar("v")
+			if err := p.SetObjective(vars[i], r.Float64()*5); err != nil {
+				return false
+			}
+		}
+		type con struct {
+			terms []Term
+			rel   Rel
+			rhs   float64
+		}
+		var cs []con
+		for k := 0; k < nCons; k++ {
+			terms := make([]Term, nVars)
+			for i, v := range vars {
+				terms[i] = Term{v, r.Float64()*2 + 0.1}
+			}
+			rel := []Rel{LE, GE, EQ}[r.Intn(3)]
+			rhs := r.Float64() * 10
+			cs = append(cs, con{terms, rel, rhs})
+			if err := p.AddConstraint(terms, rel, rhs); err != nil {
+				return false
+			}
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			// Infeasible/unbounded are acceptable outcomes here.
+			return err == ErrInfeasible || err == ErrUnbounded
+		}
+		for _, x := range sol.X {
+			if x < -1e-7 {
+				return false
+			}
+		}
+		for _, c := range cs {
+			lhs := 0.0
+			for _, tm := range c.terms {
+				lhs += tm.Coef * sol.X[tm.Var]
+			}
+			switch c.rel {
+			case LE:
+				if lhs > c.rhs+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.rhs-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.rhs) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Rel strings wrong")
+	}
+	if Rel(99).String() != "?" {
+		t.Error("unknown Rel should print ?")
+	}
+}
+
+func TestLargeMakespanShapedLP(t *testing.T) {
+	// A CWC-shaped instance: 12 phones x 60 jobs. min T s.t.
+	// sum_j w_ij l_ij <= T, sum_i l_ij = L_j.
+	rng := rand.New(rand.NewSource(3))
+	phones, jobs := 12, 60
+	p := NewProblem(Minimize)
+	T := p.AddVar("T")
+	mustObj(t, p, T, 1)
+	l := make([][]int, phones)
+	w := make([][]float64, phones)
+	for i := range l {
+		l[i] = make([]int, jobs)
+		w[i] = make([]float64, jobs)
+		for j := range l[i] {
+			l[i][j] = p.AddVar("l")
+			w[i][j] = 1 + rng.Float64()*70
+		}
+	}
+	for i := 0; i < phones; i++ {
+		terms := make([]Term, 0, jobs+1)
+		for j := 0; j < jobs; j++ {
+			terms = append(terms, Term{l[i][j], w[i][j]})
+		}
+		terms = append(terms, Term{T, -1})
+		mustCon(t, p, terms, LE, 0)
+	}
+	for j := 0; j < jobs; j++ {
+		terms := make([]Term, 0, phones)
+		for i := 0; i < phones; i++ {
+			terms = append(terms, Term{l[i][j], 1})
+		}
+		mustCon(t, p, terms, EQ, 100)
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective <= 0 {
+		t.Errorf("makespan bound = %v, want positive", sol.Objective)
+	}
+	// Sanity: the bound cannot beat the perfectly balanced best-rate bound.
+	bestRate := 0.0
+	for j := 0; j < jobs; j++ {
+		minW := math.Inf(1)
+		for i := 0; i < phones; i++ {
+			if w[i][j] < minW {
+				minW = w[i][j]
+			}
+		}
+		bestRate += 100 * minW
+	}
+	if sol.Objective > bestRate {
+		t.Errorf("bound %v exceeds single-best-phone total %v", sol.Objective, bestRate)
+	}
+}
+
+func mustObj(t *testing.T, p *Problem, v int, c float64) {
+	t.Helper()
+	if err := p.SetObjective(v, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCon(t *testing.T, p *Problem, terms []Term, rel Rel, rhs float64) {
+	t.Helper()
+	if err := p.AddConstraint(terms, rel, rhs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProblemCounters(t *testing.T) {
+	p := NewProblem(Minimize)
+	if p.NumVars() != 0 || p.NumConstraints() != 0 {
+		t.Error("fresh problem should be empty")
+	}
+	x := p.AddVar("x")
+	mustCon(t, p, []Term{{x, 1}}, GE, 1)
+	if p.NumVars() != 1 || p.NumConstraints() != 1 {
+		t.Errorf("counts = %d vars, %d cons", p.NumVars(), p.NumConstraints())
+	}
+}

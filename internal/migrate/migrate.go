@@ -1,0 +1,205 @@
+// Package migrate implements the server-side bookkeeping of CWC's task
+// migration (paper §6): "In case of a failure, the state of a task is
+// saved and transmitted to the central server ... Our server records the
+// transmitted state but does not itself resume the computation at that
+// state. At the next scheduling instant, the server sends the recorded
+// state of each failed task to a newly assigned phone."
+//
+// The Journal is that record: an append-only log of migration events —
+// which job failed where, with what checkpoint, and where it resumed —
+// queryable for the latest state of a job and serializable so a restarted
+// server can pick up in-flight migrations (the repository's analogue of
+// JavaGO's migrated execution stacks living off-phone).
+package migrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"cwc/internal/tasks"
+)
+
+// EventKind labels a journal entry.
+type EventKind string
+
+// Journal event kinds.
+const (
+	// Saved: a failure report delivered a checkpoint to the server.
+	Saved EventKind = "saved"
+	// Resumed: the checkpoint was shipped to a new phone.
+	Resumed EventKind = "resumed"
+	// Completed: the migrated work finished; its state is dead.
+	Completed EventKind = "completed"
+)
+
+// Event is one migration journal entry.
+type Event struct {
+	Seq        int               `json:"seq"`
+	Time       time.Time         `json:"time"`
+	Kind       EventKind         `json:"kind"`
+	JobID      int               `json:"job_id"`
+	Partition  int               `json:"partition"`
+	PhoneID    int               `json:"phone_id"` // failing or resuming phone
+	Checkpoint *tasks.Checkpoint `json:"checkpoint,omitempty"`
+	Reason     string            `json:"reason,omitempty"`
+}
+
+// Journal is a concurrency-safe migration log.
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+	nextSq int
+	now    func() time.Time
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal {
+	return &Journal{now: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (j *Journal) SetClock(now func() time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.now = now
+}
+
+// append records an event, stamping sequence and time.
+func (j *Journal) append(e Event) Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = j.nextSq
+	j.nextSq++
+	e.Time = j.now()
+	j.events = append(j.events, e)
+	return e
+}
+
+// RecordSave logs a checkpoint arriving from a failing phone.
+func (j *Journal) RecordSave(jobID, partition, phoneID int, ck *tasks.Checkpoint, reason string) Event {
+	var copied *tasks.Checkpoint
+	if ck != nil {
+		c := *ck
+		c.State = append([]byte(nil), ck.State...)
+		copied = &c
+	}
+	return j.append(Event{
+		Kind: Saved, JobID: jobID, Partition: partition,
+		PhoneID: phoneID, Checkpoint: copied, Reason: reason,
+	})
+}
+
+// RecordResume logs the checkpoint being shipped to a new phone.
+func (j *Journal) RecordResume(jobID, partition, phoneID int) Event {
+	return j.append(Event{Kind: Resumed, JobID: jobID, Partition: partition, PhoneID: phoneID})
+}
+
+// RecordComplete logs that migrated work finished.
+func (j *Journal) RecordComplete(jobID, partition, phoneID int) Event {
+	return j.append(Event{Kind: Completed, JobID: jobID, Partition: partition, PhoneID: phoneID})
+}
+
+// Len returns the number of recorded events.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Events returns a copy of the full log in order.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Event(nil), j.events...)
+}
+
+// LatestState returns the most recent saved checkpoint for a (job,
+// partition) that has not completed since, and whether one exists — what
+// the next scheduling instant would ship.
+func (j *Journal) LatestState(jobID, partition int) (*tasks.Checkpoint, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var found *tasks.Checkpoint
+	for _, e := range j.events {
+		if e.JobID != jobID || e.Partition != partition {
+			continue
+		}
+		switch e.Kind {
+		case Saved:
+			found = e.Checkpoint
+		case Completed:
+			found = nil
+		}
+	}
+	if found == nil {
+		return nil, false
+	}
+	c := *found
+	c.State = append([]byte(nil), found.State...)
+	return &c, true
+}
+
+// InFlight lists (job, partition) pairs with saved state awaiting
+// completion, sorted by job then partition.
+func (j *Journal) InFlight() [][2]int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	open := map[[2]int]bool{}
+	for _, e := range j.events {
+		key := [2]int{e.JobID, e.Partition}
+		switch e.Kind {
+		case Saved:
+			open[key] = true
+		case Completed:
+			delete(open, key)
+		}
+	}
+	out := make([][2]int, 0, len(open))
+	for k := range open {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// WriteTo serializes the journal as JSON lines.
+func (j *Journal) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events() {
+		if err := enc.Encode(e); err != nil {
+			return n, fmt.Errorf("migrate: encoding event %d: %w", e.Seq, err)
+		}
+		n++ // lines, not bytes; callers use it as an event count
+	}
+	return n, nil
+}
+
+// ReadJournal reconstructs a journal from its JSON-lines form.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	j := NewJournal()
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("migrate: decoding journal: %w", err)
+		}
+		j.events = append(j.events, e)
+		if e.Seq >= j.nextSq {
+			j.nextSq = e.Seq + 1
+		}
+	}
+	return j, nil
+}

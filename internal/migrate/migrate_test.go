@@ -1,0 +1,178 @@
+package migrate
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cwc/internal/tasks"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2012, 12, 10, 22, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestSaveResumeCompleteLifecycle(t *testing.T) {
+	j := NewJournal()
+	j.SetClock(fixedClock())
+	ck := &tasks.Checkpoint{Offset: 512, State: []byte(`{"count":9}`)}
+
+	j.RecordSave(7, 2, 3, ck, "unplugged")
+	st, ok := j.LatestState(7, 2)
+	if !ok {
+		t.Fatal("saved state not found")
+	}
+	if st.Offset != 512 || string(st.State) != `{"count":9}` {
+		t.Errorf("state = %+v", st)
+	}
+
+	j.RecordResume(7, 2, 11)
+	if _, ok := j.LatestState(7, 2); !ok {
+		t.Error("resume must not clear the saved state (the phone may fail again)")
+	}
+
+	j.RecordComplete(7, 2, 11)
+	if _, ok := j.LatestState(7, 2); ok {
+		t.Error("completed work should have no live state")
+	}
+	if j.Len() != 3 {
+		t.Errorf("journal has %d events", j.Len())
+	}
+}
+
+func TestLatestStateTracksNewestSave(t *testing.T) {
+	j := NewJournal()
+	j.RecordSave(1, 0, 2, &tasks.Checkpoint{Offset: 100}, "unplugged")
+	j.RecordSave(1, 0, 5, &tasks.Checkpoint{Offset: 300}, "unplugged again")
+	st, ok := j.LatestState(1, 0)
+	if !ok || st.Offset != 300 {
+		t.Errorf("latest = %+v %v, want offset 300", st, ok)
+	}
+}
+
+func TestSaveCopiesCheckpoint(t *testing.T) {
+	j := NewJournal()
+	ck := &tasks.Checkpoint{Offset: 10, State: []byte("abc")}
+	j.RecordSave(1, 0, 2, ck, "x")
+	ck.State[0] = 'Z' // mutate the caller's buffer
+	st, _ := j.LatestState(1, 0)
+	if string(st.State) != "abc" {
+		t.Error("journal shares state bytes with the caller")
+	}
+	// And the returned state is a copy too.
+	st.State[0] = 'Q'
+	st2, _ := j.LatestState(1, 0)
+	if string(st2.State) != "abc" {
+		t.Error("journal leaks internal state buffers")
+	}
+}
+
+func TestSaveNilCheckpoint(t *testing.T) {
+	j := NewJournal()
+	j.RecordSave(1, 0, 2, nil, "offline")
+	if _, ok := j.LatestState(1, 0); ok {
+		t.Error("nil checkpoint should not produce live state")
+	}
+	if j.Len() != 1 {
+		t.Error("event should still be recorded")
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	j := NewJournal()
+	j.RecordSave(3, 1, 0, &tasks.Checkpoint{Offset: 1}, "u")
+	j.RecordSave(1, 0, 0, &tasks.Checkpoint{Offset: 1}, "u")
+	j.RecordSave(1, 2, 0, &tasks.Checkpoint{Offset: 1}, "u")
+	j.RecordComplete(3, 1, 4)
+	got := j.InFlight()
+	want := [][2]int{{1, 0}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("in flight = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("in flight[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalSerializationRoundTrip(t *testing.T) {
+	j := NewJournal()
+	j.SetClock(fixedClock())
+	j.RecordSave(1, 0, 2, &tasks.Checkpoint{Offset: 7, State: []byte("s")}, "unplugged")
+	j.RecordResume(1, 0, 3)
+	j.RecordComplete(1, 0, 3)
+	j.RecordSave(9, 4, 5, &tasks.Checkpoint{Offset: 2}, "vanished")
+
+	var buf bytes.Buffer
+	n, err := j.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("wrote %d events", n)
+	}
+	back, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 4 {
+		t.Fatalf("read %d events", back.Len())
+	}
+	// The reconstructed journal answers the same queries.
+	if _, ok := back.LatestState(1, 0); ok {
+		t.Error("completed work resurrected by round trip")
+	}
+	st, ok := back.LatestState(9, 4)
+	if !ok || st.Offset != 2 {
+		t.Errorf("state after round trip = %+v %v", st, ok)
+	}
+	// New events continue the sequence.
+	e := back.RecordComplete(9, 4, 6)
+	if e.Seq != 4 {
+		t.Errorf("next seq = %d, want 4", e.Seq)
+	}
+}
+
+func TestReadJournalGarbage(t *testing.T) {
+	if _, err := ReadJournal(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage journal should error")
+	}
+	j, err := ReadJournal(strings.NewReader(""))
+	if err != nil || j.Len() != 0 {
+		t.Errorf("empty journal: %v, %d events", err, j.Len())
+	}
+}
+
+func TestJournalConcurrentAppends(t *testing.T) {
+	j := NewJournal()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.RecordSave(g, i, 0, &tasks.Checkpoint{Offset: int64(i)}, "u")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.Len() != 800 {
+		t.Fatalf("journal has %d events, want 800", j.Len())
+	}
+	// Sequence numbers are unique and dense.
+	seen := map[int]bool{}
+	for _, e := range j.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

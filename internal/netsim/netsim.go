@@ -1,0 +1,173 @@
+// Package netsim models the wireless links between CWC phones and the
+// central server: per-technology bandwidth ranges, temporal fading, and the
+// iperf-style bandwidth measurement CWC runs before scheduling.
+//
+// The paper reports per-KB transfer times b_i between 1 and 70 ms/KB
+// across its testbed (fast home WiFi down to EDGE), and shows (Figure 4)
+// that WiFi bandwidth for a charging — hence stationary — phone is stable
+// over a 600 s iperf run. Links here follow an AR(1) fading process around
+// a per-phone mean drawn from the radio technology's range.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cwc/internal/device"
+)
+
+// Params characterizes a link's bandwidth process.
+type Params struct {
+	MeanKBps float64 // long-run average bandwidth, KB per second
+	CoV      float64 // coefficient of variation of instantaneous samples
+	Rho      float64 // AR(1) correlation between successive 1 s samples
+}
+
+// Range is the span of per-phone mean bandwidths for a radio technology;
+// individual phones draw their long-run mean uniformly from it (location,
+// AP distance and carrier plan vary across homes).
+type Range struct {
+	LoKBps, HiKBps float64
+}
+
+// radioModel couples a technology's mean range with its fading behaviour.
+type radioModel struct {
+	rng Range
+	cov float64
+	rho float64
+}
+
+// Technology models. WiFi for a stationary phone is near-constant
+// (the paper's Figure 4); cellular varies more and, per the paper, would
+// need more frequent re-measurement.
+var radioModels = map[device.Radio]radioModel{
+	device.WiFiA:  {Range{800, 1100}, 0.02, 0.5},
+	device.WiFiG:  {Range{300, 650}, 0.05, 0.6},
+	device.FourG:  {Range{250, 700}, 0.15, 0.7},
+	device.ThreeG: {Range{60, 220}, 0.20, 0.7},
+	device.EDGE:   {Range{14, 32}, 0.25, 0.6},
+}
+
+// RangeFor returns the mean-bandwidth range for a radio technology.
+func RangeFor(r device.Radio) (Range, error) {
+	m, ok := radioModels[r]
+	if !ok {
+		return Range{}, fmt.Errorf("netsim: no model for radio %v", r)
+	}
+	return m.rng, nil
+}
+
+// Link is a single phone's wireless path to the server. It is a stateful
+// AR(1) fading process; Sample advances time by one second.
+type Link struct {
+	params Params
+	rng    *rand.Rand
+	dev    float64 // current normalized deviation from the mean
+}
+
+// NewLink builds a link with explicit parameters.
+func NewLink(p Params, rng *rand.Rand) *Link {
+	return &Link{params: p, rng: rng}
+}
+
+// NewLinkForRadio draws a per-phone link for the given technology: the mean
+// is sampled uniformly from the technology's range, fading parameters come
+// from the technology model.
+func NewLinkForRadio(r device.Radio, rng *rand.Rand) (*Link, error) {
+	m, ok := radioModels[r]
+	if !ok {
+		return nil, fmt.Errorf("netsim: no model for radio %v", r)
+	}
+	mean := m.rng.LoKBps + rng.Float64()*(m.rng.HiKBps-m.rng.LoKBps)
+	return NewLink(Params{MeanKBps: mean, CoV: m.cov, Rho: m.rho}, rng), nil
+}
+
+// Params returns the link's parameters.
+func (l *Link) Params() Params { return l.params }
+
+// MeanKBps returns the link's long-run mean bandwidth.
+func (l *Link) MeanKBps() float64 { return l.params.MeanKBps }
+
+// Sample returns the next instantaneous bandwidth sample (KB/s),
+// advancing the AR(1) state by one step (nominally one second). Samples
+// are clamped to 5% of the mean so a link never fully stalls.
+func (l *Link) Sample() float64 {
+	p := l.params
+	innov := math.Sqrt(1-p.Rho*p.Rho) * l.rng.NormFloat64()
+	l.dev = p.Rho*l.dev + innov
+	bw := p.MeanKBps * (1 + p.CoV*l.dev)
+	if floor := 0.05 * p.MeanKBps; bw < floor {
+		bw = floor
+	}
+	return bw
+}
+
+// Series returns n consecutive one-second bandwidth samples, the raw
+// material for the paper's Figure 4 (600 s iperf runs).
+func (l *Link) Series(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = l.Sample()
+	}
+	return out
+}
+
+// Measure runs an iperf-like bandwidth test of the given duration in
+// seconds and returns the measured mean bandwidth in KB/s. CWC takes the
+// inverse of this as b_i.
+func (l *Link) Measure(seconds int) float64 {
+	if seconds <= 0 {
+		seconds = 1
+	}
+	total := 0.0
+	for i := 0; i < seconds; i++ {
+		total += l.Sample()
+	}
+	return total / float64(seconds)
+}
+
+// MsPerKB converts a bandwidth measurement (KB/s) to the paper's b_i unit:
+// milliseconds to transfer one KB.
+func MsPerKB(kbps float64) float64 {
+	if kbps <= 0 {
+		return math.Inf(1)
+	}
+	return 1000 / kbps
+}
+
+// BFor measures the link briefly (10 s, as a pre-scheduling probe) and
+// returns b_i in ms/KB.
+func (l *Link) BFor() float64 {
+	return MsPerKB(l.Measure(10))
+}
+
+// TransferMs returns the simulated time in milliseconds to ship sizeKB
+// through the link at its current mean bandwidth. Scheduling-scale
+// experiments use the mean: the paper establishes that per-phone WiFi
+// bandwidth is stable over task timescales.
+func (l *Link) TransferMs(sizeKB float64) float64 {
+	return sizeKB * MsPerKB(l.params.MeanKBps)
+}
+
+// MeasurementDrift quantifies how stale a bandwidth estimate becomes: it
+// measures the link (10 s probe), lets ageSeconds of fading pass, measures
+// again, and returns the relative difference between the stale and fresh
+// estimates. The paper's §3.1 observation — WiFi links for charging phones
+// need only infrequent probes while cellular links "will require more
+// frequent bandwidth measurements" — falls out of the technologies' CoV.
+func MeasurementDrift(l *Link, ageSeconds int) float64 {
+	stale := l.Measure(10)
+	if ageSeconds > 0 {
+		l.Series(ageSeconds) // let the channel fade
+	}
+	fresh := l.Measure(10)
+	if fresh == 0 {
+		return 0
+	}
+	d := (stale - fresh) / fresh
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cwc/internal/device"
+	"cwc/internal/stats"
+)
+
+func TestRangeForAllRadios(t *testing.T) {
+	for _, r := range []device.Radio{device.WiFiA, device.WiFiG, device.EDGE, device.ThreeG, device.FourG} {
+		rg, err := RangeFor(r)
+		if err != nil {
+			t.Fatalf("RangeFor(%v): %v", r, err)
+		}
+		if rg.LoKBps <= 0 || rg.HiKBps <= rg.LoKBps {
+			t.Errorf("%v range invalid: %+v", r, rg)
+		}
+	}
+	if _, err := RangeFor(device.Radio(99)); err == nil {
+		t.Error("unknown radio should error")
+	}
+}
+
+func TestBRangeMatchesPaper(t *testing.T) {
+	// Paper: b_i between 1 and 70 ms/KB across the testbed. The fastest
+	// possible mean (WiFi-a high end) and slowest (EDGE low end) must
+	// bracket within that span.
+	wifi, _ := RangeFor(device.WiFiA)
+	edge, _ := RangeFor(device.EDGE)
+	fastest := MsPerKB(wifi.HiKBps)
+	slowest := MsPerKB(edge.LoKBps)
+	if fastest < 0.9 || fastest > 1.3 {
+		t.Errorf("fastest b = %v ms/KB, want ~1", fastest)
+	}
+	if slowest < 60 || slowest > 75 {
+		t.Errorf("slowest b = %v ms/KB, want ~70", slowest)
+	}
+}
+
+func TestLinkSampleStationarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLink(Params{MeanKBps: 500, CoV: 0.05, Rho: 0.6}, rng)
+	series := l.Series(20000)
+	m := stats.Mean(series)
+	if math.Abs(m-500) > 15 {
+		t.Errorf("long-run mean = %v, want ~500", m)
+	}
+	cov := stats.CoV(series)
+	if cov < 0.02 || cov > 0.10 {
+		t.Errorf("CoV = %v, want ~0.05", cov)
+	}
+}
+
+func TestLinkNeverStalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLink(Params{MeanKBps: 100, CoV: 2.0, Rho: 0.9}, rng) // absurd CoV
+	for i := 0; i < 5000; i++ {
+		if bw := l.Sample(); bw < 5 {
+			t.Fatalf("bandwidth %v below 5%% floor", bw)
+		}
+	}
+}
+
+func TestWiFiStableCellularNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wifi, err := NewLinkForRadio(device.WiFiA, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := NewLinkForRadio(device.ThreeG, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifiCoV := stats.CoV(wifi.Series(600))
+	cellCoV := stats.CoV(cell.Series(600))
+	if wifiCoV >= cellCoV {
+		t.Errorf("WiFi CoV %v should be below cellular CoV %v", wifiCoV, cellCoV)
+	}
+	if wifiCoV > 0.05 {
+		t.Errorf("WiFi 600s CoV = %v, paper shows very low variation", wifiCoV)
+	}
+}
+
+func TestNewLinkForRadioDrawsWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rg, _ := RangeFor(device.FourG)
+	for i := 0; i < 200; i++ {
+		l, err := NewLinkForRadio(device.FourG, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.MeanKBps() < rg.LoKBps || l.MeanKBps() > rg.HiKBps {
+			t.Fatalf("mean %v outside range %+v", l.MeanKBps(), rg)
+		}
+	}
+	if _, err := NewLinkForRadio(device.Radio(42), rng); err == nil {
+		t.Error("unknown radio should error")
+	}
+}
+
+func TestMeasureApproximatesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLink(Params{MeanKBps: 300, CoV: 0.05, Rho: 0.6}, rng)
+	got := l.Measure(600)
+	if math.Abs(got-300) > 10 {
+		t.Errorf("600s measurement = %v, want ~300", got)
+	}
+	// Zero/negative durations degrade to a single sample, never panic.
+	if l.Measure(0) <= 0 {
+		t.Error("Measure(0) should still return a sample")
+	}
+}
+
+func TestMsPerKB(t *testing.T) {
+	if got := MsPerKB(1000); got != 1 {
+		t.Errorf("MsPerKB(1000) = %v, want 1", got)
+	}
+	if got := MsPerKB(14.3); math.Abs(got-69.93) > 0.01 {
+		t.Errorf("MsPerKB(14.3) = %v, want ~69.93", got)
+	}
+	if !math.IsInf(MsPerKB(0), 1) {
+		t.Error("MsPerKB(0) should be +Inf")
+	}
+}
+
+func TestTransferMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewLink(Params{MeanKBps: 500, CoV: 0, Rho: 0}, rng)
+	// 1000 KB at 500 KB/s = 2 s = 2000 ms.
+	if got := l.TransferMs(1000); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("TransferMs = %v, want 2000", got)
+	}
+}
+
+func TestBForWithinPlausibleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, radio := range []device.Radio{device.WiFiA, device.WiFiG, device.EDGE, device.ThreeG, device.FourG} {
+		l, err := NewLinkForRadio(radio, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := l.BFor()
+		if b < 0.5 || b > 80 {
+			t.Errorf("%v: b_i = %v ms/KB outside paper's observed [1,70] neighbourhood", radio, b)
+		}
+	}
+}
+
+// Property: samples are always positive and the AR(1) state never produces
+// NaN or Inf, for any parameter combination.
+func TestSampleAlwaysFiniteProperty(t *testing.T) {
+	f := func(seed int64, mean, cov, rho uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			MeanKBps: 1 + float64(mean),
+			CoV:      float64(cov) / 64,
+			Rho:      float64(rho%100) / 100,
+		}
+		l := NewLink(p, rng)
+		for i := 0; i < 200; i++ {
+			bw := l.Sample()
+			if math.IsNaN(bw) || math.IsInf(bw, 0) || bw <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := NewLink(Params{MeanKBps: 100, CoV: 0.1, Rho: 0.5}, rand.New(rand.NewSource(11)))
+	b := NewLink(Params{MeanKBps: 100, CoV: 0.1, Rho: 0.5}, rand.New(rand.NewSource(11)))
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed must give same series")
+		}
+	}
+}
+
+func TestMeasurementDriftCellularNeedsFrequentProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	meanDrift := func(radio device.Radio) float64 {
+		total := 0.0
+		const trials = 40
+		for k := 0; k < trials; k++ {
+			l, err := NewLinkForRadio(radio, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += MeasurementDrift(l, 1800) // half an hour stale
+		}
+		return total / trials
+	}
+	wifi := meanDrift(device.WiFiA)
+	cell := meanDrift(device.ThreeG)
+	// The paper: WiFi probes can be infrequent; cellular cannot.
+	if cell <= wifi {
+		t.Errorf("cellular drift %.3f not above WiFi drift %.3f", cell, wifi)
+	}
+	if wifi > 0.05 {
+		t.Errorf("WiFi half-hour drift %.3f too large for 'infrequent probes'", wifi)
+	}
+	if cell < 2*wifi {
+		t.Errorf("cellular drift %.3f not markedly above WiFi %.3f", cell, wifi)
+	}
+}
+
+func TestMeasurementDriftZeroAge(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	l := NewLink(Params{MeanKBps: 500, CoV: 0, Rho: 0}, rng)
+	if d := MeasurementDrift(l, 0); d != 0 {
+		t.Errorf("drift on a constant link = %v", d)
+	}
+}
+
+func TestLinkParamsAccessor(t *testing.T) {
+	p := Params{MeanKBps: 123, CoV: 0.1, Rho: 0.4}
+	l := NewLink(p, rand.New(rand.NewSource(1)))
+	if l.Params() != p {
+		t.Errorf("Params = %+v", l.Params())
+	}
+}

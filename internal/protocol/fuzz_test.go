@@ -1,0 +1,40 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzRecv feeds arbitrary bytes into the frame decoder; it must reject or
+// accept without panics, hangs or unbounded allocation.
+func FuzzRecv(f *testing.F) {
+	valid := func(body string) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		return append(hdr[:], body...)
+	}
+	f.Add(valid(`{"type":"ping","seq":1}`))
+	f.Add(valid(`{"type":""}`))
+	f.Add(valid(`{`))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		client, server := net.Pipe()
+		defer client.Close()
+		c := NewConn(server)
+		defer c.Close()
+		go func() {
+			client.Write(data)
+			client.Close()
+		}()
+		if err := c.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Recv()
+		if err == nil && m.Type == "" {
+			t.Fatal("decoder accepted a frame without a type")
+		}
+	})
+}

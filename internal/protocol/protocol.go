@@ -1,0 +1,177 @@
+// Package protocol defines the wire protocol between the CWC central
+// server and the phone workers: length-prefixed JSON frames over a
+// persistent TCP connection (the prototype's Java NIO server spoke an
+// equivalent custom protocol).
+//
+// The connection carries registration, iperf-style bandwidth probes, task
+// assignment (executable name + parameters + input partition, optionally a
+// migrated checkpoint), completion and failure reports, and application-
+// level keepalives — the paper's offline-failure detector (30 s period,
+// 3 tolerated misses).
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cwc/internal/tasks"
+)
+
+// Type discriminates protocol messages.
+type Type string
+
+// Message types.
+const (
+	// Worker -> server on connect: model, CPU clock, RAM.
+	TypeHello Type = "hello"
+	// Server -> worker: assigned phone ID and keepalive parameters.
+	TypeWelcome Type = "welcome"
+	// Server -> worker: timed bulk payload for bandwidth estimation.
+	TypeProbe Type = "probe"
+	// Worker -> server: probe acknowledgement.
+	TypeProbeAck Type = "probe_ack"
+	// Server -> worker: run a task on an input partition. Large inputs
+	// are streamed: the assign frame carries the first chunk and the
+	// total length, followed by assign_chunk frames until complete.
+	TypeAssign Type = "assign"
+	// Server -> worker: continuation bytes of a chunked assignment.
+	TypeAssignChunk Type = "assign_chunk"
+	// Worker -> server: completed partition with result and timing.
+	TypeResult Type = "result"
+	// Worker -> server: partition failed (unplug); carries the
+	// checkpoint for migration.
+	TypeFailure Type = "failure"
+	// Server -> worker keepalive, and its response.
+	TypePing Type = "ping"
+	TypePong Type = "pong"
+	// Server -> worker: orderly shutdown.
+	TypeBye Type = "bye"
+)
+
+// Message is the single frame shape; fields are populated per Type.
+// A union keeps the framing trivial and the protocol self-describing.
+type Message struct {
+	Type Type `json:"type"`
+
+	// Hello / Welcome.
+	// Token authenticates the phone to the server when the deployment
+	// configures a shared enrolment secret.
+	Token   string  `json:"token,omitempty"`
+	Model   string  `json:"model,omitempty"`
+	CPUMHz  float64 `json:"cpu_mhz,omitempty"`
+	RAMMB   int     `json:"ram_mb,omitempty"`
+	PhoneID int     `json:"phone_id,omitempty"`
+	// Welcome: keepalive parameters the worker should expect.
+	KeepaliveMs int `json:"keepalive_ms,omitempty"`
+
+	// Probe.
+	Payload []byte `json:"payload,omitempty"`
+
+	// Assign / Result / Failure.
+	JobID     int    `json:"job_id,omitempty"`
+	Partition int    `json:"partition,omitempty"`
+	Task      string `json:"task,omitempty"`
+	Params    []byte `json:"params,omitempty"`
+	Input     []byte `json:"input,omitempty"`
+	// TotalLen, when larger than len(Input) on an assign frame, announces
+	// a chunked transfer: assign_chunk frames follow until the assembled
+	// input reaches TotalLen.
+	TotalLen int64             `json:"total_len,omitempty"`
+	Resume   *tasks.Checkpoint `json:"resume,omitempty"`
+
+	Result      []byte            `json:"result,omitempty"`
+	ExecMs      float64           `json:"exec_ms,omitempty"`
+	ProcessedKB float64           `json:"processed_kb,omitempty"`
+	Checkpoint  *tasks.Checkpoint `json:"checkpoint,omitempty"`
+	Error       string            `json:"error,omitempty"`
+
+	// Ping / Pong.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// MaxFrameSize bounds a single frame; larger frames indicate a corrupt
+// stream or an abusive peer.
+const MaxFrameSize = 256 << 20 // 256 MiB
+
+// Conn wraps a net.Conn with frame encoding. Sends are serialized by a
+// mutex so multiple goroutines (dispatcher, keepaliver) can share it;
+// Recv must be called from a single reader goroutine.
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+}
+
+// NewConn wraps an established connection. For TCP connections it enables
+// OS-level SO_KEEPALIVE, as the prototype does, in addition to the
+// application-level keepalives.
+func NewConn(c net.Conn) *Conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Best effort — the app-level keepalive is the real detector.
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	return &Conn{c: c, r: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Send writes one frame: 4-byte big-endian length followed by the JSON
+// body.
+func (c *Conn) Send(m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: encoding %s frame: %w", m.Type, err)
+	}
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("protocol: %s frame of %d bytes exceeds limit", m.Type, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: writing frame header: %w", err)
+	}
+	if _, err := c.c.Write(body); err != nil {
+		return fmt.Errorf("protocol: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("protocol: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return nil, fmt.Errorf("protocol: reading frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("protocol: decoding frame: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("protocol: frame missing type")
+	}
+	return &m, nil
+}
+
+// SetReadDeadline bounds the next Recv.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }

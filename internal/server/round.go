@@ -1,0 +1,697 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cwc/internal/core"
+	"cwc/internal/predict"
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+)
+
+// Submit queues a job for the next scheduling round and returns its ID.
+// A task that does not implement tasks.Breakable is scheduled atomically
+// regardless of the atomic flag.
+func (m *Master) Submit(task tasks.Task, input []byte, atomic bool) (int, error) {
+	if len(input) == 0 {
+		return 0, errors.New("server: empty job input")
+	}
+	if _, breakable := task.(tasks.Breakable); !breakable {
+		atomic = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextJobID
+	m.nextJobID++
+	m.jobs[id] = &jobState{id: id, task: task, totalBytes: int64(len(input))}
+	m.pending = append(m.pending, &workItem{
+		jobID:  id,
+		task:   task,
+		input:  input,
+		atomic: atomic,
+	})
+	return id, nil
+}
+
+// Result returns a completed job's aggregated result.
+func (m *Master) Result(jobID int) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js, ok := m.jobs[jobID]
+	if !ok || !js.done {
+		return nil, false
+	}
+	return js.final, true
+}
+
+// PendingItems reports how many work items await scheduling (fresh jobs
+// plus failed work carried to the next round, the paper's F_A list).
+func (m *Master) PendingItems() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// MeasureBandwidths probes every live phone with a timed bulk transfer
+// (the prototype's iperf step) and records b_i = elapsed ms / probe KB.
+func (m *Master) MeasureBandwidths(ctx context.Context) error {
+	phones := m.alivePhones()
+	if len(phones) == 0 {
+		return ErrNoPhones
+	}
+	payload := make([]byte, m.cfg.ProbeKB*1024)
+	var wg sync.WaitGroup
+	for _, ps := range phones {
+		wg.Add(1)
+		go func(ps *phoneState) {
+			defer wg.Done()
+			start := time.Now()
+			if err := ps.conn.Send(&protocol.Message{Type: protocol.TypeProbe, Payload: payload}); err != nil {
+				ps.markDead()
+				return
+			}
+			select {
+			case <-ps.probeCh:
+				elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+				b := elapsed / float64(m.cfg.ProbeKB)
+				if b <= 0 {
+					b = 0.001 // sub-resolution loopback transfer
+				}
+				m.mu.Lock()
+				ps.info.BMsPerKB = b
+				m.mu.Unlock()
+				m.cfg.Logger.Printf("phone %d bandwidth: %.3f ms/KB", ps.info.ID, b)
+			case <-ps.dead:
+			case <-ctx.Done():
+			}
+		}(ps)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// estimator returns the predictor, creating it anchored at the slowest
+// live phone on first use (the paper's scaling anchor).
+func (m *Master) estimator(phones []*phoneState) (*predict.Estimator, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.est != nil {
+		return m.est, nil
+	}
+	slowest := phones[0]
+	for _, ps := range phones[1:] {
+		if ps.info.CPUMHz < slowest.info.CPUMHz {
+			slowest = ps
+		}
+	}
+	est, err := predict.New(slowest.info.CPUMHz, 1)
+	if err != nil {
+		return nil, err
+	}
+	m.est = est
+	return est, nil
+}
+
+// profileSampleKB is the profiling input size (the paper profiles each
+// task on 1 KB of its input on the slowest phone).
+const profileSampleKB = 1.0
+
+// profileIfNeeded runs the single profiling execution for every distinct
+// task in items that lacks a base profile.
+func (m *Master) profileIfNeeded(ctx context.Context, items []*workItem, phones []*phoneState) error {
+	est, err := m.estimator(phones)
+	if err != nil {
+		return err
+	}
+	profiled := map[string]bool{}
+	for _, it := range items {
+		name := it.task.Name()
+		if profiled[name] || est.Profiled(name) {
+			continue
+		}
+		profiled[name] = true
+		if err := m.profileOne(ctx, est, it, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// profileOne runs a single task's profiling execution on the slowest live
+// phone, moving to the next-slowest survivor if a phone fails mid-profile
+// (an unplug during profiling must not sink the whole round).
+func (m *Master) profileOne(ctx context.Context, est *predict.Estimator, it *workItem, name string) error {
+	sample := profileSample(it)
+	tried := map[int]bool{}
+	for {
+		var slowest *phoneState
+		for _, ps := range m.alivePhones() {
+			if tried[ps.info.ID] {
+				continue
+			}
+			if slowest == nil || ps.info.CPUMHz < slowest.info.CPUMHz {
+				slowest = ps
+			}
+		}
+		if slowest == nil {
+			return fmt.Errorf("server: no phone left to profile %s", name)
+		}
+		tried[slowest.info.ID] = true
+		if err := slowest.conn.Send(&protocol.Message{
+			Type:      protocol.TypeAssign,
+			JobID:     0, // profiling sentinel, never a real job
+			Partition: -1,
+			Task:      name,
+			Params:    it.task.Params(),
+			Input:     sample,
+		}); err != nil {
+			slowest.markDead()
+			continue
+		}
+		select {
+		case resp := <-slowest.respCh:
+			if resp.Type != protocol.TypeResult {
+				m.cfg.Logger.Printf("profiling %s on phone %d failed (%s); retrying elsewhere",
+					name, slowest.info.ID, resp.Error)
+				continue
+			}
+			kb := float64(len(sample)) / 1024
+			ts := resp.ExecMs / kb
+			if ts <= 0 {
+				ts = 0.001 // sub-clock-resolution execution
+			}
+			if err := est.SetProfile(name, ts); err != nil {
+				return err
+			}
+			m.cfg.Logger.Printf("profiled %s: %.3f ms/KB on phone %d", name, ts, slowest.info.ID)
+			return nil
+		case <-slowest.dead:
+			m.cfg.Logger.Printf("profiling phone %d died; retrying elsewhere", slowest.info.ID)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// profileSample extracts ~1 KB of a work item's input for profiling;
+// atomic inputs are profiled whole (e.g. a small image must stay
+// decodable).
+func profileSample(it *workItem) []byte {
+	b, ok := it.task.(tasks.Breakable)
+	if !ok || it.atomic {
+		return it.input
+	}
+	total := float64(len(it.input)) / 1024
+	if total <= profileSampleKB {
+		return it.input
+	}
+	pieces, err := b.Split(it.input, []float64{profileSampleKB, total - profileSampleKB})
+	if err != nil || len(pieces) == 0 || len(pieces[0]) == 0 {
+		return it.input
+	}
+	return pieces[0]
+}
+
+// Event is one timeline entry of a round, for Figure 12-style plots.
+type Event struct {
+	At        time.Duration // offset from round start
+	PhoneID   int
+	JobID     int
+	Partition int
+	Kind      string // "assign", "result", "failure", "requeue"
+}
+
+// RoundReport summarizes one scheduling round.
+type RoundReport struct {
+	Items               int
+	PredictedMakespanMs float64
+	Wall                time.Duration
+	CompletedJobs       []int
+	FailedPhones        []int
+	Requeued            int
+	Events              []Event
+}
+
+// assignment couples a core schedule slot with its concrete input bytes.
+type assignment struct {
+	item      *workItem
+	partition int
+	input     []byte
+	resume    *tasks.Checkpoint
+}
+
+// ErrNothingToDo is returned by RunRound with an empty queue.
+var ErrNothingToDo = errors.New("server: no pending work")
+
+// RunRound schedules all pending work (fresh submissions plus failed work
+// from earlier rounds) across the live fleet, dispatches it, waits for
+// completion or failure, and aggregates finished jobs. Failed work is
+// re-queued for the *next* round, mirroring the paper's decision to delay
+// re-scheduling until the next scheduling instant. RunRound is not safe
+// for concurrent invocation.
+func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
+	m.mu.Lock()
+	items := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	if len(items) == 0 {
+		return nil, ErrNothingToDo
+	}
+
+	phones := m.alivePhones()
+	if len(phones) == 0 {
+		m.mu.Lock()
+		m.pending = append(items, m.pending...)
+		m.mu.Unlock()
+		return nil, ErrNoPhones
+	}
+
+	if err := m.profileIfNeeded(ctx, items, phones); err != nil {
+		m.mu.Lock()
+		m.pending = append(items, m.pending...)
+		m.mu.Unlock()
+		return nil, err
+	}
+	// Re-snapshot: profiling may have killed a phone.
+	phones = m.alivePhones()
+	if len(phones) == 0 {
+		m.mu.Lock()
+		m.pending = append(items, m.pending...)
+		m.mu.Unlock()
+		return nil, ErrNoPhones
+	}
+
+	sched, _, err := m.buildSchedule(items, phones)
+	if err != nil {
+		m.mu.Lock()
+		m.pending = append(items, m.pending...)
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	plans, err := slicePartitions(items, sched)
+	if err != nil {
+		m.mu.Lock()
+		m.pending = append(items, m.pending...)
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	report := &RoundReport{
+		Items:               len(items),
+		PredictedMakespanMs: sched.Makespan,
+	}
+	start := time.Now()
+	var (
+		evMu sync.Mutex
+		wg   sync.WaitGroup
+	)
+	addEvent := func(e Event) {
+		evMu.Lock()
+		report.Events = append(report.Events, e)
+		evMu.Unlock()
+	}
+	for pi, ps := range phones {
+		queue := plans[pi]
+		if len(queue) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ps *phoneState, queue []assignment) {
+			defer wg.Done()
+			m.dispatch(ctx, ps, queue, start, addEvent)
+		}(ps, queue)
+	}
+	wg.Wait()
+	report.Wall = time.Since(start)
+
+	// Aggregate completed jobs and count requeues.
+	m.mu.Lock()
+	report.Requeued = len(m.pending)
+	for _, js := range m.jobs {
+		if js.done || js.covered < js.totalBytes {
+			continue
+		}
+		final, err := aggregate(js)
+		if err != nil {
+			m.cfg.Logger.Printf("job %d aggregation failed: %v", js.id, err)
+			continue
+		}
+		js.final = final
+		js.done = true
+		report.CompletedJobs = append(report.CompletedJobs, js.id)
+	}
+	for _, ps := range phones {
+		if !ps.alive() {
+			report.FailedPhones = append(report.FailedPhones, ps.info.ID)
+		}
+	}
+	m.mu.Unlock()
+	return report, nil
+}
+
+// buildSchedule constructs the core instance from live state and solves it.
+func (m *Master) buildSchedule(items []*workItem, phones []*phoneState) (*core.Schedule, *core.Instance, error) {
+	est, err := m.estimator(phones)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst := &core.Instance{}
+	m.mu.Lock()
+	for _, ps := range phones {
+		inst.Phones = append(inst.Phones, core.Phone{
+			ID:       ps.info.ID,
+			BMsPerKB: ps.info.BMsPerKB,
+			RAMKB:    float64(ps.info.RAMMB) * 1024,
+		})
+	}
+	m.mu.Unlock()
+	for idx, it := range items {
+		inst.Jobs = append(inst.Jobs, core.Job{
+			ID:      idx,
+			Task:    it.task.Name(),
+			ExecKB:  it.task.ExecKB(),
+			InputKB: it.remainingKB(),
+			Atomic:  it.atomic || it.resume != nil,
+		})
+	}
+	inst.C = make([][]float64, len(inst.Phones))
+	for i, ps := range phones {
+		inst.C[i] = make([]float64, len(items))
+		for j, it := range items {
+			c, err := est.Estimate(it.task.Name(), ps.info.ID, ps.info.CPUMHz)
+			if err != nil {
+				return nil, nil, err
+			}
+			inst.C[i][j] = c
+		}
+	}
+	sched, err := core.Greedy(inst)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched, inst, nil
+}
+
+// slicePartitions turns the abstract schedule into per-phone queues of
+// concrete byte partitions, splitting breakable inputs at record
+// boundaries.
+func slicePartitions(items []*workItem, sched *core.Schedule) ([][]assignment, error) {
+	// Gather each item's assignments in deterministic (phone, order)
+	// sequence.
+	type slot struct {
+		phone, pos int
+		sizeKB     float64
+	}
+	perItem := make([][]slot, len(items))
+	for pi, asgs := range sched.PerPhone {
+		for pos, a := range asgs {
+			perItem[a.Job] = append(perItem[a.Job], slot{phone: pi, pos: pos, sizeKB: a.SizeKB})
+		}
+	}
+	plans := make([][]assignment, len(sched.PerPhone))
+	for pi := range plans {
+		plans[pi] = make([]assignment, len(sched.PerPhone[pi]))
+	}
+	for j, slots := range perItem {
+		it := items[j]
+		if len(slots) == 0 {
+			return nil, fmt.Errorf("server: item %d received no assignment", j)
+		}
+		if len(slots) == 1 {
+			plans[slots[0].phone][slots[0].pos] = assignment{
+				item: it, partition: 0, input: it.input, resume: it.resume,
+			}
+			continue
+		}
+		b, ok := it.task.(tasks.Breakable)
+		if !ok {
+			return nil, fmt.Errorf("server: scheduler split non-breakable item %d", j)
+		}
+		sizes := make([]float64, len(slots))
+		for k, s := range slots {
+			sizes[k] = s.sizeKB
+		}
+		pieces, err := b.Split(it.input, sizes)
+		if err != nil {
+			return nil, fmt.Errorf("server: splitting item %d: %w", j, err)
+		}
+		for k, s := range slots {
+			plans[s.phone][s.pos] = assignment{
+				item: it, partition: k, input: pieces[k],
+			}
+		}
+	}
+	// Drop zero-byte pieces (a line-boundary split can starve a slot).
+	for pi := range plans {
+		kept := plans[pi][:0]
+		for _, a := range plans[pi] {
+			if len(a.input) > 0 {
+				kept = append(kept, a)
+			}
+		}
+		plans[pi] = kept
+	}
+	return plans, nil
+}
+
+// dispatch feeds one phone its queue, one partition at a time ("the next
+// assigned task to the phone is copied only after the phone completes
+// executing its last assigned task"), handling results and failures.
+func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignment, start time.Time, addEvent func(Event)) {
+	est := m.est
+	for qi, a := range queue {
+		addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID, JobID: a.item.jobID,
+			Partition: a.partition, Kind: "assign"})
+		if a.resume != nil && m.cfg.Journal != nil {
+			m.cfg.Journal.RecordResume(a.item.jobID, a.partition, ps.info.ID)
+		}
+		if err := m.sendAssign(ps, a); err != nil {
+			ps.markDead()
+			m.requeueFrom(queue[qi:], start, addEvent)
+			return
+		}
+		select {
+		case resp := <-ps.respCh:
+			switch resp.Type {
+			case protocol.TypeResult:
+				addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
+					JobID: a.item.jobID, Partition: a.partition, Kind: "result"})
+				m.recordResult(a, resp, est, ps)
+			case protocol.TypeFailure:
+				addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
+					JobID: a.item.jobID, Partition: a.partition, Kind: "failure"})
+				m.cfg.Logger.Printf("phone %d failed on job %d: %s",
+					ps.info.ID, a.item.jobID, resp.Error)
+				m.recordFailure(a, resp, ps.info.ID)
+				ps.markDead()
+				m.requeueFrom(queue[qi+1:], start, addEvent)
+				return
+			}
+		case <-ps.dead:
+			// Offline failure: no report; the whole in-flight partition
+			// and the rest of the queue go back to the pool.
+			m.cfg.Logger.Printf("phone %d died with job %d in flight", ps.info.ID, a.item.jobID)
+			m.requeueFrom(queue[qi:], start, addEvent)
+			return
+		case <-ctx.Done():
+			m.requeueFrom(queue[qi:], start, addEvent)
+			return
+		}
+	}
+}
+
+// recordResult folds a completed partition into its job and refines the
+// execution-time prediction.
+func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict.Estimator, ps *phoneState) {
+	if a.resume != nil && m.cfg.Journal != nil {
+		m.cfg.Journal.RecordComplete(a.item.jobID, a.partition, ps.info.ID)
+	}
+	m.mu.Lock()
+	js := m.jobs[a.item.jobID]
+	// A resumed piece covers its full byte range too: the failure that
+	// spawned it recorded no coverage (only the reporter path does, and
+	// reporter remainders arrive as fresh pieces without resume state).
+	js.covered += int64(len(a.input))
+	js.partials = append(js.partials, resp.Result)
+	m.mu.Unlock()
+
+	if est != nil && resp.ExecMs > 0 && resp.ProcessedKB > 0 {
+		_ = est.Report(a.item.task.Name(), ps.info.ID, resp.ExecMs/resp.ProcessedKB)
+	}
+}
+
+// recordFailure applies the paper's migration rule to a failed partition:
+// tasks that can convert their checkpoint into a partial result have it
+// saved and only the unprocessed input remainder re-queued; others are
+// migrated whole (input + checkpoint).
+func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int) {
+	ck := resp.Checkpoint
+	if m.cfg.Journal != nil {
+		m.cfg.Journal.RecordSave(a.item.jobID, a.partition, phoneID, ck, resp.Error)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js := m.jobs[a.item.jobID]
+
+	if ck != nil && a.resume == nil {
+		if pr, ok := a.item.task.(tasks.PartialReporter); ok && ck.Offset > 0 {
+			partial, err := pr.PartialResult(ck.State)
+			if err == nil {
+				js.covered += ck.Offset
+				js.partials = append(js.partials, partial)
+				remainder := a.input[ck.Offset:]
+				if len(remainder) > 0 {
+					m.pending = append(m.pending, &workItem{
+						jobID: a.item.jobID,
+						task:  a.item.task,
+						input: remainder,
+					})
+				}
+				return
+			}
+			m.cfg.Logger.Printf("job %d partial result unusable: %v", a.item.jobID, err)
+		}
+	}
+	// Whole-partition migration: resume exactly where it stopped.
+	resume := ck
+	if resume == nil {
+		resume = a.resume // keep any prior progress
+	}
+	m.pending = append(m.pending, &workItem{
+		jobID:  a.item.jobID,
+		task:   a.item.task,
+		input:  a.input,
+		resume: resume,
+		atomic: true,
+	})
+}
+
+// requeueFrom returns undispatched assignments to the pending pool.
+func (m *Master) requeueFrom(rest []assignment, start time.Time, addEvent func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range rest {
+		addEvent(Event{At: time.Since(start), JobID: a.item.jobID,
+			Partition: a.partition, Kind: "requeue"})
+		m.pending = append(m.pending, &workItem{
+			jobID:  a.item.jobID,
+			task:   a.item.task,
+			input:  a.input,
+			resume: a.resume,
+			atomic: a.resume != nil || a.item.atomic,
+		})
+	}
+}
+
+// aggregate merges a completed job's partials into its final result.
+func aggregate(js *jobState) ([]byte, error) {
+	if len(js.partials) == 0 {
+		return nil, fmt.Errorf("server: job %d complete with no partials", js.id)
+	}
+	if len(js.partials) == 1 {
+		return js.partials[0], nil
+	}
+	b, ok := js.task.(tasks.Breakable)
+	if !ok {
+		return nil, fmt.Errorf("server: job %d has %d partials but is not breakable",
+			js.id, len(js.partials))
+	}
+	return b.Aggregate(js.partials)
+}
+
+// RunLoop runs scheduling rounds forever: whenever pending work exists
+// (fresh submissions or failed work awaiting the next scheduling instant,
+// the paper's "new schedule to be computed at time instant B"), a round
+// is executed; otherwise the loop sleeps for the period. It returns when
+// the context is canceled. Each round's report is passed to onRound if
+// non-nil.
+func (m *Master) RunLoop(ctx context.Context, period time.Duration, onRound func(*RoundReport)) error {
+	if period <= 0 {
+		period = time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-m.stopped:
+			return nil
+		default:
+		}
+		if m.PendingItems() == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-m.stopped:
+				return nil
+			case <-time.After(period):
+			}
+			continue
+		}
+		report, err := m.RunRound(ctx)
+		switch err {
+		case nil:
+			if onRound != nil {
+				onRound(report)
+			}
+		case ErrNothingToDo:
+			// Raced with another consumer; just idle.
+		case ErrNoPhones:
+			// Wait for the fleet to come back.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-m.stopped:
+				return nil
+			case <-time.After(period):
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// sendAssign ships one partition, streaming inputs larger than the
+// configured chunk size as assign_chunk frames.
+func (m *Master) sendAssign(ps *phoneState, a assignment) error {
+	chunk := m.cfg.ChunkKB * 1024
+	first := a.input
+	var rest []byte
+	var total int64
+	if len(a.input) > chunk {
+		first, rest = a.input[:chunk], a.input[chunk:]
+		total = int64(len(a.input))
+	}
+	if err := ps.conn.Send(&protocol.Message{
+		Type:      protocol.TypeAssign,
+		JobID:     a.item.jobID,
+		Partition: a.partition,
+		Task:      a.item.task.Name(),
+		Params:    a.item.task.Params(),
+		Input:     first,
+		TotalLen:  total,
+		Resume:    a.resume,
+	}); err != nil {
+		return err
+	}
+	for len(rest) > 0 {
+		n := chunk
+		if n > len(rest) {
+			n = len(rest)
+		}
+		if err := ps.conn.Send(&protocol.Message{
+			Type:      protocol.TypeAssignChunk,
+			JobID:     a.item.jobID,
+			Partition: a.partition,
+			Input:     rest[:n],
+		}); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	return nil
+}

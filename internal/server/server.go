@@ -1,0 +1,422 @@
+// Package server implements the CWC central server (master): the single
+// lightweight machine that registers phones, measures their bandwidth,
+// profiles task execution speed, schedules jobs with the core scheduler,
+// ships executables and input partitions, collects and aggregates
+// results, and handles both online and offline failures (§4–§6 of the
+// paper; the prototype ran this as a multi-threaded Java NIO server on a
+// small EC2 instance).
+package server
+
+import (
+	"context"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"cwc/internal/migrate"
+	"cwc/internal/predict"
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+)
+
+// Config tunes the master. Zero values get paper defaults.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// KeepalivePeriod between application-level pings (paper: 30 s).
+	KeepalivePeriod time.Duration
+	// KeepaliveTolerance is how many consecutive unanswered pings mark a
+	// phone as failed offline (paper: 3).
+	KeepaliveTolerance int
+	// ProbeKB is the payload size of a bandwidth probe.
+	ProbeKB int
+	// DefaultBMsPerKB is assumed for phones whose bandwidth has not been
+	// probed yet.
+	DefaultBMsPerKB float64
+	// Logger receives operational messages; nil discards them.
+	Logger *log.Logger
+	// Journal, when set, records every migration event (checkpoint
+	// saved / resumed / completed) for audit and crash recovery.
+	Journal *migrate.Journal
+	// AuthToken, when non-empty, is the shared enrolment secret every
+	// phone must present in its hello; mismatches are dropped before
+	// registration. (The paper assumes enterprise trust; a deployment
+	// still wants to keep strangers out of the pool.)
+	AuthToken string
+	// ChunkKB caps the input bytes carried per assignment frame; larger
+	// partitions stream as assign_chunk frames. Default 4096 (4 MiB).
+	ChunkKB int
+}
+
+func (c *Config) fill() {
+	if c.KeepalivePeriod == 0 {
+		c.KeepalivePeriod = 30 * time.Second
+	}
+	if c.KeepaliveTolerance == 0 {
+		c.KeepaliveTolerance = 3
+	}
+	if c.ProbeKB == 0 {
+		c.ProbeKB = 64
+	}
+	if c.DefaultBMsPerKB == 0 {
+		c.DefaultBMsPerKB = 10
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	if c.ChunkKB == 0 {
+		c.ChunkKB = 4096
+	}
+}
+
+// PhoneInfo is a registered phone's public state.
+type PhoneInfo struct {
+	ID       int
+	Model    string
+	CPUMHz   float64
+	RAMMB    int
+	BMsPerKB float64
+	Alive    bool
+}
+
+// phoneState is the master's per-phone bookkeeping.
+type phoneState struct {
+	info PhoneInfo
+	conn *protocol.Conn
+
+	respCh  chan *protocol.Message // Result / Failure frames
+	probeCh chan *protocol.Message // ProbeAck frames
+	dead    chan struct{}          // closed exactly once on death
+
+	mu          sync.Mutex
+	deadClosed  bool
+	missedPings int
+}
+
+func (ps *phoneState) markDead() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.deadClosed {
+		// info.Alive is never mutated; liveness is derived from
+		// deadClosed (see alive()) so info can be copied under m.mu
+		// without touching ps.mu.
+		ps.deadClosed = true
+		close(ps.dead)
+		ps.conn.Close()
+	}
+}
+
+func (ps *phoneState) alive() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return !ps.deadClosed
+}
+
+// workItem is a schedulable unit: a fresh job or migrated failed work.
+type workItem struct {
+	jobID  int // original submission this belongs to
+	task   tasks.Task
+	input  []byte
+	resume *tasks.Checkpoint // non-nil: resume exactly (shipped whole)
+	atomic bool
+}
+
+// remainingKB is the unprocessed input in KB (R_j for scheduling).
+func (w *workItem) remainingKB() float64 {
+	total := int64(len(w.input))
+	if w.resume != nil {
+		total -= w.resume.Offset
+	}
+	kb := float64(total) / 1024
+	if kb < 0.001 {
+		kb = 0.001 // schedulable epsilon for nearly-done work
+	}
+	return kb
+}
+
+// jobState tracks one submission to completion.
+type jobState struct {
+	id         int
+	task       tasks.Task
+	totalBytes int64
+	covered    int64
+	partials   [][]byte
+	final      []byte
+	done       bool
+}
+
+// Master is the central server.
+type Master struct {
+	cfg Config
+	ln  net.Listener
+
+	mu          sync.Mutex
+	phones      map[int]*phoneState
+	nextPhoneID int
+	nextJobID   int
+	pending     []*workItem
+	jobs        map[int]*jobState
+	est         *predict.Estimator
+	phoneWait   chan struct{} // broadcast on registration
+
+	closed  bool
+	wg      sync.WaitGroup
+	stopped chan struct{}
+}
+
+// New creates a master; call Start to listen.
+func New(cfg Config) *Master {
+	cfg.fill()
+	return &Master{
+		cfg:       cfg,
+		phones:    map[int]*phoneState{},
+		jobs:      map[int]*jobState{},
+		nextJobID: 1,
+		phoneWait: make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+}
+
+// Start begins listening and accepting phones.
+func (m *Master) Start() error {
+	ln, err := net.Listen("tcp", m.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", m.cfg.Addr, err)
+	}
+	m.ln = ln
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (m *Master) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close shuts the master down: says goodbye to phones and stops accepting.
+func (m *Master) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	phones := make([]*phoneState, 0, len(m.phones))
+	for _, ps := range m.phones {
+		phones = append(phones, ps)
+	}
+	m.mu.Unlock()
+
+	close(m.stopped)
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	for _, ps := range phones {
+		_ = ps.conn.Send(&protocol.Message{Type: protocol.TypeBye})
+		ps.markDead()
+	}
+	m.wg.Wait()
+}
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		raw, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handlePhone(protocol.NewConn(raw))
+		}()
+	}
+}
+
+// handlePhone performs registration and runs the read loop + keepaliver.
+func (m *Master) handlePhone(conn *protocol.Conn) {
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != protocol.TypeHello || hello.CPUMHz <= 0 {
+		conn.Close()
+		return
+	}
+	if m.cfg.AuthToken != "" && !tokenMatch(hello.Token, m.cfg.AuthToken) {
+		m.cfg.Logger.Printf("rejecting phone from %s: bad enrolment token", conn.RemoteAddr())
+		conn.Close()
+		return
+	}
+
+	m.mu.Lock()
+	id := m.nextPhoneID
+	m.nextPhoneID++
+	ps := &phoneState{
+		info: PhoneInfo{
+			ID:       id,
+			Model:    hello.Model,
+			CPUMHz:   hello.CPUMHz,
+			RAMMB:    hello.RAMMB,
+			BMsPerKB: m.cfg.DefaultBMsPerKB,
+			Alive:    true,
+		},
+		conn:    conn,
+		respCh:  make(chan *protocol.Message, 4),
+		probeCh: make(chan *protocol.Message, 1),
+		dead:    make(chan struct{}),
+	}
+	m.phones[id] = ps
+	waiters := m.phoneWait
+	m.phoneWait = make(chan struct{})
+	m.mu.Unlock()
+	close(waiters) // wake WaitForPhones
+
+	if err := conn.Send(&protocol.Message{
+		Type:        protocol.TypeWelcome,
+		PhoneID:     id,
+		KeepaliveMs: int(m.cfg.KeepalivePeriod / time.Millisecond),
+	}); err != nil {
+		ps.markDead()
+		return
+	}
+	m.cfg.Logger.Printf("phone %d registered: %s %.0f MHz", id, hello.Model, hello.CPUMHz)
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.keepalive(ps)
+	}()
+	m.readLoop(ps)
+}
+
+// readLoop routes incoming frames for one phone until its death.
+func (m *Master) readLoop(ps *phoneState) {
+	for {
+		msg, err := ps.conn.Recv()
+		if err != nil {
+			m.cfg.Logger.Printf("phone %d connection lost: %v", ps.info.ID, err)
+			ps.markDead()
+			return
+		}
+		switch msg.Type {
+		case protocol.TypePong:
+			ps.mu.Lock()
+			ps.missedPings = 0
+			ps.mu.Unlock()
+		case protocol.TypeProbeAck:
+			select {
+			case ps.probeCh <- msg:
+			default:
+			}
+		case protocol.TypeResult, protocol.TypeFailure:
+			select {
+			case ps.respCh <- msg:
+			case <-m.stopped:
+				return
+			}
+		case protocol.TypeBye:
+			m.cfg.Logger.Printf("phone %d unplugged while idle", ps.info.ID)
+			ps.markDead()
+			return
+		}
+	}
+}
+
+// keepalive implements the paper's offline-failure detector: a ping every
+// period, death after KeepaliveTolerance consecutive misses.
+func (m *Master) keepalive(ps *phoneState) {
+	ticker := time.NewTicker(m.cfg.KeepalivePeriod)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-ticker.C:
+			ps.mu.Lock()
+			ps.missedPings++
+			missed := ps.missedPings
+			ps.mu.Unlock()
+			if missed > m.cfg.KeepaliveTolerance {
+				m.cfg.Logger.Printf("phone %d missed %d keepalives: offline failure",
+					ps.info.ID, m.cfg.KeepaliveTolerance)
+				ps.markDead()
+				return
+			}
+			seq++
+			if err := ps.conn.Send(&protocol.Message{Type: protocol.TypePing, Seq: seq}); err != nil {
+				ps.markDead()
+				return
+			}
+		case <-ps.dead:
+			return
+		case <-m.stopped:
+			return
+		}
+	}
+}
+
+// WaitForPhones blocks until at least n phones are registered and alive.
+func (m *Master) WaitForPhones(ctx context.Context, n int) error {
+	for {
+		m.mu.Lock()
+		alive := 0
+		for _, ps := range m.phones {
+			if ps.alive() {
+				alive++
+			}
+		}
+		ch := m.phoneWait
+		m.mu.Unlock()
+		if alive >= n {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("server: waiting for %d phones: %w", n, ctx.Err())
+		}
+	}
+}
+
+// Phones lists registered phones, sorted by ID.
+func (m *Master) Phones() []PhoneInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PhoneInfo, 0, len(m.phones))
+	for _, ps := range m.phones {
+		info := ps.info
+		info.Alive = ps.alive()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// alivePhones snapshots the live fleet.
+func (m *Master) alivePhones() []*phoneState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*phoneState
+	for _, ps := range m.phones {
+		if ps.alive() {
+			out = append(out, ps)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].info.ID < out[j].info.ID })
+	return out
+}
+
+// ErrNoPhones is returned by operations that need at least one live phone.
+var ErrNoPhones = errors.New("server: no phones available")
+
+// tokenMatch compares enrolment tokens in constant time.
+func tokenMatch(got, want string) bool {
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}

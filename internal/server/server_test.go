@@ -1,0 +1,631 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"cwc/internal/migrate"
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+)
+
+// fakePhone is a raw protocol-level client used to exercise the master
+// without the worker package (so server tests stand alone).
+type fakePhone struct {
+	t    *testing.T
+	conn *protocol.Conn
+}
+
+func dialFake(t *testing.T, m *Master, model string, mhz float64) *fakePhone {
+	t.Helper()
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakePhone{t: t, conn: protocol.NewConn(raw)}
+	t.Cleanup(func() { f.conn.Close() })
+	if err := f.conn.Send(&protocol.Message{
+		Type: protocol.TypeHello, Model: model, CPUMHz: mhz, RAMMB: 512,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the welcome.
+	m2 := f.recv()
+	if m2.Type != protocol.TypeWelcome {
+		t.Fatalf("expected welcome, got %s", m2.Type)
+	}
+	return f
+}
+
+func (f *fakePhone) recv() *protocol.Message {
+	f.t.Helper()
+	if err := f.conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		f.t.Fatal(err)
+	}
+	m, err := f.conn.Recv()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return m
+}
+
+func (f *fakePhone) send(m *protocol.Message) {
+	f.t.Helper()
+	if err := f.conn.Send(m); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func startMaster(t *testing.T, cfg Config) *Master {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	m := New(cfg)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.KeepalivePeriod != 30*time.Second {
+		t.Errorf("keepalive period = %v, want 30s (paper)", c.KeepalivePeriod)
+	}
+	if c.KeepaliveTolerance != 3 {
+		t.Errorf("tolerance = %d, want 3 (paper)", c.KeepaliveTolerance)
+	}
+	if c.ProbeKB <= 0 || c.DefaultBMsPerKB <= 0 || c.Logger == nil {
+		t.Error("defaults not filled")
+	}
+}
+
+func TestRegistrationAssignsSequentialIDs(t *testing.T) {
+	m := startMaster(t, Config{})
+	dialFake(t, m, "HTC G2", 806)
+	dialFake(t, m, "Nexus S", 1000)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.WaitForPhones(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	phones := m.Phones()
+	if len(phones) != 2 {
+		t.Fatalf("%d phones", len(phones))
+	}
+	if phones[0].ID != 0 || phones[1].ID != 1 {
+		t.Errorf("IDs = %d, %d", phones[0].ID, phones[1].ID)
+	}
+	if phones[0].Model != "HTC G2" || phones[0].CPUMHz != 806 {
+		t.Errorf("phone 0 = %+v", phones[0])
+	}
+	if !phones[0].Alive {
+		t.Error("phone 0 should be alive")
+	}
+}
+
+func TestBadHelloRejected(t *testing.T) {
+	m := startMaster(t, Config{})
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := protocol.NewConn(raw)
+	defer c.Close()
+	// Zero CPU clock: not a valid registration.
+	if err := c.Send(&protocol.Message{Type: protocol.TypeHello, CPUMHz: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Error("server should close a connection with an invalid hello")
+	}
+	if len(m.Phones()) != 0 {
+		t.Error("invalid phone was registered")
+	}
+}
+
+func TestNonHelloFirstFrameRejected(t *testing.T) {
+	m := startMaster(t, Config{})
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := protocol.NewConn(raw)
+	defer c.Close()
+	if err := c.Send(&protocol.Message{Type: protocol.TypePong}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Error("server should drop a connection that skips hello")
+	}
+}
+
+func TestKeepalivePingPongAndOfflineDetection(t *testing.T) {
+	m := startMaster(t, Config{
+		KeepalivePeriod:    30 * time.Millisecond,
+		KeepaliveTolerance: 2,
+	})
+	f := dialFake(t, m, "HTC G2", 806)
+
+	// Answer a few pings: the phone must stay alive.
+	for i := 0; i < 3; i++ {
+		msg := f.recv()
+		if msg.Type != protocol.TypePing {
+			t.Fatalf("expected ping, got %s", msg.Type)
+		}
+		f.send(&protocol.Message{Type: protocol.TypePong, Seq: msg.Seq})
+	}
+	if p := m.Phones(); !p[0].Alive {
+		t.Fatal("responsive phone marked dead")
+	}
+
+	// Stop answering: after tolerance misses the phone dies.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !m.Phones()[0].Alive {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("unresponsive phone never marked offline")
+}
+
+func TestByeMarksPhoneDead(t *testing.T) {
+	m := startMaster(t, Config{})
+	f := dialFake(t, m, "HTC G2", 806)
+	f.send(&protocol.Message{Type: protocol.TypeBye})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !m.Phones()[0].Alive {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("bye did not mark the phone dead")
+}
+
+func TestMeasureBandwidths(t *testing.T) {
+	m := startMaster(t, Config{ProbeKB: 8})
+	f := dialFake(t, m, "HTC G2", 806)
+	go func() {
+		msg := f.recv()
+		if msg.Type != protocol.TypeProbe {
+			t.Errorf("expected probe, got %s", msg.Type)
+			return
+		}
+		if len(msg.Payload) != 8*1024 {
+			t.Errorf("probe payload %d bytes", len(msg.Payload))
+		}
+		f.send(&protocol.Message{Type: protocol.TypeProbeAck})
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.WaitForPhones(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MeasureBandwidths(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Phones()[0].BMsPerKB
+	if b <= 0 {
+		t.Errorf("measured b = %v", b)
+	}
+}
+
+func TestMeasureBandwidthsNoPhones(t *testing.T) {
+	m := startMaster(t, Config{})
+	if err := m.MeasureBandwidths(context.Background()); err != ErrNoPhones {
+		t.Errorf("err = %v, want ErrNoPhones", err)
+	}
+}
+
+func TestRunRoundNoWork(t *testing.T) {
+	m := startMaster(t, Config{})
+	if _, err := m.RunRound(context.Background()); err != ErrNothingToDo {
+		t.Errorf("err = %v, want ErrNothingToDo", err)
+	}
+}
+
+func TestRunRoundNoPhonesRequeues(t *testing.T) {
+	m := startMaster(t, Config{})
+	if _, err := m.Submit(tasks.PrimeCount{}, []byte("2\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunRound(context.Background()); err != ErrNoPhones {
+		t.Errorf("err = %v, want ErrNoPhones", err)
+	}
+	if m.PendingItems() != 1 {
+		t.Errorf("pending = %d, work was lost", m.PendingItems())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := startMaster(t, Config{})
+	if _, err := m.Submit(tasks.PrimeCount{}, nil, false); err == nil {
+		t.Error("empty input should be rejected")
+	}
+	// Non-breakable tasks are forced atomic.
+	id, err := m.Submit(tasks.Blur{}, []byte("1 1\n1 2 3\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	item := m.pending[len(m.pending)-1]
+	m.mu.Unlock()
+	if !item.atomic {
+		t.Error("blur submission should be atomic regardless of the flag")
+	}
+	_ = id
+}
+
+func TestWaitForPhonesContextCancel(t *testing.T) {
+	m := startMaster(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.WaitForPhones(ctx, 5); err == nil {
+		t.Error("expected timeout waiting for phones")
+	}
+}
+
+func TestResultUnknownJob(t *testing.T) {
+	m := startMaster(t, Config{})
+	if _, ok := m.Result(42); ok {
+		t.Error("unknown job should have no result")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	m := startMaster(t, Config{})
+	m.Close()
+	m.Close() // second close must not panic or deadlock
+}
+
+// TestMigrationJournalLifecycle drives a deterministic save -> resume ->
+// complete migration through the journal using protocol-level fake phones:
+// one phone per round, so assignment placement is unambiguous.
+func TestMigrationJournalLifecycle(t *testing.T) {
+	journal := migrate.NewJournal()
+	m := startMaster(t, Config{Journal: journal})
+	f1 := dialFake(t, m, "HTC G2", 806)
+
+	img, err := tasks.GenImageKB(4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := m.Submit(tasks.Blur{}, img, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: f1 serves the profiling run, then fails the real
+	// assignment with a checkpoint and is marked dead.
+	round1 := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := m.RunRound(ctx)
+		round1 <- err
+	}()
+	prof := f1.recv()
+	if prof.Type != protocol.TypeAssign || prof.Partition != -1 {
+		t.Fatalf("expected profiling assign, got %+v", prof)
+	}
+	f1.send(&protocol.Message{Type: protocol.TypeResult, JobID: 0, Partition: -1,
+		Result: []byte("x"), ExecMs: 5, ProcessedKB: 4})
+	asg := f1.recv()
+	if asg.Type != protocol.TypeAssign || asg.JobID != jobID {
+		t.Fatalf("expected real assign, got %+v", asg)
+	}
+	f1.send(&protocol.Message{
+		Type: protocol.TypeFailure, JobID: jobID, Partition: asg.Partition,
+		Checkpoint: &tasks.Checkpoint{Offset: 100, State: []byte(`{"row":0,"out":[]}`)},
+		Error:      "unplugged",
+	})
+	if err := <-round1; err != nil {
+		t.Fatal(err)
+	}
+	saved, ok := journal.LatestState(jobID, asg.Partition)
+	if !ok || saved.Offset != 100 {
+		t.Fatalf("journal state after failure = %+v %v", saved, ok)
+	}
+	if len(journal.InFlight()) != 1 {
+		t.Fatalf("in flight = %v", journal.InFlight())
+	}
+
+	// Round 2: a fresh phone receives the migrated work with the resume
+	// checkpoint and completes it.
+	f2 := dialFake(t, m, "Nexus S", 1000)
+	round2 := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := m.RunRound(ctx)
+		round2 <- err
+	}()
+	resumed := f2.recv()
+	if resumed.Type != protocol.TypeAssign || resumed.Resume == nil ||
+		resumed.Resume.Offset != 100 {
+		t.Fatalf("expected resumed assign with checkpoint, got %+v", resumed)
+	}
+	f2.send(&protocol.Message{
+		Type: protocol.TypeResult, JobID: jobID, Partition: resumed.Partition,
+		Result: []byte("blurred"), ExecMs: 3, ProcessedKB: 4,
+	})
+	if err := <-round2; err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Result(jobID); !ok || string(got) != "blurred" {
+		t.Fatalf("result = %q %v", got, ok)
+	}
+	if len(journal.InFlight()) != 0 {
+		t.Errorf("journal still in flight: %v", journal.InFlight())
+	}
+	kinds := map[migrate.EventKind]int{}
+	for _, e := range journal.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[migrate.Saved] != 1 || kinds[migrate.Resumed] != 1 || kinds[migrate.Completed] != 1 {
+		t.Errorf("journal kinds = %v", kinds)
+	}
+}
+
+// TestRoundReportEvents drives a two-assignment round and checks that the
+// event timeline records assigns and results in order.
+func TestRoundReportEvents(t *testing.T) {
+	m := startMaster(t, Config{})
+	f := dialFake(t, m, "HTC G2", 806)
+	if _, err := m.Submit(tasks.PrimeCount{}, []byte("2\n3\n5\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	reportCh := make(chan *RoundReport, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		r, err := m.RunRound(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		reportCh <- r
+	}()
+	// Profiling assign, then the real assign.
+	for {
+		msg := f.recv()
+		if msg.Type != protocol.TypeAssign {
+			continue
+		}
+		f.send(&protocol.Message{Type: protocol.TypeResult, JobID: msg.JobID,
+			Partition: msg.Partition, Result: []byte("2"), ExecMs: 1, ProcessedKB: 0.01})
+		if msg.Partition != -1 {
+			break
+		}
+	}
+	report := <-reportCh
+	if report == nil {
+		t.Fatal("no report")
+	}
+	var kinds []string
+	for _, e := range report.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) < 2 || kinds[0] != "assign" || kinds[len(kinds)-1] != "result" {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	for i := 1; i < len(report.Events); i++ {
+		if report.Events[i].At < report.Events[i-1].At {
+			t.Error("events out of order")
+		}
+	}
+}
+
+// Submissions racing with an active round land in the next round instead
+// of being lost.
+func TestSubmitDuringRound(t *testing.T) {
+	m := startMaster(t, Config{})
+	f := dialFake(t, m, "HTC G2", 806)
+
+	// Auto-responder: answer every assignment (profiling or real) with a
+	// plausible result for its task.
+	assigns := make(chan string, 16)
+	go func() {
+		for {
+			if err := f.conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+				return
+			}
+			msg, err := f.conn.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Type != protocol.TypeAssign {
+				continue
+			}
+			res := []byte("1")
+			if msg.Task == "maxint" {
+				res = []byte("9")
+			}
+			if err := f.conn.Send(&protocol.Message{
+				Type: protocol.TypeResult, JobID: msg.JobID,
+				Partition: msg.Partition, Result: res,
+				ExecMs: 1, ProcessedKB: 0.01,
+			}); err != nil {
+				return
+			}
+			assigns <- msg.Task
+		}
+	}()
+
+	if _, err := m.Submit(tasks.PrimeCount{}, []byte("2\n3\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	round1 := make(chan struct{})
+	go func() {
+		defer close(round1)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, err := m.RunRound(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Once the first assignment is in flight, round 1's snapshot is
+	// taken: a submission now must land in round 2.
+	select {
+	case <-assigns:
+	case <-time.After(20 * time.Second):
+		t.Fatal("no assignment arrived")
+	}
+	lateID, err := m.Submit(tasks.MaxInt{}, []byte("9\n4\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-round1
+	if m.PendingItems() != 1 {
+		t.Fatalf("pending = %d, late submission lost", m.PendingItems())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := m.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := m.Result(lateID)
+	if !ok {
+		t.Fatal("late job has no result")
+	}
+	if string(res) != "9" {
+		t.Errorf("late job result = %s", res)
+	}
+}
+
+func TestRunLoopProcessesSubmissionsAsTheyArrive(t *testing.T) {
+	m := startMaster(t, Config{})
+	f := dialFake(t, m, "HTC G2", 806)
+	// Auto-responder for all assignments.
+	go func() {
+		for {
+			if err := f.conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+				return
+			}
+			msg, err := f.conn.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Type != protocol.TypeAssign {
+				continue
+			}
+			_ = f.conn.Send(&protocol.Message{Type: protocol.TypeResult,
+				JobID: msg.JobID, Partition: msg.Partition,
+				Result: []byte("1"), ExecMs: 1, ProcessedKB: 0.01})
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := make(chan *RoundReport, 8)
+	loopDone := make(chan error, 1)
+	go func() {
+		loopDone <- m.RunLoop(ctx, 10*time.Millisecond, func(r *RoundReport) {
+			rounds <- r
+		})
+	}()
+
+	var ids []int
+	for k := 0; k < 3; k++ {
+		id, err := m.Submit(tasks.PrimeCount{}, []byte("2\n3\n"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		select {
+		case <-rounds:
+		case <-time.After(20 * time.Second):
+			t.Fatal("loop never ran a round")
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, id := range ids {
+		for {
+			if _, ok := m.Result(id); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d never completed under RunLoop", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case err := <-loopDone:
+		if err != context.Canceled {
+			t.Errorf("loop exit = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop on cancel")
+	}
+}
+
+func TestRunLoopStopsOnClose(t *testing.T) {
+	m := startMaster(t, Config{})
+	loopDone := make(chan error, 1)
+	go func() {
+		loopDone <- m.RunLoop(context.Background(), 5*time.Millisecond, nil)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	m.Close()
+	select {
+	case err := <-loopDone:
+		if err != nil {
+			t.Errorf("loop exit after Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not stop on Close")
+	}
+}
+
+func TestAuthTokenEnforcement(t *testing.T) {
+	m := startMaster(t, Config{AuthToken: "enrol-secret"})
+	// Wrong token: dropped before registration.
+	raw, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := protocol.NewConn(raw)
+	defer bad.Close()
+	if err := bad.Send(&protocol.Message{
+		Type: protocol.TypeHello, Token: "wrong", Model: "X", CPUMHz: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := bad.Recv(); err == nil {
+		t.Error("bad token should be rejected")
+	}
+	if len(m.Phones()) != 0 {
+		t.Error("bad-token phone registered")
+	}
+	// Correct token: welcomed.
+	raw2, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := protocol.NewConn(raw2)
+	defer good.Close()
+	if err := good.Send(&protocol.Message{
+		Type: protocol.TypeHello, Token: "enrol-secret", Model: "X", CPUMHz: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = good.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := good.Recv()
+	if err != nil || msg.Type != protocol.TypeWelcome {
+		t.Fatalf("good token not welcomed: %v %v", msg, err)
+	}
+}

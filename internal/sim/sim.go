@@ -1,0 +1,209 @@
+// Package sim implements a small deterministic discrete-event simulation
+// kernel. The CWC experiments (file-dispatch timelines, charging curves,
+// scheduler runs with failures) are driven on simulated clocks so that an
+// "overnight" of phone activity replays in microseconds of wall time.
+//
+// The kernel is single-threaded by design: events fire in strictly
+// non-decreasing time order, ties broken by scheduling order, which keeps
+// every experiment reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to fire at a simulated time.
+type Event struct {
+	when     time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	e.canceled = true
+}
+
+// When returns the simulated time at which the event is scheduled.
+func (e *Event) When() time.Duration { return e.when }
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	maxEvt uint64 // safety valve against runaway simulations; 0 = unlimited
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// SetEventLimit installs a safety limit on the total number of events the
+// engine will fire; Run panics past the limit. Zero means unlimited.
+func (e *Engine) SetEventLimit(n uint64) { e.maxEvt = n }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue, including
+// canceled events that have not been discarded yet.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute simulated time t. Scheduling in
+// the past (t < Now) panics: it is always a bug in the caller.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current simulated time. Negative
+// durations panic.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event was fired (false when the queue is empty).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		if e.maxEvt > 0 && e.fired > e.maxEvt {
+			panic(fmt.Sprintf("sim: event limit %d exceeded", e.maxEvt))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline; the clock is left at the
+// later of its current value and the deadline.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek returns the time of the next non-canceled event.
+func (e *Engine) peek() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].when, true
+	}
+	return 0, false
+}
+
+// NextEventTime returns the time of the next pending event, if any.
+func (e *Engine) NextEventTime() (time.Duration, bool) { return e.peek() }
+
+// Ticker invokes fn every period until canceled, starting one period from
+// the time of creation. fn receives the fire time.
+type Ticker struct {
+	engine *Engine
+	period time.Duration
+	fn     func(time.Duration)
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker creates and starts a ticker on the engine. Period must be
+// positive.
+func (e *Engine) NewTicker(period time.Duration, fn func(time.Duration)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker; pending fire is suppressed.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("final clock = %v", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("fired = %d", e.Fired())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(5*time.Millisecond, func() { order = append(order, "a") })
+	e.At(5*time.Millisecond, func() { order = append(order, "b") })
+	e.At(5*time.Millisecond, func() { order = append(order, "c") })
+	e.Run()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Errorf("tie order = %q, want abc", got)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(time.Second, func() {
+		e.After(500*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 1500*time.Millisecond {
+		t.Errorf("After fired at %v, want 1.5s", at)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(500*time.Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After should panic")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Errorf("fired count = %d", e.Fired())
+	}
+}
+
+func TestEventWhen(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(42*time.Millisecond, func() {})
+	if ev.When() != 42*time.Millisecond {
+		t.Errorf("When = %v", ev.When())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", e.Now())
+	}
+	// Clock advances to deadline even with no events.
+	e2 := NewEngine()
+	e2.RunUntil(time.Minute)
+	if e2.Now() != time.Minute {
+		t.Errorf("idle RunUntil clock = %v", e2.Now())
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("empty engine should have no next event")
+	}
+	ev := e.At(7*time.Second, func() {})
+	if next, ok := e.NextEventTime(); !ok || next != 7*time.Second {
+		t.Errorf("next = %v %v", next, ok)
+	}
+	ev.Cancel()
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("canceled event should not be reported as next")
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var reschedule func()
+	reschedule = func() { e.After(time.Millisecond, reschedule) }
+	e.After(time.Millisecond, reschedule)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway simulation should hit the event limit")
+		}
+	}()
+	e.Run()
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var fires []time.Duration
+	tk := e.NewTicker(10*time.Second, func(now time.Duration) {
+		fires = append(fires, now)
+		if len(fires) == 3 {
+			// Stop from within the callback.
+			// (Declared below; closure capture is fine.)
+		}
+	})
+	e.At(35*time.Second, func() { tk.Stop() })
+	e.Run()
+	if len(fires) != 3 {
+		t.Fatalf("ticker fired %d times, want 3: %v", len(fires), fires)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(time.Second, func(time.Duration) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 2 {
+		t.Errorf("ticker fired %d times after in-callback stop, want 2", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ticker period should panic")
+		}
+	}()
+	e.NewTicker(0, func(time.Duration) {})
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine should return false")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted
+// order and the final clock equals the max delay.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		var maxT time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			if d > maxT {
+				maxT = d
+			}
+			e.At(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(raw) == 0 || e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	e.At(1*time.Second, func() {})
+	e.At(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 1 {
+		t.Errorf("Pending after step = %d", e.Pending())
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional random distribution sampled with an explicit
+// random source, keeping every experiment reproducible from a seed.
+type Dist interface {
+	// Sample draws one value from the distribution using rng.
+	Sample(rng *rand.Rand) float64
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// Normal is the Gaussian distribution with the given mean and standard
+// deviation.
+type Normal struct {
+	Mean, Sigma float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mean + rng.NormFloat64()*n.Sigma
+}
+
+// TruncNormal is a Gaussian clamped to [Lo, Hi]. Samples falling outside
+// the interval are redrawn (up to a bounded number of attempts, then
+// clamped) so the result is always within bounds.
+type TruncNormal struct {
+	Mean, Sigma float64
+	Lo, Hi      float64
+}
+
+// Sample implements Dist.
+func (t TruncNormal) Sample(rng *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		x := t.Mean + rng.NormFloat64()*t.Sigma
+		if x >= t.Lo && x <= t.Hi {
+			return x
+		}
+	}
+	return math.Min(math.Max(t.Mean, t.Lo), t.Hi)
+}
+
+// LogNormal is the log-normal distribution: exp(N(Mu, Sigma)).
+// Mu and Sigma are the parameters of the underlying normal in log space.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + rng.NormFloat64()*l.Sigma)
+}
+
+// LogNormalFromMedian constructs a LogNormal whose median is median and
+// whose underlying normal has standard deviation sigma in log space.
+func LogNormalFromMedian(median, sigma float64) LogNormal {
+	return LogNormal{Mu: math.Log(median), Sigma: sigma}
+}
+
+// Exponential is the exponential distribution with the given mean.
+type Exponential struct {
+	Mean float64
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() * e.Mean
+}
+
+// Constant always returns Value; useful to disable randomness in tests.
+type Constant struct {
+	Value float64
+}
+
+// Sample implements Dist.
+func (c Constant) Sample(rng *rand.Rand) float64 { return c.Value }
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}

@@ -1,0 +1,20 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"cwc/internal/stats"
+)
+
+// ExampleCDF builds an empirical CDF of task completion times and reads
+// the median and the 90th percentile.
+func ExampleCDF() {
+	cdf := stats.NewCDF([]float64{120, 450, 300, 900, 150, 600, 210, 330, 480, 700})
+	p50, _ := cdf.Quantile(0.5)
+	p90, _ := cdf.Quantile(0.9)
+	fmt.Printf("P(x <= 500 ms) = %.1f\n", cdf.At(500))
+	fmt.Printf("p50 = %.0f ms, p90 = %.0f ms\n", p50, p90)
+	// Output:
+	// P(x <= 500 ms) = 0.7
+	// p50 = 330 ms, p90 = 700 ms
+}

@@ -1,0 +1,246 @@
+// Package stats provides the small statistical toolkit used throughout the
+// CWC reproduction: summary statistics, empirical CDFs, percentile
+// computation, hourly histograms and deterministic random distributions.
+//
+// Everything in this package is pure computation: no clocks, no I/O, no
+// global state. All randomness is driven by an explicit *rand.Rand so that
+// every experiment in the repository is reproducible from a seed.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1).
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of xs. It returns
+// 0 when the mean is zero.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest value in xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks, matching the behaviour of numpy's
+// default. It returns an error for an empty slice or out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// CDF is an empirical cumulative distribution function built from samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the given samples. The input slice is
+// copied and may be reused by the caller.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples backing the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples less than or equal to x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of samples <= x, so search for the first index > x.
+	n := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample x such that At(x) >= q, for
+// q in (0, 1]. Quantile(0) returns the smallest sample.
+func (c *CDF) Quantile(q float64) (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx], nil
+}
+
+// Points returns up to n evenly spaced (x, P(X<=x)) points suitable for
+// plotting the CDF as a stepwise series. If the CDF has fewer than n
+// samples, one point per sample is returned.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for k := 1; k <= n; k++ {
+		idx := k*len(c.sorted)/n - 1
+		pts = append(pts, Point{
+			X: c.sorted[idx],
+			Y: float64(idx+1) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is a single (x, y) sample of a plotted series.
+type Point struct {
+	X, Y float64
+}
+
+// HourHistogram counts events per hour of day (0..23). It is used to
+// reproduce the paper's unplugged-likelihood-by-hour figures.
+type HourHistogram struct {
+	Counts [24]int
+}
+
+// Add records an event at the given hour of day. Hours outside [0,24) are
+// wrapped modulo 24 so callers can pass raw offsets.
+func (h *HourHistogram) Add(hour int) {
+	hour %= 24
+	if hour < 0 {
+		hour += 24
+	}
+	h.Counts[hour]++
+}
+
+// Total returns the total number of recorded events.
+func (h *HourHistogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fractions returns the fraction of events per hour. All zeros when empty.
+func (h *HourHistogram) Fractions() [24]float64 {
+	var out [24]float64
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(t)
+	}
+	return out
+}
+
+// CumulativeByHour returns the cumulative fraction of events that occurred
+// at or before each hour, starting the day at startHour. This mirrors the
+// paper's Figure 3(a): "the likelihood of failure between 12 AM and 8 AM is
+// less than 30%" is CumulativeByHour(0)[7] < 0.30.
+func (h *HourHistogram) CumulativeByHour(startHour int) [24]float64 {
+	var out [24]float64
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	cum := 0
+	for i := 0; i < 24; i++ {
+		cum += h.Counts[(startHour+i)%24]
+		out[i] = float64(cum) / float64(t)
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); got != tc.want {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance of single sample = %v, want 0", got)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CoV(xs); got != 0 {
+		t.Errorf("CoV of constant = %v, want 0", got)
+	}
+	if got := CoV([]float64{0, 0}); got != 0 {
+		t.Errorf("CoV of zero-mean = %v, want 0", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(xs); got != 11 {
+		t.Errorf("Sum = %v", got)
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("Min/Max of empty should be +Inf/-Inf")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tc.p, err)
+		}
+		if !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty percentile error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -5); err == nil {
+		t.Error("negative percentile should error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("percentile > 100 should error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianSingle(t *testing.T) {
+	got, err := Median([]float64{7})
+	if err != nil || got != 7 {
+		t.Errorf("Median single = %v, %v", got, err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	for _, tc := range []struct {
+		q, want float64
+	}{{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {0, 10}} {
+		got, err := c.Quantile(tc.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tc.q, err)
+		}
+		if got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := c.Quantile(1.5); err == nil {
+		t.Error("Quantile(1.5) should error")
+	}
+	empty := NewCDF(nil)
+	if _, err := empty.Quantile(0.5); err != ErrEmpty {
+		t.Errorf("empty quantile error = %v", err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(2)
+	if len(pts) != 2 {
+		t.Fatalf("Points(2) returned %d points", len(pts))
+	}
+	if pts[1].X != 4 || pts[1].Y != 1 {
+		t.Errorf("last point = %+v, want {4 1}", pts[1])
+	}
+	if got := c.Points(100); len(got) != 4 {
+		t.Errorf("Points capped at sample count: got %d", len(got))
+	}
+	if NewCDF(nil).Points(5) != nil {
+		t.Error("empty CDF should yield nil points")
+	}
+}
+
+// Property: CDF.At is monotonically non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, probesRaw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCDF(raw)
+		probes := append([]float64(nil), probesRaw...)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, p := range probes {
+			v := c.At(p)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and At are approximate inverses: At(Quantile(q)) >= q.
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		count := int(n%50) + 1
+		xs := make([]float64, count)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		c := NewCDF(xs)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 1.0} {
+			x, err := c.Quantile(q)
+			if err != nil {
+				return false
+			}
+			if c.At(x) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHourHistogram(t *testing.T) {
+	var h HourHistogram
+	h.Add(0)
+	h.Add(0)
+	h.Add(23)
+	h.Add(24) // wraps to 0
+	h.Add(-1) // wraps to 23
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if h.Counts[0] != 3 || h.Counts[23] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	fr := h.Fractions()
+	if !almostEqual(fr[0], 0.6, 1e-12) {
+		t.Errorf("fraction[0] = %v", fr[0])
+	}
+}
+
+func TestHourHistogramCumulative(t *testing.T) {
+	var h HourHistogram
+	for hr := 0; hr < 24; hr++ {
+		h.Add(hr)
+	}
+	cum := h.CumulativeByHour(0)
+	if !almostEqual(cum[23], 1, 1e-12) {
+		t.Errorf("cumulative end = %v, want 1", cum[23])
+	}
+	if !almostEqual(cum[11], 0.5, 1e-12) {
+		t.Errorf("cumulative at noon = %v, want 0.5", cum[11])
+	}
+	// Start at a different hour: still ends at 1.
+	cum = h.CumulativeByHour(12)
+	if !almostEqual(cum[23], 1, 1e-12) {
+		t.Errorf("offset cumulative end = %v", cum[23])
+	}
+	var empty HourHistogram
+	if empty.CumulativeByHour(0)[23] != 0 {
+		t.Error("empty histogram should be all zeros")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+
+	t.Run("uniform", func(t *testing.T) {
+		d := Uniform{Lo: 2, Hi: 4}
+		var xs []float64
+		for i := 0; i < n; i++ {
+			x := d.Sample(rng)
+			if x < 2 || x >= 4 {
+				t.Fatalf("uniform sample %v out of [2,4)", x)
+			}
+			xs = append(xs, x)
+		}
+		if m := Mean(xs); !almostEqual(m, 3, 0.05) {
+			t.Errorf("uniform mean = %v", m)
+		}
+	})
+
+	t.Run("normal", func(t *testing.T) {
+		d := Normal{Mean: 10, Sigma: 2}
+		var xs []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, d.Sample(rng))
+		}
+		if m := Mean(xs); !almostEqual(m, 10, 0.1) {
+			t.Errorf("normal mean = %v", m)
+		}
+		if s := StdDev(xs); !almostEqual(s, 2, 0.1) {
+			t.Errorf("normal sigma = %v", s)
+		}
+	})
+
+	t.Run("truncnormal", func(t *testing.T) {
+		d := TruncNormal{Mean: 0, Sigma: 5, Lo: -1, Hi: 1}
+		for i := 0; i < n; i++ {
+			x := d.Sample(rng)
+			if x < -1 || x > 1 {
+				t.Fatalf("truncated sample %v escaped bounds", x)
+			}
+		}
+	})
+
+	t.Run("truncnormal-impossible", func(t *testing.T) {
+		// Mean far outside bounds: sampling nearly always fails, the
+		// clamp path must still return an in-bounds value.
+		d := TruncNormal{Mean: 100, Sigma: 0.001, Lo: -1, Hi: 1}
+		if x := d.Sample(rng); x != 1 {
+			t.Errorf("clamped sample = %v, want 1", x)
+		}
+	})
+
+	t.Run("lognormal", func(t *testing.T) {
+		d := LogNormalFromMedian(5, 0.5)
+		var xs []float64
+		for i := 0; i < n; i++ {
+			x := d.Sample(rng)
+			if x <= 0 {
+				t.Fatalf("lognormal sample %v <= 0", x)
+			}
+			xs = append(xs, x)
+		}
+		med, _ := Median(xs)
+		if !almostEqual(med, 5, 0.25) {
+			t.Errorf("lognormal median = %v, want ~5", med)
+		}
+	})
+
+	t.Run("exponential", func(t *testing.T) {
+		d := Exponential{Mean: 3}
+		var xs []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, d.Sample(rng))
+		}
+		if m := Mean(xs); !almostEqual(m, 3, 0.15) {
+			t.Errorf("exponential mean = %v", m)
+		}
+	})
+
+	t.Run("constant", func(t *testing.T) {
+		d := Constant{Value: 42}
+		if d.Sample(rng) != 42 {
+			t.Error("constant should return its value")
+		}
+	})
+
+	t.Run("bernoulli", func(t *testing.T) {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if Bernoulli(rng, 0.3) {
+				hits++
+			}
+		}
+		frac := float64(hits) / n
+		if !almostEqual(frac, 0.3, 0.02) {
+			t.Errorf("bernoulli(0.3) hit rate = %v", frac)
+		}
+	})
+}
+
+func TestDistributionsDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(99))
+	b := rand.New(rand.NewSource(99))
+	d := LogNormal{Mu: 1, Sigma: 0.7}
+	for i := 0; i < 100; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestCDFLen(t *testing.T) {
+	if NewCDF([]float64{1, 2, 3}).Len() != 3 {
+		t.Error("Len wrong")
+	}
+	if NewCDF(nil).Len() != 0 {
+		t.Error("empty Len wrong")
+	}
+}

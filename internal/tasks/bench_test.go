@@ -1,0 +1,69 @@
+package tasks
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPrimeCountProcess(b *testing.B) {
+	input := GenIntegers(256, 1000000, rand.New(rand.NewSource(1)))
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ck Checkpoint
+		if _, err := (PrimeCount{}).Process(context.Background(), input, &ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordCountProcess(b *testing.B) {
+	input := GenText(256, rand.New(rand.NewSource(2)))
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ck Checkpoint
+		if _, err := (WordCount{Word: "sale"}).Process(context.Background(), input, &ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxIntProcess(b *testing.B) {
+	input := GenIntegers(256, 1000000, rand.New(rand.NewSource(3)))
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ck Checkpoint
+		if _, err := (MaxInt{}).Process(context.Background(), input, &ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlurProcess(b *testing.B) {
+	input, err := GenImageKB(64, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ck Checkpoint
+		if _, err := (Blur{}).Process(context.Background(), input, &ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	input := GenIntegers(1024, 1000000, rand.New(rand.NewSource(5)))
+	sizes := []float64{100, 300, 200, 424}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (PrimeCount{}).Split(input, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

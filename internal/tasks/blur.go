@@ -1,0 +1,191 @@
+package tasks
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// Blur applies a 3x3 box blur to an image — the paper's third evaluation
+// task and its canonical *atomic* task: each output pixel depends on its
+// neighbours, so the input cannot be partitioned across phones. Batches of
+// Blur tasks still run concurrently, one photo per phone.
+//
+// The prototype hit a Dalvik/JVM incompatibility (no BufferedImage on
+// Android) and worked around it by pre-processing photos into text files
+// with one pixel per line; the phones process text, and the server
+// re-creates the photo. EncodeImage/DecodeImage implement exactly that
+// text-pixel format:
+//
+//	W H\n
+//	R G B\n   (W*H lines, row-major)
+type Blur struct{}
+
+func init() {
+	Register("blur", func([]byte) (Task, error) { return Blur{}, nil })
+}
+
+// Name implements Task.
+func (Blur) Name() string { return "blur" }
+
+// Params implements Task.
+func (Blur) Params() []byte { return nil }
+
+// ExecKB implements Task.
+func (Blur) ExecKB() float64 { return 15 }
+
+// Pixel is an 8-bit RGB sample.
+type Pixel struct {
+	R, G, B uint8
+}
+
+// Image is a row-major pixel grid.
+type Image struct {
+	W, H   int
+	Pixels []Pixel // len == W*H
+}
+
+// At returns the pixel at (x, y) with edge clamping.
+func (im *Image) At(x, y int) Pixel {
+	if x < 0 {
+		x = 0
+	} else if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pixels[y*im.W+x]
+}
+
+// EncodeImage renders an image in the text-pixel format (the server-side
+// pre-processing step of the prototype).
+func EncodeImage(im *Image) ([]byte, error) {
+	if im.W <= 0 || im.H <= 0 || len(im.Pixels) != im.W*im.H {
+		return nil, fmt.Errorf("tasks: invalid image %dx%d with %d pixels", im.W, im.H, len(im.Pixels))
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%d %d\n", im.W, im.H)
+	for _, p := range im.Pixels {
+		fmt.Fprintf(&buf, "%d %d %d\n", p.R, p.G, p.B)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeImage parses the text-pixel format (the server-side re-creation
+// step).
+func DecodeImage(data []byte) (*Image, error) {
+	lines := bytes.Split(data, []byte{'\n'})
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("tasks: empty image data")
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(string(lines[0]), "%d %d", &w, &h); err != nil {
+		return nil, fmt.Errorf("tasks: bad image header %q: %w", lines[0], err)
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("tasks: bad image dimensions %dx%d", w, h)
+	}
+	im := &Image{W: w, H: h, Pixels: make([]Pixel, 0, w*h)}
+	for _, line := range lines[1:] {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var r, g, b int
+		if _, err := fmt.Sscanf(string(line), "%d %d %d", &r, &g, &b); err != nil {
+			return nil, fmt.Errorf("tasks: bad pixel line %q: %w", line, err)
+		}
+		if r < 0 || r > 255 || g < 0 || g > 255 || b < 0 || b > 255 {
+			return nil, fmt.Errorf("tasks: pixel %q out of 8-bit range", line)
+		}
+		im.Pixels = append(im.Pixels, Pixel{uint8(r), uint8(g), uint8(b)})
+	}
+	if len(im.Pixels) != w*h {
+		return nil, fmt.Errorf("tasks: image has %d pixels, header says %d", len(im.Pixels), w*h)
+	}
+	return im, nil
+}
+
+// blurState checkpoints the blur by completed output rows.
+type blurState struct {
+	Row int     `json:"row"` // next output row to compute
+	Out []Pixel `json:"out"` // completed output pixels (Row * W entries)
+}
+
+// Process implements Task. The result is the blurred image in the same
+// text-pixel format.
+func (Blur) Process(ctx context.Context, input []byte, ck *Checkpoint) ([]byte, error) {
+	im, err := DecodeImage(input)
+	if err != nil {
+		return nil, err
+	}
+	var st blurState
+	if len(ck.State) > 0 {
+		if err := json.Unmarshal(ck.State, &st); err != nil {
+			return nil, fmt.Errorf("tasks: corrupt blur state: %w", err)
+		}
+		if st.Row < 0 || st.Row > im.H || len(st.Out) != st.Row*im.W {
+			return nil, fmt.Errorf("tasks: blur state inconsistent with image")
+		}
+	}
+	out := st.Out
+	for y := st.Row; y < im.H; y++ {
+		pauseIfPaced(ctx)
+		if canceled(ctx) {
+			st.Row, st.Out = y, out
+			ck.State, err = json.Marshal(st)
+			if err != nil {
+				return nil, fmt.Errorf("tasks: saving blur state: %w", err)
+			}
+			// Offset reports input progress proportionally so failure
+			// reports can state how much work is left.
+			ck.Offset = int64(len(input)) * int64(y) / int64(im.H)
+			return nil, ErrInterrupted
+		}
+		for x := 0; x < im.W; x++ {
+			var r, g, b int
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					p := im.At(x+dx, y+dy)
+					r += int(p.R)
+					g += int(p.G)
+					b += int(p.B)
+				}
+			}
+			out = append(out, Pixel{uint8(r / 9), uint8(g / 9), uint8(b / 9)})
+		}
+	}
+	ck.Offset = int64(len(input))
+	blurred := &Image{W: im.W, H: im.H, Pixels: out}
+	return EncodeImage(blurred)
+}
+
+// GrayscaleDistance returns the mean absolute per-channel difference
+// between two images — a test helper exported for examples that want to
+// verify a blur actually smoothed an image.
+func GrayscaleDistance(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H || len(a.Pixels) != len(b.Pixels) {
+		return 0, fmt.Errorf("tasks: image sizes differ (%dx%d vs %dx%d)", a.W, a.H, b.W, b.H)
+	}
+	if len(a.Pixels) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range a.Pixels {
+		sum += absDiff(a.Pixels[i].R, b.Pixels[i].R)
+		sum += absDiff(a.Pixels[i].G, b.Pixels[i].G)
+		sum += absDiff(a.Pixels[i].B, b.Pixels[i].B)
+	}
+	return sum / float64(3*len(a.Pixels)), nil
+}
+
+func absDiff(a, b uint8) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}

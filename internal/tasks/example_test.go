@@ -1,0 +1,40 @@
+package tasks_test
+
+import (
+	"context"
+	"fmt"
+
+	"cwc/internal/tasks"
+)
+
+// ExampleWordCount shows the breakable-task lifecycle the CWC server
+// drives: split the input, process the pieces (on different phones), and
+// aggregate the partial results.
+func ExampleWordCount() {
+	task := tasks.WordCount{Word: "sale"}
+	input := []byte("sale of the day\nbig sale\nno match\nsale sale sale\n")
+
+	pieces, err := task.Split(input, []float64{0.02, 0.03})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var partials [][]byte
+	for _, piece := range pieces {
+		var ck tasks.Checkpoint
+		res, err := task.Process(context.Background(), piece, &ck)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		partials = append(partials, res)
+	}
+	total, err := task.Aggregate(partials)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d pieces, total %s\n", len(pieces), total)
+	// Output:
+	// 2 pieces, total 5
+}

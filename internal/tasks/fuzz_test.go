@@ -1,0 +1,50 @@
+package tasks
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzDecodeImage checks the text-pixel decoder never panics and that
+// every accepted image re-encodes and re-decodes identically.
+func FuzzDecodeImage(f *testing.F) {
+	f.Add([]byte("2 2\n1 2 3\n4 5 6\n7 8 9\n10 11 12\n"))
+	f.Add([]byte("1 1\n255 255 255\n"))
+	f.Add([]byte("x"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodeImage(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeImage(im)
+		if err != nil {
+			t.Fatalf("re-encoding accepted image: %v", err)
+		}
+		again, err := DecodeImage(enc)
+		if err != nil {
+			t.Fatalf("re-decoding encoded image: %v", err)
+		}
+		if again.W != im.W || again.H != im.H || len(again.Pixels) != len(im.Pixels) {
+			t.Fatal("round trip changed dimensions")
+		}
+	})
+}
+
+// FuzzCheckpointOffsets checks counting tasks tolerate arbitrary
+// checkpoint offsets/states without panicking, rejecting the invalid ones.
+func FuzzCheckpointOffsets(f *testing.F) {
+	f.Add(int64(0), []byte(`{"count":3}`), []byte("2\n3\n4\n"))
+	f.Add(int64(-5), []byte(``), []byte("7\n"))
+	f.Add(int64(9999), []byte(`{bad`), []byte("11\n13\n"))
+	f.Fuzz(func(t *testing.T, offset int64, state, input []byte) {
+		ck := &Checkpoint{Offset: offset, State: state}
+		res, err := (PrimeCount{}).Process(context.Background(), input, ck)
+		if err != nil {
+			return
+		}
+		if len(res) == 0 {
+			t.Fatal("successful run produced empty result")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package tasks
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Workload input generators. The paper's evaluation ships files of
+// integers (prime counting, max finding), text (word counting) and
+// text-encoded photos (blurring); these produce equivalent synthetic
+// inputs of controlled size.
+
+// GenIntegers produces roughly sizeKB kilobytes of newline-separated
+// random integers in [0, max).
+func GenIntegers(sizeKB float64, max int64, rng *rand.Rand) []byte {
+	var buf bytes.Buffer
+	target := int(sizeKB * 1024)
+	for buf.Len() < target {
+		buf.WriteString(strconv.FormatInt(rng.Int63n(max), 10))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// wordPool is a small vocabulary for synthetic text; "inventory" plays the
+// role of the sales-record keyword examples use.
+var wordPool = []string{
+	"the", "sale", "inventory", "store", "customer", "total", "item",
+	"price", "discount", "register", "receipt", "return", "quantity",
+	"aisle", "order", "stock",
+}
+
+// GenText produces roughly sizeKB kilobytes of whitespace-separated words
+// drawn from a fixed vocabulary, ~12 words per line.
+func GenText(sizeKB float64, rng *rand.Rand) []byte {
+	var buf bytes.Buffer
+	target := int(sizeKB * 1024)
+	col := 0
+	for buf.Len() < target {
+		buf.WriteString(wordPool[rng.Intn(len(wordPool))])
+		col++
+		if col%12 == 0 {
+			buf.WriteByte('\n')
+		} else {
+			buf.WriteByte(' ')
+		}
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes()
+}
+
+// GenImage produces a w x h random image.
+func GenImage(w, h int, rng *rand.Rand) *Image {
+	im := &Image{W: w, H: h, Pixels: make([]Pixel, w*h)}
+	for i := range im.Pixels {
+		im.Pixels[i] = Pixel{
+			R: uint8(rng.Intn(256)),
+			G: uint8(rng.Intn(256)),
+			B: uint8(rng.Intn(256)),
+		}
+	}
+	return im
+}
+
+// GenImageKB produces a random image whose text-pixel encoding is roughly
+// sizeKB kilobytes (each pixel line averages ~12 bytes).
+func GenImageKB(sizeKB float64, rng *rand.Rand) ([]byte, error) {
+	pixels := int(sizeKB * 1024 / 12)
+	if pixels < 4 {
+		pixels = 4
+	}
+	w := 1
+	for w*w < pixels {
+		w++
+	}
+	h := (pixels + w - 1) / w
+	enc, err := EncodeImage(GenImage(w, h, rng))
+	if err != nil {
+		return nil, fmt.Errorf("tasks: generating image: %w", err)
+	}
+	return enc, nil
+}
+
+// BaseComputeMsPerKB is the calibrated per-KB compute cost of each task on
+// a reference 1000 MHz single-issue phone CPU, used by the simulation
+// experiments to derive c_ij = base * 1000 / EffectiveMHz. Counting tasks
+// stream cheaply; prime testing and pixel work cost more per byte.
+var BaseComputeMsPerKB = map[string]float64{
+	"primecount": 120,
+	"wordcount":  30,
+	"maxint":     5,
+	"blur":       55,
+}

@@ -1,0 +1,91 @@
+package tasks
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+)
+
+// forEachLine iterates newline-delimited records in input starting at
+// ck.Offset, calling fn for each line (without the trailing newline).
+// Every interruptEvery lines it checks ctx; on cancellation it leaves
+// ck.Offset at the first unprocessed byte and returns ErrInterrupted.
+// The caller is responsible for serializing its accumulator into ck.State
+// when ErrInterrupted is returned.
+func forEachLine(ctx context.Context, input []byte, ck *Checkpoint, fn func(line []byte)) error {
+	if ck.Offset < 0 || ck.Offset > int64(len(input)) {
+		return fmt.Errorf("tasks: checkpoint offset %d out of range [0,%d]", ck.Offset, len(input))
+	}
+	pos := ck.Offset
+	n := 0
+	for pos < int64(len(input)) {
+		if n%interruptEvery == 0 {
+			pauseIfPaced(ctx)
+			if canceled(ctx) {
+				ck.Offset = pos
+				return ErrInterrupted
+			}
+		}
+		rest := input[pos:]
+		nl := bytes.IndexByte(rest, '\n')
+		var line []byte
+		if nl < 0 {
+			line = rest
+			pos = int64(len(input))
+		} else {
+			line = rest[:nl]
+			pos += int64(nl) + 1
+		}
+		if len(line) > 0 {
+			fn(line)
+		}
+		n++
+	}
+	ck.Offset = pos
+	return nil
+}
+
+// splitLines partitions a newline-delimited input into pieces of
+// approximately the requested sizes (KB), never breaking a line. The
+// final piece absorbs any remainder. It fails when sizes are empty or the
+// input cannot be distributed (e.g. all sizes zero while input remains).
+func splitLines(input []byte, sizesKB []float64) ([][]byte, error) {
+	if len(sizesKB) == 0 {
+		return nil, fmt.Errorf("tasks: split into zero pieces")
+	}
+	total := 0.0
+	for _, s := range sizesKB {
+		if s < 0 {
+			return nil, fmt.Errorf("tasks: negative partition size %v", s)
+		}
+		total += s
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("tasks: all partition sizes zero")
+	}
+	out := make([][]byte, len(sizesKB))
+	pos := 0
+	for i, s := range sizesKB {
+		if i == len(sizesKB)-1 {
+			out[i] = input[pos:]
+			break
+		}
+		target := pos + int(s*1024)
+		if target >= len(input) {
+			out[i] = input[pos:]
+			pos = len(input)
+			continue
+		}
+		// Advance to the next line boundary at or after target.
+		nl := bytes.IndexByte(input[target:], '\n')
+		var cut int
+		if nl < 0 {
+			cut = len(input)
+		} else {
+			cut = target + nl + 1
+		}
+		out[i] = input[pos:cut]
+		pos = cut
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package tasks
+
+import "context"
+
+// Pacer lets the phone runtime periodically pause a running task — the
+// paper's §4.3 throttling mechanism ("our approach is to periodically
+// pause the tasks being executed on the phones, and leave the CPU idle
+// during such paused intervals"). Tasks call Pause at record-granularity
+// checkpoints; the runtime's pacer blocks the call while the duty cycle
+// is in a sleep phase.
+type Pacer interface {
+	// Pause blocks while execution should be paused. It must return
+	// promptly once execution may continue or ctx is canceled.
+	Pause(ctx context.Context)
+}
+
+// pacerKey is the context key carrying the Pacer.
+type pacerKey struct{}
+
+// WithPacer returns a context instructing tasks run under it to pause
+// through p at their interruption checkpoints.
+func WithPacer(ctx context.Context, p Pacer) context.Context {
+	return context.WithValue(ctx, pacerKey{}, p)
+}
+
+// pauseIfPaced blocks on the context's pacer, if any.
+func pauseIfPaced(ctx context.Context) {
+	if p, ok := ctx.Value(pacerKey{}).(Pacer); ok {
+		p.Pause(ctx)
+	}
+}

@@ -1,0 +1,210 @@
+package tasks
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// interruptAfter runs the task, canceling the context after the given
+// number of nanoseconds of wall time, and returns either the final result
+// or the checkpoint at interruption.
+func runWithInterrupt(t *testing.T, task Task, input []byte, ck *Checkpoint, after time.Duration) ([]byte, bool) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(after)
+		cancel()
+	}()
+	res, err := task.Process(ctx, input, ck)
+	cancel()
+	if err == nil {
+		return res, true
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	return nil, false
+}
+
+// resumeToCompletion keeps calling Process with the same checkpoint until
+// it completes, simulating migration to a sequence of phones.
+func resumeToCompletion(t *testing.T, task Task, input []byte, ck *Checkpoint) []byte {
+	t.Helper()
+	for attempt := 0; attempt < 1000; attempt++ {
+		res, err := task.Process(context.Background(), input, ck)
+		if err == nil {
+			return res
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("resume error: %v", err)
+		}
+	}
+	t.Fatal("task did not complete after 1000 resumes")
+	return nil
+}
+
+// The migration property at the heart of CWC's failure handling: a task
+// interrupted at an arbitrary point and resumed from its checkpoint on
+// another "phone" produces exactly the result of an uninterrupted run.
+func TestInterruptResumeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2012))
+	ints := GenIntegers(256, 200000, rng)
+	text := GenText(256, rng)
+	img, err := GenImageKB(128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		task  Task
+		input []byte
+	}{
+		{"primecount", PrimeCount{}, ints},
+		{"wordcount", WordCount{Word: "inventory"}, text},
+		{"maxint", MaxInt{}, ints},
+		{"blur", Blur{}, img},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var wholeCk Checkpoint
+			want, err := tc.task.Process(context.Background(), tc.input, &wholeCk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, delay := range []time.Duration{0, 50 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond} {
+				var ck Checkpoint
+				if res, done := runWithInterrupt(t, tc.task, tc.input, &ck, delay); done {
+					if string(res) != string(want) {
+						t.Fatalf("uninterrupted run mismatch at delay %v", delay)
+					}
+					continue
+				}
+				got := resumeToCompletion(t, tc.task, tc.input, &ck)
+				if string(got) != string(want) {
+					t.Fatalf("delay %v: resumed result differs from uninterrupted", delay)
+				}
+			}
+		})
+	}
+}
+
+// Interruptions at many random points, resumed repeatedly, still converge
+// to the right answer — the repeated-migration scenario.
+func TestRepeatedMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	input := GenIntegers(128, 150000, rng)
+	var wholeCk Checkpoint
+	want, err := PrimeCount{}.Process(context.Background(), input, &wholeCk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		var ck Checkpoint
+		for {
+			// Cancel after a random sliver of work.
+			ctx, cancel := context.WithCancel(context.Background())
+			go func(d time.Duration) {
+				time.Sleep(d)
+				cancel()
+			}(time.Duration(rng.Intn(200)) * time.Microsecond)
+			res, err := PrimeCount{}.Process(ctx, input, &ck)
+			cancel()
+			if err == nil {
+				if string(res) != string(want) {
+					t.Fatalf("trial %d: got %s, want %s", trial, res, want)
+				}
+				break
+			}
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatal(err)
+			}
+			// Checkpoint must always be internally consistent.
+			if ck.Offset < 0 || ck.Offset > int64(len(input)) {
+				t.Fatalf("checkpoint offset %d out of range", ck.Offset)
+			}
+		}
+	}
+}
+
+// Checkpoint progress must be monotone: resuming never loses work.
+func TestCheckpointMonotoneProgress(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	input := GenIntegers(256, 100000, rng)
+	var ck Checkpoint
+	prev := int64(0)
+	for i := 0; ; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(200 * time.Microsecond)
+			cancel()
+		}()
+		_, err := PrimeCount{}.Process(ctx, input, &ck)
+		cancel()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatal(err)
+		}
+		if ck.Offset < prev {
+			t.Fatalf("offset went backwards: %d -> %d", prev, ck.Offset)
+		}
+		prev = ck.Offset
+		if i > 1000 {
+			t.Fatal("no completion after 1000 interrupts")
+		}
+	}
+}
+
+func TestBlurResumeStateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	img, err := GenImageKB(32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{State: []byte(`{"row": 999999, "out": []}`)}
+	if _, err := (Blur{}).Process(context.Background(), img, ck); err == nil {
+		t.Error("inconsistent blur state should be rejected")
+	}
+	ck = &Checkpoint{State: []byte(`{bad`)}
+	if _, err := (Blur{}).Process(context.Background(), img, ck); err == nil {
+		t.Error("corrupt blur state should be rejected")
+	}
+}
+
+func TestBlurActuallySmooths(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	im := GenImage(24, 24, rng)
+	enc, err := EncodeImage(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck Checkpoint
+	out, err := Blur{}.Process(context.Background(), enc, &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blurred, err := DecodeImage(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A blur reduces local variation: neighbouring-pixel distance in the
+	// output must be below the input's.
+	variation := func(im *Image) float64 {
+		sum := 0.0
+		for y := 0; y < im.H; y++ {
+			for x := 1; x < im.W; x++ {
+				a, b := im.At(x-1, y), im.At(x, y)
+				sum += absDiff(a.R, b.R) + absDiff(a.G, b.G) + absDiff(a.B, b.B)
+			}
+		}
+		return sum
+	}
+	if v, v0 := variation(blurred), variation(im); v >= v0 {
+		t.Errorf("blur did not smooth: variation %v >= %v", v, v0)
+	}
+}

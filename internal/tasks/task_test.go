@@ -1,0 +1,436 @@
+package tasks
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRegistryKnowsAllBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"blur", "maxint", "primecount", "wordcount"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestNewUnknownTask(t *testing.T) {
+	if _, err := New("quantum-factoring", nil); err == nil {
+		t.Error("unknown executable should error")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register("primecount", func([]byte) (Task, error) { return PrimeCount{}, nil })
+}
+
+func TestNewInstantiatesWithParams(t *testing.T) {
+	task, err := New("wordcount", []byte(`{"word":"sale"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, ok := task.(WordCount)
+	if !ok || wc.Word != "sale" {
+		t.Errorf("got %#v", task)
+	}
+}
+
+func TestWordCountParamValidation(t *testing.T) {
+	if _, err := New("wordcount", nil); err == nil {
+		t.Error("wordcount without params should error")
+	}
+	if _, err := New("wordcount", []byte(`{}`)); err == nil {
+		t.Error("wordcount with empty word should error")
+	}
+	if _, err := New("wordcount", []byte(`{bad json`)); err == nil {
+		t.Error("wordcount with bad params should error")
+	}
+}
+
+func TestPrimeCountProcess(t *testing.T) {
+	input := []byte("2\n3\n4\n5\n9\n11\n12\nnot-a-number\n1\n0\n-7\n")
+	var ck Checkpoint
+	got, err := PrimeCount{}.Process(context.Background(), input, &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "4" { // 2, 3, 5, 11
+		t.Errorf("primes = %s, want 4", got)
+	}
+	if ck.Offset != int64(len(input)) {
+		t.Errorf("final offset = %d, want %d", ck.Offset, len(input))
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []int64{2, 3, 5, 7, 11, 104729}
+	composites := []int64{0, 1, 4, 9, 15, 104730, -3}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("%d should be prime", p)
+		}
+	}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("%d should not be prime", c)
+		}
+	}
+}
+
+func TestWordCountProcess(t *testing.T) {
+	input := []byte("the sale of the day\nsale sale\nno match here\n")
+	var ck Checkpoint
+	got, err := WordCount{Word: "sale"}.Process(context.Background(), input, &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "3" {
+		t.Errorf("count = %s, want 3", got)
+	}
+}
+
+func TestWordCountExactMatchOnly(t *testing.T) {
+	input := []byte("sales salesman sale\n")
+	var ck Checkpoint
+	got, err := WordCount{Word: "sale"}.Process(context.Background(), input, &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1" {
+		t.Errorf("count = %s, want 1 (exact word match)", got)
+	}
+}
+
+func TestMaxIntProcess(t *testing.T) {
+	input := []byte("17\n-4\n9000\n42\n")
+	var ck Checkpoint
+	got, err := MaxInt{}.Process(context.Background(), input, &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "9000" {
+		t.Errorf("max = %s", got)
+	}
+}
+
+func TestMaxIntEmptyInput(t *testing.T) {
+	var ck Checkpoint
+	got, err := MaxInt{}.Process(context.Background(), []byte("junk\n"), &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "none" {
+		t.Errorf("max of no integers = %s, want none", got)
+	}
+}
+
+func TestMaxIntAggregateHandlesNone(t *testing.T) {
+	got, err := MaxInt{}.Aggregate([][]byte{[]byte("none"), []byte("5"), []byte("3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "5" {
+		t.Errorf("aggregate = %s", got)
+	}
+	got, err = MaxInt{}.Aggregate([][]byte{[]byte("none")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "none" {
+		t.Errorf("aggregate of none = %s", got)
+	}
+	if _, err := (MaxInt{}).Aggregate([][]byte{[]byte("banana")}); err == nil {
+		t.Error("bad partial should error")
+	}
+}
+
+func TestAggregateCounts(t *testing.T) {
+	got, err := PrimeCount{}.Aggregate([][]byte{[]byte("3"), []byte(" 4\n"), []byte("0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "7" {
+		t.Errorf("aggregate = %s, want 7", got)
+	}
+	if _, err := (PrimeCount{}).Aggregate([][]byte{[]byte("x")}); err == nil {
+		t.Error("bad partial should error")
+	}
+}
+
+func TestSplitPreservesContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	input := GenIntegers(64, 1000000, rng)
+	parts, err := PrimeCount{}.Split(input, []float64{10, 20, 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var rejoined []byte
+	for _, p := range parts {
+		rejoined = append(rejoined, p...)
+	}
+	if string(rejoined) != string(input) {
+		t.Error("concatenated partitions differ from original input")
+	}
+	// No partition may split a line: each non-final partition ends in \n.
+	for i, p := range parts[:len(parts)-1] {
+		if len(p) > 0 && p[len(p)-1] != '\n' {
+			t.Errorf("partition %d does not end at a line boundary", i)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, err := splitLines([]byte("a\n"), nil); err == nil {
+		t.Error("empty sizes should error")
+	}
+	if _, err := splitLines([]byte("a\n"), []float64{-1, 2}); err == nil {
+		t.Error("negative size should error")
+	}
+	if _, err := splitLines([]byte("a\n"), []float64{0, 0}); err == nil {
+		t.Error("all-zero sizes should error")
+	}
+}
+
+func TestSplitSmallInputFewBytes(t *testing.T) {
+	parts, err := splitLines([]byte("1\n2\n"), []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejoined []byte
+	for _, p := range parts {
+		rejoined = append(rejoined, p...)
+	}
+	if string(rejoined) != "1\n2\n" {
+		t.Errorf("rejoined = %q", rejoined)
+	}
+}
+
+// partitionThenAggregate checks the fundamental breakable-task invariant:
+// split + process-each + aggregate == process-whole.
+func partitionThenAggregate(t *testing.T, task Breakable, input []byte, sizes []float64) {
+	t.Helper()
+	ctx := context.Background()
+	var wholeCk Checkpoint
+	whole, err := task.Process(ctx, input, &wholeCk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := task.Split(input, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partials [][]byte
+	for _, p := range parts {
+		var ck Checkpoint
+		res, err := task.Process(ctx, p, &ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, res)
+	}
+	agg, err := task.Aggregate(partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(agg) != string(whole) {
+		t.Errorf("aggregate %s != whole %s", agg, whole)
+	}
+}
+
+func TestBreakableEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ints := GenIntegers(96, 500000, rng)
+	text := GenText(96, rng)
+	t.Run("primecount", func(t *testing.T) {
+		partitionThenAggregate(t, PrimeCount{}, ints, []float64{13, 40, 20, 23})
+	})
+	t.Run("maxint", func(t *testing.T) {
+		partitionThenAggregate(t, MaxInt{}, ints, []float64{30, 30, 36})
+	})
+	t.Run("wordcount", func(t *testing.T) {
+		partitionThenAggregate(t, WordCount{Word: "sale"}, text, []float64{5, 60, 31})
+	})
+}
+
+// Property-style sweep: random partition counts and sizes preserve the
+// breakable equivalence for prime counting.
+func TestBreakableEquivalenceRandomSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	input := GenIntegers(48, 100000, rng)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = rng.Float64() * 20
+		}
+		sizes[rng.Intn(n)] += 10 // ensure not all ~zero
+		partitionThenAggregate(t, PrimeCount{}, input, sizes)
+	}
+}
+
+func TestForEachLineBadOffset(t *testing.T) {
+	ck := &Checkpoint{Offset: 100}
+	err := forEachLine(context.Background(), []byte("ab\n"), ck, func([]byte) {})
+	if err == nil {
+		t.Error("out-of-range offset should error")
+	}
+	ck = &Checkpoint{Offset: -1}
+	if err := forEachLine(context.Background(), []byte("ab\n"), ck, func([]byte) {}); err == nil {
+		t.Error("negative offset should error")
+	}
+}
+
+func TestInterruptedProcessReturnsSentinel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before starting
+	input := GenIntegers(16, 100000, rand.New(rand.NewSource(3)))
+	var ck Checkpoint
+	_, err := PrimeCount{}.Process(ctx, input, &ck)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if ck.Offset != 0 {
+		t.Errorf("offset after immediate cancel = %d", ck.Offset)
+	}
+}
+
+func TestCorruptStateRejected(t *testing.T) {
+	ck := &Checkpoint{State: []byte("{not json")}
+	if _, err := (PrimeCount{}).Process(context.Background(), []byte("2\n"), ck); err == nil {
+		t.Error("corrupt count state should error")
+	}
+	ck = &Checkpoint{State: []byte("{not json")}
+	if _, err := (MaxInt{}).Process(context.Background(), []byte("2\n"), ck); err == nil {
+		t.Error("corrupt max state should error")
+	}
+}
+
+func TestCheckpointReset(t *testing.T) {
+	ck := Checkpoint{Offset: 10, State: []byte("x")}
+	ck.Reset()
+	if ck.Offset != 0 || ck.State != nil {
+		t.Errorf("reset checkpoint = %+v", ck)
+	}
+}
+
+func TestTaskMetadata(t *testing.T) {
+	for _, task := range []Task{PrimeCount{}, WordCount{Word: "x"}, MaxInt{}, Blur{}} {
+		if task.ExecKB() <= 0 {
+			t.Errorf("%s ExecKB = %v", task.Name(), task.ExecKB())
+		}
+		if strings.TrimSpace(task.Name()) == "" {
+			t.Error("empty task name")
+		}
+		if _, ok := BaseComputeMsPerKB[task.Name()]; !ok {
+			t.Errorf("no base compute cost for %s", task.Name())
+		}
+	}
+	// Params round-trips through the registry for parameterized tasks.
+	wc := WordCount{Word: "receipt"}
+	again, err := New(wc.Name(), wc.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.(WordCount).Word != "receipt" {
+		t.Error("params did not round-trip")
+	}
+}
+
+func TestPartialResults(t *testing.T) {
+	pr, err := (PrimeCount{}).PartialResult([]byte(`{"count":7}`))
+	if err != nil || string(pr) != "7" {
+		t.Errorf("primecount partial = %s, %v", pr, err)
+	}
+	pr, err = (WordCount{Word: "x"}).PartialResult(nil)
+	if err != nil || string(pr) != "0" {
+		t.Errorf("wordcount empty partial = %s, %v", pr, err)
+	}
+	if _, err := (PrimeCount{}).PartialResult([]byte("{bad")); err == nil {
+		t.Error("corrupt count state should error")
+	}
+	pr, err = (MaxInt{}).PartialResult([]byte(`{"max":42,"seen":true}`))
+	if err != nil || string(pr) != "42" {
+		t.Errorf("maxint partial = %s, %v", pr, err)
+	}
+	pr, err = (MaxInt{}).PartialResult(nil)
+	if err != nil || string(pr) != "none" {
+		t.Errorf("maxint empty partial = %s, %v", pr, err)
+	}
+	if _, err := (MaxInt{}).PartialResult([]byte("{bad")); err == nil {
+		t.Error("corrupt max state should error")
+	}
+	// Aggregating a checkpoint-derived partial with normal results works.
+	agg, err := (PrimeCount{}).Aggregate([][]byte{pr2(t), []byte("3")})
+	if err != nil || string(agg) != "10" {
+		t.Errorf("mixed aggregate = %s, %v", agg, err)
+	}
+}
+
+func pr2(t *testing.T) []byte {
+	t.Helper()
+	pr, err := (PrimeCount{}).PartialResult([]byte(`{"count":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestTaskParamsDefaults(t *testing.T) {
+	if (PrimeCount{}).Params() != nil || (MaxInt{}).Params() != nil || (Blur{}).Params() != nil {
+		t.Error("parameterless tasks should have nil params")
+	}
+}
+
+// countingPacer counts Pause calls without ever blocking.
+type countingPacer struct{ calls int }
+
+func (p *countingPacer) Pause(context.Context) { p.calls++ }
+
+func TestPacerInvokedAtCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	input := GenIntegers(64, 100000, rng) // thousands of lines
+	pacer := &countingPacer{}
+	ctx := WithPacer(context.Background(), pacer)
+	var ck Checkpoint
+	if _, err := (PrimeCount{}).Process(ctx, input, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if pacer.calls < 2 {
+		t.Errorf("pacer called %d times over a multi-checkpoint input", pacer.calls)
+	}
+	// Blur pauses per row.
+	img, err := GenImageKB(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pacer.calls = 0
+	ck.Reset()
+	if _, err := (Blur{}).Process(ctx, img, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if pacer.calls == 0 {
+		t.Error("blur never paced")
+	}
+	// No pacer in context: nothing breaks.
+	ck.Reset()
+	if _, err := (PrimeCount{}).Process(context.Background(), input, &ck); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGenerateStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		events := GenerateStudy(DefaultUsers(), 56, rng)
+		if len(Intervals(events)) == 0 {
+			b.Fatal("no intervals")
+		}
+	}
+}

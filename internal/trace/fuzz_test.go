@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLog checks the profiler-log parser never panics and that every
+// successfully parsed log re-serializes and re-parses to the same events.
+func FuzzParseLog(f *testing.F) {
+	f.Add("2012-09-01T22:30:00Z 1 plugged 0 0\n2012-09-02T06:45:00Z 1 unplugged 10 20\n")
+	f.Add("# comment\n\n2012-09-01T22:30:00Z 3 shutdown 5 5\n")
+	f.Add("garbage line\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ParseLog(strings.NewReader(input))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, events); err != nil {
+			t.Fatalf("re-serializing parsed events: %v", err)
+		}
+		again, err := ParseLog(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing serialized events: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if !events[i].Time.Equal(again[i].Time) ||
+				events[i].User != again[i].User ||
+				events[i].State != again[i].State ||
+				events[i].TXBytes != again[i].TXBytes ||
+				events[i].RXBytes != again[i].RXBytes {
+				t.Fatalf("event %d changed in round trip", i)
+			}
+		}
+	})
+}

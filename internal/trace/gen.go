@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"cwc/internal/stats"
+)
+
+// Habit is a per-user charging-behaviour model. All hours are local clock
+// hours (fractional); durations are in minutes; transfers in MB.
+type Habit struct {
+	User int
+
+	// Night charging: the user plugs in around NightPlugHour in the
+	// evening (values >= 24 wrap past midnight) and unplugs around
+	// MorningUnplugHour, on NightPlugProb of nights.
+	NightPlugHour     stats.Dist
+	MorningUnplugHour stats.Dist
+	NightPlugProb     float64
+
+	// Day charging: short opportunistic top-ups.
+	DayIntervalsPerDay stats.Dist // how many per day (rounded, >= 0)
+	DayIntervalMin     stats.Dist // duration of each, minutes
+
+	// Background transfer while charging at night (email, push
+	// notifications), MB per interval; day charges accrue at DayMBPerHour.
+	NightTransferMB stats.Dist
+	DayMBPerHour    stats.Dist
+
+	// ShutdownProb is the chance a given charging interval ends with the
+	// phone being powered off rather than unplugged.
+	ShutdownProb float64
+}
+
+// DefaultUsers returns the 15-user population used to reproduce the
+// paper's study. Users 3, 4 and 8 are the "regular chargers" with 8–9 h
+// nights and low variability; the rest are average users.
+func DefaultUsers() []Habit {
+	users := make([]Habit, 0, 15)
+	for u := 1; u <= 15; u++ {
+		h := Habit{
+			User:               u,
+			NightPlugHour:      stats.TruncNormal{Mean: 23.0, Sigma: 1.0, Lo: 20.5, Hi: 27.5},
+			MorningUnplugHour:  stats.TruncNormal{Mean: 6.8, Sigma: 1.0, Lo: 4.5, Hi: 10.5},
+			NightPlugProb:      0.82,
+			DayIntervalsPerDay: stats.TruncNormal{Mean: 2.4, Sigma: 1.2, Lo: 0, Hi: 6},
+			DayIntervalMin:     stats.Exponential{Mean: 43}, // median ≈ 30 min
+			NightTransferMB:    stats.LogNormalFromMedian(0.7, 1.25),
+			DayMBPerHour:       stats.LogNormalFromMedian(3, 0.8),
+			ShutdownProb:       0.03,
+		}
+		switch u {
+		case 3, 4, 8:
+			// Regular chargers: long, consistent nights and little
+			// background traffic, so almost every night is usable.
+			h.NightPlugHour = stats.TruncNormal{Mean: 22.2, Sigma: 0.3, Lo: 21.5, Hi: 23.5}
+			h.MorningUnplugHour = stats.TruncNormal{Mean: 7.1, Sigma: 0.3, Lo: 6.2, Hi: 8.2}
+			h.NightPlugProb = 0.97
+			h.NightTransferMB = stats.LogNormalFromMedian(0.35, 0.85)
+		case 6, 11:
+			// Lighter chargers: later plug-in, earlier unplug.
+			h.NightPlugHour = stats.TruncNormal{Mean: 24.3, Sigma: 1.1, Lo: 22.0, Hi: 28.0}
+			h.MorningUnplugHour = stats.TruncNormal{Mean: 6.3, Sigma: 1.0, Lo: 4.5, Hi: 9.0}
+			h.NightPlugProb = 0.74
+		}
+		users = append(users, h)
+	}
+	return users
+}
+
+// StudyBase is the first day of the generated study period.
+var StudyBase = time.Date(2012, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+// Generate produces a user's profiler log over the given number of days.
+// Events come out in time order.
+func Generate(h Habit, days int, rng *rand.Rand) []Event {
+	var events []Event
+	day := func(d int) time.Time { return StudyBase.AddDate(0, 0, d) }
+
+	addInterval := func(start time.Time, dur time.Duration, mb float64) {
+		if dur <= 0 {
+			return
+		}
+		endState := Unplugged
+		if stats.Bernoulli(rng, h.ShutdownProb) {
+			endState = Shutdown
+		}
+		bytes := int64(mb * 1e6)
+		// Split roughly 30/70 between TX and RX, like background sync.
+		tx := bytes * 3 / 10
+		events = append(events,
+			Event{Time: start, User: h.User, State: Plugged},
+			Event{Time: start.Add(dur), User: h.User, State: endState,
+				TXBytes: tx, RXBytes: bytes - tx},
+		)
+	}
+
+	for d := 0; d < days; d++ {
+		// Daytime top-ups between ~9:00 and ~20:00.
+		n := int(h.DayIntervalsPerDay.Sample(rng) + 0.5)
+		for k := 0; k < n; k++ {
+			startHour := 9 + rng.Float64()*11
+			durMin := h.DayIntervalMin.Sample(rng)
+			if durMin < 2 {
+				durMin = 2
+			}
+			start := day(d).Add(time.Duration(startHour * float64(time.Hour)))
+			dur := time.Duration(durMin * float64(time.Minute))
+			mb := h.DayMBPerHour.Sample(rng) * dur.Hours()
+			addInterval(start, dur, mb)
+		}
+		// Overnight charge.
+		if !stats.Bernoulli(rng, h.NightPlugProb) {
+			continue
+		}
+		plugHour := h.NightPlugHour.Sample(rng)       // may be >= 24 (past midnight)
+		unplugHour := h.MorningUnplugHour.Sample(rng) // next morning
+		start := day(d).Add(time.Duration(plugHour * float64(time.Hour)))
+		end := day(d + 1).Add(time.Duration(unplugHour * float64(time.Hour)))
+		addInterval(start, end.Sub(start), h.NightTransferMB.Sample(rng))
+	}
+	return events
+}
+
+// GenerateStudy runs Generate for every habit and merges the logs in time
+// order, as the central profiling server would record them.
+func GenerateStudy(habits []Habit, days int, rng *rand.Rand) []Event {
+	var all []Event
+	for _, h := range habits {
+		all = append(all, Generate(h, days, rng)...)
+	}
+	sortEvents(all)
+	return all
+}
+
+func sortEvents(events []Event) {
+	// Stable order: time, then user, so merged logs are deterministic.
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].Time.Equal(events[j].Time) {
+			return events[i].Time.Before(events[j].Time)
+		}
+		return events[i].User < events[j].User
+	})
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"cwc/internal/stats"
+)
+
+// IdleThresholdBytes is the paper's idle cutoff: a night charging interval
+// with less than 2 MB of total transfer counts as idle, i.e. usable for
+// CWC computation.
+const IdleThresholdBytes = 2 * 1000 * 1000
+
+// Study holds the derived statistics of a profiling campaign — everything
+// needed to regenerate the paper's Figures 2 and 3.
+type Study struct {
+	Intervals []Interval
+}
+
+// NewStudy wraps reconstructed intervals for analysis.
+func NewStudy(intervals []Interval) *Study {
+	return &Study{Intervals: intervals}
+}
+
+// Split returns the night and day interval subsets (paper's Figure 2a
+// classification).
+func (s *Study) Split() (night, day []Interval) {
+	for _, iv := range s.Intervals {
+		if iv.Night() {
+			night = append(night, iv)
+		} else {
+			day = append(day, iv)
+		}
+	}
+	return night, day
+}
+
+// DurationCDFs returns empirical CDFs of charging-interval durations in
+// hours, for night and day intervals (Figure 2a).
+func (s *Study) DurationCDFs() (night, day *stats.CDF) {
+	n, d := s.Split()
+	toHours := func(ivs []Interval) []float64 {
+		out := make([]float64, len(ivs))
+		for i, iv := range ivs {
+			out[i] = iv.Duration().Hours()
+		}
+		return out
+	}
+	return stats.NewCDF(toHours(n)), stats.NewCDF(toHours(d))
+}
+
+// NightTransferCDF returns the CDF of total MB transferred during night
+// charging intervals (Figure 2b).
+func (s *Study) NightTransferCDF() *stats.CDF {
+	night, _ := s.Split()
+	mb := make([]float64, len(night))
+	for i, iv := range night {
+		mb[i] = float64(iv.TotalBytes()) / 1e6
+	}
+	return stats.NewCDF(mb)
+}
+
+// UserIdle summarizes one user's usable night charging (Figure 2c).
+type UserIdle struct {
+	User      int
+	MeanHours float64
+	StdHours  float64
+	Nights    int
+}
+
+// NightIdlePerUser returns, per user, the mean and standard deviation of
+// idle night charging hours. A night interval contributes its duration
+// when its transfer is below IdleThresholdBytes, and zero otherwise
+// (the phone was busy, so CWC would not use it).
+func (s *Study) NightIdlePerUser() []UserIdle {
+	night, _ := s.Split()
+	perUser := map[int][]float64{}
+	for _, iv := range night {
+		h := 0.0
+		if iv.TotalBytes() < IdleThresholdBytes {
+			h = iv.Duration().Hours()
+		}
+		perUser[iv.User] = append(perUser[iv.User], h)
+	}
+	users := make([]int, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	out := make([]UserIdle, 0, len(users))
+	for _, u := range users {
+		hs := perUser[u]
+		out = append(out, UserIdle{
+			User:      u,
+			MeanHours: stats.Mean(hs),
+			StdHours:  stats.StdDev(hs),
+			Nights:    len(hs),
+		})
+	}
+	return out
+}
+
+// UnplugHistogram counts unplug (failure) events by hour of day, over all
+// users or a single user (user == 0 means all). Shutdown events count as
+// failures too: either way the phone leaves the pool.
+func (s *Study) UnplugHistogram(user int) stats.HourHistogram {
+	var h stats.HourHistogram
+	for _, iv := range s.Intervals {
+		if user != 0 && iv.User != user {
+			continue
+		}
+		h.Add(iv.End.Hour())
+	}
+	return h
+}
+
+// FailureCDFByHour returns the cumulative fraction of unplug events by
+// hour, starting at midnight (Figure 3a). Element [h] is the fraction of
+// failures occurring in hours [0, h].
+func (s *Study) FailureCDFByHour() [24]float64 {
+	h := s.UnplugHistogram(0)
+	return h.CumulativeByHour(0)
+}
+
+// ShutdownFraction returns the fraction of interval-closing events that
+// are shutdowns (the paper reports only 3% of logs in the shutdown state).
+func (s *Study) ShutdownFraction() float64 {
+	if len(s.Intervals) == 0 {
+		return 0
+	}
+	n := 0
+	for _, iv := range s.Intervals {
+		if iv.EndState == Shutdown {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Intervals))
+}
+
+// Overlap computes, for each minute of the night window [22:00, 08:00),
+// how many users are plugged in and idle, averaged over study days — the
+// paper's speculation that long idle windows overlap across users. The
+// returned slice has one entry per minute of the window.
+func (s *Study) Overlap() []float64 {
+	const windowMin = 10 * 60 // 22:00 .. 08:00
+	counts := make([]float64, windowMin)
+	days := map[string]bool{}
+	for _, iv := range s.Intervals {
+		if !iv.Night() || iv.TotalBytes() >= IdleThresholdBytes {
+			continue
+		}
+		days[iv.Start.Format("2006-01-02")] = true
+		// Walk the interval in minutes, mapping to window offsets.
+		for t := iv.Start; t.Before(iv.End); t = t.Add(time.Minute) {
+			h, m := t.Hour(), t.Minute()
+			var off int
+			switch {
+			case h >= 22:
+				off = (h-22)*60 + m
+			case h < 8:
+				off = (h+2)*60 + m
+			default:
+				continue
+			}
+			counts[off]++
+		}
+	}
+	if len(days) == 0 {
+		return counts
+	}
+	for i := range counts {
+		counts[i] /= float64(len(days))
+	}
+	return counts
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// studyFixture generates the full 15-user, 8-week study once per test run.
+func studyFixture(t *testing.T) *Study {
+	t.Helper()
+	events := GenerateStudy(DefaultUsers(), 56, rand.New(rand.NewSource(2012)))
+	return NewStudy(Intervals(events))
+}
+
+func TestFig2aMedianIntervalDurations(t *testing.T) {
+	s := studyFixture(t)
+	nightCDF, dayCDF := s.DurationCDFs()
+	nightMed, err := nightCDF.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dayMed, err := dayCDF.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: median ~7 h at night, ~30 min during the day.
+	if nightMed < 6 || nightMed > 8.5 {
+		t.Errorf("median night interval = %.2f h, want ~7", nightMed)
+	}
+	if dayMed < 0.3 || dayMed > 0.8 {
+		t.Errorf("median day interval = %.2f h, want ~0.5", dayMed)
+	}
+}
+
+func TestFig2aFewerNightIntervals(t *testing.T) {
+	s := studyFixture(t)
+	night, day := s.Split()
+	if len(night) >= len(day) {
+		t.Errorf("night intervals (%d) should be fewer than day (%d)", len(night), len(day))
+	}
+	if len(night) == 0 || len(day) == 0 {
+		t.Fatal("study produced empty interval classes")
+	}
+}
+
+func TestFig2bNightTransferMostlyUnder2MB(t *testing.T) {
+	s := studyFixture(t)
+	cdf := s.NightTransferCDF()
+	frac := cdf.At(2.0)
+	// Paper: total network activity < ~2 MB for 80% of night intervals.
+	if frac < 0.70 || frac > 0.92 {
+		t.Errorf("P(night transfer <= 2MB) = %.2f, want ~0.80", frac)
+	}
+}
+
+func TestFig2cIdleHoursPerUser(t *testing.T) {
+	s := studyFixture(t)
+	idle := s.NightIdlePerUser()
+	if len(idle) != 15 {
+		t.Fatalf("idle stats for %d users, want 15", len(idle))
+	}
+	var regulars, others []UserIdle
+	for _, u := range idle {
+		// Paper: on average at least 3 hours of idle charging at night.
+		if u.MeanHours < 3 {
+			t.Errorf("user %d mean idle = %.2f h, want >= 3", u.User, u.MeanHours)
+		}
+		switch u.User {
+		case 3, 4, 8:
+			regulars = append(regulars, u)
+		default:
+			others = append(others, u)
+		}
+	}
+	// Users 3, 4, 8: highest idle durations (8-9 h) with low variability.
+	for _, r := range regulars {
+		if r.MeanHours < 7 {
+			t.Errorf("regular user %d mean idle = %.2f h, want 8-9", r.User, r.MeanHours)
+		}
+		meanOtherStd := 0.0
+		for _, o := range others {
+			meanOtherStd += o.StdHours
+		}
+		meanOtherStd /= float64(len(others))
+		if r.StdHours >= meanOtherStd {
+			t.Errorf("regular user %d std %.2f not below average other std %.2f",
+				r.User, r.StdHours, meanOtherStd)
+		}
+	}
+}
+
+func TestFig3aFailuresRareBeforeEight(t *testing.T) {
+	s := studyFixture(t)
+	cdf := s.FailureCDFByHour()
+	// Paper: likelihood of failure between 12 AM and 8 AM is < 30%.
+	if cdf[7] >= 0.30 {
+		t.Errorf("failure CDF through 8 AM = %.2f, want < 0.30", cdf[7])
+	}
+	if cdf[23] < 0.999 {
+		t.Errorf("failure CDF must end at 1, got %v", cdf[23])
+	}
+}
+
+func TestFig3bPerUserUnplugShape(t *testing.T) {
+	s := studyFixture(t)
+	for _, user := range []int{3, 7} {
+		h := s.UnplugHistogram(user)
+		if h.Total() == 0 {
+			t.Fatalf("user %d has no unplug events", user)
+		}
+		fr := h.Fractions()
+		// Very low failure likelihood 12 AM - 6 AM...
+		early := fr[0] + fr[1] + fr[2] + fr[3] + fr[4] + fr[5]
+		// ...rising in the morning when people start using their phones.
+		morning := fr[6] + fr[7] + fr[8] + fr[9]
+		if early >= morning {
+			t.Errorf("user %d: early-night failures %.2f not below morning %.2f",
+				user, early, morning)
+		}
+	}
+}
+
+func TestShutdownFractionAround3Percent(t *testing.T) {
+	s := studyFixture(t)
+	frac := s.ShutdownFraction()
+	if frac < 0.01 || frac > 0.06 {
+		t.Errorf("shutdown fraction = %.3f, want ~0.03 (paper)", frac)
+	}
+}
+
+func TestShutdownFractionEmptyStudy(t *testing.T) {
+	if frac := NewStudy(nil).ShutdownFraction(); frac != 0 {
+		t.Errorf("empty study shutdown fraction = %v", frac)
+	}
+}
+
+func TestOverlapSeveralUsersAtThreeAM(t *testing.T) {
+	s := studyFixture(t)
+	overlap := s.Overlap()
+	if len(overlap) != 600 {
+		t.Fatalf("overlap window length = %d minutes", len(overlap))
+	}
+	// 3 AM is minute (3+2)*60 into the 22:00-based window.
+	at3am := overlap[(3+2)*60]
+	// With 15 users mostly charging overnight, the overlap should offer a
+	// sizeable cluster — the paper speculates "several operational hours
+	// for computing".
+	if at3am < 8 {
+		t.Errorf("average phones idle+plugged at 3 AM = %.1f, want >= 8 of 15", at3am)
+	}
+	// And far fewer at the window edges.
+	if overlap[0] >= at3am {
+		t.Errorf("overlap at 22:00 (%.1f) should be below 3 AM (%.1f)", overlap[0], at3am)
+	}
+}
+
+func TestOverlapEmptyStudy(t *testing.T) {
+	overlap := NewStudy(nil).Overlap()
+	for _, v := range overlap {
+		if v != 0 {
+			t.Fatal("empty study should have zero overlap")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkEvent(user int, t string, st State, tx, rx int64) Event {
+	ts, err := time.Parse(time.RFC3339, t)
+	if err != nil {
+		panic(err)
+	}
+	return Event{Time: ts, User: user, State: st, TXBytes: tx, RXBytes: rx}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	for _, s := range []State{Plugged, Unplugged, Shutdown} {
+		got, err := ParseState(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v -> %v (%v)", s, got, err)
+		}
+	}
+	if _, err := ParseState("rebooting"); err == nil {
+		t.Error("unknown state should error")
+	}
+	if !strings.HasPrefix(State(9).String(), "state(") {
+		t.Error("unknown state String")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	events := []Event{
+		mkEvent(1, "2012-09-01T22:30:00Z", Plugged, 0, 0),
+		mkEvent(1, "2012-09-02T06:45:00Z", Unplugged, 100000, 900000),
+		mkEvent(2, "2012-09-01T23:00:00Z", Plugged, 0, 0),
+		mkEvent(2, "2012-09-02T07:00:00Z", Shutdown, 5, 10),
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !got[i].Time.Equal(events[i].Time) || got[i] != (Event{
+			Time: got[i].Time, User: events[i].User, State: events[i].State,
+			TXBytes: events[i].TXBytes, RXBytes: events[i].RXBytes,
+		}) {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestParseLogSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# profiler log\n\n2012-09-01T22:30:00Z 1 plugged 0 0\n"
+	events, err := ParseLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events", len(events))
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	cases := []string{
+		"2012-09-01T22:30:00Z 1 plugged 0",      // missing field
+		"not-a-time 1 plugged 0 0",              // bad time
+		"2012-09-01T22:30:00Z x plugged 0 0",    // bad user
+		"2012-09-01T22:30:00Z 1 exploded 0 0",   // bad state
+		"2012-09-01T22:30:00Z 1 plugged nope 0", // bad tx
+		"2012-09-01T22:30:00Z 1 plugged 0 nada", // bad rx
+	}
+	for _, in := range cases {
+		if _, err := ParseLog(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail to parse", in)
+		}
+	}
+}
+
+func TestIntervalsReconstruction(t *testing.T) {
+	events := []Event{
+		mkEvent(1, "2012-09-01T22:30:00Z", Plugged, 0, 0),
+		mkEvent(1, "2012-09-02T06:30:00Z", Unplugged, 300000, 700000),
+		mkEvent(1, "2012-09-02T12:00:00Z", Plugged, 0, 0),
+		mkEvent(1, "2012-09-02T12:30:00Z", Shutdown, 10, 20),
+		// Dangling open: dropped.
+		mkEvent(1, "2012-09-02T22:00:00Z", Plugged, 0, 0),
+		// Unplug with no open: dropped.
+		mkEvent(2, "2012-09-02T08:00:00Z", Unplugged, 1, 1),
+	}
+	ivs := Intervals(events)
+	if len(ivs) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(ivs))
+	}
+	night := ivs[0]
+	if night.User != 1 || !night.Night() {
+		t.Errorf("first interval = %+v, want user 1 night", night)
+	}
+	if night.Duration() != 8*time.Hour {
+		t.Errorf("night duration = %v, want 8h", night.Duration())
+	}
+	if night.TotalBytes() != 1000000 {
+		t.Errorf("night bytes = %d", night.TotalBytes())
+	}
+	day := ivs[1]
+	if day.Night() {
+		t.Error("noon interval classified as night")
+	}
+	if day.EndState != Shutdown {
+		t.Errorf("day end state = %v", day.EndState)
+	}
+}
+
+func TestIntervalsHandleUnsortedInput(t *testing.T) {
+	events := []Event{
+		mkEvent(1, "2012-09-02T06:30:00Z", Unplugged, 0, 0),
+		mkEvent(1, "2012-09-01T22:30:00Z", Plugged, 0, 0),
+	}
+	ivs := Intervals(events)
+	if len(ivs) != 1 {
+		t.Fatalf("got %d intervals, want 1", len(ivs))
+	}
+}
+
+func TestNightClassificationBoundaries(t *testing.T) {
+	mk := func(hhmm string) Interval {
+		start, _ := time.Parse(time.RFC3339, "2012-09-01T"+hhmm+":00Z")
+		return Interval{Start: start, End: start.Add(time.Hour)}
+	}
+	// Paper rule: plugged between 10 p.m. and 5 a.m. is night.
+	for _, tc := range []struct {
+		hhmm  string
+		night bool
+	}{
+		{"22:00", true}, {"23:59", true}, {"00:00", true},
+		{"04:59", true}, {"05:00", false}, {"12:00", false}, {"21:59", false},
+	} {
+		if got := mk(tc.hhmm).Night(); got != tc.night {
+			t.Errorf("Night(%s) = %v, want %v", tc.hhmm, got, tc.night)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	h := DefaultUsers()[0]
+	a := Generate(h, 10, rand.New(rand.NewSource(5)))
+	b := Generate(h, 10, rand.New(rand.NewSource(5)))
+	if len(a) != len(b) {
+		t.Fatal("same seed, different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGenerateEventShape(t *testing.T) {
+	h := DefaultUsers()[2] // user 3, regular charger
+	events := Generate(h, 30, rand.New(rand.NewSource(1)))
+	if len(events) == 0 {
+		t.Fatal("no events generated")
+	}
+	plugged, closed := 0, 0
+	for _, e := range events {
+		switch e.State {
+		case Plugged:
+			plugged++
+			if e.TXBytes != 0 || e.RXBytes != 0 {
+				t.Error("plugged event should carry zero byte counters")
+			}
+		default:
+			closed++
+			if e.TXBytes < 0 || e.RXBytes < 0 {
+				t.Error("negative byte counters")
+			}
+		}
+		if e.User != 3 {
+			t.Errorf("event for user %d, want 3", e.User)
+		}
+	}
+	if plugged != closed {
+		t.Errorf("%d plugged vs %d closing events", plugged, closed)
+	}
+}
+
+func TestGenerateStudyMergesSorted(t *testing.T) {
+	events := GenerateStudy(DefaultUsers(), 7, rand.New(rand.NewSource(2)))
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	users := map[int]bool{}
+	for _, e := range events {
+		users[e.User] = true
+	}
+	if len(users) != 15 {
+		t.Errorf("study covers %d users, want 15", len(users))
+	}
+}
+
+func TestDefaultUsersCount(t *testing.T) {
+	users := DefaultUsers()
+	if len(users) != 15 {
+		t.Fatalf("%d users, want 15 (as in the paper)", len(users))
+	}
+	for i, u := range users {
+		if u.User != i+1 {
+			t.Errorf("user id %d at index %d", u.User, i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package worker
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cwc/internal/battery"
+	"cwc/internal/device"
+	"cwc/internal/tasks"
+)
+
+// Charging emulates the phone's battery while the worker runs and applies
+// the paper's MIMD duty-cycle throttler to task execution: the task is
+// periodically paused (through the tasks.Pacer hook) so computing does
+// not delay the battery's charge (§4.3).
+type Charging struct {
+	// Battery is the device's charging characteristics.
+	Battery device.Battery
+	// StartPercent is the initial charge level (default 0).
+	StartPercent float64
+	// TimeScale accelerates battery time relative to wall time: 60 means
+	// one wall second charges like one battery minute. Tests use large
+	// scales so a "full night" of charging passes in milliseconds.
+	// Default 1 (real time).
+	TimeScale float64
+}
+
+// throttleRunner steps a battery plant in (scaled) wall time and gates
+// task execution through the MIMD controller. It implements tasks.Pacer.
+type throttleRunner struct {
+	plant     *battery.Plant
+	throttler *battery.Throttler
+	scale     float64
+
+	mu      sync.Mutex
+	lastNow time.Time
+	simNow  float64 // battery-time seconds since start
+	running bool    // current duty-cycle phase
+
+	pauses int // Pause calls that actually slept
+}
+
+// newThrottleRunner builds the runtime throttler.
+func newThrottleRunner(cfg *Charging) *throttleRunner {
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	plant := battery.NewPlant(cfg.Battery)
+	plant.SetPercent(cfg.StartPercent)
+	return &throttleRunner{
+		plant:     plant,
+		throttler: battery.NewThrottler(),
+		scale:     scale,
+		lastNow:   time.Now(),
+	}
+}
+
+// advance steps the plant and controller up to the present wall time.
+// It returns whether the task may currently run.
+func (r *throttleRunner) advance() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	elapsed := now.Sub(r.lastNow).Seconds() * r.scale
+	r.lastNow = now
+	// Step in bounded slices so the controller sees percent ticks.
+	const maxStep = 0.5 // battery seconds
+	for elapsed > 0 {
+		dt := elapsed
+		if dt > maxStep {
+			dt = maxStep
+		}
+		elapsed -= dt
+		util := r.throttler.Util(r.simNow, r.plant.ReportedPercent())
+		r.plant.Step(dt, util)
+		r.throttler.Tick(dt, util)
+		r.simNow += dt
+		r.running = util > 0
+	}
+	if r.plant.Full() {
+		// Fully charged: energy goes straight to the CPU, no throttling
+		// needed (paper: "if the tasks are only scheduled after the phone
+		// is fully charged, there is no penalty").
+		r.running = true
+	}
+	return r.running
+}
+
+// Pause implements tasks.Pacer: it blocks while the duty cycle is in a
+// sleep phase, polling the plant at a small wall interval.
+func (r *throttleRunner) Pause(ctx context.Context) {
+	slept := false
+	for !r.advance() {
+		if ctx.Err() != nil {
+			return
+		}
+		slept = true
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if slept {
+		r.mu.Lock()
+		r.pauses++
+		r.mu.Unlock()
+	}
+}
+
+// Pauses reports how many times execution was actually held back.
+func (r *throttleRunner) Pauses() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pauses
+}
+
+// Percent exposes the emulated battery level, advancing the plant to the
+// present first so an idle phone still charges in wall time.
+func (r *throttleRunner) Percent() float64 {
+	r.advance()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.plant.Percent()
+}
+
+var _ tasks.Pacer = (*throttleRunner)(nil)

@@ -1,0 +1,382 @@
+// Package worker implements the phone-side CWC runtime: the software the
+// prototype installs on each Android phone. It maintains a persistent TCP
+// connection to the central server, registers the phone's capabilities,
+// answers bandwidth probes and keepalives, and executes whatever task
+// executables the server assigns — the automated-execution property of
+// §4.2 (no human in the loop).
+//
+// A worker emulates the paper's failure modes on demand: Unplug() is the
+// online failure (the running task checkpoints and the failure report with
+// migration state reaches the server before the phone leaves); Vanish()
+// is the offline failure (the connection just dies and the server must
+// notice via missed keepalives).
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+)
+
+// Config describes the phone this worker emulates.
+type Config struct {
+	ServerAddr string
+	Model      string
+	CPUMHz     float64
+	RAMMB      int
+	// DelayPerKB emulates a slower CPU by sleeping this long per KB of
+	// input before real processing; zero for full speed. The sleep is
+	// interruptible so unplugging still checkpoints promptly.
+	DelayPerKB time.Duration
+	// Dial overrides the transport (tests and in-process clusters);
+	// defaults to TCP to ServerAddr.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Charging, when set, emulates the phone's battery and throttles
+	// task execution with the MIMD duty-cycle controller so computing
+	// does not delay the charge (§4.3).
+	Charging *Charging
+	// AuthToken is presented to the server at registration when the
+	// deployment uses a shared enrolment secret.
+	AuthToken string
+}
+
+// Phone is a running worker.
+type Phone struct {
+	cfg Config
+
+	mu       sync.Mutex
+	conn     *protocol.Conn
+	id       int
+	unplug   context.CancelFunc // cancels the in-flight task
+	leaving  bool               // Unplug called: report failure then close
+	vanished bool               // Vanish called: die silently
+
+	registered chan struct{} // closed once Welcome arrives
+	regOnce    sync.Once
+
+	throttle *throttleRunner // nil unless cfg.Charging is set
+}
+
+// New creates a worker; call Run to connect and serve.
+func New(cfg Config) (*Phone, error) {
+	if cfg.CPUMHz <= 0 {
+		return nil, fmt.Errorf("worker: non-positive CPU clock %v", cfg.CPUMHz)
+	}
+	if cfg.Dial == nil && cfg.ServerAddr == "" {
+		return nil, errors.New("worker: no server address and no dialer")
+	}
+	p := &Phone{cfg: cfg, registered: make(chan struct{})}
+	if cfg.Charging != nil {
+		p.throttle = newThrottleRunner(cfg.Charging)
+	}
+	return p, nil
+}
+
+// BatteryPercent returns the emulated battery level, or -1 when charging
+// emulation is off.
+func (p *Phone) BatteryPercent() float64 {
+	if p.throttle == nil {
+		return -1
+	}
+	return p.throttle.Percent()
+}
+
+// ThrottlePauses reports how many times the MIMD controller held task
+// execution back (0 when charging emulation is off).
+func (p *Phone) ThrottlePauses() int {
+	if p.throttle == nil {
+		return 0
+	}
+	return p.throttle.Pauses()
+}
+
+// ID returns the server-assigned phone ID (valid after WaitRegistered).
+func (p *Phone) ID() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.id
+}
+
+// WaitRegistered blocks until the server has welcomed this phone.
+func (p *Phone) WaitRegistered(ctx context.Context) error {
+	select {
+	case <-p.registered:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("worker: registration: %w", ctx.Err())
+	}
+}
+
+// Run connects, registers and serves assignments until the context is
+// canceled, the server says goodbye, or the phone is unplugged. A nil
+// error means an orderly exit.
+func (p *Phone) Run(ctx context.Context) error {
+	dial := p.cfg.Dial
+	if dial == nil {
+		dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", p.cfg.ServerAddr)
+		}
+	}
+	raw, err := dial(ctx)
+	if err != nil {
+		return fmt.Errorf("worker: dialing server: %w", err)
+	}
+	conn := protocol.NewConn(raw)
+	p.mu.Lock()
+	p.conn = conn
+	p.mu.Unlock()
+	defer conn.Close()
+
+	// Assignments execute strictly serially — a phone runs one task at a
+	// time (the server also dispatches that way; this guards against a
+	// misbehaving server). The executor drains the queue while the read
+	// loop keeps answering keepalives.
+	assignQ := make(chan *protocol.Message, 16)
+	defer close(assignQ)
+	go func() {
+		for m := range assignQ {
+			p.execute(ctx, conn, m)
+		}
+	}()
+	// In-progress chunked transfers, keyed by (job, partition).
+	type partKey struct{ job, part int }
+	assembling := map[partKey]*protocol.Message{}
+	enqueue := func(m *protocol.Message) {
+		select {
+		case assignQ <- m:
+		default:
+			// Queue overflow: a runaway server; refuse the work rather
+			// than buffer unboundedly.
+			_ = conn.Send(&protocol.Message{
+				Type: protocol.TypeFailure, JobID: m.JobID,
+				Partition: m.Partition, Error: "worker assignment queue full",
+			})
+		}
+	}
+
+	// Kill the connection when the context dies so Recv unblocks.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := conn.Send(&protocol.Message{
+		Type:   protocol.TypeHello,
+		Token:  p.cfg.AuthToken,
+		Model:  p.cfg.Model,
+		CPUMHz: p.cfg.CPUMHz,
+		RAMMB:  p.cfg.RAMMB,
+	}); err != nil {
+		return err
+	}
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			p.mu.Lock()
+			leaving, vanished := p.leaving, p.vanished
+			p.mu.Unlock()
+			if ctx.Err() != nil || leaving || vanished || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case protocol.TypeWelcome:
+			p.mu.Lock()
+			p.id = m.PhoneID
+			p.mu.Unlock()
+			p.regOnce.Do(func() { close(p.registered) })
+		case protocol.TypePing:
+			if err := conn.Send(&protocol.Message{Type: protocol.TypePong, Seq: m.Seq}); err != nil {
+				return err
+			}
+		case protocol.TypeProbe:
+			if err := conn.Send(&protocol.Message{Type: protocol.TypeProbeAck, Seq: m.Seq}); err != nil {
+				return err
+			}
+		case protocol.TypeAssign:
+			if m.TotalLen > int64(len(m.Input)) {
+				// First frame of a chunked transfer.
+				buf := make([]byte, 0, m.TotalLen)
+				m.Input = append(buf, m.Input...)
+				assembling[partKey{m.JobID, m.Partition}] = m
+				continue
+			}
+			enqueue(m)
+		case protocol.TypeAssignChunk:
+			key := partKey{m.JobID, m.Partition}
+			pend, ok := assembling[key]
+			if !ok {
+				_ = conn.Send(&protocol.Message{
+					Type: protocol.TypeFailure, JobID: m.JobID,
+					Partition: m.Partition, Error: "unexpected assignment chunk",
+				})
+				continue
+			}
+			pend.Input = append(pend.Input, m.Input...)
+			if int64(len(pend.Input)) > pend.TotalLen {
+				delete(assembling, key)
+				_ = conn.Send(&protocol.Message{
+					Type: protocol.TypeFailure, JobID: m.JobID,
+					Partition: m.Partition, Error: "assignment chunk overflow",
+				})
+				continue
+			}
+			if int64(len(pend.Input)) == pend.TotalLen {
+				delete(assembling, key)
+				enqueue(pend)
+			}
+		case protocol.TypeBye:
+			return nil
+		default:
+			// Unknown frames are ignored for forward compatibility.
+		}
+	}
+}
+
+// execute runs one assigned partition and reports the outcome.
+func (p *Phone) execute(ctx context.Context, conn *protocol.Conn, m *protocol.Message) {
+	taskCtx, cancel := context.WithCancel(ctx)
+	p.mu.Lock()
+	p.unplug = cancel
+	p.mu.Unlock()
+	defer func() {
+		cancel()
+		p.mu.Lock()
+		p.unplug = nil
+		p.mu.Unlock()
+	}()
+
+	fail := func(ck *tasks.Checkpoint, msg string) {
+		_ = conn.Send(&protocol.Message{
+			Type:       protocol.TypeFailure,
+			JobID:      m.JobID,
+			Partition:  m.Partition,
+			Checkpoint: ck,
+			Error:      msg,
+		})
+		p.maybeLeave(conn)
+	}
+
+	task, err := tasks.New(m.Task, m.Params)
+	if err != nil {
+		fail(nil, fmt.Sprintf("instantiating executable: %v", err))
+		return
+	}
+	ck := &tasks.Checkpoint{}
+	if m.Resume != nil {
+		*ck = *m.Resume
+	}
+
+	// Emulated CPU slowness: pay the remaining input's worth of delay.
+	if p.cfg.DelayPerKB > 0 {
+		remainingKB := float64(int64(len(m.Input))-ck.Offset) / 1024
+		if remainingKB > 0 {
+			t := time.NewTimer(time.Duration(remainingKB * float64(p.cfg.DelayPerKB)))
+			select {
+			case <-t.C:
+			case <-taskCtx.Done():
+				t.Stop()
+				fail(ck, "unplugged")
+				return
+			}
+		}
+	}
+
+	execCtx := taskCtx
+	if p.throttle != nil {
+		execCtx = tasks.WithPacer(taskCtx, p.throttle)
+	}
+	start := time.Now()
+	result, err := task.Process(execCtx, m.Input, ck)
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+		_ = conn.Send(&protocol.Message{
+			Type:        protocol.TypeResult,
+			JobID:       m.JobID,
+			Partition:   m.Partition,
+			Result:      result,
+			ExecMs:      float64(elapsed) / float64(time.Millisecond),
+			ProcessedKB: float64(len(m.Input)) / 1024,
+		})
+		p.maybeLeave(conn)
+	case errors.Is(err, tasks.ErrInterrupted):
+		fail(ck, "unplugged")
+	default:
+		fail(nil, err.Error())
+	}
+}
+
+// maybeLeave closes the connection after the pending report when the
+// phone was unplugged mid-task.
+func (p *Phone) maybeLeave(conn *protocol.Conn) {
+	p.mu.Lock()
+	leaving := p.leaving
+	p.mu.Unlock()
+	if leaving {
+		conn.Close()
+	}
+}
+
+// Unplug emulates the user detaching the charger: the online failure. Any
+// in-flight task is interrupted, its checkpoint reported, and the phone
+// leaves the pool. An idle phone says goodbye immediately.
+func (p *Phone) Unplug() {
+	p.mu.Lock()
+	p.leaving = true
+	cancel := p.unplug
+	conn := p.conn
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel() // execute() will report the failure and close
+		return
+	}
+	if conn != nil {
+		_ = conn.Send(&protocol.Message{Type: protocol.TypeBye})
+		conn.Close()
+	}
+}
+
+// Vanish emulates the offline failure: the connection dies with no report
+// (wireless driver crash). The server must detect it via keepalives.
+func (p *Phone) Vanish() {
+	p.mu.Lock()
+	p.vanished = true
+	conn := p.conn
+	cancel := p.unplug
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Replug resets an unplugged or vanished phone so Run can be called again
+// — the paper's phones re-entering the pool "after a short period of
+// unavailability (e.g., the user plugs her phone to the charger after a
+// few minutes)". The server sees a fresh registration (new phone ID).
+func (p *Phone) Replug() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaving = false
+	p.vanished = false
+	p.conn = nil
+	p.id = 0
+}

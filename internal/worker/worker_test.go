@@ -1,0 +1,394 @@
+package worker
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+)
+
+// fakeServer accepts exactly one worker over an in-memory pipe and lets
+// the test drive the server side of the protocol by hand.
+type fakeServer struct {
+	t    *testing.T
+	conn *protocol.Conn
+}
+
+// startWorker wires a worker to a fake server over net.Pipe and runs it.
+func startWorker(t *testing.T, cfg Config) (*Phone, *fakeServer, context.CancelFunc) {
+	t.Helper()
+	serverSide, workerSide := net.Pipe()
+	cfg.Dial = func(context.Context) (net.Conn, error) { return workerSide, nil }
+	if cfg.CPUMHz == 0 {
+		cfg.CPUMHz = 1000
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		if err := w.Run(ctx); err != nil {
+			t.Logf("worker exited: %v", err)
+		}
+	}()
+	fs := &fakeServer{t: t, conn: protocol.NewConn(serverSide)}
+	t.Cleanup(func() {
+		cancel()
+		fs.conn.Close()
+	})
+	return w, fs, cancel
+}
+
+func (fs *fakeServer) recv() *protocol.Message {
+	fs.t.Helper()
+	if err := fs.conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		fs.t.Fatal(err)
+	}
+	m, err := fs.conn.Recv()
+	if err != nil {
+		fs.t.Fatal(err)
+	}
+	return m
+}
+
+func (fs *fakeServer) send(m *protocol.Message) {
+	fs.t.Helper()
+	if err := fs.conn.Send(m); err != nil {
+		fs.t.Fatal(err)
+	}
+}
+
+// welcome consumes the hello and welcomes the worker with the given ID.
+func (fs *fakeServer) welcome(id int) *protocol.Message {
+	fs.t.Helper()
+	hello := fs.recv()
+	if hello.Type != protocol.TypeHello {
+		fs.t.Fatalf("first frame = %s, want hello", hello.Type)
+	}
+	fs.send(&protocol.Message{Type: protocol.TypeWelcome, PhoneID: id, KeepaliveMs: 30000})
+	return hello
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ServerAddr: "x", CPUMHz: 0}); err == nil {
+		t.Error("zero clock should error")
+	}
+	if _, err := New(Config{CPUMHz: 1000}); err == nil {
+		t.Error("no address and no dialer should error")
+	}
+}
+
+func TestRegistration(t *testing.T) {
+	w, fs, _ := startWorker(t, Config{Model: "HTC G2", CPUMHz: 806, RAMMB: 512})
+	hello := fs.welcome(7)
+	if hello.Model != "HTC G2" || hello.CPUMHz != 806 || hello.RAMMB != 512 {
+		t.Errorf("hello = %+v", hello)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.WaitRegistered(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if w.ID() != 7 {
+		t.Errorf("ID = %d, want 7", w.ID())
+	}
+}
+
+func TestWaitRegisteredTimeout(t *testing.T) {
+	serverSide, workerSide := net.Pipe()
+	defer serverSide.Close()
+	w, err := New(Config{
+		CPUMHz: 1000,
+		Dial:   func(context.Context) (net.Conn, error) { return workerSide, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := w.WaitRegistered(ctx); err == nil {
+		t.Error("expected registration timeout")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{Type: protocol.TypePing, Seq: 42})
+	pong := fs.recv()
+	if pong.Type != protocol.TypePong || pong.Seq != 42 {
+		t.Errorf("pong = %+v", pong)
+	}
+}
+
+func TestProbeAck(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{Type: protocol.TypeProbe, Payload: make([]byte, 2048), Seq: 3})
+	ack := fs.recv()
+	if ack.Type != protocol.TypeProbeAck {
+		t.Errorf("ack = %+v", ack)
+	}
+}
+
+func TestAssignExecutesAndReports(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{
+		Type:  protocol.TypeAssign,
+		JobID: 5, Partition: 2,
+		Task:  "primecount",
+		Input: []byte("2\n3\n4\n"),
+	})
+	res := fs.recv()
+	if res.Type != protocol.TypeResult {
+		t.Fatalf("got %s: %s", res.Type, res.Error)
+	}
+	if res.JobID != 5 || res.Partition != 2 {
+		t.Errorf("result routing = %+v", res)
+	}
+	if string(res.Result) != "2" {
+		t.Errorf("result = %s, want 2", res.Result)
+	}
+	if res.ProcessedKB <= 0 {
+		t.Error("processed KB missing")
+	}
+}
+
+func TestAssignWithResume(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	// Resume after the first two lines with one prime already counted.
+	fs.send(&protocol.Message{
+		Type:  protocol.TypeAssign,
+		JobID: 1,
+		Task:  "primecount",
+		Input: []byte("2\n4\n5\n7\n"),
+		Resume: &tasks.Checkpoint{
+			Offset: 4, // past "2\n4\n"
+			State:  []byte(`{"count":1}`),
+		},
+	})
+	res := fs.recv()
+	if res.Type != protocol.TypeResult {
+		t.Fatalf("got %s: %s", res.Type, res.Error)
+	}
+	if string(res.Result) != "3" { // 1 carried + 5, 7
+		t.Errorf("resumed result = %s, want 3", res.Result)
+	}
+}
+
+func TestAssignUnknownTaskFails(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{Type: protocol.TypeAssign, JobID: 9, Task: "nope"})
+	res := fs.recv()
+	if res.Type != protocol.TypeFailure || res.JobID != 9 {
+		t.Errorf("expected failure for unknown task, got %+v", res)
+	}
+}
+
+func TestAssignBadInputFails(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{Type: protocol.TypeAssign, JobID: 3, Task: "blur",
+		Input: []byte("not an image")})
+	res := fs.recv()
+	if res.Type != protocol.TypeFailure {
+		t.Errorf("expected failure for bad image, got %+v", res)
+	}
+}
+
+func TestUnplugDuringExecution(t *testing.T) {
+	w, fs, _ := startWorker(t, Config{DelayPerKB: 50 * time.Millisecond})
+	fs.welcome(1)
+	input := make([]byte, 0, 64*1024)
+	for len(input) < 60*1024 {
+		input = append(input, []byte("104729\n")...)
+	}
+	fs.send(&protocol.Message{Type: protocol.TypeAssign, JobID: 2,
+		Task: "primecount", Input: input})
+	time.Sleep(100 * time.Millisecond)
+	w.Unplug()
+	res := fs.recv()
+	if res.Type != protocol.TypeFailure {
+		t.Fatalf("expected failure report, got %s", res.Type)
+	}
+	if res.Checkpoint == nil {
+		t.Fatal("failure must carry the checkpoint for migration")
+	}
+	if res.Error != "unplugged" {
+		t.Errorf("error = %q", res.Error)
+	}
+	// The connection closes after the report.
+	if err := fs.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.conn.Recv(); err == nil {
+		t.Error("worker should disconnect after unplugging")
+	}
+}
+
+func TestUnplugWhileIdleSendsBye(t *testing.T) {
+	w, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	// Give the worker a beat to be idle, then unplug. net.Pipe is
+	// unbuffered, so the Bye send blocks until we read it: unplug from a
+	// goroutine.
+	time.Sleep(20 * time.Millisecond)
+	go w.Unplug()
+	msg := fs.recv()
+	if msg.Type != protocol.TypeBye {
+		t.Errorf("idle unplug sent %s, want bye", msg.Type)
+	}
+}
+
+func TestVanishClosesSilently(t *testing.T) {
+	w, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	time.Sleep(20 * time.Millisecond)
+	w.Vanish()
+	// The pipe may already be closed, making SetReadDeadline itself fail;
+	// either way the next Recv must error without delivering a frame.
+	_ = fs.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fs.conn.Recv(); err == nil {
+		t.Error("vanish should close without any frame")
+	}
+}
+
+func TestByeExitsCleanly(t *testing.T) {
+	serverSide, workerSide := net.Pipe()
+	w, err := New(Config{
+		CPUMHz: 1000,
+		Dial:   func(context.Context) (net.Conn, error) { return workerSide, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.Run(context.Background()) }()
+	fs := &fakeServer{t: t, conn: protocol.NewConn(serverSide)}
+	fs.welcome(1)
+	fs.send(&protocol.Message{Type: protocol.TypeBye})
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("Run returned %v after bye", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not exit after bye")
+	}
+}
+
+func TestContextCancelStopsWorker(t *testing.T) {
+	_, fs, cancel := startWorker(t, Config{})
+	fs.welcome(1)
+	cancel()
+	if err := fs.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.conn.Recv(); err == nil {
+		t.Error("canceled worker should drop the connection")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	w, err := New(Config{ServerAddr: "127.0.0.1:1", CPUMHz: 1000}) // nothing listens there
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelT := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelT()
+	if err := w.Run(ctx); err == nil {
+		t.Error("dialing a dead address should error")
+	}
+}
+
+func TestWorkerSendsAuthToken(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{AuthToken: "sekrit"})
+	hello := fs.recv()
+	if hello.Type != protocol.TypeHello || hello.Token != "sekrit" {
+		t.Errorf("hello = %+v", hello)
+	}
+}
+
+func TestAssignmentsExecuteSerially(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{DelayPerKB: 2 * time.Millisecond})
+	fs.welcome(1)
+	// Fire three assignments back to back; results must come back in
+	// order because execution is strictly serial.
+	input := make([]byte, 0, 8*1024)
+	for len(input) < 8*1024 {
+		input = append(input, []byte("11\n")...)
+	}
+	for k := 0; k < 3; k++ {
+		fs.send(&protocol.Message{Type: protocol.TypeAssign, JobID: k + 1,
+			Partition: k, Task: "primecount", Input: input})
+	}
+	for k := 0; k < 3; k++ {
+		res := fs.recv()
+		if res.Type != protocol.TypeResult {
+			t.Fatalf("assignment %d: %s (%s)", k, res.Type, res.Error)
+		}
+		if res.JobID != k+1 {
+			t.Fatalf("results out of order: got job %d, want %d", res.JobID, k+1)
+		}
+	}
+}
+
+func TestChunkedAssignmentAssembly(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	input := []byte("2\n3\n4\n5\n7\n9\n11\n")
+	// Stream in three pieces.
+	fs.send(&protocol.Message{
+		Type: protocol.TypeAssign, JobID: 4, Partition: 1,
+		Task: "primecount", Input: input[:5], TotalLen: int64(len(input)),
+	})
+	fs.send(&protocol.Message{
+		Type: protocol.TypeAssignChunk, JobID: 4, Partition: 1, Input: input[5:9],
+	})
+	fs.send(&protocol.Message{
+		Type: protocol.TypeAssignChunk, JobID: 4, Partition: 1, Input: input[9:],
+	})
+	res := fs.recv()
+	if res.Type != protocol.TypeResult {
+		t.Fatalf("got %s: %s", res.Type, res.Error)
+	}
+	if string(res.Result) != "5" { // 2 3 5 7 11
+		t.Errorf("chunked result = %s, want 5", res.Result)
+	}
+}
+
+func TestUnexpectedChunkRejected(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{Type: protocol.TypeAssignChunk, JobID: 9, Partition: 0,
+		Input: []byte("x")})
+	res := fs.recv()
+	if res.Type != protocol.TypeFailure {
+		t.Errorf("stray chunk got %s", res.Type)
+	}
+}
+
+func TestChunkOverflowRejected(t *testing.T) {
+	_, fs, _ := startWorker(t, Config{})
+	fs.welcome(1)
+	fs.send(&protocol.Message{
+		Type: protocol.TypeAssign, JobID: 5, Partition: 0,
+		Task: "primecount", Input: []byte("123"), TotalLen: 5,
+	})
+	fs.send(&protocol.Message{
+		Type: protocol.TypeAssignChunk, JobID: 5, Partition: 0,
+		Input: []byte("4567890"), // 3 + 7 > 5
+	})
+	res := fs.recv()
+	if res.Type != protocol.TypeFailure {
+		t.Errorf("overflowing chunk got %s", res.Type)
+	}
+}
