@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos check bench fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast suite (skips the chaos soak via -short).
+test:
+	$(GO) test -short ./...
+
+# Full suite under the race detector, chaos soak included.
+race:
+	$(GO) test -race ./...
+
+# Just the fault-injection soak: seeded chaos on every link, aggregates
+# must be byte-identical to a fault-free run.
+chaos:
+	$(GO) test ./internal/cluster/ -run 'TestChaosSoak|TestClusterWorkerReconnects' -race -count=1 -v
+
+# The pre-PR gate: everything that must be green before a change ships.
+check: vet build race
+	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -w .

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"time"
 
+	"cwc/internal/faults"
 	"cwc/internal/server"
 	"cwc/internal/tasks"
 )
@@ -33,16 +35,38 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		stateFile = flag.String("state", "", "snapshot file: restored at start if present, written on exit")
 		inputKB   = flag.Int("input-kb", 256, "per-job input size for the demo workload")
+		dlFactor  = flag.Float64("deadline-factor", 4, "assignment deadline as a multiple of the cost-model estimate")
+		dlFloor   = flag.Duration("deadline-floor", 30*time.Second, "minimum assignment deadline")
+		retries   = flag.Int("max-retries", 8, "re-queues per work item before dead-lettering (negative: unbounded)")
+		faultSpec = flag.String("faults", "", "fault-injection scenario: a file path or an inline DSL string (see internal/faults)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "cwc-server: ", log.LstdFlags)
-	m := server.New(server.Config{
+	cfg := server.Config{
 		Addr:               *listen,
 		KeepalivePeriod:    *keepalive,
 		KeepaliveTolerance: *misses,
+		DeadlineFactor:     *dlFactor,
+		DeadlineFloor:      *dlFloor,
+		MaxItemRetries:     *retries,
 		Logger:             logger,
-	})
+	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		src := *faultSpec
+		if b, err := os.ReadFile(*faultSpec); err == nil {
+			src = string(b)
+		}
+		var err error
+		plan, err = faults.ParseScenario(src)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cfg.ListenerHook = func(ln net.Listener) net.Listener { return plan.WrapListener(ln) }
+		logger.Print("fault injection active on the listener (accept-side faults use the 'phone *' profile)")
+	}
+	m := server.New(cfg)
 	if err := m.Start(); err != nil {
 		logger.Fatal(err)
 	}
@@ -144,5 +168,23 @@ func main() {
 			}
 			fmt.Printf("%s (job %d): %s\n", label, id, preview)
 		}
+	}
+	for _, dl := range m.DeadLetters() {
+		logger.Printf("dead letter: job %d (%s, %d bytes) after %d retries: %s",
+			dl.JobID, dl.Task, dl.Bytes, dl.Retries, dl.Reason)
+	}
+	if offline := m.OfflineFailures(); len(offline) > 0 {
+		byReason := map[string]int{}
+		for _, of := range offline {
+			byReason[of.Reason]++
+		}
+		logger.Printf("offline-failure events: %v", byReason)
+	}
+	if plan != nil {
+		byKind := map[faults.EventKind]int{}
+		for _, e := range plan.Recorder().Events() {
+			byKind[e.Kind]++
+		}
+		logger.Printf("injected faults: %v", byKind)
 	}
 }

@@ -33,6 +33,11 @@ func main() {
 		chargePc = flag.Float64("charge-start", 30, "initial battery percent for -charge-scale")
 		token    = flag.String("token", "", "enrolment token when the server requires one")
 		replugIn = flag.Duration("replug-after", 0, "after -unplug-after or -vanish-after, rejoin the pool this long after leaving (0: stay out)")
+
+		reconnect   = flag.Bool("reconnect", true, "reconnect with backoff when the server connection is lost")
+		reconnBase  = flag.Duration("reconnect-base", 100*time.Millisecond, "initial reconnect backoff delay")
+		reconnMax   = flag.Duration("reconnect-max", 5*time.Second, "backoff delay cap")
+		reconnTries = flag.Int("reconnect-attempts", 10, "consecutive failed reconnects before giving up (negative: never)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cwc-worker: ", log.LstdFlags)
@@ -78,6 +83,12 @@ func main() {
 		DelayPerKB: *delay,
 		Charging:   charging,
 		AuthToken:  *token,
+		Reconnect: worker.ReconnectPolicy{
+			Disabled:    !*reconnect,
+			BaseDelay:   *reconnBase,
+			MaxDelay:    *reconnMax,
+			MaxAttempts: *reconnTries,
+		},
 	})
 	if err != nil {
 		logger.Fatal(err)

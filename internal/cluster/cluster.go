@@ -8,10 +8,12 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"cwc/internal/device"
+	"cwc/internal/faults"
 	"cwc/internal/server"
 	"cwc/internal/worker"
 )
@@ -30,6 +32,15 @@ type Options struct {
 	// ChargingStartPct percent.
 	ChargingTimeScale float64
 	ChargingStartPct  float64
+	// Faults, when set, injects the plan's deterministic faults into every
+	// link: worker i dials through Faults.Dialer(i, ...) and the master's
+	// listener is wrapped with Faults.WrapListener. Pair it with a
+	// Reconnect policy so workers ride out the injected failures.
+	Faults *faults.Plan
+	// Reconnect is every worker's reconnection policy (zero values take
+	// the worker defaults). A nonzero Seed is offset per worker so the
+	// fleet's backoff jitter does not move in lockstep.
+	Reconnect worker.ReconnectPolicy
 	// Server overrides; Addr is always forced to loopback.
 	Server server.Config
 }
@@ -61,6 +72,15 @@ func Start(ctx context.Context, opts Options) (*Cluster, error) {
 	}
 	cfg := opts.Server
 	cfg.Addr = "127.0.0.1:0"
+	if opts.Faults != nil {
+		prev := cfg.ListenerHook
+		cfg.ListenerHook = func(ln net.Listener) net.Listener {
+			if prev != nil {
+				ln = prev(ln)
+			}
+			return opts.Faults.WrapListener(ln)
+		}
+	}
 	m := server.New(cfg)
 	if err := m.Start(); err != nil {
 		return nil, err
@@ -69,7 +89,7 @@ func Start(ctx context.Context, opts Options) (*Cluster, error) {
 	runCtx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{Master: m, cancel: cancel}
 
-	for _, ph := range opts.Phones {
+	for i, ph := range opts.Phones {
 		delay := opts.DelayPerKB
 		if delay > 0 {
 			// Faster phones get proportionally less emulated delay.
@@ -83,13 +103,27 @@ func Start(ctx context.Context, opts Options) (*Cluster, error) {
 				TimeScale:    opts.ChargingTimeScale,
 			}
 		}
+		var dial func(ctx context.Context) (net.Conn, error)
+		if opts.Faults != nil {
+			addr := m.Addr()
+			dial = opts.Faults.Dialer(i, func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", addr)
+			})
+		}
+		rc := opts.Reconnect
+		if rc.Seed != 0 {
+			rc.Seed += int64(i)
+		}
 		w, err := worker.New(worker.Config{
 			ServerAddr: m.Addr(),
 			Model:      ph.Spec.Model,
 			CPUMHz:     ph.Spec.CPU.ClockMHz,
 			RAMMB:      ph.Spec.RAMMB,
 			DelayPerKB: delay,
+			Dial:       dial,
 			Charging:   charging,
+			Reconnect:  rc,
 		})
 		if err != nil {
 			c.Stop()

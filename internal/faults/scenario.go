@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseScenario builds a Plan from a compact fault-scenario DSL. One
+// clause per line (or semicolon-separated), each targeting one phone or
+// every phone:
+//
+//	# phone 3 drops every 2nd assignment mid-transfer, at most 4 times
+//	phone 3: cut-every=2 max-cuts=4
+//	# every link: 5 ms +/- 2 ms latency, 256 KB/s, 5% corrupted frames
+//	phone *: latency=5ms jitter=2ms bw=256 corrupt=0.05
+//	phone 1: refuse=0.3 refuse-every=2 seed=42
+//
+// Keys: latency, jitter (durations), bw (KB/s), partial, corrupt, cut,
+// refuse (probabilities in [0,1]), cut-every, max-cuts, refuse-every
+// (counts), seed (int64). Repeated clauses for the same phone merge
+// key-wise; `phone *` sets the default profile used by phones without a
+// specific entry.
+func ParseScenario(src string) (*Plan, error) {
+	pl := &Plan{PerPhone: map[int]Profile{}}
+	lines := strings.FieldsFunc(src, func(r rune) bool { return r == '\n' || r == ';' })
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		head, body, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q missing ':'", line)
+		}
+		target := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(head), "phone"))
+		if strings.TrimSpace(head) == target {
+			return nil, fmt.Errorf("faults: clause %q must start with 'phone'", line)
+		}
+		var prof *Profile
+		wildcard := target == "*"
+		var id int
+		if wildcard {
+			prof = &pl.Default
+		} else {
+			n, err := strconv.Atoi(target)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad phone id %q: %v", target, err)
+			}
+			id = n
+			p := pl.PerPhone[id]
+			prof = &p
+		}
+		if err := applyClauses(prof, body); err != nil {
+			return nil, fmt.Errorf("faults: clause %q: %w", line, err)
+		}
+		if !wildcard {
+			pl.PerPhone[id] = *prof
+		}
+	}
+	return pl, nil
+}
+
+func applyClauses(p *Profile, body string) error {
+	for _, field := range strings.Fields(body) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("setting %q is not key=value", field)
+		}
+		switch key {
+		case "latency", "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return fmt.Errorf("%s: %v", key, err)
+			}
+			ms := float64(d) / float64(time.Millisecond)
+			if key == "latency" {
+				p.LatencyMs = ms
+			} else {
+				p.JitterMs = ms
+			}
+		case "bw":
+			f, err := strconv.ParseFloat(strings.TrimSuffix(val, "KBps"), 64)
+			if err != nil {
+				return fmt.Errorf("bw: %v", err)
+			}
+			p.BandwidthKBps = f
+		case "partial", "corrupt", "cut", "refuse":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return fmt.Errorf("%s: want probability in [0,1], got %q", key, val)
+			}
+			switch key {
+			case "partial":
+				p.PartialWrite = f
+			case "corrupt":
+				p.CorruptProb = f
+			case "cut":
+				p.CutProb = f
+			case "refuse":
+				p.RefuseProb = f
+			}
+		case "cut-every", "max-cuts", "refuse-every":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fmt.Errorf("%s: want non-negative count, got %q", key, val)
+			}
+			switch key {
+			case "cut-every":
+				p.CutEvery = n
+			case "max-cuts":
+				p.MaxCuts = n
+			case "refuse-every":
+				p.RefuseEvery = n
+			}
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("seed: %v", err)
+			}
+			p.Seed = n
+		default:
+			return fmt.Errorf("unknown setting %q", key)
+		}
+	}
+	return nil
+}

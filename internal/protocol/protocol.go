@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -67,6 +68,10 @@ type Message struct {
 	CPUMHz  float64 `json:"cpu_mhz,omitempty"`
 	RAMMB   int     `json:"ram_mb,omitempty"`
 	PhoneID int     `json:"phone_id,omitempty"`
+	// Rejoin marks a hello as a reconnection: the phone previously held
+	// PhoneID and asks to resume that identity (checkpointed work and
+	// bandwidth estimates survive the reconnect).
+	Rejoin bool `json:"rejoin,omitempty"`
 	// Welcome: keepalive parameters the worker should expect.
 	KeepaliveMs int `json:"keepalive_ms,omitempty"`
 
@@ -74,11 +79,17 @@ type Message struct {
 	Payload []byte `json:"payload,omitempty"`
 
 	// Assign / Result / Failure.
-	JobID     int    `json:"job_id,omitempty"`
-	Partition int    `json:"partition,omitempty"`
-	Task      string `json:"task,omitempty"`
-	Params    []byte `json:"params,omitempty"`
-	Input     []byte `json:"input,omitempty"`
+	JobID     int `json:"job_id,omitempty"`
+	Partition int `json:"partition,omitempty"`
+	// Attempt is the server-issued dispatch attempt ID. The worker echoes
+	// it in the matching result/failure so the server can pair late or
+	// replayed reports with the exact dispatch that caused them
+	// (first-result-wins for speculative re-dispatch). Zero means "no
+	// attempt tracking" (legacy peers).
+	Attempt int64  `json:"attempt,omitempty"`
+	Task    string `json:"task,omitempty"`
+	Params  []byte `json:"params,omitempty"`
+	Input   []byte `json:"input,omitempty"`
 	// TotalLen, when larger than len(Input) on an assign frame, announces
 	// a chunked transfer: assign_chunk frames follow until the assembled
 	// input reaches TotalLen.
@@ -98,6 +109,13 @@ type Message struct {
 // MaxFrameSize bounds a single frame; larger frames indicate a corrupt
 // stream or an abusive peer.
 const MaxFrameSize = 256 << 20 // 256 MiB
+
+// ErrCorrupt marks a received frame as undecodable: an impossible length
+// prefix, a body that is not valid JSON, or a frame without a type. The
+// stream is unrecoverable past such a frame (framing is lost), so the
+// peer should be treated exactly like an offline failure. Distinguish it
+// from plain I/O errors (connection cut), which are NOT wrapped in it.
+var ErrCorrupt = errors.New("protocol: corrupt frame")
 
 // Conn wraps a net.Conn with frame encoding. Sends are serialized by a
 // mutex so multiple goroutines (dispatcher, keepaliver) can share it;
@@ -151,7 +169,7 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit: %w", n, ErrCorrupt)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(c.r, body); err != nil {
@@ -159,10 +177,10 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, fmt.Errorf("protocol: decoding frame: %w", err)
+		return nil, fmt.Errorf("decoding frame (%v): %w", err, ErrCorrupt)
 	}
 	if m.Type == "" {
-		return nil, fmt.Errorf("protocol: frame missing type")
+		return nil, fmt.Errorf("frame missing type: %w", ErrCorrupt)
 	}
 	return &m, nil
 }

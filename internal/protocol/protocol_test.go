@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"encoding/binary"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -226,5 +227,99 @@ func TestOverTCP(t *testing.T) {
 	}
 	if c.RemoteAddr() == nil {
 		t.Error("remote addr should be set")
+	}
+}
+
+// Corrupt-stream classification: frames that are structurally broken
+// (impossible length, undecodable JSON, missing type) wrap ErrCorrupt so
+// the server can convert them into structured offline failures, while a
+// cleanly cut stream surfaces as a plain I/O error.
+func TestRecvCorruptClassification(t *testing.T) {
+	// Garbage header: four random bytes that decode to a plausible length
+	// followed by non-JSON body bytes.
+	t.Run("garbage header and body", func(t *testing.T) {
+		client, server := net.Pipe()
+		defer client.Close()
+		c := NewConn(server)
+		defer c.Close()
+		go client.Write([]byte{0x00, 0x00, 0x00, 0x05, 0xde, 0xad, 0xbe, 0xef, 0x01})
+		_, err := c.Recv()
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("oversized length prefix", func(t *testing.T) {
+		client, server := net.Pipe()
+		defer client.Close()
+		c := NewConn(server)
+		defer c.Close()
+		go client.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		_, err := c.Recv()
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("missing type", func(t *testing.T) {
+		a, b := pipePair()
+		defer a.Close()
+		defer b.Close()
+		go a.Send(&Message{})
+		_, err := b.Recv()
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	// A truncated body (peer dies mid-frame) is a connection failure, not
+	// a corrupt frame: framing was intact as far as it got.
+	t.Run("truncated body is not corrupt", func(t *testing.T) {
+		client, server := net.Pipe()
+		c := NewConn(server)
+		defer c.Close()
+		go func() {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], 100)
+			client.Write(hdr[:])
+			client.Write([]byte("{\"type\":")) // 8 of 100 bytes, then gone
+			client.Close()
+		}()
+		_, err := c.Recv()
+		if err == nil {
+			t.Fatal("truncated body should error")
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, should NOT be ErrCorrupt", err)
+		}
+	})
+}
+
+// Attempt IDs and the rejoin flag survive the wire round trip.
+func TestAttemptAndRejoinRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	msgs := []*Message{
+		{Type: TypeHello, Model: "HTC G2", CPUMHz: 806, PhoneID: 4, Rejoin: true},
+		{Type: TypeAssign, JobID: 1, Partition: 0, Attempt: 77, Task: "primecount", Input: []byte("2\n")},
+		{Type: TypeResult, JobID: 1, Partition: 0, Attempt: 77, Result: []byte("1")},
+	}
+	go func() {
+		for _, m := range msgs {
+			if err := a.Send(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	hello, err := b.Recv()
+	if err != nil || !hello.Rejoin || hello.PhoneID != 4 {
+		t.Fatalf("rejoin hello = %+v, %v", hello, err)
+	}
+	asg, err := b.Recv()
+	if err != nil || asg.Attempt != 77 {
+		t.Fatalf("assign attempt = %+v, %v", asg, err)
+	}
+	res, err := b.Recv()
+	if err != nil || res.Attempt != 77 {
+		t.Fatalf("result attempt = %+v, %v", res, err)
 	}
 }

@@ -222,7 +222,7 @@ type Event struct {
 	PhoneID   int
 	JobID     int
 	Partition int
-	Kind      string // "assign", "result", "failure", "requeue"
+	Kind      string // "assign", "result", "failure", "requeue", "straggler", "stale-result", "deadletter"
 }
 
 // RoundReport summarizes one scheduling round.
@@ -233,7 +233,12 @@ type RoundReport struct {
 	CompletedJobs       []int
 	FailedPhones        []int
 	Requeued            int
-	Events              []Event
+	// Stragglers lists phones that blew an assignment deadline this round
+	// (their partitions were speculatively re-dispatched).
+	Stragglers []int
+	// DeadLettered counts work items whose retry budget ran out this round.
+	DeadLettered int
+	Events       []Event
 }
 
 // assignment couples a core schedule slot with its concrete input bytes.
@@ -242,6 +247,8 @@ type assignment struct {
 	partition int
 	input     []byte
 	resume    *tasks.Checkpoint
+	// key is the dispatch identity of this byte range; see workItem.key.
+	key int64
 }
 
 // ErrNothingToDo is returned by RunRound with an empty queue.
@@ -255,7 +262,15 @@ var ErrNothingToDo = errors.New("server: no pending work")
 // for concurrent invocation.
 func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	m.mu.Lock()
-	items := m.pending
+	// Drop queued items whose key already completed: their speculative twin
+	// (or a late straggler result) delivered the byte range first.
+	items := m.pending[:0]
+	for _, it := range m.pending {
+		if it.key != 0 && m.completed[it.key] {
+			continue
+		}
+		items = append(items, it)
+	}
 	m.pending = nil
 	m.mu.Unlock()
 	if len(items) == 0 {
@@ -301,6 +316,23 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		return nil, err
 	}
 
+	// Give every dispatched partition its key: re-queued keyed items keep
+	// theirs (they are atomic, so the byte range is unchanged); everything
+	// else gets a fresh identity for first-result-wins tracking.
+	m.mu.Lock()
+	for pi := range plans {
+		for k := range plans[pi] {
+			a := &plans[pi][k]
+			if a.item.key != 0 {
+				a.key = a.item.key
+			} else {
+				m.nextKey++
+				a.key = m.nextKey
+			}
+		}
+	}
+	m.mu.Unlock()
+
 	report := &RoundReport{
 		Items:               len(items),
 		PredictedMakespanMs: sched.Makespan,
@@ -328,9 +360,24 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	}
 	wg.Wait()
 	report.Wall = time.Since(start)
+	for _, e := range report.Events {
+		switch e.Kind {
+		case "straggler":
+			report.Stragglers = append(report.Stragglers, e.PhoneID)
+		case "deadletter":
+			report.DeadLettered++
+		}
+	}
 
 	// Aggregate completed jobs and count requeues.
 	m.mu.Lock()
+	// Sweep attempt records that can no longer resolve: completed keys,
+	// and dead phones (whose in-flight work was re-queued on death).
+	for id, rec := range m.attempts {
+		if m.completed[rec.a.key] || !rec.ps.alive() {
+			delete(m.attempts, id)
+		}
+	}
 	report.Requeued = len(m.pending)
 	for _, js := range m.jobs {
 		if js.done || js.covered < js.totalBytes {
@@ -376,7 +423,7 @@ func (m *Master) buildSchedule(items []*workItem, phones []*phoneState) (*core.S
 			Task:    it.task.Name(),
 			ExecKB:  it.task.ExecKB(),
 			InputKB: it.remainingKB(),
-			Atomic:  it.atomic || it.resume != nil,
+			Atomic:  it.atomic || it.resume != nil || it.key != 0,
 		})
 	}
 	inst.C = make([][]float64, len(inst.Phones))
@@ -459,9 +506,82 @@ func slicePartitions(items []*workItem, sched *core.Schedule) ([][]assignment, e
 	return plans, nil
 }
 
+// newAttempt registers a dispatch attempt so reports can be paired with
+// the exact assignment that caused them, even across reconnects.
+func (m *Master) newAttempt(ps *phoneState, a assignment) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextAttempt++
+	m.attempts[m.nextAttempt] = &attemptRec{a: a, ps: ps, live: true}
+	return m.nextAttempt
+}
+
+// dropAttempt forgets an attempt whose outcome is settled.
+func (m *Master) dropAttempt(id int64) {
+	m.mu.Lock()
+	delete(m.attempts, id)
+	m.mu.Unlock()
+}
+
+// detachAttempt keeps an attempt registered but marks that no dispatcher
+// waits on it anymore; the read loop will credit its eventual report.
+func (m *Master) detachAttempt(id int64) {
+	m.mu.Lock()
+	if rec, ok := m.attempts[id]; ok {
+		rec.live = false
+	}
+	m.mu.Unlock()
+}
+
+// assignmentDeadline bounds one assignment by DeadlineFactor times its
+// cost-model estimate E_j·b_i + l_ij·(b_i + c_ij), floored at
+// DeadlineFloor (early estimates are unreliable).
+func (m *Master) assignmentDeadline(a assignment, ps *phoneState) time.Duration {
+	d := m.cfg.DeadlineFloor
+	if m.est == nil {
+		return d
+	}
+	c, err := m.est.Estimate(a.item.task.Name(), ps.info.ID, ps.info.CPUMHz)
+	if err != nil {
+		return d
+	}
+	m.mu.Lock()
+	b := ps.info.BMsPerKB
+	m.mu.Unlock()
+	l := float64(len(a.input)) / 1024
+	ms := a.item.task.ExecKB()*b + l*(b+c)
+	if byModel := time.Duration(ms * m.cfg.DeadlineFactor * float64(time.Millisecond)); byModel > d {
+		d = byModel
+	}
+	return d
+}
+
+// speculate queues an atomic copy of a straggling assignment for the next
+// round. The original attempt stays outstanding; whichever report arrives
+// first wins the key. At most one copy is issued per key.
+func (m *Master) speculate(a assignment) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.key == 0 || m.completed[a.key] || m.speculated[a.key] {
+		return false
+	}
+	m.speculated[a.key] = true
+	m.pending = append(m.pending, &workItem{
+		jobID:   a.item.jobID,
+		task:    a.item.task,
+		input:   a.input,
+		resume:  a.resume,
+		atomic:  true,
+		key:     a.key,
+		retries: a.item.retries,
+	})
+	return true
+}
+
 // dispatch feeds one phone its queue, one partition at a time ("the next
 // assigned task to the phone is copied only after the phone completes
-// executing its last assigned task"), handling results and failures.
+// executing its last assigned task"), handling results, failures,
+// deadlines, and stragglers.
 func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignment, start time.Time, addEvent func(Event)) {
 	est := m.est
 	for qi, a := range queue {
@@ -470,48 +590,109 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 		if a.resume != nil && m.cfg.Journal != nil {
 			m.cfg.Journal.RecordResume(a.item.jobID, a.partition, ps.info.ID)
 		}
-		if err := m.sendAssign(ps, a); err != nil {
+		attempt := m.newAttempt(ps, a)
+		if err := m.sendAssign(ps, a, attempt); err != nil {
+			m.dropAttempt(attempt)
 			ps.markDead()
 			m.requeueFrom(queue[qi:], start, addEvent)
 			return
 		}
-		select {
-		case resp := <-ps.respCh:
-			switch resp.Type {
-			case protocol.TypeResult:
-				addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
-					JobID: a.item.jobID, Partition: a.partition, Kind: "result"})
-				m.recordResult(a, resp, est, ps)
-			case protocol.TypeFailure:
-				addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
-					JobID: a.item.jobID, Partition: a.partition, Kind: "failure"})
-				m.cfg.Logger.Printf("phone %d failed on job %d: %s",
-					ps.info.ID, a.item.jobID, resp.Error)
-				m.recordFailure(a, resp, ps.info.ID)
-				ps.markDead()
+		deadline := m.assignmentDeadline(a, ps)
+		timer := time.NewTimer(deadline)
+		straggled := false
+	wait:
+		for {
+			select {
+			case resp := <-ps.respCh:
+				if resp.Attempt != 0 && resp.Attempt != attempt {
+					// A report queued for an earlier attempt on this phone
+					// before it was abandoned; credit it and keep waiting.
+					m.mu.Lock()
+					rec, ok := m.attempts[resp.Attempt]
+					delete(m.attempts, resp.Attempt)
+					m.mu.Unlock()
+					if ok && resp.Type == protocol.TypeResult {
+						addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
+							JobID: rec.a.item.jobID, Partition: rec.a.partition, Kind: "stale-result"})
+						m.recordResult(rec.a, resp, est, rec.ps)
+					}
+					continue
+				}
+				m.dropAttempt(attempt)
+				switch resp.Type {
+				case protocol.TypeResult:
+					addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
+						JobID: a.item.jobID, Partition: a.partition, Kind: "result"})
+					m.recordResult(a, resp, est, ps)
+				case protocol.TypeFailure:
+					addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
+						JobID: a.item.jobID, Partition: a.partition, Kind: "failure"})
+					m.cfg.Logger.Printf("phone %d failed on job %d: %s",
+						ps.info.ID, a.item.jobID, resp.Error)
+					m.recordFailure(a, resp, ps.info.ID)
+					ps.markDead()
+					m.requeueFrom(queue[qi+1:], start, addEvent)
+					timer.Stop()
+					return
+				}
+				break wait
+			case <-timer.C:
+				if !straggled {
+					// Deadline blown: mark the phone a straggler, issue a
+					// speculative copy for the next round, and give the
+					// original one more deadline to deliver.
+					straggled = true
+					if m.speculate(a) {
+						m.cfg.Logger.Printf("phone %d straggling on job %d partition %d (deadline %v); speculating",
+							ps.info.ID, a.item.jobID, a.partition, deadline)
+						addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
+							JobID: a.item.jobID, Partition: a.partition, Kind: "straggler"})
+					}
+					timer.Reset(deadline)
+					continue
+				}
+				// Twice the deadline: abandon the phone for this round. It
+				// stays alive (it may just be slow); its eventual report is
+				// credited by the read loop if the key is still open.
+				m.cfg.Logger.Printf("phone %d abandoned for the round (job %d partition %d overdue)",
+					ps.info.ID, a.item.jobID, a.partition)
+				m.detachAttempt(attempt)
+				m.requeueAbandoned(a, start, addEvent)
 				m.requeueFrom(queue[qi+1:], start, addEvent)
 				return
+			case <-ps.dead:
+				// Offline failure: no report; the whole in-flight partition
+				// and the rest of the queue go back to the pool.
+				m.cfg.Logger.Printf("phone %d died with job %d in flight", ps.info.ID, a.item.jobID)
+				m.dropAttempt(attempt)
+				m.requeueFrom(queue[qi:], start, addEvent)
+				timer.Stop()
+				return
+			case <-ctx.Done():
+				m.dropAttempt(attempt)
+				m.requeueFrom(queue[qi:], start, addEvent)
+				timer.Stop()
+				return
 			}
-		case <-ps.dead:
-			// Offline failure: no report; the whole in-flight partition
-			// and the rest of the queue go back to the pool.
-			m.cfg.Logger.Printf("phone %d died with job %d in flight", ps.info.ID, a.item.jobID)
-			m.requeueFrom(queue[qi:], start, addEvent)
-			return
-		case <-ctx.Done():
-			m.requeueFrom(queue[qi:], start, addEvent)
-			return
 		}
+		timer.Stop()
 	}
 }
 
 // recordResult folds a completed partition into its job and refines the
-// execution-time prediction.
+// execution-time prediction. Duplicate results for an already-settled key
+// (the loser of a speculative race, a reconnect replay) are dropped.
 func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict.Estimator, ps *phoneState) {
-	if a.resume != nil && m.cfg.Journal != nil {
-		m.cfg.Journal.RecordComplete(a.item.jobID, a.partition, ps.info.ID)
-	}
 	m.mu.Lock()
+	if a.key != 0 {
+		if m.completed[a.key] {
+			m.mu.Unlock()
+			m.cfg.Logger.Printf("duplicate result for job %d partition %d dropped (key %d already settled)",
+				a.item.jobID, a.partition, a.key)
+			return
+		}
+		m.completed[a.key] = true
+	}
 	js := m.jobs[a.item.jobID]
 	// A resumed piece covers its full byte range too: the failure that
 	// spawned it recorded no coverage (only the reporter path does, and
@@ -520,6 +701,9 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 	js.partials = append(js.partials, resp.Result)
 	m.mu.Unlock()
 
+	if a.resume != nil && m.cfg.Journal != nil {
+		m.cfg.Journal.RecordComplete(a.item.jobID, a.partition, ps.info.ID)
+	}
 	if est != nil && resp.ExecMs > 0 && resp.ProcessedKB > 0 {
 		_ = est.Report(a.item.task.Name(), ps.info.ID, resp.ExecMs/resp.ProcessedKB)
 	}
@@ -536,21 +720,35 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if a.key != 0 && m.completed[a.key] {
+		// A speculative twin already delivered this byte range; the
+		// failure is moot.
+		return
+	}
 	js := m.jobs[a.item.jobID]
 
-	if ck != nil && a.resume == nil {
+	// The partial-result shortcut credits coverage immediately, so it is
+	// only safe when no duplicate of this byte range can still deliver a
+	// full result (which would double-count the checkpointed prefix).
+	if ck != nil && a.resume == nil && !m.speculated[a.key] {
 		if pr, ok := a.item.task.(tasks.PartialReporter); ok && ck.Offset > 0 {
 			partial, err := pr.PartialResult(ck.State)
 			if err == nil {
+				if a.key != 0 {
+					m.completed[a.key] = true
+				}
 				js.covered += ck.Offset
 				js.partials = append(js.partials, partial)
 				remainder := a.input[ck.Offset:]
 				if len(remainder) > 0 {
-					m.pending = append(m.pending, &workItem{
-						jobID: a.item.jobID,
-						task:  a.item.task,
-						input: remainder,
-					})
+					// The remainder is a fresh byte range: new identity,
+					// splittable again.
+					m.requeueLocked(&workItem{
+						jobID:   a.item.jobID,
+						task:    a.item.task,
+						input:   remainder,
+						retries: a.item.retries,
+					}, "failure remainder: "+resp.Error)
 				}
 				return
 			}
@@ -558,17 +756,81 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 		}
 	}
 	// Whole-partition migration: resume exactly where it stopped.
+	if a.key != 0 && m.pendingTwinLocked(a.key) {
+		return // a queued copy already carries this byte range
+	}
 	resume := ck
 	if resume == nil {
 		resume = a.resume // keep any prior progress
 	}
-	m.pending = append(m.pending, &workItem{
-		jobID:  a.item.jobID,
-		task:   a.item.task,
-		input:  a.input,
-		resume: resume,
-		atomic: true,
-	})
+	m.requeueLocked(&workItem{
+		jobID:   a.item.jobID,
+		task:    a.item.task,
+		input:   a.input,
+		resume:  resume,
+		atomic:  true,
+		key:     a.key,
+		retries: a.item.retries,
+	}, "failure: "+resp.Error)
+}
+
+// requeueLocked re-queues a work item for the next scheduling instant, or
+// dead-letters it once its retry budget is spent (graceful degradation
+// over infinite re-queue). Caller holds m.mu. Reports whether the item
+// was re-queued.
+func (m *Master) requeueLocked(it *workItem, reason string) bool {
+	it.retries++
+	if m.cfg.MaxItemRetries >= 0 && it.retries > m.cfg.MaxItemRetries {
+		m.deadLetters = append(m.deadLetters, DeadLetter{
+			JobID:   it.jobID,
+			Task:    it.task.Name(),
+			Bytes:   len(it.input),
+			Retries: it.retries - 1,
+			Reason:  reason,
+		})
+		m.cfg.Logger.Printf("job %d item dead-lettered after %d retries: %s",
+			it.jobID, it.retries-1, reason)
+		return false
+	}
+	m.pending = append(m.pending, it)
+	return true
+}
+
+// pendingTwinLocked reports whether a queued item already carries the
+// given key. Caller holds m.mu.
+func (m *Master) pendingTwinLocked(key int64) bool {
+	for _, it := range m.pending {
+		if it.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// requeueAbandoned puts a straggler's in-flight byte range back in the
+// pool unless a copy of it is already queued or settled; the detached
+// attempt may still deliver, and first-result-wins arbitrates.
+func (m *Master) requeueAbandoned(a assignment, start time.Time, addEvent func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.key != 0 && (m.completed[a.key] || m.pendingTwinLocked(a.key)) {
+		return
+	}
+	it := &workItem{
+		jobID:   a.item.jobID,
+		task:    a.item.task,
+		input:   a.input,
+		resume:  a.resume,
+		atomic:  true,
+		key:     a.key,
+		retries: a.item.retries,
+	}
+	kind := "requeue"
+	if !m.requeueLocked(it, "straggler abandoned") {
+		kind = "deadletter"
+	}
+	addEvent(Event{At: time.Since(start), PhoneID: -1, JobID: a.item.jobID,
+		Partition: a.partition, Kind: kind})
 }
 
 // requeueFrom returns undispatched assignments to the pending pool.
@@ -576,15 +838,26 @@ func (m *Master) requeueFrom(rest []assignment, start time.Time, addEvent func(E
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, a := range rest {
-		addEvent(Event{At: time.Since(start), JobID: a.item.jobID,
-			Partition: a.partition, Kind: "requeue"})
-		m.pending = append(m.pending, &workItem{
+		if a.key != 0 && (m.completed[a.key] || m.pendingTwinLocked(a.key)) {
+			continue // the byte range is settled or already queued
+		}
+		it := &workItem{
 			jobID:  a.item.jobID,
 			task:   a.item.task,
 			input:  a.input,
 			resume: a.resume,
-			atomic: a.resume != nil || a.item.atomic,
-		})
+			// A keyed item must stay whole so the key keeps naming one
+			// exact byte range.
+			atomic:  a.key != 0 || a.resume != nil || a.item.atomic,
+			key:     a.key,
+			retries: a.item.retries,
+		}
+		kind := "requeue"
+		if !m.requeueLocked(it, "phone lost mid-round") {
+			kind = "deadletter"
+		}
+		addEvent(Event{At: time.Since(start), JobID: a.item.jobID,
+			Partition: a.partition, Kind: kind})
 	}
 }
 
@@ -650,14 +923,27 @@ func (m *Master) RunLoop(ctx context.Context, period time.Duration, onRound func
 			case <-time.After(period):
 			}
 		default:
-			return err
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			// Graceful degradation: a failed round (profiling lost its
+			// phone, scheduling hit a transient inconsistency) must not
+			// kill the service; the pending queue still holds the work.
+			m.cfg.Logger.Printf("round failed: %v (retrying next period)", err)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-m.stopped:
+				return nil
+			case <-time.After(period):
+			}
 		}
 	}
 }
 
 // sendAssign ships one partition, streaming inputs larger than the
 // configured chunk size as assign_chunk frames.
-func (m *Master) sendAssign(ps *phoneState, a assignment) error {
+func (m *Master) sendAssign(ps *phoneState, a assignment, attempt int64) error {
 	chunk := m.cfg.ChunkKB * 1024
 	first := a.input
 	var rest []byte
@@ -670,6 +956,7 @@ func (m *Master) sendAssign(ps *phoneState, a assignment) error {
 		Type:      protocol.TypeAssign,
 		JobID:     a.item.jobID,
 		Partition: a.partition,
+		Attempt:   attempt,
 		Task:      a.item.task.Name(),
 		Params:    a.item.task.Params(),
 		Input:     first,

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -52,6 +53,22 @@ type Config struct {
 	// ChunkKB caps the input bytes carried per assignment frame; larger
 	// partitions stream as assign_chunk frames. Default 4096 (4 MiB).
 	ChunkKB int
+	// DeadlineFactor scales the cost-model estimate
+	// (E_j·b_i + l_ij·(b_i+c_ij)) into a per-assignment deadline. A phone
+	// that blows its deadline is marked a straggler and its partition is
+	// speculatively re-dispatched; at twice the deadline the phone's queue
+	// is abandoned for the round. Default 4.
+	DeadlineFactor float64
+	// DeadlineFloor is the minimum assignment deadline regardless of the
+	// estimate (early estimates are unreliable). Default 30 s.
+	DeadlineFloor time.Duration
+	// MaxItemRetries bounds how many times one work item may be re-queued
+	// before it is dead-lettered instead (graceful degradation over
+	// infinite re-queue). Negative disables the bound. Default 8.
+	MaxItemRetries int
+	// ListenerHook, when set, wraps the TCP listener before the accept
+	// loop uses it (fault injection, metrics).
+	ListenerHook func(net.Listener) net.Listener
 }
 
 func (c *Config) fill() {
@@ -72,6 +89,15 @@ func (c *Config) fill() {
 	}
 	if c.ChunkKB == 0 {
 		c.ChunkKB = 4096
+	}
+	if c.DeadlineFactor == 0 {
+		c.DeadlineFactor = 4
+	}
+	if c.DeadlineFloor == 0 {
+		c.DeadlineFloor = 30 * time.Second
+	}
+	if c.MaxItemRetries == 0 {
+		c.MaxItemRetries = 8
 	}
 }
 
@@ -125,6 +151,15 @@ type workItem struct {
 	input  []byte
 	resume *tasks.Checkpoint // non-nil: resume exactly (shipped whole)
 	atomic bool
+	// key identifies this exact byte range across re-dispatches: a
+	// speculative copy carries the same key as its straggling original, and
+	// the first result to arrive for a key wins (duplicates are dropped at
+	// recording time). Zero means no copy can exist yet (fresh work); keyed
+	// items are forced atomic so the key↔byte-range mapping stays 1:1.
+	key int64
+	// retries counts re-queues; past Config.MaxItemRetries the item is
+	// dead-lettered instead of re-queued.
+	retries int
 }
 
 // remainingKB is the unprocessed input in KB (R_j for scheduling).
@@ -151,6 +186,37 @@ type jobState struct {
 	done       bool
 }
 
+// DeadLetter is a work item that exhausted its retry budget; it is
+// surfaced on the master instead of being re-queued forever.
+type DeadLetter struct {
+	JobID   int
+	Task    string
+	Bytes   int
+	Retries int
+	Reason  string
+}
+
+// OfflineFailure is one structured offline-failure event: why a phone was
+// declared dead (the paper folds every cause into "offline"; operators
+// want to tell a corrupt stream from a silent one).
+type OfflineFailure struct {
+	PhoneID int
+	Reason  string // "keepalive", "corrupt-frame", "conn-lost", "bye", "send-failed", "rejoined"
+	Detail  string
+}
+
+// attemptRec pairs an issued dispatch attempt with its assignment so a
+// late or replayed report (straggler that finished after abandonment, a
+// reconnecting worker flushing its unsent buffer) can still be credited.
+type attemptRec struct {
+	a  assignment
+	ps *phoneState
+	// live is true while a dispatch goroutine is waiting on the phone's
+	// respCh for this attempt; the read loop resolves non-live attempts
+	// directly so stale reports never clog a channel nobody drains.
+	live bool
+}
+
 // Master is the central server.
 type Master struct {
 	cfg Config
@@ -165,6 +231,16 @@ type Master struct {
 	est         *predict.Estimator
 	phoneWait   chan struct{} // broadcast on registration
 
+	handshaking map[*protocol.Conn]struct{} // accepted, hello not yet processed
+
+	nextKey     int64
+	nextAttempt int64
+	completed   map[int64]bool // keys whose result has been recorded
+	speculated  map[int64]bool // keys with a speculative copy issued
+	attempts    map[int64]*attemptRec
+	deadLetters []DeadLetter
+	offline     []OfflineFailure
+
 	closed  bool
 	wg      sync.WaitGroup
 	stopped chan struct{}
@@ -174,13 +250,42 @@ type Master struct {
 func New(cfg Config) *Master {
 	cfg.fill()
 	return &Master{
-		cfg:       cfg,
-		phones:    map[int]*phoneState{},
-		jobs:      map[int]*jobState{},
-		nextJobID: 1,
-		phoneWait: make(chan struct{}),
-		stopped:   make(chan struct{}),
+		cfg:         cfg,
+		handshaking: map[*protocol.Conn]struct{}{},
+		phones:      map[int]*phoneState{},
+		jobs:        map[int]*jobState{},
+		nextJobID:   1,
+		completed:   map[int64]bool{},
+		speculated:  map[int64]bool{},
+		attempts:    map[int64]*attemptRec{},
+		phoneWait:   make(chan struct{}),
+		stopped:     make(chan struct{}),
 	}
+}
+
+// DeadLetters returns the work items that exhausted their retry budget.
+func (m *Master) DeadLetters() []DeadLetter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DeadLetter, len(m.deadLetters))
+	copy(out, m.deadLetters)
+	return out
+}
+
+// OfflineFailures returns the structured offline-failure event log.
+func (m *Master) OfflineFailures() []OfflineFailure {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]OfflineFailure, len(m.offline))
+	copy(out, m.offline)
+	return out
+}
+
+// recordOffline logs a structured offline-failure event.
+func (m *Master) recordOffline(phoneID int, reason, detail string) {
+	m.mu.Lock()
+	m.offline = append(m.offline, OfflineFailure{PhoneID: phoneID, Reason: reason, Detail: detail})
+	m.mu.Unlock()
 }
 
 // Start begins listening and accepting phones.
@@ -188,6 +293,9 @@ func (m *Master) Start() error {
 	ln, err := net.Listen("tcp", m.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("server: listen %s: %w", m.cfg.Addr, err)
+	}
+	if m.cfg.ListenerHook != nil {
+		ln = m.cfg.ListenerHook(ln)
 	}
 	m.ln = ln
 	m.wg.Add(1)
@@ -215,11 +323,18 @@ func (m *Master) Close() {
 	for _, ps := range m.phones {
 		phones = append(phones, ps)
 	}
+	pending := make([]*protocol.Conn, 0, len(m.handshaking))
+	for c := range m.handshaking {
+		pending = append(pending, c)
+	}
 	m.mu.Unlock()
 
 	close(m.stopped)
 	if m.ln != nil {
 		m.ln.Close()
+	}
+	for _, c := range pending {
+		c.Close() // cut half-finished handshakes short
 	}
 	for _, ps := range phones {
 		_ = ps.conn.Send(&protocol.Message{Type: protocol.TypeBye})
@@ -243,13 +358,32 @@ func (m *Master) acceptLoop() {
 	}
 }
 
+// helloTimeout bounds how long an accepted connection may take to
+// deliver a complete hello. Without it a dialer that stalls mid-frame —
+// or a hello whose length prefix was corrupted in transit into a huge
+// frame — parks this goroutine forever and survives Close.
+const helloTimeout = 10 * time.Second
+
 // handlePhone performs registration and runs the read loop + keepaliver.
 func (m *Master) handlePhone(conn *protocol.Conn) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
+	m.handshaking[conn] = struct{}{}
+	m.mu.Unlock()
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
 	hello, err := conn.Recv()
+	m.mu.Lock()
+	delete(m.handshaking, conn)
+	m.mu.Unlock()
 	if err != nil || hello.Type != protocol.TypeHello || hello.CPUMHz <= 0 {
 		conn.Close()
 		return
 	}
+	_ = conn.SetReadDeadline(time.Time{})
 	if m.cfg.AuthToken != "" && !tokenMatch(hello.Token, m.cfg.AuthToken) {
 		m.cfg.Logger.Printf("rejecting phone from %s: bad enrolment token", conn.RemoteAddr())
 		conn.Close()
@@ -257,8 +391,18 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 	}
 
 	m.mu.Lock()
-	id := m.nextPhoneID
-	m.nextPhoneID++
+	var id int
+	var prior *phoneState
+	if old, ok := m.phones[hello.PhoneID]; hello.Rejoin && ok {
+		// Reconnection: the phone resumes its prior identity. Bandwidth
+		// estimates (and the estimator's per-phone refinements, keyed by
+		// ID) survive the reconnect; the old connection state is retired.
+		id = hello.PhoneID
+		prior = old
+	} else {
+		id = m.nextPhoneID
+		m.nextPhoneID++
+	}
 	ps := &phoneState{
 		info: PhoneInfo{
 			ID:       id,
@@ -273,10 +417,17 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		probeCh: make(chan *protocol.Message, 1),
 		dead:    make(chan struct{}),
 	}
+	if prior != nil {
+		ps.info.BMsPerKB = prior.info.BMsPerKB
+	}
 	m.phones[id] = ps
 	waiters := m.phoneWait
 	m.phoneWait = make(chan struct{})
 	m.mu.Unlock()
+	if prior != nil && prior.alive() {
+		m.recordOffline(id, "rejoined", "superseded by a reconnection")
+		prior.markDead()
+	}
 	close(waiters) // wake WaitForPhones
 
 	if err := conn.Send(&protocol.Message{
@@ -287,7 +438,11 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		ps.markDead()
 		return
 	}
-	m.cfg.Logger.Printf("phone %d registered: %s %.0f MHz", id, hello.Model, hello.CPUMHz)
+	if prior != nil {
+		m.cfg.Logger.Printf("phone %d reconnected: %s %.0f MHz", id, hello.Model, hello.CPUMHz)
+	} else {
+		m.cfg.Logger.Printf("phone %d registered: %s %.0f MHz", id, hello.Model, hello.CPUMHz)
+	}
 
 	m.wg.Add(1)
 	go func() {
@@ -302,7 +457,18 @@ func (m *Master) readLoop(ps *phoneState) {
 	for {
 		msg, err := ps.conn.Recv()
 		if err != nil {
-			m.cfg.Logger.Printf("phone %d connection lost: %v", ps.info.ID, err)
+			// A corrupt frame means framing is lost on an otherwise-open
+			// connection; it is handled exactly like a missed-keepalive
+			// offline failure (the in-flight partition re-enters the pool
+			// via the dispatcher's dead-phone path), but recorded as its
+			// own structured event.
+			if errors.Is(err, protocol.ErrCorrupt) {
+				m.cfg.Logger.Printf("phone %d sent a corrupt frame: %v; offline failure", ps.info.ID, err)
+				m.recordOffline(ps.info.ID, "corrupt-frame", err.Error())
+			} else {
+				m.cfg.Logger.Printf("phone %d connection lost: %v", ps.info.ID, err)
+				m.recordOffline(ps.info.ID, "conn-lost", err.Error())
+			}
 			ps.markDead()
 			return
 		}
@@ -317,6 +483,13 @@ func (m *Master) readLoop(ps *phoneState) {
 			default:
 			}
 		case protocol.TypeResult, protocol.TypeFailure:
+			// Reports for attempts no dispatcher is waiting on — a
+			// straggler finishing after abandonment, a reconnected worker
+			// flushing its unsent buffer — are resolved here so they never
+			// clog a respCh nobody drains.
+			if msg.Attempt != 0 && m.resolveDetached(msg) {
+				continue
+			}
 			select {
 			case ps.respCh <- msg:
 			case <-m.stopped:
@@ -324,21 +497,52 @@ func (m *Master) readLoop(ps *phoneState) {
 			}
 		case protocol.TypeBye:
 			m.cfg.Logger.Printf("phone %d unplugged while idle", ps.info.ID)
+			m.recordOffline(ps.info.ID, "bye", "orderly unplug")
 			ps.markDead()
 			return
 		}
 	}
 }
 
+// resolveDetached credits a report whose attempt has no waiting
+// dispatcher (first-result-wins: a late straggler result still counts if
+// its key is uncompleted). Returns false when a live dispatcher owns the
+// attempt, in which case the frame must flow to respCh as usual.
+func (m *Master) resolveDetached(msg *protocol.Message) bool {
+	m.mu.Lock()
+	rec, ok := m.attempts[msg.Attempt]
+	if ok && rec.live {
+		m.mu.Unlock()
+		return false
+	}
+	delete(m.attempts, msg.Attempt)
+	m.mu.Unlock()
+	if !ok {
+		m.cfg.Logger.Printf("dropping report for unknown attempt %d", msg.Attempt)
+		return true
+	}
+	if msg.Type == protocol.TypeResult {
+		m.cfg.Logger.Printf("late result for job %d partition %d (attempt %d) credited",
+			rec.a.item.jobID, rec.a.partition, msg.Attempt)
+		m.recordResult(rec.a, msg, m.est, rec.ps)
+	}
+	// A late failure needs no action: the speculative copy issued at the
+	// deadline already carries the work.
+	return true
+}
+
 // keepalive implements the paper's offline-failure detector: a ping every
-// period, death after KeepaliveTolerance consecutive misses.
+// period, death after KeepaliveTolerance consecutive misses. Each wait is
+// jittered by ±10% so hundreds of phones registered in a burst do not
+// ping in lockstep forever.
 func (m *Master) keepalive(ps *phoneState) {
-	ticker := time.NewTicker(m.cfg.KeepalivePeriod)
-	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(int64(ps.info.ID) + 1))
+	timer := time.NewTimer(keepaliveJitter(m.cfg.KeepalivePeriod, rng))
+	defer timer.Stop()
 	var seq uint64
 	for {
 		select {
-		case <-ticker.C:
+		case <-timer.C:
 			ps.mu.Lock()
 			ps.missedPings++
 			missed := ps.missedPings
@@ -346,20 +550,29 @@ func (m *Master) keepalive(ps *phoneState) {
 			if missed > m.cfg.KeepaliveTolerance {
 				m.cfg.Logger.Printf("phone %d missed %d keepalives: offline failure",
 					ps.info.ID, m.cfg.KeepaliveTolerance)
+				m.recordOffline(ps.info.ID, "keepalive",
+					fmt.Sprintf("%d consecutive misses", m.cfg.KeepaliveTolerance))
 				ps.markDead()
 				return
 			}
 			seq++
 			if err := ps.conn.Send(&protocol.Message{Type: protocol.TypePing, Seq: seq}); err != nil {
+				m.recordOffline(ps.info.ID, "send-failed", err.Error())
 				ps.markDead()
 				return
 			}
+			timer.Reset(keepaliveJitter(m.cfg.KeepalivePeriod, rng))
 		case <-ps.dead:
 			return
 		case <-m.stopped:
 			return
 		}
 	}
+}
+
+// keepaliveJitter spreads a keepalive period uniformly over ±10%.
+func keepaliveJitter(period time.Duration, rng *rand.Rand) time.Duration {
+	return period + time.Duration((rng.Float64()*0.2-0.1)*float64(period))
 }
 
 // WaitForPhones blocks until at least n phones are registered and alive.

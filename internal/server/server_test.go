@@ -16,6 +16,7 @@ import (
 // without the worker package (so server tests stand alone).
 type fakePhone struct {
 	t    *testing.T
+	raw  net.Conn // for writing deliberately corrupt bytes
 	conn *protocol.Conn
 }
 
@@ -25,7 +26,7 @@ func dialFake(t *testing.T, m *Master, model string, mhz float64) *fakePhone {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &fakePhone{t: t, conn: protocol.NewConn(raw)}
+	f := &fakePhone{t: t, raw: raw, conn: protocol.NewConn(raw)}
 	t.Cleanup(func() { f.conn.Close() })
 	if err := f.conn.Send(&protocol.Message{
 		Type: protocol.TypeHello, Model: model, CPUMHz: mhz, RAMMB: 512,

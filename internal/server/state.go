@@ -42,9 +42,12 @@ type workItemJSON struct {
 	Atomic bool              `json:"atomic,omitempty"`
 }
 
-// SaveState serializes the master's job state. Do not call concurrently
-// with RunRound: a mid-round snapshot would miss in-flight partitions
-// (they are neither pending nor covered until their reports arrive).
+// SaveState serializes the master's job state. A mid-round snapshot is
+// safe: partitions that are in flight (dispatched, report not yet
+// recorded) are captured as pending items with their checkpoints, so a
+// restored master re-queues them at its first scheduling instant. Keys
+// are not persisted — a restored master cannot receive the old attempts'
+// reports, so duplicate-suppression state would be dead weight.
 func (m *Master) SaveState(w io.Writer) error {
 	m.mu.Lock()
 	st := stateJSON{NextJobID: m.nextJobID}
@@ -60,7 +63,14 @@ func (m *Master) SaveState(w io.Writer) error {
 			Done:       js.done,
 		})
 	}
+	seen := map[int64]bool{}
 	for _, it := range m.pending {
+		if it.key != 0 {
+			if m.completed[it.key] || seen[it.key] {
+				continue
+			}
+			seen[it.key] = true
+		}
 		st.Pending = append(st.Pending, workItemJSON{
 			JobID:  it.jobID,
 			Task:   it.task.Name(),
@@ -68,6 +78,23 @@ func (m *Master) SaveState(w io.Writer) error {
 			Input:  it.input,
 			Resume: it.resume,
 			Atomic: it.atomic,
+		})
+	}
+	for _, rec := range m.attempts {
+		a := rec.a
+		if a.key != 0 {
+			if m.completed[a.key] || seen[a.key] {
+				continue
+			}
+			seen[a.key] = true
+		}
+		st.Pending = append(st.Pending, workItemJSON{
+			JobID:  a.item.jobID,
+			Task:   a.item.task.Name(),
+			Params: a.item.task.Params(),
+			Input:  a.input,
+			Resume: a.resume,
+			Atomic: true,
 		})
 	}
 	m.mu.Unlock()

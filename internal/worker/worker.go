@@ -16,7 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -45,18 +45,95 @@ type Config struct {
 	// AuthToken is presented to the server at registration when the
 	// deployment uses a shared enrolment secret.
 	AuthToken string
+	// Reconnect tunes how the phone retries the server after a dial or
+	// I/O failure. Zero values get defaults; see ReconnectPolicy.
+	Reconnect ReconnectPolicy
 }
+
+// ReconnectPolicy is capped exponential backoff with jitter for the
+// worker's connection to the master. A phone on a flaky charger-side WiFi
+// link must rejoin on its own rather than die on the first I/O error.
+type ReconnectPolicy struct {
+	// Disabled turns reconnection off: Run returns on the first failure
+	// (the pre-reconnect behavior, still used by single-shot tests).
+	Disabled bool
+	// BaseDelay is the first retry delay (default 100 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 5 s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per consecutive failure (default 2).
+	Multiplier float64
+	// JitterFrac spreads each delay uniformly over ±frac (default 0.2) so
+	// a fleet disconnected by one event does not redial in lockstep.
+	JitterFrac float64
+	// MaxAttempts bounds consecutive failed connection attempts before
+	// Run gives up (default 10; negative means retry forever). The
+	// counter resets whenever a connection reaches registration.
+	MaxAttempts int
+	// HandshakeTimeout bounds how long a fresh connection may wait for
+	// the server's welcome (default 10 s). Without it a hello mangled in
+	// transit wedges the worker forever: the server is waiting for bytes
+	// that never come and the worker is waiting for a welcome that never
+	// comes. On expiry the attempt counts as a connection failure and is
+	// retried with backoff.
+	HandshakeTimeout time.Duration
+	// Seed drives the jitter; zero uses an unseeded source.
+	Seed int64
+}
+
+func (r ReconnectPolicy) fill() ReconnectPolicy {
+	if r.BaseDelay == 0 {
+		r.BaseDelay = 100 * time.Millisecond
+	}
+	if r.MaxDelay == 0 {
+		r.MaxDelay = 5 * time.Second
+	}
+	if r.Multiplier == 0 {
+		r.Multiplier = 2
+	}
+	if r.JitterFrac == 0 {
+		r.JitterFrac = 0.2
+	}
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 10
+	}
+	if r.HandshakeTimeout == 0 {
+		r.HandshakeTimeout = 10 * time.Second
+	}
+	return r
+}
+
+// delay computes the backoff before the attempt-th consecutive retry
+// (attempt counts from 1).
+func (r ReconnectPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(r.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= r.Multiplier
+		if d >= float64(r.MaxDelay) {
+			d = float64(r.MaxDelay)
+			break
+		}
+	}
+	d *= 1 + r.JitterFrac*(2*rng.Float64()-1)
+	return time.Duration(d)
+}
+
+// maxUnsent bounds the buffer of reports awaiting a reconnect; beyond it
+// the oldest information is simply lost (the server re-queues the work).
+const maxUnsent = 32
 
 // Phone is a running worker.
 type Phone struct {
 	cfg Config
 
-	mu       sync.Mutex
-	conn     *protocol.Conn
-	id       int
-	unplug   context.CancelFunc // cancels the in-flight task
-	leaving  bool               // Unplug called: report failure then close
-	vanished bool               // Vanish called: die silently
+	mu             sync.Mutex
+	conn           *protocol.Conn
+	id             int
+	everRegistered bool               // a Welcome was received at least once
+	unplug         context.CancelFunc // cancels the in-flight task
+	leaving        bool               // Unplug called: report failure then close
+	vanished       bool               // Vanish called: die silently
+	unsent         []*protocol.Message
 
 	registered chan struct{} // closed once Welcome arrives
 	regOnce    sync.Once
@@ -116,7 +193,10 @@ func (p *Phone) WaitRegistered(ctx context.Context) error {
 
 // Run connects, registers and serves assignments until the context is
 // canceled, the server says goodbye, or the phone is unplugged. A nil
-// error means an orderly exit.
+// error means an orderly exit. Unless reconnection is disabled, a dial or
+// I/O failure is retried with capped exponential backoff + jitter; after
+// a successful registration the phone rejoins under its prior identity
+// and replays any reports the dead connection swallowed.
 func (p *Phone) Run(ctx context.Context) error {
 	dial := p.cfg.Dial
 	if dial == nil {
@@ -125,42 +205,90 @@ func (p *Phone) Run(ctx context.Context) error {
 			return d.DialContext(ctx, "tcp", p.cfg.ServerAddr)
 		}
 	}
-	raw, err := dial(ctx)
-	if err != nil {
-		return fmt.Errorf("worker: dialing server: %w", err)
-	}
-	conn := protocol.NewConn(raw)
-	p.mu.Lock()
-	p.conn = conn
-	p.mu.Unlock()
-	defer conn.Close()
 
 	// Assignments execute strictly serially — a phone runs one task at a
 	// time (the server also dispatches that way; this guards against a
-	// misbehaving server). The executor drains the queue while the read
-	// loop keeps answering keepalives.
+	// misbehaving server). The executor outlives individual connections so
+	// a task running through a disconnect still finishes and its result is
+	// replayed after the rejoin.
 	assignQ := make(chan *protocol.Message, 16)
 	defer close(assignQ)
 	go func() {
 		for m := range assignQ {
-			p.execute(ctx, conn, m)
+			p.execute(ctx, m)
 		}
 	}()
-	// In-progress chunked transfers, keyed by (job, partition).
-	type partKey struct{ job, part int }
-	assembling := map[partKey]*protocol.Message{}
-	enqueue := func(m *protocol.Message) {
+
+	pol := p.cfg.Reconnect.fill()
+	src := rand.NewSource(pol.Seed)
+	if pol.Seed == 0 {
+		src = rand.NewSource(int64(p.cfg.CPUMHz*1000) + 17)
+	}
+	rng := rand.New(src)
+	failures := 0
+	for {
+		registered, err := p.runConn(ctx, dial, assignQ, pol.HandshakeTimeout)
+		if err == nil {
+			return nil // orderly exit: bye, unplug, vanish, or context end
+		}
+		p.mu.Lock()
+		leaving, vanished, ever := p.leaving, p.vanished, p.everRegistered
+		p.mu.Unlock()
+		if leaving || vanished {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// Cancellation after a successful registration is an orderly
+			// exit; before one, the connection failure is the real story.
+			if ever {
+				return nil
+			}
+			return err
+		}
+		if pol.Disabled {
+			return err
+		}
+		if registered {
+			failures = 0
+		}
+		failures++
+		if pol.MaxAttempts >= 0 && failures > pol.MaxAttempts {
+			return fmt.Errorf("worker: giving up after %d consecutive connection failures: %w",
+				failures-1, err)
+		}
 		select {
-		case assignQ <- m:
-		default:
-			// Queue overflow: a runaway server; refuse the work rather
-			// than buffer unboundedly.
-			_ = conn.Send(&protocol.Message{
-				Type: protocol.TypeFailure, JobID: m.JobID,
-				Partition: m.Partition, Error: "worker assignment queue full",
-			})
+		case <-time.After(pol.delay(failures, rng)):
+		case <-ctx.Done():
+			if ever {
+				return nil
+			}
+			return err
 		}
 	}
+}
+
+// runConn serves one connection to the master: dial, hello (a rejoin
+// hello when the phone held an identity before), then the frame loop.
+// registered reports whether a Welcome arrived on this connection.
+func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net.Conn, error), assignQ chan *protocol.Message, handshake time.Duration) (registered bool, err error) {
+	raw, err := dial(ctx)
+	if err != nil {
+		return false, fmt.Errorf("worker: dialing server: %w", err)
+	}
+	conn := protocol.NewConn(raw)
+	p.mu.Lock()
+	p.conn = conn
+	rejoin := p.everRegistered
+	priorID := p.id
+	p.mu.Unlock()
+	defer func() {
+		conn.Close()
+		p.mu.Lock()
+		if p.conn == conn {
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}()
 
 	// Kill the connection when the context dies so Recv unblocks.
 	done := make(chan struct{})
@@ -173,14 +301,42 @@ func (p *Phone) Run(ctx context.Context) error {
 		}
 	}()
 
-	if err := conn.Send(&protocol.Message{
+	hello := &protocol.Message{
 		Type:   protocol.TypeHello,
 		Token:  p.cfg.AuthToken,
 		Model:  p.cfg.Model,
 		CPUMHz: p.cfg.CPUMHz,
 		RAMMB:  p.cfg.RAMMB,
-	}); err != nil {
-		return err
+	}
+	if rejoin {
+		hello.Rejoin = true
+		hello.PhoneID = priorID
+	}
+	if err := conn.Send(hello); err != nil {
+		return false, err
+	}
+	if handshake > 0 {
+		// The welcome must arrive within the handshake window; the
+		// deadline is lifted once registration completes.
+		_ = conn.SetReadDeadline(time.Now().Add(handshake))
+	}
+
+	// In-progress chunked transfers, keyed by (job, partition). They die
+	// with the connection: the server re-dispatches lost partitions.
+	type partKey struct{ job, part int }
+	assembling := map[partKey]*protocol.Message{}
+	enqueue := func(m *protocol.Message) {
+		select {
+		case assignQ <- m:
+		default:
+			// Queue overflow: a runaway server; refuse the work rather
+			// than buffer unboundedly.
+			_ = conn.Send(&protocol.Message{
+				Type: protocol.TypeFailure, JobID: m.JobID,
+				Partition: m.Partition, Attempt: m.Attempt,
+				Error: "worker assignment queue full",
+			})
+		}
 	}
 
 	for {
@@ -189,24 +345,30 @@ func (p *Phone) Run(ctx context.Context) error {
 			p.mu.Lock()
 			leaving, vanished := p.leaving, p.vanished
 			p.mu.Unlock()
-			if ctx.Err() != nil || leaving || vanished || errors.Is(err, io.EOF) {
-				return nil
+			if ctx.Err() != nil || leaving || vanished {
+				return registered, nil
 			}
-			return err
+			return registered, err
 		}
 		switch m.Type {
 		case protocol.TypeWelcome:
+			_ = conn.SetReadDeadline(time.Time{})
 			p.mu.Lock()
 			p.id = m.PhoneID
+			p.everRegistered = true
 			p.mu.Unlock()
+			registered = true
 			p.regOnce.Do(func() { close(p.registered) })
+			// Replay reports a dead connection swallowed; the server pairs
+			// them with their dispatch attempts.
+			p.flushUnsent(conn)
 		case protocol.TypePing:
 			if err := conn.Send(&protocol.Message{Type: protocol.TypePong, Seq: m.Seq}); err != nil {
-				return err
+				return registered, err
 			}
 		case protocol.TypeProbe:
 			if err := conn.Send(&protocol.Message{Type: protocol.TypeProbeAck, Seq: m.Seq}); err != nil {
-				return err
+				return registered, err
 			}
 		case protocol.TypeAssign:
 			if m.TotalLen > int64(len(m.Input)) {
@@ -241,15 +403,50 @@ func (p *Phone) Run(ctx context.Context) error {
 				enqueue(pend)
 			}
 		case protocol.TypeBye:
-			return nil
+			return registered, nil
 		default:
 			// Unknown frames are ignored for forward compatibility.
 		}
 	}
 }
 
-// execute runs one assigned partition and reports the outcome.
-func (p *Phone) execute(ctx context.Context, conn *protocol.Conn, m *protocol.Message) {
+// report delivers a result/failure frame on the current connection, or
+// buffers it for replay after the next successful registration.
+func (p *Phone) report(m *protocol.Message) {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil && conn.Send(m) == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.unsent) < maxUnsent {
+		p.unsent = append(p.unsent, m)
+	}
+	p.mu.Unlock()
+}
+
+// flushUnsent replays buffered reports on a fresh connection, keeping
+// whatever a mid-flush failure leaves undelivered.
+func (p *Phone) flushUnsent(conn *protocol.Conn) {
+	p.mu.Lock()
+	pending := p.unsent
+	p.unsent = nil
+	p.mu.Unlock()
+	for i, m := range pending {
+		if err := conn.Send(m); err != nil {
+			p.mu.Lock()
+			p.unsent = append(pending[i:], p.unsent...)
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// execute runs one assigned partition and reports the outcome. Reports go
+// through the reconnect-aware path: if the connection died while the task
+// ran, the report is buffered and replayed after the rejoin.
+func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	taskCtx, cancel := context.WithCancel(ctx)
 	p.mu.Lock()
 	p.unplug = cancel
@@ -262,14 +459,15 @@ func (p *Phone) execute(ctx context.Context, conn *protocol.Conn, m *protocol.Me
 	}()
 
 	fail := func(ck *tasks.Checkpoint, msg string) {
-		_ = conn.Send(&protocol.Message{
+		p.report(&protocol.Message{
 			Type:       protocol.TypeFailure,
 			JobID:      m.JobID,
 			Partition:  m.Partition,
+			Attempt:    m.Attempt,
 			Checkpoint: ck,
 			Error:      msg,
 		})
-		p.maybeLeave(conn)
+		p.maybeLeave()
 	}
 
 	task, err := tasks.New(m.Task, m.Params)
@@ -306,15 +504,16 @@ func (p *Phone) execute(ctx context.Context, conn *protocol.Conn, m *protocol.Me
 	elapsed := time.Since(start)
 	switch {
 	case err == nil:
-		_ = conn.Send(&protocol.Message{
+		p.report(&protocol.Message{
 			Type:        protocol.TypeResult,
 			JobID:       m.JobID,
 			Partition:   m.Partition,
+			Attempt:     m.Attempt,
 			Result:      result,
 			ExecMs:      float64(elapsed) / float64(time.Millisecond),
 			ProcessedKB: float64(len(m.Input)) / 1024,
 		})
-		p.maybeLeave(conn)
+		p.maybeLeave()
 	case errors.Is(err, tasks.ErrInterrupted):
 		fail(ck, "unplugged")
 	default:
@@ -324,11 +523,12 @@ func (p *Phone) execute(ctx context.Context, conn *protocol.Conn, m *protocol.Me
 
 // maybeLeave closes the connection after the pending report when the
 // phone was unplugged mid-task.
-func (p *Phone) maybeLeave(conn *protocol.Conn) {
+func (p *Phone) maybeLeave() {
 	p.mu.Lock()
 	leaving := p.leaving
+	conn := p.conn
 	p.mu.Unlock()
-	if leaving {
+	if leaving && conn != nil {
 		conn.Close()
 	}
 }
@@ -379,4 +579,6 @@ func (p *Phone) Replug() {
 	p.vanished = false
 	p.conn = nil
 	p.id = 0
+	p.everRegistered = false
+	p.unsent = nil
 }
