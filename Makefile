@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check bench fmt
+.PHONY: all build vet test race chaos wal-crash check bench fmt
 
 all: check
 
@@ -23,8 +23,14 @@ race:
 chaos:
 	$(GO) test ./internal/cluster/ -run 'TestChaosSoak|TestClusterWorkerReconnects' -race -count=1 -v
 
+# Master-durability harness: replay every truncation of a recorded WAL
+# (a SIGKILL at any byte) plus the flaky-disk and fuzz-seed cases;
+# recovery must never fail and aggregates must match the uncrashed run.
+wal-crash:
+	$(GO) test ./internal/wal/ ./internal/server/ -run 'TestWAL|TestEveryByteTruncation|TestCorrupt|TestFaultyWriter|Fuzz' -race -count=1 -v
+
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet build race
+check: vet build race chaos wal-crash
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

@@ -12,8 +12,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -21,8 +23,10 @@ import (
 	"time"
 
 	"cwc/internal/faults"
+	"cwc/internal/migrate"
 	"cwc/internal/server"
 	"cwc/internal/tasks"
+	"cwc/internal/wal"
 )
 
 func main() {
@@ -39,6 +43,11 @@ func main() {
 		dlFloor   = flag.Duration("deadline-floor", 30*time.Second, "minimum assignment deadline")
 		retries   = flag.Int("max-retries", 8, "re-queues per work item before dead-lettering (negative: unbounded)")
 		faultSpec = flag.String("faults", "", "fault-injection scenario: a file path or an inline DSL string (see internal/faults)")
+		walDir    = flag.String("wal-dir", "", "write-ahead-log directory: replayed at start, appended during operation; survives SIGKILL at any instant")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always|interval|none")
+		walKB     = flag.Int("wal-compact-kb", 4096, "compact the WAL into a snapshot once its segments exceed this many KB")
+		jrnlFile  = flag.String("journal", "", "migration journal file: reloaded at start, persisted at each snapshot tick and on exit")
+		snapEvery = flag.Duration("snapshot-every", 0, "also write -state/-journal snapshots periodically, not just on exit (0: exit only)")
 	)
 	flag.Parse()
 
@@ -66,7 +75,64 @@ func main() {
 		cfg.ListenerHook = func(ln net.Listener) net.Listener { return plan.WrapListener(ln) }
 		logger.Print("fault injection active on the listener (accept-side faults use the 'phone *' profile)")
 	}
+	var journal *migrate.Journal
+	if *jrnlFile != "" {
+		if f, err := os.Open(*jrnlFile); err == nil {
+			journal, err = migrate.ReadJournal(f)
+			f.Close()
+			if err != nil {
+				logger.Fatalf("restoring journal %s: %v", *jrnlFile, err)
+			}
+			logger.Printf("restored journal from %s (%d events)", *jrnlFile, journal.Len())
+		} else {
+			journal = migrate.NewJournal()
+		}
+		cfg.Journal = journal
+	}
+	saveJournal := func() {
+		if journal == nil {
+			return
+		}
+		err := wal.WriteFileAtomic(*jrnlFile, func(w io.Writer) error {
+			_, err := journal.WriteTo(w)
+			return err
+		})
+		if err != nil {
+			logger.Printf("saving journal: %v", err)
+		}
+	}
+
+	var wlog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		wlog, err = wal.Open(*walDir, wal.Options{
+			Sync:         policy,
+			CompactBytes: int64(*walKB) * 1024,
+			Logger:       logger,
+		})
+		if err != nil {
+			logger.Fatalf("opening WAL %s: %v", *walDir, err)
+		}
+		cfg.WAL = wlog
+	}
 	m := server.New(cfg)
+	// The master must stop before the WAL closes so no append races the
+	// close; deferred calls run last-in-first-out.
+	if wlog != nil {
+		defer wlog.Close()
+	}
+	if wlog != nil {
+		hadState := len(wlog.Snapshot()) > 0 || len(wlog.Recovered()) > 0
+		if err := m.RecoverWAL(); err != nil {
+			logger.Fatalf("replaying WAL %s: %v", *walDir, err)
+		}
+		if hadState {
+			logger.Printf("recovered state from WAL %s (%d pending items)", *walDir, m.PendingItems())
+		}
+	}
 	if err := m.Start(); err != nil {
 		logger.Fatal(err)
 	}
@@ -74,23 +140,40 @@ func main() {
 	logger.Printf("listening on %s", m.Addr())
 	if *stateFile != "" {
 		if f, err := os.Open(*stateFile); err == nil {
-			if err := m.LoadState(f); err != nil {
-				logger.Fatalf("restoring %s: %v", *stateFile, err)
-			}
+			err := m.LoadState(f)
 			f.Close()
-			logger.Printf("restored state from %s (%d pending items)", *stateFile, m.PendingItems())
+			switch {
+			case errors.Is(err, server.ErrStateNotEmpty):
+				// The WAL already rebuilt newer state; the file snapshot
+				// is a stale backup, not an error.
+				logger.Printf("ignoring %s: WAL recovery already restored state", *stateFile)
+			case err != nil:
+				logger.Fatalf("restoring %s: %v", *stateFile, err)
+			default:
+				logger.Printf("restored state from %s (%d pending items)", *stateFile, m.PendingItems())
+			}
 		}
 		defer func() {
-			f, err := os.Create(*stateFile)
-			if err != nil {
+			if err := m.SaveStateFile(*stateFile); err != nil {
 				logger.Print(err)
 				return
 			}
-			if err := m.SaveState(f); err != nil {
-				logger.Print(err)
-			}
-			f.Close()
 			logger.Printf("state saved to %s", *stateFile)
+		}()
+	}
+	defer saveJournal()
+	if *snapEvery > 0 && (*stateFile != "" || journal != nil) {
+		ticker := time.NewTicker(*snapEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if *stateFile != "" {
+					if err := m.SaveStateFile(*stateFile); err != nil {
+						logger.Printf("periodic snapshot: %v", err)
+					}
+				}
+				saveJournal()
+			}
 		}()
 	}
 

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// Disk-fault event kinds, injected by FaultyWriter.
+const (
+	ShortWrite EventKind = "short-write" // only a prefix reached the writer
+	WriteErr   EventKind = "write-err"   // the write failed before any byte
+	SyncErr    EventKind = "sync-err"    // an fsync reported failure
+)
+
+// WriteProfile configures a FaultyWriter: seeded, reproducible disk
+// faults, so a write-ahead log's failure handling can be exercised with
+// the same determinism the connection wrappers give network faults. The
+// zero value injects nothing.
+type WriteProfile struct {
+	// Seed drives the decision stream; the same seed and call sequence
+	// replay the same faults.
+	Seed int64
+	// ShortProb is the per-write probability that only a prefix of the
+	// buffer reaches the underlying writer and an error is returned
+	// (a torn append).
+	ShortProb float64
+	// ErrProb is the per-write probability of failing outright with no
+	// bytes written.
+	ErrProb float64
+	// SyncErrProb is the per-Sync probability of reporting failure
+	// (the fsync-lied scenario; the underlying sync is skipped).
+	SyncErrProb float64
+	// MaxFaults bounds the total injected faults (0: unlimited), so a
+	// scenario can be flaky at first and then settle down.
+	MaxFaults int
+}
+
+// zero reports whether the profile injects nothing.
+func (p WriteProfile) zero() bool { return p == WriteProfile{} }
+
+// Injected disk-fault errors.
+var (
+	ErrInjectedWrite = fmt.Errorf("faults: write failed (injected)")
+	ErrInjectedSync  = fmt.Errorf("faults: sync failed (injected)")
+)
+
+// FaultyWriter wraps an io.Writer (typically a WAL segment file) with
+// the profile's disk faults. It implements Sync() error, delegating to
+// the underlying writer when that writer has a Sync method, so it can
+// stand between a log and its file wholesale.
+type FaultyWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	p      WriteProfile
+	rng    *rand.Rand
+	writes int
+	faults int
+	rec    Recorder
+}
+
+// NewWriter builds a FaultyWriter over w.
+func NewWriter(w io.Writer, p WriteProfile) *FaultyWriter {
+	return &FaultyWriter{w: w, p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Events returns the disk faults injected so far (Phone is -1; Op is the
+// write/sync ordinal).
+func (fw *FaultyWriter) Events() []Event { return fw.rec.Events() }
+
+// spend consumes one fault credit; false once MaxFaults is exhausted.
+// Caller holds fw.mu.
+func (fw *FaultyWriter) spend() bool {
+	if fw.p.MaxFaults > 0 && fw.faults >= fw.p.MaxFaults {
+		return false
+	}
+	fw.faults++
+	return true
+}
+
+// Write forwards to the underlying writer, injecting outright failures
+// and short writes per the profile.
+func (fw *FaultyWriter) Write(b []byte) (int, error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.writes++
+	if fw.p.zero() {
+		return fw.w.Write(b)
+	}
+	if fw.p.ErrProb > 0 && fw.rng.Float64() < fw.p.ErrProb && fw.spend() {
+		fw.rec.add(Event{Phone: -1, Op: fw.writes, Kind: WriteErr})
+		return 0, ErrInjectedWrite
+	}
+	if fw.p.ShortProb > 0 && len(b) > 1 && fw.rng.Float64() < fw.p.ShortProb && fw.spend() {
+		fw.rec.add(Event{Phone: -1, Op: fw.writes, Kind: ShortWrite})
+		n, err := fw.w.Write(b[:1+fw.rng.Intn(len(b)-1)])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("short write of %d/%d bytes: %w", n, len(b), ErrInjectedWrite)
+	}
+	return fw.w.Write(b)
+}
+
+// Sync injects sync failures per the profile and otherwise delegates to
+// the underlying writer's Sync, if it has one.
+func (fw *FaultyWriter) Sync() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.writes++
+	if !fw.p.zero() && fw.p.SyncErrProb > 0 && fw.rng.Float64() < fw.p.SyncErrProb && fw.spend() {
+		fw.rec.add(Event{Phone: -1, Op: fw.writes, Kind: SyncErr})
+		return ErrInjectedSync
+	}
+	if s, ok := fw.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}

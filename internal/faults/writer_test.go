@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// run drives a FaultyWriter through a fixed script and returns a
+// transcript of outcomes for determinism comparison.
+func runWriterScript(p WriteProfile) (string, []Event, []byte) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, p)
+	var log bytes.Buffer
+	for i := 0; i < 30; i++ {
+		n, err := fw.Write([]byte(fmt.Sprintf("payload-%02d", i)))
+		fmt.Fprintf(&log, "w%d:%d:%v;", i, n, err != nil)
+		if i%5 == 4 {
+			fmt.Fprintf(&log, "s%d:%v;", i, fw.Sync() != nil)
+		}
+	}
+	return log.String(), fw.Events(), sink.Bytes()
+}
+
+func TestWriterDeterministic(t *testing.T) {
+	p := WriteProfile{Seed: 42, ShortProb: 0.3, ErrProb: 0.2, SyncErrProb: 0.5}
+	t1, e1, b1 := runWriterScript(p)
+	t2, e2, b2 := runWriterScript(p)
+	if t1 != t2 || len(e1) != len(e2) || !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed, different outcomes:\n%s\n%s", t1, t2)
+	}
+	if len(e1) == 0 {
+		t.Fatal("profile injected nothing; test is vacuous")
+	}
+	t3, _, _ := runWriterScript(WriteProfile{Seed: 43, ShortProb: 0.3, ErrProb: 0.2, SyncErrProb: 0.5})
+	if t1 == t3 {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestWriterShortWriteContract(t *testing.T) {
+	// ShortProb 1: every write must deliver a strict prefix AND report an
+	// error, per the io.Writer contract (n < len(b) implies err != nil).
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, WriteProfile{Seed: 7, ShortProb: 1})
+	buf := []byte("twelve-bytes")
+	n, err := fw.Write(buf)
+	if err == nil || !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("short write error = %v, want ErrInjectedWrite", err)
+	}
+	if n <= 0 || n >= len(buf) {
+		t.Fatalf("short write wrote %d of %d bytes, want a strict prefix", n, len(buf))
+	}
+	if sink.Len() != n {
+		t.Fatalf("sink holds %d bytes but Write reported %d", sink.Len(), n)
+	}
+}
+
+func TestWriterErrNoBytes(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, WriteProfile{Seed: 1, ErrProb: 1})
+	n, err := fw.Write([]byte("data"))
+	if !errors.Is(err, ErrInjectedWrite) || n != 0 || sink.Len() != 0 {
+		t.Fatalf("outright failure: n=%d err=%v sink=%d bytes", n, err, sink.Len())
+	}
+}
+
+func TestWriterSyncErr(t *testing.T) {
+	fw := NewWriter(&bytes.Buffer{}, WriteProfile{Seed: 1, SyncErrProb: 1})
+	if err := fw.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync error = %v, want ErrInjectedSync", err)
+	}
+	ev := fw.Events()
+	if len(ev) != 1 || ev[0].Kind != SyncErr || ev[0].Phone != -1 {
+		t.Fatalf("events = %+v, want one SyncErr with Phone -1", ev)
+	}
+}
+
+func TestWriterMaxFaultsBudget(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, WriteProfile{Seed: 3, ErrProb: 1, MaxFaults: 2})
+	failures := 0
+	for i := 0; i < 10; i++ {
+		if _, err := fw.Write([]byte("x")); err != nil {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("injected %d faults, want exactly MaxFaults=2", failures)
+	}
+	if len(fw.Events()) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(fw.Events()))
+	}
+}
+
+func TestWriterZeroProfilePassthrough(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, WriteProfile{})
+	for i := 0; i < 100; i++ {
+		n, err := fw.Write([]byte("abc"))
+		if n != 3 || err != nil {
+			t.Fatalf("zero profile injected a fault: n=%d err=%v", n, err)
+		}
+	}
+	if err := fw.Sync(); err != nil {
+		t.Fatalf("zero profile sync: %v", err)
+	}
+	if len(fw.Events()) != 0 {
+		t.Fatalf("zero profile recorded %d events", len(fw.Events()))
+	}
+}

@@ -1,0 +1,45 @@
+package migrate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cwc/internal/tasks"
+)
+
+// FuzzReadJournal asserts the journal decoder never panics on corrupt or
+// truncated input, and that anything it accepts survives a
+// write-and-reread roundtrip.
+func FuzzReadJournal(f *testing.F) {
+	j := NewJournal()
+	j.RecordSave(1, 0, 2, &tasks.Checkpoint{Offset: 4, State: []byte(`{"n":1}`)}, "battery pulled")
+	j.RecordResume(1, 0, 3)
+	j.RecordComplete(1, 0, 3)
+	var buf bytes.Buffer
+	if _, err := j.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(buf.String()[:buf.Len()/2]) // truncated mid-stream
+	f.Add("{\"kind\":\"save\"}\nnot json\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		j, err := ReadJournal(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := j.WriteTo(&out); err != nil {
+			t.Fatalf("accepted journal failed to re-encode: %v", err)
+		}
+		j2, err := ReadJournal(&out)
+		if err != nil {
+			t.Fatalf("re-encoded journal rejected: %v", err)
+		}
+		if j2.Len() != j.Len() {
+			t.Fatalf("roundtrip changed length: %d -> %d", j.Len(), j2.Len())
+		}
+	})
+}

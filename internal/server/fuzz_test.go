@@ -1,0 +1,51 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cwc/internal/wal"
+)
+
+// FuzzLoadState asserts that a state snapshot — however mangled — is
+// either rejected with an error or loaded; it must never panic the
+// master.
+func FuzzLoadState(f *testing.F) {
+	f.Add([]byte(`{"next_job_id":2,"jobs":[{"id":1,"task":"primecount","total_bytes":4}],` +
+		`"pending":[{"job_id":1,"task":"primecount","input":"Mgo="}]}`))
+	f.Add([]byte(`{bad`))
+	f.Add([]byte(`{"jobs":[{"id":1,"task":"no-such-task"}]}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m := New(Config{})
+		_ = m.LoadState(bytes.NewReader(b))
+	})
+}
+
+// FuzzWALReducer feeds arbitrary record types and payloads (and
+// arbitrary snapshots) through WAL replay: corrupt-but-framed input must
+// be rejected with an error, never a panic.
+func FuzzWALReducer(f *testing.F) {
+	sub, _ := json.Marshal(walSubmit{JobID: 1, Seq: 1, Task: "primecount", Input: []byte("2\n")})
+	f.Add(uint8(1), sub)
+	rnd, _ := json.Marshal(walRound{Consumed: []int64{1}, Items: []walRoundItem{{JobID: 1, Key: 1, Input: []byte("2\n")}}})
+	f.Add(uint8(2), rnd)
+	f.Add(uint8(4), []byte(`{"job_id":99}`))
+	f.Add(uint8(200), []byte(`{}`))
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte) {
+		red := newWALReducer()
+		_ = red.apply(wal.Record{Type: typ, Payload: payload})
+	})
+}
+
+// FuzzWALSnapshot exercises the compaction-snapshot decoder the same
+// way.
+func FuzzWALSnapshot(f *testing.F) {
+	f.Add([]byte(`{"next_job_id":3,"jobs":[{"id":1,"task":"wordcount"}],` +
+		`"fresh":[{"seq":2,"job_id":1,"input":"AA=="}],"open":[{"key":5,"job_id":1,"input":"AA=="}]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		red := newWALReducer()
+		_ = red.loadSnapshot(b)
+	})
+}

@@ -15,7 +15,10 @@ import (
 
 // Submit queues a job for the next scheduling round and returns its ID.
 // A task that does not implement tasks.Breakable is scheduled atomically
-// regardless of the atomic flag.
+// regardless of the atomic flag. With a WAL attached, the submission is
+// logged (and, under SyncAlways, on stable storage) before the ID is
+// returned: an acknowledged job survives a master killed the next
+// instant.
 func (m *Master) Submit(task tasks.Task, input []byte, atomic bool) (int, error) {
 	if len(input) == 0 {
 		return 0, errors.New("server: empty job input")
@@ -26,13 +29,22 @@ func (m *Master) Submit(task tasks.Task, input []byte, atomic bool) (int, error)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := m.nextJobID
+	seq := m.nextItemSeq + 1
+	if err := m.walAppendErr(walRecSubmit, walSubmit{
+		JobID: id, Seq: seq, Task: task.Name(), Params: task.Params(),
+		Input: input, Atomic: atomic,
+	}); err != nil {
+		return 0, fmt.Errorf("server: persisting submission: %w", err)
+	}
 	m.nextJobID++
+	m.nextItemSeq = seq
 	m.jobs[id] = &jobState{id: id, task: task, totalBytes: int64(len(input))}
 	m.pending = append(m.pending, &workItem{
 		jobID:  id,
 		task:   task,
 		input:  input,
 		atomic: atomic,
+		seq:    seq,
 	})
 	return id, nil
 }
@@ -318,8 +330,20 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 
 	// Give every dispatched partition its key: re-queued keyed items keep
 	// theirs (they are atomic, so the byte range is unchanged); everything
-	// else gets a fresh identity for first-result-wins tracking.
+	// else gets a fresh identity for first-result-wins tracking. The
+	// round record — which fresh items were consumed, which keyed byte
+	// ranges replace them — is logged in the same critical section so
+	// replay sees the handoff atomically.
 	m.mu.Lock()
+	var rr walRound
+	logWAL := m.cfg.WAL != nil
+	if logWAL {
+		for _, it := range items {
+			if it.key == 0 {
+				rr.Consumed = append(rr.Consumed, it.seq)
+			}
+		}
+	}
 	for pi := range plans {
 		for k := range plans[pi] {
 			a := &plans[pi][k]
@@ -329,7 +353,16 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 				m.nextKey++
 				a.key = m.nextKey
 			}
+			if logWAL {
+				rr.Items = append(rr.Items, walRoundItem{
+					JobID: a.item.jobID, Key: a.key, Input: a.input,
+					Resume: a.resume, Retries: a.item.retries,
+				})
+			}
 		}
+	}
+	if logWAL {
+		m.walAppend(walRecRound, rr)
 	}
 	m.mu.Unlock()
 
@@ -390,6 +423,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 		js.final = final
 		js.done = true
+		m.walAppend(walRecFinish, walFinish{JobID: js.id, Final: final})
 		report.CompletedJobs = append(report.CompletedJobs, js.id)
 	}
 	for _, ps := range phones {
@@ -398,6 +432,11 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 	}
 	m.mu.Unlock()
+	if wl := m.cfg.WAL; wl != nil && wl.CompactDue() {
+		if err := m.CompactWAL(); err != nil {
+			m.cfg.Logger.Printf("wal: compaction failed: %v", err)
+		}
+	}
 	return report, nil
 }
 
@@ -574,6 +613,7 @@ func (m *Master) speculate(a assignment) bool {
 		atomic:  true,
 		key:     a.key,
 		retries: a.item.retries,
+		seq:     m.nextSeqLocked(),
 	})
 	return true
 }
@@ -591,6 +631,12 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 			m.cfg.Journal.RecordResume(a.item.jobID, a.partition, ps.info.ID)
 		}
 		attempt := m.newAttempt(ps, a)
+		// Audit record: replay treats an unreported dispatch as still
+		// open, so ordering against state records is immaterial.
+		m.walAppend(walRecDispatch, walDispatch{
+			Key: a.key, JobID: a.item.jobID, Partition: a.partition,
+			PhoneID: ps.info.ID, Attempt: attempt,
+		})
 		if err := m.sendAssign(ps, a, attempt); err != nil {
 			m.dropAttempt(attempt)
 			ps.markDead()
@@ -699,6 +745,9 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 	// reporter remainders arrive as fresh pieces without resume state).
 	js.covered += int64(len(a.input))
 	js.partials = append(js.partials, resp.Result)
+	m.walAppend(walRecReport, walReport{
+		JobID: a.item.jobID, Key: a.key, Bytes: int64(len(a.input)), Partial: resp.Result,
+	})
 	m.mu.Unlock()
 
 	if a.resume != nil && m.cfg.Journal != nil {
@@ -740,16 +789,26 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 				js.covered += ck.Offset
 				js.partials = append(js.partials, partial)
 				remainder := a.input[ck.Offset:]
+				wrec := walPartialRec{
+					JobID: a.item.jobID, Key: a.key, Offset: ck.Offset, Partial: partial,
+				}
 				if len(remainder) > 0 {
 					// The remainder is a fresh byte range: new identity,
 					// splittable again.
-					m.requeueLocked(&workItem{
+					it := &workItem{
 						jobID:   a.item.jobID,
 						task:    a.item.task,
 						input:   remainder,
 						retries: a.item.retries,
-					}, "failure remainder: "+resp.Error)
+						seq:     m.nextSeqLocked(),
+					}
+					if m.requeueLocked(it, "failure remainder: "+resp.Error) {
+						wrec.Remainder = remainder
+						wrec.RemainderSeq = it.seq
+						wrec.Retries = it.retries
+					}
 				}
+				m.walAppend(walRecPartial, wrec)
 				return
 			}
 			m.cfg.Logger.Printf("job %d partial result unusable: %v", a.item.jobID, err)
@@ -763,7 +822,7 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 	if resume == nil {
 		resume = a.resume // keep any prior progress
 	}
-	m.requeueLocked(&workItem{
+	it := &workItem{
 		jobID:   a.item.jobID,
 		task:    a.item.task,
 		input:   a.input,
@@ -771,7 +830,14 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 		atomic:  true,
 		key:     a.key,
 		retries: a.item.retries,
-	}, "failure: "+resp.Error)
+		seq:     m.nextSeqLocked(),
+	}
+	if m.requeueLocked(it, "failure: "+resp.Error) {
+		m.walAppend(walRecMigrate, walMigrate{
+			JobID: a.item.jobID, Key: a.key, Input: a.input,
+			Resume: resume, Retries: it.retries,
+		})
+	}
 }
 
 // requeueLocked re-queues a work item for the next scheduling instant, or
@@ -787,6 +853,10 @@ func (m *Master) requeueLocked(it *workItem, reason string) bool {
 			Bytes:   len(it.input),
 			Retries: it.retries - 1,
 			Reason:  reason,
+		})
+		m.walAppend(walRecDeadLetter, walDeadLetterRec{
+			JobID: it.jobID, Key: it.key, Seq: it.seq, Task: it.task.Name(),
+			Bytes: len(it.input), Retries: it.retries - 1, Reason: reason,
 		})
 		m.cfg.Logger.Printf("job %d item dead-lettered after %d retries: %s",
 			it.jobID, it.retries-1, reason)
@@ -824,6 +894,7 @@ func (m *Master) requeueAbandoned(a assignment, start time.Time, addEvent func(E
 		atomic:  true,
 		key:     a.key,
 		retries: a.item.retries,
+		seq:     m.nextSeqLocked(),
 	}
 	kind := "requeue"
 	if !m.requeueLocked(it, "straggler abandoned") {
@@ -851,6 +922,7 @@ func (m *Master) requeueFrom(rest []assignment, start time.Time, addEvent func(E
 			atomic:  a.key != 0 || a.resume != nil || a.item.atomic,
 			key:     a.key,
 			retries: a.item.retries,
+			seq:     m.nextSeqLocked(),
 		}
 		kind := "requeue"
 		if !m.requeueLocked(it, "phone lost mid-round") {

@@ -24,6 +24,7 @@ import (
 	"cwc/internal/predict"
 	"cwc/internal/protocol"
 	"cwc/internal/tasks"
+	"cwc/internal/wal"
 )
 
 // Config tunes the master. Zero values get paper defaults.
@@ -69,6 +70,11 @@ type Config struct {
 	// ListenerHook, when set, wraps the TCP listener before the accept
 	// loop uses it (fault injection, metrics).
 	ListenerHook func(net.Listener) net.Listener
+	// WAL, when set, is the master's write-ahead log: every durable
+	// state change is appended to it, Submit acknowledgements are gated
+	// on the append, and RecoverWAL replays it after a crash. See
+	// internal/wal and wal.go in this package.
+	WAL *wal.Log
 }
 
 func (c *Config) fill() {
@@ -160,6 +166,10 @@ type workItem struct {
 	// retries counts re-queues; past Config.MaxItemRetries the item is
 	// dead-lettered instead of re-queued.
 	retries int
+	// seq is the item's durable identity in the write-ahead log: a
+	// round record names the fresh items it consumed by seq. Assigned
+	// at creation, meaningful only while key is zero.
+	seq int64
 }
 
 // remainingKB is the unprocessed input in KB (R_j for scheduling).
@@ -235,6 +245,7 @@ type Master struct {
 
 	nextKey     int64
 	nextAttempt int64
+	nextItemSeq int64
 	completed   map[int64]bool // keys whose result has been recorded
 	speculated  map[int64]bool // keys with a speculative copy issued
 	attempts    map[int64]*attemptRec

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"cwc/internal/tasks"
+	"cwc/internal/wal"
 )
 
 // State snapshot/restore: the paper's server records migrated task state
@@ -158,9 +159,21 @@ func (m *Master) LoadState(r io.Reader) error {
 		return ErrStateNotEmpty
 	}
 	m.jobs = jobs
+	for _, it := range pending {
+		it.seq = m.nextSeqLocked()
+	}
 	m.pending = pending
 	if st.NextJobID > m.nextJobID {
 		m.nextJobID = st.NextJobID
 	}
 	return nil
+}
+
+// SaveStateFile writes a snapshot atomically: the JSON is staged in a
+// temp file in the same directory, fsynced, renamed over path, and the
+// directory is fsynced — a crash mid-save can never tear the snapshot
+// or destroy the previous one (os.Create over the live file could do
+// both).
+func (m *Master) SaveStateFile(path string) error {
+	return wal.WriteFileAtomic(path, func(w io.Writer) error { return m.SaveState(w) })
 }

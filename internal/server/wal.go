@@ -1,0 +1,538 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cwc/internal/tasks"
+	"cwc/internal/wal"
+)
+
+// The master's write-ahead log: every mutation of durable state (jobs,
+// queued work, partials, dead letters) is appended as one record before
+// the acknowledgement that depends on it, so a master killed at any
+// instant replays snapshot + log and resumes with nothing acknowledged
+// lost. Records carry full payloads (inputs, partials, checkpoints);
+// compaction bounds the growth by folding the log into a walState
+// snapshot.
+//
+// Replay is a pure reduction (walReducer) over three collections:
+//
+//	jobs   — submissions and their accumulated partials/results
+//	fresh  — queued work items that have never been dispatched,
+//	         identified by a durable per-item sequence number
+//	open   — partitioned byte ranges at or past dispatch, identified
+//	         by their speculation key; an open range with no later
+//	         report/dead-letter record is re-queued on recovery exactly
+//	         like the mid-round LoadState path re-queues in-flight work
+//
+// Dispatch records are audit-only: an assignment with no report changes
+// no durable state (the range stays open either way).
+
+// WAL record types.
+const (
+	walRecSubmit     uint8 = 1 // job accepted (gates the Submit ack)
+	walRecRound      uint8 = 2 // partitions created at a scheduling instant
+	walRecDispatch   uint8 = 3 // assignment shipped to a phone (audit only)
+	walRecReport     uint8 = 4 // partition result recorded
+	walRecPartial    uint8 = 5 // failure folded into a partial result + remainder
+	walRecMigrate    uint8 = 6 // failure migrated whole with its checkpoint
+	walRecDeadLetter uint8 = 7 // work item abandoned after its retry budget
+	walRecFinish     uint8 = 8 // job aggregated to its final result
+)
+
+type walSubmit struct {
+	JobID  int    `json:"job_id"`
+	Seq    int64  `json:"seq"`
+	Task   string `json:"task"`
+	Params []byte `json:"params,omitempty"`
+	Input  []byte `json:"input"`
+	Atomic bool   `json:"atomic,omitempty"`
+}
+
+type walRoundItem struct {
+	JobID   int               `json:"job_id"`
+	Key     int64             `json:"key"`
+	Input   []byte            `json:"input"`
+	Resume  *tasks.Checkpoint `json:"resume,omitempty"`
+	Retries int               `json:"retries,omitempty"`
+}
+
+type walRound struct {
+	// Consumed lists the sequence numbers of fresh items drained into
+	// this round; their byte ranges continue as the keyed Items.
+	Consumed []int64        `json:"consumed,omitempty"`
+	Items    []walRoundItem `json:"items"`
+}
+
+type walDispatch struct {
+	Key       int64 `json:"key"`
+	JobID     int   `json:"job_id"`
+	Partition int   `json:"partition"`
+	PhoneID   int   `json:"phone_id"`
+	Attempt   int64 `json:"attempt"`
+}
+
+type walReport struct {
+	JobID   int    `json:"job_id"`
+	Key     int64  `json:"key"`
+	Bytes   int64  `json:"bytes"`
+	Partial []byte `json:"partial"`
+}
+
+type walPartialRec struct {
+	JobID   int    `json:"job_id"`
+	Key     int64  `json:"key"`
+	Offset  int64  `json:"offset"`
+	Partial []byte `json:"partial"`
+	// Remainder, when present, is the unprocessed suffix re-queued as a
+	// fresh item under RemainderSeq; absent when the remainder was empty
+	// or immediately dead-lettered.
+	Remainder    []byte `json:"remainder,omitempty"`
+	RemainderSeq int64  `json:"remainder_seq,omitempty"`
+	Retries      int    `json:"retries,omitempty"`
+}
+
+type walMigrate struct {
+	JobID   int               `json:"job_id"`
+	Key     int64             `json:"key"`
+	Input   []byte            `json:"input"`
+	Resume  *tasks.Checkpoint `json:"resume,omitempty"`
+	Retries int               `json:"retries,omitempty"`
+}
+
+type walDeadLetterRec struct {
+	JobID   int    `json:"job_id"`
+	Key     int64  `json:"key,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
+	Task    string `json:"task"`
+	Bytes   int    `json:"bytes"`
+	Retries int    `json:"retries"`
+	Reason  string `json:"reason"`
+}
+
+type walFinish struct {
+	JobID int    `json:"job_id"`
+	Final []byte `json:"final"`
+}
+
+// walJobRec is a job's durable state, shared by the reducer and the
+// compaction snapshot.
+type walJobRec struct {
+	ID         int      `json:"id"`
+	Task       string   `json:"task"`
+	Params     []byte   `json:"params,omitempty"`
+	TotalBytes int64    `json:"total_bytes"`
+	Covered    int64    `json:"covered"`
+	Partials   [][]byte `json:"partials,omitempty"`
+	Final      []byte   `json:"final,omitempty"`
+	Done       bool     `json:"done,omitempty"`
+}
+
+// walItemRec is a queued or in-flight work item's durable state.
+type walItemRec struct {
+	Seq     int64             `json:"seq,omitempty"`
+	Key     int64             `json:"key,omitempty"`
+	JobID   int               `json:"job_id"`
+	Input   []byte            `json:"input"`
+	Resume  *tasks.Checkpoint `json:"resume,omitempty"`
+	Atomic  bool              `json:"atomic,omitempty"`
+	Retries int               `json:"retries,omitempty"`
+}
+
+// walState is the compaction snapshot: the reducer's state serialized.
+type walState struct {
+	NextJobID   int          `json:"next_job_id"`
+	NextSeq     int64        `json:"next_seq"`
+	NextKey     int64        `json:"next_key"`
+	Jobs        []walJobRec  `json:"jobs,omitempty"`
+	Fresh       []walItemRec `json:"fresh,omitempty"`
+	Open        []walItemRec `json:"open,omitempty"`
+	DeadLetters []DeadLetter `json:"dead_letters,omitempty"`
+}
+
+// walReducer replays a snapshot plus records into durable state.
+type walReducer struct {
+	nextJobID int
+	nextSeq   int64
+	nextKey   int64
+	jobs      map[int]*walJobRec
+	fresh     map[int64]*walItemRec // by item sequence number
+	open      map[int64]*walItemRec // by speculation key
+	dead      []DeadLetter
+}
+
+func newWALReducer() *walReducer {
+	return &walReducer{
+		nextJobID: 1,
+		jobs:      map[int]*walJobRec{},
+		fresh:     map[int64]*walItemRec{},
+		open:      map[int64]*walItemRec{},
+	}
+}
+
+// loadSnapshot primes the reducer from a compaction snapshot.
+func (r *walReducer) loadSnapshot(b []byte) error {
+	var st walState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+	if st.NextJobID > r.nextJobID {
+		r.nextJobID = st.NextJobID
+	}
+	r.nextSeq = st.NextSeq
+	r.nextKey = st.NextKey
+	for i := range st.Jobs {
+		j := st.Jobs[i]
+		r.jobs[j.ID] = &j
+	}
+	for i := range st.Fresh {
+		it := st.Fresh[i]
+		r.fresh[it.Seq] = &it
+		r.bumpSeq(it.Seq)
+	}
+	for i := range st.Open {
+		it := st.Open[i]
+		r.open[it.Key] = &it
+		r.bumpKey(it.Key)
+	}
+	r.dead = append(r.dead, st.DeadLetters...)
+	return nil
+}
+
+func (r *walReducer) bumpSeq(s int64) {
+	if s > r.nextSeq {
+		r.nextSeq = s
+	}
+}
+
+func (r *walReducer) bumpKey(k int64) {
+	if k > r.nextKey {
+		r.nextKey = k
+	}
+}
+
+func (r *walReducer) job(id int) (*walJobRec, error) {
+	js, ok := r.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("record references unknown job %d", id)
+	}
+	return js, nil
+}
+
+// apply folds one record into the reducer.
+func (r *walReducer) apply(rec wal.Record) error {
+	switch rec.Type {
+	case walRecSubmit:
+		var p walSubmit
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding submit: %w", err)
+		}
+		if _, dup := r.jobs[p.JobID]; dup {
+			return fmt.Errorf("duplicate submit for job %d", p.JobID)
+		}
+		r.jobs[p.JobID] = &walJobRec{
+			ID: p.JobID, Task: p.Task, Params: p.Params, TotalBytes: int64(len(p.Input)),
+		}
+		r.fresh[p.Seq] = &walItemRec{Seq: p.Seq, JobID: p.JobID, Input: p.Input, Atomic: p.Atomic}
+		if p.JobID >= r.nextJobID {
+			r.nextJobID = p.JobID + 1
+		}
+		r.bumpSeq(p.Seq)
+	case walRecRound:
+		var p walRound
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding round: %w", err)
+		}
+		for _, s := range p.Consumed {
+			delete(r.fresh, s)
+		}
+		for _, it := range p.Items {
+			if _, err := r.job(it.JobID); err != nil {
+				return fmt.Errorf("round: %w", err)
+			}
+			r.open[it.Key] = &walItemRec{
+				Key: it.Key, JobID: it.JobID, Input: it.Input,
+				Resume: it.Resume, Atomic: true, Retries: it.Retries,
+			}
+			r.bumpKey(it.Key)
+		}
+	case walRecDispatch:
+		// Audit only: an unreported dispatch leaves its range open.
+	case walRecReport:
+		var p walReport
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding report: %w", err)
+		}
+		js, err := r.job(p.JobID)
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		delete(r.open, p.Key)
+		js.Covered += p.Bytes
+		js.Partials = append(js.Partials, p.Partial)
+	case walRecPartial:
+		var p walPartialRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding partial: %w", err)
+		}
+		js, err := r.job(p.JobID)
+		if err != nil {
+			return fmt.Errorf("partial: %w", err)
+		}
+		delete(r.open, p.Key)
+		js.Covered += p.Offset
+		js.Partials = append(js.Partials, p.Partial)
+		if p.RemainderSeq != 0 && len(p.Remainder) > 0 {
+			r.fresh[p.RemainderSeq] = &walItemRec{
+				Seq: p.RemainderSeq, JobID: p.JobID, Input: p.Remainder, Retries: p.Retries,
+			}
+			r.bumpSeq(p.RemainderSeq)
+		}
+	case walRecMigrate:
+		var p walMigrate
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding migrate: %w", err)
+		}
+		if _, err := r.job(p.JobID); err != nil {
+			return fmt.Errorf("migrate: %w", err)
+		}
+		r.open[p.Key] = &walItemRec{
+			Key: p.Key, JobID: p.JobID, Input: p.Input,
+			Resume: p.Resume, Atomic: true, Retries: p.Retries,
+		}
+		r.bumpKey(p.Key)
+	case walRecDeadLetter:
+		var p walDeadLetterRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding dead letter: %w", err)
+		}
+		delete(r.open, p.Key)
+		delete(r.fresh, p.Seq)
+		r.dead = append(r.dead, DeadLetter{
+			JobID: p.JobID, Task: p.Task, Bytes: p.Bytes, Retries: p.Retries, Reason: p.Reason,
+		})
+	case walRecFinish:
+		var p walFinish
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding finish: %w", err)
+		}
+		js, err := r.job(p.JobID)
+		if err != nil {
+			return fmt.Errorf("finish: %w", err)
+		}
+		js.Final = p.Final
+		js.Done = true
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// walAppend writes one record to the attached WAL, if any. Callers hold
+// m.mu wherever the record's position relative to other state changes
+// matters. Failures are logged, not fatal: the master keeps serving and
+// the next compaction folds live state into a consistent snapshot.
+func (m *Master) walAppend(typ uint8, v any) {
+	if m.cfg.WAL == nil {
+		return
+	}
+	if err := m.walAppendErr(typ, v); err != nil {
+		m.cfg.Logger.Printf("wal: record type %d lost: %v", typ, err)
+	}
+}
+
+// walAppendErr is walAppend surfacing the error, for records that gate
+// an acknowledgement (Submit must not ack what the log did not take).
+func (m *Master) walAppendErr(typ uint8, v any) error {
+	wl := m.cfg.WAL
+	if wl == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("encoding: %w", err)
+	}
+	return wl.Append(typ, b)
+}
+
+// nextSeqLocked allocates a durable work-item sequence number. Caller
+// holds m.mu.
+func (m *Master) nextSeqLocked() int64 {
+	m.nextItemSeq++
+	return m.nextItemSeq
+}
+
+// walSnapshotLocked serializes the master's durable state in the
+// compaction snapshot format. Caller holds m.mu. Unlike SaveState it
+// preserves speculation keys and item sequence numbers: the log that
+// continues after this snapshot refers to them.
+func (m *Master) walSnapshotLocked(w io.Writer) error {
+	st := walState{NextJobID: m.nextJobID, NextSeq: m.nextItemSeq, NextKey: m.nextKey}
+	st.DeadLetters = append(st.DeadLetters, m.deadLetters...)
+	for _, js := range m.jobs {
+		st.Jobs = append(st.Jobs, walJobRec{
+			ID: js.id, Task: js.task.Name(), Params: js.task.Params(),
+			TotalBytes: js.totalBytes, Covered: js.covered,
+			Partials: js.partials, Final: js.final, Done: js.done,
+		})
+	}
+	seen := map[int64]bool{}
+	addOpen := func(key int64, jobID int, input []byte, resume *tasks.Checkpoint, retries int) {
+		if m.completed[key] || seen[key] {
+			return
+		}
+		seen[key] = true
+		st.Open = append(st.Open, walItemRec{
+			Key: key, JobID: jobID, Input: input, Resume: resume, Atomic: true, Retries: retries,
+		})
+	}
+	for _, it := range m.pending {
+		if it.key == 0 {
+			st.Fresh = append(st.Fresh, walItemRec{
+				Seq: it.seq, JobID: it.jobID, Input: it.input,
+				Resume: it.resume, Atomic: it.atomic, Retries: it.retries,
+			})
+			continue
+		}
+		addOpen(it.key, it.jobID, it.input, it.resume, it.retries)
+	}
+	for _, rec := range m.attempts {
+		a := rec.a
+		if a.key == 0 {
+			continue
+		}
+		addOpen(a.key, a.item.jobID, a.input, a.resume, a.item.retries)
+	}
+	sort.Slice(st.Jobs, func(i, j int) bool { return st.Jobs[i].ID < st.Jobs[j].ID })
+	sort.Slice(st.Fresh, func(i, j int) bool { return st.Fresh[i].Seq < st.Fresh[j].Seq })
+	sort.Slice(st.Open, func(i, j int) bool { return st.Open[i].Key < st.Open[j].Key })
+	enc := json.NewEncoder(w)
+	return enc.Encode(st)
+}
+
+// CompactWAL folds the master's current durable state into a WAL
+// snapshot and rotates the log. Safe to call at any time; a no-op
+// without an attached WAL.
+func (m *Master) CompactWAL() error {
+	wl := m.cfg.WAL
+	if wl == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return wl.Compact(func(w io.Writer) error { return m.walSnapshotLocked(w) })
+}
+
+// RecoverWAL replays the attached WAL's snapshot and records into this
+// (empty) master: jobs and their partials are restored, queued work is
+// re-queued, and byte ranges that were in flight when the old master
+// died are re-queued atomically — exactly how a mid-round LoadState
+// re-queues dispatched work. Jobs whose coverage completed but whose
+// aggregation was cut off by the crash are aggregated now. The log is
+// then compacted so the recovered state becomes the new snapshot.
+func (m *Master) RecoverWAL() error {
+	wl := m.cfg.WAL
+	if wl == nil {
+		return nil
+	}
+	snap, recs := wl.Snapshot(), wl.Recovered()
+	if len(snap) == 0 && len(recs) == 0 {
+		return nil
+	}
+	red := newWALReducer()
+	if len(snap) > 0 {
+		if err := red.loadSnapshot(snap); err != nil {
+			return fmt.Errorf("server: wal recovery: %w", err)
+		}
+	}
+	for i, rec := range recs {
+		if err := red.apply(rec); err != nil {
+			return fmt.Errorf("server: wal recovery: record %d: %w", i, err)
+		}
+	}
+	if err := m.installWALState(red); err != nil {
+		return err
+	}
+	if err := m.CompactWAL(); err != nil {
+		return fmt.Errorf("server: wal recovery: compacting recovered state: %w", err)
+	}
+	return nil
+}
+
+// installWALState materializes reduced state into an empty master.
+func (m *Master) installWALState(red *walReducer) error {
+	jobs := map[int]*jobState{}
+	for id, jr := range red.jobs {
+		task, err := tasks.New(jr.Task, jr.Params)
+		if err != nil {
+			return fmt.Errorf("server: wal recovery: restoring job %d: %w", id, err)
+		}
+		js := &jobState{
+			id: id, task: task, totalBytes: jr.TotalBytes, covered: jr.Covered,
+			partials: jr.Partials, final: jr.Final, done: jr.Done,
+		}
+		if !js.done && js.totalBytes > 0 && js.covered >= js.totalBytes {
+			// The crash fell between the last report and the round's
+			// aggregation sweep; finish the job now.
+			final, err := aggregate(js)
+			if err != nil {
+				m.cfg.Logger.Printf("wal: job %d aggregation after recovery failed: %v", id, err)
+			} else {
+				js.final = final
+				js.done = true
+			}
+		}
+		jobs[id] = js
+	}
+	items := make([]*walItemRec, 0, len(red.fresh)+len(red.open))
+	for _, it := range red.fresh {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Seq < items[j].Seq })
+	openStart := len(items)
+	for _, it := range red.open {
+		items = append(items, it)
+	}
+	sort.Slice(items[openStart:], func(i, j int) bool {
+		return items[openStart+i].Key < items[openStart+j].Key
+	})
+	pending := make([]*workItem, 0, len(items))
+	for _, it := range items {
+		js, ok := jobs[it.JobID]
+		if !ok {
+			return fmt.Errorf("server: wal recovery: item references unknown job %d", it.JobID)
+		}
+		// Keys are dropped: the old master's attempts can never reach
+		// this one, so first-result-wins state would be dead weight —
+		// the same reasoning SaveState documents.
+		pending = append(pending, &workItem{
+			jobID: it.JobID, task: js.task, input: it.Input,
+			resume: it.Resume, atomic: it.Atomic, retries: it.Retries,
+		})
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.jobs) != 0 || len(m.pending) != 0 {
+		return ErrStateNotEmpty
+	}
+	m.jobs = jobs
+	for _, it := range pending {
+		it.seq = m.nextSeqLocked()
+	}
+	m.pending = pending
+	m.deadLetters = append(m.deadLetters, red.dead...)
+	if red.nextJobID > m.nextJobID {
+		m.nextJobID = red.nextJobID
+	}
+	if red.nextSeq > m.nextItemSeq {
+		m.nextItemSeq = red.nextSeq
+	}
+	if red.nextKey > m.nextKey {
+		m.nextKey = red.nextKey
+	}
+	return nil
+}

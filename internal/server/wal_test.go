@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cwc/internal/faults"
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+	"cwc/internal/wal"
+)
+
+// failFirstResponder fails the first assignment it receives with an
+// uncheckpointed TypeFailure (exercising whole-partition migration) and
+// then serves normally — though the master marks the phone dead on the
+// failure, so "then" rarely comes.
+func failFirstResponder(f *fakePhone) {
+	failed := false
+	for {
+		if err := f.conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return
+		}
+		msg, err := f.conn.Recv()
+		if err != nil {
+			return
+		}
+		if msg.Type != protocol.TypeAssign {
+			continue
+		}
+		if !failed {
+			failed = true
+			_ = f.conn.Send(&protocol.Message{Type: protocol.TypeFailure,
+				JobID: msg.JobID, Partition: msg.Partition, Attempt: msg.Attempt,
+				Error: "induced crash"})
+			continue
+		}
+		task, err := tasks.New(msg.Task, msg.Params)
+		if err != nil {
+			continue
+		}
+		var ck tasks.Checkpoint
+		if msg.Resume != nil {
+			ck = *msg.Resume
+		}
+		res, err := task.Process(context.Background(), msg.Input, &ck)
+		if err != nil {
+			continue
+		}
+		_ = f.conn.Send(&protocol.Message{Type: protocol.TypeResult,
+			JobID: msg.JobID, Partition: msg.Partition, Attempt: msg.Attempt,
+			Result: res, ExecMs: 1, ProcessedKB: float64(len(msg.Input)) / 1024})
+	}
+}
+
+func openWAL(t *testing.T, dir string, opts wal.Options) *wal.Log {
+	t.Helper()
+	wl, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wl.Close() })
+	return wl
+}
+
+func TestWALRecoverAcrossMasters(t *testing.T) {
+	dir := t.TempDir()
+	wl := openWAL(t, dir, wal.Options{Sync: wal.SyncAlways})
+	a := startMaster(t, Config{WAL: wl})
+	fa := dialFake(t, a, "HTC G2", 806)
+	go autoResponder(fa)
+
+	id1, err := a.Submit(tasks.PrimeCount{}, []byte("2\n3\n4\n5\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := a.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want1, ok := a.Result(id1)
+	if !ok {
+		t.Fatal("job 1 did not complete on master A")
+	}
+	id2, err := a.Submit(tasks.WordCount{Word: "sale"}, []byte("sale sale no\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill A without any explicit save: the WAL is the only persistence.
+	a.Close()
+	wl.Close()
+
+	wl2 := openWAL(t, dir, wal.Options{Sync: wal.SyncAlways})
+	b := startMaster(t, Config{WAL: wl2})
+	if err := b.RecoverWAL(); err != nil {
+		t.Fatal(err)
+	}
+	got1, ok := b.Result(id1)
+	if !ok || !bytes.Equal(got1, want1) {
+		t.Fatalf("recovered result = %q %v, want %q", got1, ok, want1)
+	}
+	if b.PendingItems() != 1 {
+		t.Fatalf("recovered pending = %d, want 1", b.PendingItems())
+	}
+	fb := dialFake(t, b, "Nexus S", 1000)
+	go autoResponder(fb)
+	if _, err := b.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := b.Result(id2)
+	if !ok || string(got2) != "2" {
+		t.Fatalf("recovered job result = %q %v, want 2", got2, ok)
+	}
+	id3, err := b.Submit(tasks.MaxInt{}, []byte("1\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 <= id2 {
+		t.Errorf("new job ID %d not above recovered %d", id3, id2)
+	}
+}
+
+func TestWALSubmitAckGatedOnAppend(t *testing.T) {
+	// A disk that refuses every write: Submit must refuse the job rather
+	// than acknowledge something the log did not take.
+	wl := openWAL(t, t.TempDir(), wal.Options{
+		Sync: wal.SyncAlways,
+		WriterHook: func(w io.Writer) io.Writer {
+			return faults.NewWriter(w, faults.WriteProfile{Seed: 1, ErrProb: 1})
+		},
+	})
+	m := startMaster(t, Config{WAL: wl})
+	if _, err := m.Submit(tasks.PrimeCount{}, []byte("2\n"), false); err == nil {
+		t.Fatal("Submit acknowledged a job the WAL rejected")
+	}
+	if n := m.PendingItems(); n != 0 {
+		t.Fatalf("rejected submission left %d pending items", n)
+	}
+}
+
+// TestWALCrashRecoveryEveryTruncation is the kill-anywhere acceptance
+// harness: record a full run's WAL (spanning a compaction, an induced
+// phone failure, and three jobs), then simulate a master killed at every
+// record boundary — and inside records — of the live segment by
+// truncating a copy. Every truncation must recover: no acknowledged
+// submission lost, and every job that finishes again produces aggregates
+// byte-identical to the uncrashed run.
+func TestWALCrashRecoveryEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	wl := openWAL(t, dir, wal.Options{Sync: wal.SyncAlways})
+	a := startMaster(t, Config{WAL: wl})
+	fa := dialFake(t, a, "HTC G2", 806)
+	go autoResponder(fa)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Deterministic workloads: counting aggregates are independent of how
+	// the input is partitioned or re-partitioned after a crash.
+	primesIn := []byte{}
+	for i := 1; i <= 200; i++ {
+		primesIn = append(primesIn, []byte(fmt.Sprintf("%d\n", i))...)
+	}
+	wordsIn := []byte(strings.Repeat("storm sale inventory sale\n", 40))
+	maxIn := []byte(strings.Repeat("7\n3\n9001\n14\n", 30))
+
+	id1, err := a.Submit(tasks.PrimeCount{}, primesIn, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Fold the first job into a snapshot: recovery must now compose
+	// snapshot + live log.
+	if err := a.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := a.Submit(tasks.WordCount{Word: "sale"}, wordsIn, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id3, err := a.Submit(tasks.MaxInt{}, maxIn, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A phone that fails mid-round: its partition migrates through a
+	// walRecMigrate record in the live segment.
+	flaky := dialFake(t, a, "Nexus S", 1000)
+	go failFirstResponder(flaky)
+
+	ids := []int{id1, id2, id3}
+	want := map[int][]byte{}
+	for round := 0; round < 20 && len(want) < len(ids); round++ {
+		if _, err := a.RunRound(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if res, ok := a.Result(id); ok {
+				want[id] = res
+			}
+		}
+	}
+	if len(want) != len(ids) {
+		t.Fatalf("uncrashed run finished %d of %d jobs", len(want), len(ids))
+	}
+	if len(a.DeadLetters()) != 0 {
+		t.Fatalf("uncrashed run dead-lettered work: %+v", a.DeadLetters())
+	}
+	a.Close()
+	wl.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one live segment, got %v (%v)", segs, err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("want exactly one snapshot, got %v (%v)", snaps, err)
+	}
+	segBytes, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, bounds, err := wal.ScanSegment(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("live segment is empty; harness is vacuous")
+	}
+
+	// Jobs acknowledged before the cut: those in the snapshot plus those
+	// whose submit record survives the truncation whole.
+	var snapState walState
+	if err := json.Unmarshal(snapBytes, &snapState); err != nil {
+		t.Fatal(err)
+	}
+	submitEnd := map[int]int64{}
+	sawTypes := map[uint8]bool{}
+	for i, r := range recs {
+		sawTypes[r.Type] = true
+		if r.Type == walRecSubmit {
+			var p walSubmit
+			if err := json.Unmarshal(r.Payload, &p); err != nil {
+				t.Fatal(err)
+			}
+			submitEnd[p.JobID] = bounds[i]
+		}
+	}
+	for _, typ := range []uint8{walRecSubmit, walRecRound, walRecDispatch, walRecReport, walRecMigrate, walRecFinish} {
+		if !sawTypes[typ] {
+			t.Fatalf("live segment never exercised record type %d (types seen: %v)", typ, sawTypes)
+		}
+	}
+
+	// Kill points: the empty log, every record boundary, and a point
+	// inside every record (a torn tail).
+	cuts := []int64{0}
+	for _, b := range bounds {
+		cuts = append(cuts, b-3, b) // b-3 lands inside the record ending at b
+	}
+
+	for _, cut := range cuts {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			cdir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(cdir, filepath.Base(snaps[0])), snapBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(cdir, filepath.Base(segs[0])), segBytes[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cwl := openWAL(t, cdir, wal.Options{Sync: wal.SyncAlways})
+			m := startMaster(t, Config{WAL: cwl})
+			if err := m.RecoverWAL(); err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+
+			known := map[int]bool{}
+			for _, j := range snapState.Jobs {
+				known[j.ID] = true
+			}
+			for id, end := range submitEnd {
+				if end <= cut {
+					known[id] = true
+				}
+			}
+			m.mu.Lock()
+			for id := range known {
+				if _, ok := m.jobs[id]; !ok {
+					m.mu.Unlock()
+					t.Fatalf("acknowledged job %d lost", id)
+				}
+			}
+			m.mu.Unlock()
+
+			unfinished := 0
+			for id := range known {
+				if _, ok := m.Result(id); !ok {
+					unfinished++
+				}
+			}
+			if unfinished > 0 {
+				p := dialFake(t, m, "HTC G2", 806)
+				go autoResponder(p)
+				for round := 0; round < 20 && unfinished > 0; round++ {
+					if _, err := m.RunRound(ctx); err != nil {
+						t.Fatalf("post-recovery round: %v", err)
+					}
+					unfinished = 0
+					for id := range known {
+						if _, ok := m.Result(id); !ok {
+							unfinished++
+						}
+					}
+				}
+				if unfinished > 0 {
+					t.Fatalf("%d recovered jobs never finished", unfinished)
+				}
+			}
+			for id := range known {
+				got, _ := m.Result(id)
+				if !bytes.Equal(got, want[id]) {
+					t.Fatalf("job %d aggregate = %q, want %q (byte-identical to uncrashed run)", id, got, want[id])
+				}
+			}
+		})
+	}
+}
