@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"math/rand"
 	"net"
@@ -77,15 +78,20 @@ func main() {
 	}
 	var journal *migrate.Journal
 	if *jrnlFile != "" {
-		if f, err := os.Open(*jrnlFile); err == nil {
+		switch f, err := os.Open(*jrnlFile); {
+		case err == nil:
 			journal, err = migrate.ReadJournal(f)
 			f.Close()
 			if err != nil {
 				logger.Fatalf("restoring journal %s: %v", *jrnlFile, err)
 			}
 			logger.Printf("restored journal from %s (%d events)", *jrnlFile, journal.Len())
-		} else {
+		case errors.Is(err, fs.ErrNotExist):
 			journal = migrate.NewJournal()
+		default:
+			// An unreadable journal (EACCES, I/O error) is not a fresh
+			// start: proceeding would overwrite it at the next save.
+			logger.Fatalf("opening journal %s: %v", *jrnlFile, err)
 		}
 		cfg.Journal = journal
 	}
@@ -139,7 +145,8 @@ func main() {
 	defer m.Close()
 	logger.Printf("listening on %s", m.Addr())
 	if *stateFile != "" {
-		if f, err := os.Open(*stateFile); err == nil {
+		switch f, err := os.Open(*stateFile); {
+		case err == nil:
 			err := m.LoadState(f)
 			f.Close()
 			switch {
@@ -152,6 +159,10 @@ func main() {
 			default:
 				logger.Printf("restored state from %s (%d pending items)", *stateFile, m.PendingItems())
 			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start; the exit/periodic snapshot will create it.
+		default:
+			logger.Fatalf("opening %s: %v", *stateFile, err)
 		}
 		defer func() {
 			if err := m.SaveStateFile(*stateFile); err != nil {

@@ -362,7 +362,23 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 	}
 	if logWAL {
-		m.walAppend(walRecRound, rr)
+		if err := m.walAppendErr(walRecRound, rr); err != nil {
+			// A missing round record with later report records behind it
+			// replays into double-counted coverage: the consumed fresh
+			// items re-queue (their seqs were never marked consumed) AND
+			// the reports credit the keys they became. Nothing has been
+			// dispatched yet, so abort the round instead — re-queue the
+			// drained items and fold live state into a fresh snapshot so
+			// log and state re-converge (compaction also clears a wedged
+			// log). RunLoop retries at the next scheduling instant.
+			m.pending = append(items, m.pending...)
+			m.mu.Unlock()
+			m.cfg.Logger.Printf("wal: round record lost (%v); aborting round", err)
+			if cerr := m.CompactWAL(); cerr != nil {
+				m.cfg.Logger.Printf("wal: compaction after lost round record: %v", cerr)
+			}
+			return nil, fmt.Errorf("server: persisting round record: %w", err)
+		}
 	}
 	m.mu.Unlock()
 

@@ -166,6 +166,18 @@ func (m *Master) LoadState(r io.Reader) error {
 	if st.NextJobID > m.nextJobID {
 		m.nextJobID = st.NextJobID
 	}
+	// With a WAL attached, the restored state must become the WAL's
+	// snapshot before any record referencing it is appended: the replay
+	// reducer only ever sees snapshot + log, so jobs restored from the
+	// file alone would make later round/report/finish records fail replay
+	// (the upgrade path of an existing -state deployment adding
+	// -wal-dir). Compact inline — m.mu is held, so no append can slip in
+	// between install and fold.
+	if wl := m.cfg.WAL; wl != nil {
+		if err := wl.Compact(func(w io.Writer) error { return m.walSnapshotLocked(w) }); err != nil {
+			return fmt.Errorf("server: folding restored state into WAL: %w", err)
+		}
+	}
 	return nil
 }
 

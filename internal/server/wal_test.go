@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -143,6 +145,126 @@ func TestWALSubmitAckGatedOnAppend(t *testing.T) {
 	}
 	if n := m.PendingItems(); n != 0 {
 		t.Fatalf("rejected submission left %d pending items", n)
+	}
+}
+
+func TestLoadStateFoldsIntoWAL(t *testing.T) {
+	// The upgrade path: an existing -state deployment adds -wal-dir. The
+	// file-restored jobs must become the WAL's snapshot before any record
+	// referencing them is appended — otherwise the next startup's replay
+	// sees round/report/finish records for jobs the reducer never met and
+	// the master refuses to start.
+	var snap bytes.Buffer
+	a := startMaster(t, Config{})
+	id, err := a.Submit(tasks.WordCount{Word: "sale"}, []byte("sale sale no\nsale yes\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	dir := t.TempDir()
+	wl := openWAL(t, dir, wal.Options{Sync: wal.SyncAlways})
+	b := startMaster(t, Config{WAL: wl})
+	if err := b.RecoverWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	fb := dialFake(t, b, "HTC G2", 806)
+	go autoResponder(fb)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := b.RunRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := b.Result(id)
+	if !ok {
+		t.Fatal("loaded job did not complete")
+	}
+	b.Close()
+	wl.Close()
+
+	wl2 := openWAL(t, dir, wal.Options{Sync: wal.SyncAlways})
+	c := startMaster(t, Config{WAL: wl2})
+	if err := c.RecoverWAL(); err != nil {
+		t.Fatalf("replay after -state load: %v", err)
+	}
+	got, ok := c.Result(id)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("recovered result = %q %v, want %q", got, ok, want)
+	}
+}
+
+// gateWriter fails every write while its gate is set; Syncs pass through.
+type gateWriter struct {
+	w    io.Writer
+	fail *atomic.Bool
+}
+
+func (g *gateWriter) Write(b []byte) (int, error) {
+	if g.fail.Load() {
+		return 0, errors.New("injected write error")
+	}
+	return g.w.Write(b)
+}
+
+func TestRoundRecordFailureAbortsRound(t *testing.T) {
+	// A round whose walRecRound append fails must abort before anything
+	// is dispatched: continuing would leave report records in the log
+	// with no round record ahead of them, double-counting coverage on
+	// replay. The items go back to pending and the next round succeeds.
+	dir := t.TempDir()
+	var gate atomic.Bool
+	wl := openWAL(t, dir, wal.Options{
+		Sync:       wal.SyncAlways,
+		WriterHook: func(w io.Writer) io.Writer { return &gateWriter{w: w, fail: &gate} },
+	})
+	m := startMaster(t, Config{WAL: wl})
+	id, err := m.Submit(tasks.PrimeCount{}, []byte("2\n3\n4\n5\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dialFake(t, m, "HTC G2", 806)
+	go autoResponder(f)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	gate.Store(true)
+	if _, err := m.RunRound(ctx); err == nil {
+		t.Fatal("round with an unloggable round record should abort")
+	}
+	if n := m.PendingItems(); n != 1 {
+		t.Fatalf("aborted round left %d pending items, want 1", n)
+	}
+	if _, ok := m.Result(id); ok {
+		t.Fatal("aborted round produced a result")
+	}
+
+	gate.Store(false)
+	if _, err := m.RunRound(ctx); err != nil {
+		t.Fatalf("round after WAL recovered: %v", err)
+	}
+	want, ok := m.Result(id)
+	if !ok {
+		t.Fatal("job did not complete after retry")
+	}
+	m.Close()
+	wl.Close()
+
+	// The log must replay cleanly: the abort-time compaction folded the
+	// un-logged state so no orphaned records remain.
+	wl2 := openWAL(t, dir, wal.Options{Sync: wal.SyncAlways})
+	r := startMaster(t, Config{WAL: wl2})
+	if err := r.RecoverWAL(); err != nil {
+		t.Fatalf("replay after aborted round: %v", err)
+	}
+	got, ok := r.Result(id)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("recovered result = %q %v, want %q", got, ok, want)
 	}
 }
 

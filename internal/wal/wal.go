@@ -154,6 +154,14 @@ func scanRecords(b []byte) (recs []Record, good int, err error) {
 				// to the end.
 				return recs, off, &tornError{off, fmt.Sprintf("declared length %d exceeds remaining %d bytes", n, rest-headerSize)}
 			}
+			if n == 0 && allZero(b[off:]) {
+				// A zero-filled tail: a crash after an append extended the
+				// file but before the data blocks were flushed leaves a
+				// declared length of 0 with nothing but zeros behind it —
+				// an ordinary post-crash artifact, recoverable by
+				// truncation like any other torn tail.
+				return recs, off, &tornError{off, fmt.Sprintf("zero-filled tail of %d bytes", rest)}
+			}
 			return recs, off, fmt.Errorf("%w: record at offset %d declares invalid length %d", ErrCorrupt, off, n)
 		}
 		if n > rest-headerSize {
@@ -173,6 +181,16 @@ func scanRecords(b []byte) (recs []Record, good int, err error) {
 		off += headerSize + n
 	}
 	return recs, off, nil
+}
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Log is an open write-ahead log directory.
@@ -343,9 +361,11 @@ func (l *Log) CompactDue() bool {
 }
 
 // Append frames one record and writes it to the live segment, fsyncing
-// per the policy. A failed or short write is clawed back by truncating
-// the segment to the last good boundary, so the log stays replayable; if
-// even that fails the log wedges and every later call reports the wedge.
+// per the policy. A failed or short write — or, under SyncAlways, a
+// failed fsync — is clawed back by truncating the segment to the last
+// good boundary, so an errored append never leaves its record in the
+// log and the log stays replayable; if even the claw-back fails the log
+// wedges and every later call reports the wedge.
 func (l *Log) Append(typ uint8, payload []byte) error {
 	if len(payload) > MaxRecordBytes-1 {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
@@ -379,7 +399,20 @@ func (l *Log) Append(typ uint8, payload []byte) error {
 	l.total += int64(len(frame))
 	l.dirty = true
 	if l.opts.Sync == SyncAlways {
-		return l.syncLocked()
+		if serr := l.syncLocked(); serr != nil {
+			// The caller treats a failed append as not-persisted (Submit
+			// does not consume the JobID), so the fully-written record
+			// must not stay in the log: a retry would append a duplicate
+			// and wreck replay. Claw it back like a failed write; wedge
+			// if even that fails.
+			if terr := l.f.Truncate(l.size - int64(len(frame))); terr != nil {
+				l.failed = fmt.Errorf("wal: wedged: sync failed (%v) and truncate failed: %w", serr, terr)
+				return l.failed
+			}
+			l.size -= int64(len(frame))
+			l.total -= int64(len(frame))
+			return serr
+		}
 	}
 	return nil
 }

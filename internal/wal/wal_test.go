@@ -298,9 +298,10 @@ func TestCompactionCrashOrphans(t *testing.T) {
 }
 
 func TestFaultyWriterClawback(t *testing.T) {
-	// Deterministic flaky disk: every record whose Append returned nil
-	// MUST be recovered; failed writes are clawed back so the log stays
-	// replayable.
+	// Deterministic flaky disk: the recovered log must hold exactly the
+	// records whose Append returned nil — failed writes AND failed
+	// SyncAlways fsyncs are clawed back, so an errored append never
+	// leaves its record behind to collide with the caller's retry.
 	for seed := int64(1); seed <= 8; seed++ {
 		dir := t.TempDir()
 		var fw *faults.FaultyWriter
@@ -332,17 +333,106 @@ func TestFaultyWriterClawback(t *testing.T) {
 		}
 		recovered := l2.Recovered()
 		l2.Close()
-		// acked must be a subsequence of recovered (sync-failure appends
-		// report an error but their bytes may still be on disk).
-		i := 0
-		for _, r := range recovered {
-			if i < len(acked) && acked[i].Type == r.Type && bytes.Equal(acked[i].Payload, r.Payload) {
-				i++
+		if len(recovered) != len(acked) {
+			t.Fatalf("seed %d: recovered %d records, acknowledged %d", seed, len(recovered), len(acked))
+		}
+		for i, r := range recovered {
+			if acked[i].Type != r.Type || !bytes.Equal(acked[i].Payload, r.Payload) {
+				t.Fatalf("seed %d: recovered record %d = %q, want %q", seed, i, r.Payload, acked[i].Payload)
 			}
 		}
-		if i != len(acked) {
-			t.Fatalf("seed %d: only %d/%d acknowledged records recovered", seed, i, len(acked))
-		}
+	}
+}
+
+func TestSyncFailureClawedBack(t *testing.T) {
+	// A record whose SyncAlways fsync fails must not stay in the log: the
+	// caller treats the errored append as not-persisted (Submit does not
+	// consume the JobID), so a surviving record would collide with the
+	// retry on replay.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{
+		Sync: SyncAlways,
+		WriterHook: func(w io.Writer) io.Writer {
+			return faults.NewWriter(w, faults.WriteProfile{Seed: 1, SyncErrProb: 1, MaxFaults: 1})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []byte("doomed")); err == nil {
+		t.Fatal("append with failing fsync should report the error")
+	}
+	if err := l.Append(1, []byte("retried")); err != nil {
+		t.Fatalf("append after sync-failure claw-back: %v", err)
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Recovered()
+	if len(got) != 1 || string(got[0].Payload) != "retried" {
+		t.Fatalf("recovered %d records %v, want only the retried one", len(got), got)
+	}
+}
+
+func TestZeroFilledTailRepaired(t *testing.T) {
+	// A crash can extend the segment (size metadata flushed) without
+	// flushing the appended data blocks, leaving a zero-filled tail. That
+	// is torn-tail damage — truncate and continue, don't refuse to start.
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 5)
+	l.Close()
+	seg := filepath.Join(dir, segmentName(1))
+	good, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf strings.Builder
+	l2, err := Open(dir, Options{Logger: log.New(&buf, "", 0)})
+	if err != nil {
+		t.Fatalf("open with zero-filled tail: %v", err)
+	}
+	if !sameRecords(l2.Recovered(), want) {
+		t.Fatalf("recovered %d records, want %d", len(l2.Recovered()), len(want))
+	}
+	l2.Close()
+	if !strings.Contains(buf.String(), "zero-filled tail") {
+		t.Fatalf("no zero-filled-tail warning logged; got %q", buf.String())
+	}
+	if st, err := os.Stat(seg); err != nil || st.Size() != good.Size() {
+		t.Fatalf("segment not truncated back to %d bytes: %v, %v", good.Size(), st.Size(), err)
+	}
+
+	// A zero length with non-zero bytes behind it is still hard
+	// corruption, not a torn tail.
+	f, err = os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := make([]byte, 100)
+	tail[99] = 0xFF
+	if _, err := f.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero length with data behind it opened with err = %v, want ErrCorrupt", err)
 	}
 }
 
