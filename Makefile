@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos wal-crash check bench fmt
+.PHONY: all build vet test race chaos wal-crash ckpt-chaos check bench fmt
 
 all: check
 
@@ -29,8 +29,16 @@ chaos:
 wal-crash:
 	$(GO) test ./internal/wal/ ./internal/server/ -run 'TestWAL|TestEveryByteTruncation|TestCorrupt|TestFaultyWriter|Fuzz' -race -count=1 -v
 
+# Checkpoint-streaming chaos: workers killed silently at streamed-
+# checkpoint thresholds (and the master killed mid-round) must cost at
+# most one interval + one flush of recomputed input per failure, with
+# aggregates byte-identical to a fault-free run.
+ckpt-chaos:
+	$(GO) test ./internal/cluster/ -run 'TestCkptChaos' -race -count=1 -v
+	$(GO) test ./internal/server/ -run 'TestOfflineFailureEndToEnd' -race -count=1 -v
+
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet build race chaos wal-crash
+check: vet build race chaos wal-crash ckpt-chaos
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

@@ -8,6 +8,8 @@ package cwc
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"cwc/internal/coremark"
 	"cwc/internal/device"
 	"cwc/internal/expt"
+	"cwc/internal/protocol"
 	"cwc/internal/tasks"
 	"cwc/internal/trace"
 )
@@ -214,6 +217,53 @@ func BenchmarkLPRelaxation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Checkpoint streaming overhead: PrimeCount over 1 MiB of input with the
+// default 256 KB interval, encoding each streamed frame the way the
+// worker does (JSON protocol message) into io.Discard. The reported
+// overhead-% against a sink-less run must stay well under 5% — streaming
+// is meant to be free enough to leave on by default.
+func BenchmarkCheckpointStreamOverheadPerMB(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	input := tasks.GenIntegers(1024, 1000000, rng)
+	run := func(ctx context.Context) {
+		var ck tasks.Checkpoint
+		if _, err := (tasks.PrimeCount{}).Process(ctx, input, &ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Baseline: the identical computation with no sink attached.
+	const baselineRuns = 3
+	start := time.Now()
+	for i := 0; i < baselineRuns; i++ {
+		run(context.Background())
+	}
+	baseline := time.Since(start) / baselineRuns
+
+	enc := json.NewEncoder(io.Discard)
+	flushes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &tasks.CheckpointSink{ // single-use: one per execution
+			EveryBytes: 256 * 1024,
+			Flush: func(ck *tasks.Checkpoint) {
+				flushes++
+				_ = enc.Encode(&protocol.Message{
+					Type: protocol.TypeCheckpoint, JobID: 1, Attempt: 7,
+					Seq: uint64(flushes), Checkpoint: ck,
+				})
+			},
+		}
+		run(tasks.WithCheckpointSink(context.Background(), sink))
+	}
+	b.StopTimer()
+	if b.N > 0 && flushes == 0 {
+		b.Fatal("the sink never flushed: the benchmark is not measuring streaming")
+	}
+	streamed := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(100*(float64(streamed)-float64(baseline))/float64(baseline), "overhead-%")
 }
 
 // End-to-end: a full scheduling round over a live loopback cluster.

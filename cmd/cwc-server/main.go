@@ -49,6 +49,8 @@ func main() {
 		walKB     = flag.Int("wal-compact-kb", 4096, "compact the WAL into a snapshot once its segments exceed this many KB")
 		jrnlFile  = flag.String("journal", "", "migration journal file: reloaded at start, persisted at each snapshot tick and on exit")
 		snapEvery = flag.Duration("snapshot-every", 0, "also write -state/-journal snapshots periodically, not just on exit (0: exit only)")
+		ckptKB    = flag.Int("ckpt-kb", 256, "checkpoint-streaming interval announced to workers, in KB of input processed (negative: disable streaming)")
+		ckptEvery = flag.Duration("ckpt-every", 0, "additional wall-time checkpoint-streaming trigger announced to workers (0: byte trigger only)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func main() {
 		DeadlineFactor:     *dlFactor,
 		DeadlineFloor:      *dlFloor,
 		MaxItemRetries:     *retries,
+		CheckpointEveryKB:  *ckptKB,
+		CheckpointEvery:    *ckptEvery,
 		Logger:             logger,
 	}
 	var plan *faults.Plan

@@ -81,15 +81,9 @@ func (j *Journal) append(e Event) Event {
 
 // RecordSave logs a checkpoint arriving from a failing phone.
 func (j *Journal) RecordSave(jobID, partition, phoneID int, ck *tasks.Checkpoint, reason string) Event {
-	var copied *tasks.Checkpoint
-	if ck != nil {
-		c := *ck
-		c.State = append([]byte(nil), ck.State...)
-		copied = &c
-	}
 	return j.append(Event{
 		Kind: Saved, JobID: jobID, Partition: partition,
-		PhoneID: phoneID, Checkpoint: copied, Reason: reason,
+		PhoneID: phoneID, Checkpoint: ck.Clone(), Reason: reason,
 	})
 }
 
@@ -138,9 +132,7 @@ func (j *Journal) LatestState(jobID, partition int) (*tasks.Checkpoint, bool) {
 	if found == nil {
 		return nil, false
 	}
-	c := *found
-	c.State = append([]byte(nil), found.State...)
-	return &c, true
+	return found.Clone(), true
 }
 
 // InFlight lists (job, partition) pairs with saved state awaiting
@@ -171,17 +163,29 @@ func (j *Journal) InFlight() [][2]int {
 	return out
 }
 
-// WriteTo serializes the journal as JSON lines.
+// WriteTo serializes the journal as JSON lines, implementing io.WriterTo:
+// the returned count is bytes written.
 func (j *Journal) WriteTo(w io.Writer) (int64, error) {
-	var n int64
-	enc := json.NewEncoder(w)
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
 	for _, e := range j.Events() {
 		if err := enc.Encode(e); err != nil {
-			return n, fmt.Errorf("migrate: encoding event %d: %w", e.Seq, err)
+			return cw.n, fmt.Errorf("migrate: encoding event %d: %w", e.Seq, err)
 		}
-		n++ // lines, not bytes; callers use it as an event count
 	}
-	return n, nil
+	return cw.n, nil
+}
+
+// countingWriter tallies bytes passed through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // ReadJournal reconstructs a journal from its JSON-lines form.

@@ -53,6 +53,13 @@ const (
 	TypePong Type = "pong"
 	// Server -> worker: orderly shutdown.
 	TypeBye Type = "bye"
+	// Worker -> server: a mid-execution checkpoint snapshot (checkpoint
+	// streaming). Where a failure report's checkpoint only survives an
+	// *online* failure, these bound the work lost to a silent death.
+	TypeCheckpoint Type = "checkpoint"
+	// Server -> worker: flow-control acknowledgement of a streamed
+	// checkpoint (the worker caps unacknowledged checkpoint frames).
+	TypeCheckpointAck Type = "checkpoint_ack"
 )
 
 // Message is the single frame shape; fields are populated per Type.
@@ -74,6 +81,12 @@ type Message struct {
 	Rejoin bool `json:"rejoin,omitempty"`
 	// Welcome: keepalive parameters the worker should expect.
 	KeepaliveMs int `json:"keepalive_ms,omitempty"`
+	// Welcome: the checkpoint-streaming policy the server asks workers to
+	// follow — stream a checkpoint every CkptEveryKB of processed input
+	// and/or every CkptEveryMs of wall time (zero disables that trigger;
+	// worker-side configuration may override).
+	CkptEveryKB int `json:"ckpt_every_kb,omitempty"`
+	CkptEveryMs int `json:"ckpt_every_ms,omitempty"`
 
 	// Probe.
 	Payload []byte `json:"payload,omitempty"`

@@ -349,6 +349,11 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 			a := &plans[pi][k]
 			if a.item.key != 0 {
 				a.key = a.item.key
+				// Fold the freshest streamed checkpoint in: a checkpoint
+				// that arrived after the item was re-queued (e.g. from an
+				// abandoned straggler still chewing on the range) would
+				// otherwise be ignored.
+				a.resume = m.latestResumeLocked(a.key, a.resume)
 			} else {
 				m.nextKey++
 				a.key = m.nextKey
@@ -625,7 +630,7 @@ func (m *Master) speculate(a assignment) bool {
 		jobID:   a.item.jobID,
 		task:    a.item.task,
 		input:   a.input,
-		resume:  a.resume,
+		resume:  m.latestResumeLocked(a.key, a.resume),
 		atomic:  true,
 		key:     a.key,
 		retries: a.item.retries,
@@ -741,6 +746,65 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 	}
 }
 
+// recordStreamedCheckpoint folds a worker's mid-execution streamed
+// checkpoint into the master's resume state for the attempt's byte range.
+// If the phone later dies silently (missed keepalives, a cut connection)
+// or is abandoned as a straggler, the range re-dispatches from this
+// checkpoint instead of from scratch — the paper only gets this on an
+// *online* failure, whose report carries the checkpoint. The fold is
+// WAL-logged so streamed progress survives a master crash too, and
+// journaled as a Saved event. Every frame is acknowledged, accepted or
+// not: the ack is flow control (workers cap unacked frames), not a
+// durability promise.
+func (m *Master) recordStreamedCheckpoint(ps *phoneState, msg *protocol.Message) {
+	ck := msg.Checkpoint
+	accepted := false
+	var jobID, partition int
+	if msg.Attempt != 0 && ck != nil && ck.Offset > 0 {
+		m.mu.Lock()
+		if rec, ok := m.attempts[msg.Attempt]; ok {
+			a := rec.a
+			jobID, partition = a.item.jobID, a.partition
+			cur := m.streamed[a.key]
+			if cur == nil {
+				cur = a.resume
+			}
+			if a.key != 0 && !m.completed[a.key] && ck.Offset <= int64(len(a.input)) &&
+				(cur == nil || ck.Offset > cur.Offset) {
+				c := ck.Clone()
+				m.streamed[a.key] = c
+				m.ckptFolds++
+				m.walAppend(walRecCheckpoint, walCheckpointRec{JobID: jobID, Key: a.key, Resume: c})
+				accepted = true
+			}
+		}
+		m.mu.Unlock()
+	}
+	if accepted && m.cfg.Journal != nil {
+		m.cfg.Journal.RecordSave(jobID, partition, ps.info.ID, ck, "streamed checkpoint")
+	}
+	_ = ps.conn.Send(&protocol.Message{Type: protocol.TypeCheckpointAck, Attempt: msg.Attempt, Seq: msg.Seq})
+}
+
+// StreamedCheckpoints reports how many streamed checkpoints have been
+// accepted (folded into resume state) since the master started.
+func (m *Master) StreamedCheckpoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ckptFolds
+}
+
+// latestResumeLocked picks the freshest checkpoint known for a keyed byte
+// range: the streamed one when it is ahead of the given resume state.
+// Caller holds m.mu.
+func (m *Master) latestResumeLocked(key int64, resume *tasks.Checkpoint) *tasks.Checkpoint {
+	st := m.streamed[key]
+	if st == nil || (resume != nil && resume.Offset >= st.Offset) {
+		return resume
+	}
+	return st.Clone()
+}
+
 // recordResult folds a completed partition into its job and refines the
 // execution-time prediction. Duplicate results for an already-settled key
 // (the loser of a speculative race, a reconnect replay) are dropped.
@@ -754,6 +818,7 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 			return
 		}
 		m.completed[a.key] = true
+		delete(m.streamed, a.key)
 	}
 	js := m.jobs[a.item.jobID]
 	// A resumed piece covers its full byte range too: the failure that
@@ -801,6 +866,7 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 			if err == nil {
 				if a.key != 0 {
 					m.completed[a.key] = true
+					delete(m.streamed, a.key)
 				}
 				js.covered += ck.Offset
 				js.partials = append(js.partials, partial)
@@ -838,6 +904,9 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 	if resume == nil {
 		resume = a.resume // keep any prior progress
 	}
+	// A failure report without a checkpoint (task error, send race) still
+	// resumes from the last streamed one.
+	resume = m.latestResumeLocked(a.key, resume)
 	it := &workItem{
 		jobID:   a.item.jobID,
 		task:    a.item.task,
@@ -876,6 +945,7 @@ func (m *Master) requeueLocked(it *workItem, reason string) bool {
 		})
 		m.cfg.Logger.Printf("job %d item dead-lettered after %d retries: %s",
 			it.jobID, it.retries-1, reason)
+		delete(m.streamed, it.key)
 		return false
 	}
 	m.pending = append(m.pending, it)
@@ -906,7 +976,7 @@ func (m *Master) requeueAbandoned(a assignment, start time.Time, addEvent func(E
 		jobID:   a.item.jobID,
 		task:    a.item.task,
 		input:   a.input,
-		resume:  a.resume,
+		resume:  m.latestResumeLocked(a.key, a.resume),
 		atomic:  true,
 		key:     a.key,
 		retries: a.item.retries,
@@ -929,10 +999,13 @@ func (m *Master) requeueFrom(rest []assignment, start time.Time, addEvent func(E
 			continue // the byte range is settled or already queued
 		}
 		it := &workItem{
-			jobID:  a.item.jobID,
-			task:   a.item.task,
-			input:  a.input,
-			resume: a.resume,
+			jobID: a.item.jobID,
+			task:  a.item.task,
+			input: a.input,
+			// The in-flight partition re-runs from its last streamed
+			// checkpoint, not from scratch — the bounded-work-loss
+			// guarantee for offline failures.
+			resume: m.latestResumeLocked(a.key, a.resume),
 			// A keyed item must stay whole so the key keeps naming one
 			// exact byte range.
 			atomic:  a.key != 0 || a.resume != nil || a.item.atomic,

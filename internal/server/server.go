@@ -67,6 +67,15 @@ type Config struct {
 	// before it is dead-lettered instead (graceful degradation over
 	// infinite re-queue). Negative disables the bound. Default 8.
 	MaxItemRetries int
+	// CheckpointEveryKB is the checkpoint-streaming policy announced to
+	// workers in the welcome: stream a mid-execution checkpoint every
+	// this many KB of processed input, bounding the work an offline
+	// failure (or an abandoned straggler) can lose to roughly that
+	// interval. Default 256; negative disables the announcement.
+	CheckpointEveryKB int
+	// CheckpointEvery additionally announces a wall-time streaming
+	// interval (0: byte-driven only).
+	CheckpointEvery time.Duration
 	// ListenerHook, when set, wraps the TCP listener before the accept
 	// loop uses it (fault injection, metrics).
 	ListenerHook func(net.Listener) net.Listener
@@ -104,6 +113,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxItemRetries == 0 {
 		c.MaxItemRetries = 8
+	}
+	if c.CheckpointEveryKB == 0 {
+		c.CheckpointEveryKB = 256
 	}
 }
 
@@ -251,6 +263,12 @@ type Master struct {
 	attempts    map[int64]*attemptRec
 	deadLetters []DeadLetter
 	offline     []OfflineFailure
+	// streamed holds the freshest mid-execution checkpoint streamed for
+	// each open byte-range key; any requeue of the key folds it into the
+	// item's resume state (see latestResumeLocked). Entries are dropped
+	// when the key settles.
+	streamed  map[int64]*tasks.Checkpoint
+	ckptFolds int // streamed checkpoints accepted (monotonic, for tests/ops)
 
 	closed  bool
 	wg      sync.WaitGroup
@@ -269,6 +287,7 @@ func New(cfg Config) *Master {
 		completed:   map[int64]bool{},
 		speculated:  map[int64]bool{},
 		attempts:    map[int64]*attemptRec{},
+		streamed:    map[int64]*tasks.Checkpoint{},
 		phoneWait:   make(chan struct{}),
 		stopped:     make(chan struct{}),
 	}
@@ -441,10 +460,16 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 	}
 	close(waiters) // wake WaitForPhones
 
+	ckptKB := m.cfg.CheckpointEveryKB
+	if ckptKB < 0 {
+		ckptKB = 0
+	}
 	if err := conn.Send(&protocol.Message{
 		Type:        protocol.TypeWelcome,
 		PhoneID:     id,
 		KeepaliveMs: int(m.cfg.KeepalivePeriod / time.Millisecond),
+		CkptEveryKB: ckptKB,
+		CkptEveryMs: int(m.cfg.CheckpointEvery / time.Millisecond),
 	}); err != nil {
 		ps.markDead()
 		return
@@ -493,6 +518,11 @@ func (m *Master) readLoop(ps *phoneState) {
 			case ps.probeCh <- msg:
 			default:
 			}
+		case protocol.TypeCheckpoint:
+			// Streamed mid-execution checkpoints are folded here, never
+			// routed to respCh: dispatchers only consume result/failure
+			// frames, and a checkpoint must not displace them.
+			m.recordStreamedCheckpoint(ps, msg)
 		case protocol.TypeResult, protocol.TypeFailure:
 			// Reports for attempts no dispatcher is waiting on — a
 			// straggler finishing after abandonment, a reconnected worker

@@ -4,12 +4,14 @@ import (
 	"context"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"cwc/internal/migrate"
 	"cwc/internal/protocol"
 	"cwc/internal/tasks"
+	"cwc/internal/worker"
 )
 
 // fakePhone is a raw protocol-level client used to exercise the master
@@ -628,5 +630,162 @@ func TestAuthTokenEnforcement(t *testing.T) {
 	msg, err := good.Recv()
 	if err != nil || msg.Type != protocol.TypeWelcome {
 		t.Fatalf("good token not welcomed: %v %v", msg, err)
+	}
+}
+
+// silentConn is a net.Conn whose Close only flips a flag: subsequent
+// reads and writes fail, but no FIN ever reaches the peer. Vanish() on a
+// plain TCP conn sends a FIN that the master notices instantly as
+// conn-lost; this wrapper reproduces the paper's true offline failure
+// (a wireless driver crash) where the only detector is the keepalive.
+type silentConn struct {
+	net.Conn
+	dead atomic.Bool
+}
+
+func (c *silentConn) Read(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Read(p)
+	if c.dead.Load() {
+		return 0, net.ErrClosed
+	}
+	return n, err
+}
+
+func (c *silentConn) Write(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *silentConn) Close() error {
+	c.dead.Store(true)
+	return nil
+}
+
+// TestOfflineFailureEndToEnd drives the full offline-failure path with
+// the real worker runtime: a phone dies silently mid-execution (no FIN,
+// no failure report), the master detects it after KeepaliveTolerance
+// missed pings, re-queues the partition from its last streamed
+// checkpoint, and a later round completes the job with the right answer
+// on the surviving phone.
+func TestOfflineFailureEndToEnd(t *testing.T) {
+	journal := migrate.NewJournal()
+	m := startMaster(t, Config{
+		KeepalivePeriod:    40 * time.Millisecond,
+		KeepaliveTolerance: 3,
+		CheckpointEveryKB:  4,
+		Journal:            journal,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	workerCtx, cancelWorkers := context.WithCancel(context.Background())
+	t.Cleanup(cancelWorkers)
+
+	// Worker 0 dials through silentConn so its Vanish makes no sound on
+	// the wire; worker 1 is an ordinary survivor.
+	workers := make([]*worker.Phone, 2)
+	for i := range workers {
+		muted := i == 0
+		w, err := worker.New(worker.Config{
+			ServerAddr: m.Addr(),
+			Model:      "HTC G2",
+			CPUMHz:     806,
+			RAMMB:      512,
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				raw, err := d.DialContext(ctx, "tcp", m.Addr())
+				if err != nil {
+					return nil, err
+				}
+				t.Cleanup(func() { raw.Close() })
+				if muted {
+					return &silentConn{Conn: raw}, nil
+				}
+				return raw, nil
+			},
+			Reconnect: worker.ReconnectPolicy{Disabled: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		go func() { _ = w.Run(workerCtx) }()
+	}
+	if err := m.WaitForPhones(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	input := tasks.GenIntegers(64, 100000, rand.New(rand.NewSource(7)))
+	var ck tasks.Checkpoint
+	want, err := (tasks.SleepCount{}).Process(context.Background(), input, &ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Submit(tasks.SleepCount{PerBatch: 2 * time.Millisecond}, input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Vanish worker 0 once the master holds streamed progress, so the
+	// kill lands mid-execution with resumable state on file.
+	go func() {
+		for m.StreamedCheckpoints() == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		workers[0].Vanish()
+	}()
+
+	var got []byte
+	ok := false
+	deadline := time.Now().Add(60 * time.Second)
+	for !ok && time.Now().Before(deadline) {
+		if _, err := m.RunRound(ctx); err != nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+		got, ok = m.Result(id)
+	}
+	if !ok {
+		t.Fatalf("job never completed after the offline failure (offline: %+v, dead letters: %+v)",
+			m.OfflineFailures(), m.DeadLetters())
+	}
+	if string(got) != string(want) {
+		t.Errorf("result after offline failure %s != local %s", got, want)
+	}
+
+	// The death was detected by missed keepalives, not a closing FIN.
+	keepaliveDeaths := 0
+	for _, f := range m.OfflineFailures() {
+		if f.Reason == "keepalive" {
+			keepaliveDeaths++
+		}
+	}
+	if keepaliveDeaths == 0 {
+		t.Errorf("no keepalive-detected failure recorded: %+v", m.OfflineFailures())
+	}
+
+	// The re-queued partition carried streamed state and was re-shipped.
+	streamedSaves, resumes := 0, 0
+	for _, e := range journal.Events() {
+		switch {
+		case e.Kind == migrate.Saved && e.Reason == "streamed checkpoint":
+			streamedSaves++
+		case e.Kind == migrate.Resumed && e.JobID == id:
+			resumes++
+		}
+	}
+	if streamedSaves == 0 {
+		t.Error("no streamed-checkpoint saves recorded in the journal")
+	}
+	if resumes == 0 {
+		t.Error("the re-queued partition was never re-shipped with resume state")
 	}
 }

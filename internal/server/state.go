@@ -77,7 +77,7 @@ func (m *Master) SaveState(w io.Writer) error {
 			Task:   it.task.Name(),
 			Params: it.task.Params(),
 			Input:  it.input,
-			Resume: it.resume,
+			Resume: m.latestResumeLocked(it.key, it.resume),
 			Atomic: it.atomic,
 		})
 	}
@@ -94,7 +94,7 @@ func (m *Master) SaveState(w io.Writer) error {
 			Task:   a.item.task.Name(),
 			Params: a.item.task.Params(),
 			Input:  a.input,
-			Resume: a.resume,
+			Resume: m.latestResumeLocked(a.key, a.resume),
 			Atomic: true,
 		})
 	}

@@ -41,6 +41,7 @@ const (
 	walRecMigrate    uint8 = 6 // failure migrated whole with its checkpoint
 	walRecDeadLetter uint8 = 7 // work item abandoned after its retry budget
 	walRecFinish     uint8 = 8 // job aggregated to its final result
+	walRecCheckpoint uint8 = 9 // streamed mid-execution checkpoint folded into an open range
 )
 
 type walSubmit struct {
@@ -116,6 +117,12 @@ type walDeadLetterRec struct {
 type walFinish struct {
 	JobID int    `json:"job_id"`
 	Final []byte `json:"final"`
+}
+
+type walCheckpointRec struct {
+	JobID  int               `json:"job_id"`
+	Key    int64             `json:"key"`
+	Resume *tasks.Checkpoint `json:"resume"`
 }
 
 // walJobRec is a job's durable state, shared by the reducer and the
@@ -314,6 +321,17 @@ func (r *walReducer) apply(rec wal.Record) error {
 		r.dead = append(r.dead, DeadLetter{
 			JobID: p.JobID, Task: p.Task, Bytes: p.Bytes, Retries: p.Retries, Reason: p.Reason,
 		})
+	case walRecCheckpoint:
+		var p walCheckpointRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding checkpoint: %w", err)
+		}
+		// Lenient by design: a checkpoint that raced a report (its key
+		// already closed) is harmless and simply ignored on replay.
+		it, ok := r.open[p.Key]
+		if ok && p.Resume != nil && (it.Resume == nil || p.Resume.Offset > it.Resume.Offset) {
+			it.Resume = p.Resume
+		}
 	case walRecFinish:
 		var p walFinish
 		if err := json.Unmarshal(rec.Payload, &p); err != nil {
@@ -386,7 +404,8 @@ func (m *Master) walSnapshotLocked(w io.Writer) error {
 		}
 		seen[key] = true
 		st.Open = append(st.Open, walItemRec{
-			Key: key, JobID: jobID, Input: input, Resume: resume, Atomic: true, Retries: retries,
+			Key: key, JobID: jobID, Input: input,
+			Resume: m.latestResumeLocked(key, resume), Atomic: true, Retries: retries,
 		})
 	}
 	for _, it := range m.pending {

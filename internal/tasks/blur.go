@@ -133,8 +133,17 @@ func (Blur) Process(ctx context.Context, input []byte, ck *Checkpoint) ([]byte, 
 		}
 	}
 	out := st.Out
+	sink := sinkFrom(ctx)
 	for y := st.Row; y < im.H; y++ {
 		pauseIfPaced(ctx)
+		if sink != nil {
+			// Streaming checkpoints at row granularity; the proportional
+			// offset mirrors the interrupt path below.
+			sink.maybeFlush(int64(len(input))*int64(y)/int64(im.H), ck, func() {
+				st.Row, st.Out = y, out
+				ck.State, _ = json.Marshal(st)
+			})
+		}
 		if canceled(ctx) {
 			st.Row, st.Out = y, out
 			ck.State, err = json.Marshal(st)

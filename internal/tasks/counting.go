@@ -68,7 +68,7 @@ func (PrimeCount) Process(ctx context.Context, input []byte, ck *Checkpoint) ([]
 	if err != nil {
 		return nil, err
 	}
-	err = forEachLine(ctx, input, ck, func(line []byte) {
+	err = forEachLine(ctx, input, ck, func() { st.save(ck) }, func(line []byte) {
 		n, perr := strconv.ParseInt(string(bytes.TrimSpace(line)), 10, 64)
 		if perr == nil && isPrime(n) {
 			st.Count++
@@ -150,7 +150,7 @@ func (w WordCount) Process(ctx context.Context, input []byte, ck *Checkpoint) ([
 		return nil, err
 	}
 	target := []byte(w.Word)
-	err = forEachLine(ctx, input, ck, func(line []byte) {
+	err = forEachLine(ctx, input, ck, func() { st.save(ck) }, func(line []byte) {
 		for _, f := range bytes.Fields(line) {
 			if bytes.Equal(f, target) {
 				st.Count++
@@ -208,7 +208,8 @@ func (MaxInt) Process(ctx context.Context, input []byte, ck *Checkpoint) ([]byte
 			return nil, fmt.Errorf("tasks: corrupt max state: %w", err)
 		}
 	}
-	err := forEachLine(ctx, input, ck, func(line []byte) {
+	save := func() { ck.State, _ = json.Marshal(st) }
+	err := forEachLine(ctx, input, ck, save, func(line []byte) {
 		n, perr := strconv.ParseInt(string(bytes.TrimSpace(line)), 10, 64)
 		if perr != nil {
 			return

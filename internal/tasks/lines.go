@@ -11,11 +11,15 @@ import (
 // Every interruptEvery lines it checks ctx; on cancellation it leaves
 // ck.Offset at the first unprocessed byte and returns ErrInterrupted.
 // The caller is responsible for serializing its accumulator into ck.State
-// when ErrInterrupted is returned.
-func forEachLine(ctx context.Context, input []byte, ck *Checkpoint, fn func(line []byte)) error {
+// when ErrInterrupted is returned. The same boundaries double as
+// checkpoint-streaming flush points: when ctx carries a due
+// CheckpointSink, save serializes the accumulator into ck and a copy is
+// streamed (save may be nil for stateless callers).
+func forEachLine(ctx context.Context, input []byte, ck *Checkpoint, save func(), fn func(line []byte)) error {
 	if ck.Offset < 0 || ck.Offset > int64(len(input)) {
 		return fmt.Errorf("tasks: checkpoint offset %d out of range [0,%d]", ck.Offset, len(input))
 	}
+	sink := sinkFrom(ctx)
 	pos := ck.Offset
 	n := 0
 	for pos < int64(len(input)) {
@@ -25,6 +29,7 @@ func forEachLine(ctx context.Context, input []byte, ck *Checkpoint, fn func(line
 				ck.Offset = pos
 				return ErrInterrupted
 			}
+			sink.maybeFlush(pos, ck, save)
 		}
 		rest := input[pos:]
 		nl := bytes.IndexByte(rest, '\n')

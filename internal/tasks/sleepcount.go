@@ -1,0 +1,87 @@
+package tasks
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// SleepCount counts newline-delimited records, sleeping a configurable
+// duration per batch of lines. The real evaluation tasks process input at
+// host speed — far faster than the paper's phones — which makes every
+// mid-execution scenario (unplugs, silent deaths, stragglers) land either
+// before or after the compute instead of inside it. SleepCount is the
+// tunable stand-in for a genuinely compute-bound executable: tests and
+// demos dial PerBatch up until an execution spans the window they need.
+// Breakable; the aggregate is the total line count.
+type SleepCount struct {
+	// PerBatch is slept once per BatchLines lines (0: no sleep).
+	PerBatch time.Duration `json:"per_batch_ns"`
+	// BatchLines is the sleep granularity (default 32 lines).
+	BatchLines int `json:"batch_lines,omitempty"`
+}
+
+func init() {
+	Register("sleepcount", func(params []byte) (Task, error) {
+		var s SleepCount
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &s); err != nil {
+				return nil, fmt.Errorf("tasks: bad sleepcount params: %w", err)
+			}
+		}
+		if s.PerBatch < 0 || s.BatchLines < 0 {
+			return nil, fmt.Errorf("tasks: negative sleepcount pacing")
+		}
+		return s, nil
+	})
+}
+
+// Name implements Task.
+func (SleepCount) Name() string { return "sleepcount" }
+
+// Params implements Task.
+func (s SleepCount) Params() []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
+// ExecKB implements Task.
+func (SleepCount) ExecKB() float64 { return 8 }
+
+// Process implements Task.
+func (s SleepCount) Process(ctx context.Context, input []byte, ck *Checkpoint) ([]byte, error) {
+	st, err := loadCountState(ck)
+	if err != nil {
+		return nil, err
+	}
+	batch := s.BatchLines
+	if batch <= 0 {
+		batch = 32
+	}
+	sinceSleep := 0
+	err = forEachLine(ctx, input, ck, func() { st.save(ck) }, func(line []byte) {
+		st.Count++
+		sinceSleep++
+		if s.PerBatch > 0 && sinceSleep >= batch {
+			sinceSleep = 0
+			time.Sleep(s.PerBatch)
+		}
+	})
+	if err != nil {
+		st.save(ck)
+		return nil, err
+	}
+	return []byte(strconv.FormatInt(st.Count, 10)), nil
+}
+
+// Split implements Breakable.
+func (SleepCount) Split(input []byte, sizesKB []float64) ([][]byte, error) {
+	return splitLines(input, sizesKB)
+}
+
+// Aggregate implements Breakable.
+func (SleepCount) Aggregate(partials [][]byte) ([]byte, error) {
+	return aggregateCounts(partials)
+}

@@ -43,6 +43,20 @@ func (c *Checkpoint) Reset() {
 	c.State = nil
 }
 
+// Clone returns a deep copy of the checkpoint (nil in, nil out): the
+// copy's State shares no memory with the original, so either side may
+// keep mutating its accumulator.
+func (c *Checkpoint) Clone() *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	out := &Checkpoint{Offset: c.Offset}
+	if c.State != nil {
+		out.State = append([]byte(nil), c.State...)
+	}
+	return out
+}
+
 // Task is a CWC executable.
 type Task interface {
 	// Name is the registered executable name.

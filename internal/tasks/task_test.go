@@ -287,12 +287,12 @@ func TestBreakableEquivalenceRandomSplits(t *testing.T) {
 
 func TestForEachLineBadOffset(t *testing.T) {
 	ck := &Checkpoint{Offset: 100}
-	err := forEachLine(context.Background(), []byte("ab\n"), ck, func([]byte) {})
+	err := forEachLine(context.Background(), []byte("ab\n"), ck, nil, func([]byte) {})
 	if err == nil {
 		t.Error("out-of-range offset should error")
 	}
 	ck = &Checkpoint{Offset: -1}
-	if err := forEachLine(context.Background(), []byte("ab\n"), ck, func([]byte) {}); err == nil {
+	if err := forEachLine(context.Background(), []byte("ab\n"), ck, nil, func([]byte) {}); err == nil {
 		t.Error("negative offset should error")
 	}
 }

@@ -45,6 +45,14 @@ type Config struct {
 	// AuthToken is presented to the server at registration when the
 	// deployment uses a shared enrolment secret.
 	AuthToken string
+	// CheckpointEveryKB and CheckpointEvery tune checkpoint streaming:
+	// while executing, the worker serializes its checkpoint after this
+	// many KB of input processed and/or this much wall time, and streams
+	// it to the master so even a silent death loses at most one interval
+	// of work. Zero adopts the server-announced policy from the welcome;
+	// a negative value disables that trigger regardless of the server.
+	CheckpointEveryKB int
+	CheckpointEvery   time.Duration
 	// Reconnect tunes how the phone retries the server after a dial or
 	// I/O failure. Zero values get defaults; see ReconnectPolicy.
 	Reconnect ReconnectPolicy
@@ -134,6 +142,9 @@ type Phone struct {
 	leaving        bool               // Unplug called: report failure then close
 	vanished       bool               // Vanish called: die silently
 	unsent         []*protocol.Message
+	ckptKB         int // server-announced checkpoint-streaming policy
+	ckptMs         int
+	ckptUnacked    int // streamed checkpoints awaiting a checkpoint_ack
 
 	registered chan struct{} // closed once Welcome arrives
 	regOnce    sync.Once
@@ -356,6 +367,10 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			p.mu.Lock()
 			p.id = m.PhoneID
 			p.everRegistered = true
+			p.ckptKB, p.ckptMs = m.CkptEveryKB, m.CkptEveryMs
+			// Acks are per-connection; frames in flight on the old one
+			// are gone either way.
+			p.ckptUnacked = 0
 			p.mu.Unlock()
 			registered = true
 			p.regOnce.Do(func() { close(p.registered) })
@@ -402,6 +417,12 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 				delete(assembling, key)
 				enqueue(pend)
 			}
+		case protocol.TypeCheckpointAck:
+			p.mu.Lock()
+			if p.ckptUnacked > 0 {
+				p.ckptUnacked--
+			}
+			p.mu.Unlock()
 		case protocol.TypeBye:
 			return registered, nil
 		default:
@@ -475,9 +496,9 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 		fail(nil, fmt.Sprintf("instantiating executable: %v", err))
 		return
 	}
-	ck := &tasks.Checkpoint{}
-	if m.Resume != nil {
-		*ck = *m.Resume
+	ck := m.Resume.Clone()
+	if ck == nil {
+		ck = &tasks.Checkpoint{}
 	}
 
 	// Emulated CPU slowness: pay the remaining input's worth of delay.
@@ -499,6 +520,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	if p.throttle != nil {
 		execCtx = tasks.WithPacer(taskCtx, p.throttle)
 	}
+	execCtx = tasks.WithCheckpointSink(execCtx, p.checkpointSink(m))
 	start := time.Now()
 	result, err := task.Process(execCtx, m.Input, ck)
 	elapsed := time.Since(start)
@@ -518,6 +540,69 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 		fail(ck, "unplugged")
 	default:
 		fail(nil, err.Error())
+	}
+}
+
+// maxUnackedCkpts bounds streamed checkpoints in flight without a
+// checkpoint_ack; past it flushes are dropped rather than letting a slow
+// master back the link up (the next flush supersedes them anyway).
+const maxUnackedCkpts = 4
+
+// checkpointSink builds the streaming sink for one assignment, or nil
+// when streaming is off. The worker's own config wins over the policy
+// the server announced in the welcome; a negative config value disables
+// its trigger. Streamed frames are best-effort: they go only to the live
+// connection and are never buffered for replay — after a reconnect the
+// range has been re-queued and an old checkpoint is worthless.
+func (p *Phone) checkpointSink(m *protocol.Message) *tasks.CheckpointSink {
+	p.mu.Lock()
+	kb, every := p.ckptKB, time.Duration(p.ckptMs)*time.Millisecond
+	p.mu.Unlock()
+	if p.cfg.CheckpointEveryKB != 0 {
+		kb = p.cfg.CheckpointEveryKB
+	}
+	if p.cfg.CheckpointEvery != 0 {
+		every = p.cfg.CheckpointEvery
+	}
+	if kb < 0 {
+		kb = 0
+	}
+	if every < 0 {
+		every = 0
+	}
+	if kb == 0 && every == 0 {
+		return nil
+	}
+	var seq uint64
+	return &tasks.CheckpointSink{
+		EveryBytes: int64(kb) * 1024,
+		Every:      every,
+		Flush: func(ck *tasks.Checkpoint) {
+			p.mu.Lock()
+			conn := p.conn
+			if conn == nil || p.vanished || p.ckptUnacked >= maxUnackedCkpts {
+				p.mu.Unlock()
+				return
+			}
+			p.ckptUnacked++
+			p.mu.Unlock()
+			seq++
+			err := conn.Send(&protocol.Message{
+				Type:       protocol.TypeCheckpoint,
+				JobID:      m.JobID,
+				Partition:  m.Partition,
+				Attempt:    m.Attempt,
+				Seq:        seq,
+				Checkpoint: ck,
+			})
+			if err != nil {
+				p.mu.Lock()
+				if p.ckptUnacked > 0 {
+					p.ckptUnacked--
+				}
+				p.mu.Unlock()
+			}
+		},
 	}
 }
 
