@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos wal-crash ckpt-chaos check bench fmt
+.PHONY: all build vet test race chaos wal-crash ckpt-chaos check bench bench-json fmt
 
 all: check
 
@@ -43,6 +43,11 @@ check: vet build race chaos wal-crash ckpt-chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf snapshot: scheduler-vs-LP ratio, WAL append
+# cost, checkpoint-streaming overhead. Diff it across versions.
+bench-json:
+	$(GO) run ./cmd/cwc-bench -bench-json BENCH_PR4.json
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"cwc/internal/cluster"
+	"cwc/internal/core"
+	"cwc/internal/expt"
+	"cwc/internal/tasks"
+	"cwc/internal/wal"
+)
+
+// benchReport is the machine-readable performance snapshot written by
+// -bench-json: how far the greedy scheduler sits above the LP lower
+// bound, what a WAL append costs, and what checkpoint streaming adds to
+// a live run. CI and later PRs diff these numbers across versions.
+type benchReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Seed        int64           `json:"seed"`
+	Scheduler   schedulerBench  `json:"scheduler"`
+	WAL         walBench        `json:"wal"`
+	Checkpoint  checkpointBench `json:"checkpoint_streaming"`
+}
+
+type schedulerBench struct {
+	Phones              int     `json:"phones"`
+	Jobs                int     `json:"jobs"`
+	GreedyMakespanMs    float64 `json:"greedy_makespan_ms"`
+	LPLowerBoundMs      float64 `json:"lp_lower_bound_ms"`
+	GreedyOverLPRatio   float64 `json:"greedy_over_lp_ratio"`
+	GreedyScheduleUsecs float64 `json:"greedy_schedule_us"`
+}
+
+type walBench struct {
+	Appends           int     `json:"appends"`
+	PayloadBytes      int     `json:"payload_bytes"`
+	AppendNsPerOp     float64 `json:"append_ns_per_op_nosync"`
+	AppendSyncNsPerOp float64 `json:"append_ns_per_op_fsync"`
+}
+
+type checkpointBench struct {
+	InputKB       int     `json:"input_kb"`
+	BaselineMs    float64 `json:"baseline_ms"`
+	StreamingMs   float64 `json:"streaming_ms"`
+	OverheadFrac  float64 `json:"overhead_frac"`
+	StreamedFolds int     `json:"streamed_folds"`
+}
+
+func runBenchJSON(path string, seed int64) error {
+	rep := benchReport{GeneratedBy: "cwc-bench -bench-json", Seed: seed}
+
+	if err := benchScheduler(&rep.Scheduler, seed); err != nil {
+		return fmt.Errorf("scheduler bench: %w", err)
+	}
+	if err := benchWAL(&rep.WAL); err != nil {
+		return fmt.Errorf("wal bench: %w", err)
+	}
+	if err := benchCheckpoint(&rep.Checkpoint, seed); err != nil {
+		return fmt.Errorf("checkpoint bench: %w", err)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchScheduler packs the paper's 150-task workload onto the 18-phone
+// testbed and compares the greedy makespan to the LP relaxation's lower
+// bound (Figure 13's quality metric as a single ratio).
+func benchScheduler(out *schedulerBench, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	tb, err := expt.NewTestbed(rng)
+	if err != nil {
+		return err
+	}
+	jobs := expt.PaperWorkload(rng, 1.0)
+	inst := tb.Instance(jobs)
+
+	start := time.Now()
+	greedy, err := core.Greedy(inst)
+	if err != nil {
+		return err
+	}
+	out.GreedyScheduleUsecs = float64(time.Since(start)) / float64(time.Microsecond)
+
+	lb, err := core.RelaxedLowerBound(inst)
+	if err != nil {
+		return err
+	}
+	out.Phones = len(inst.Phones)
+	out.Jobs = len(inst.Jobs)
+	out.GreedyMakespanMs = greedy.Makespan
+	out.LPLowerBoundMs = lb
+	if lb > 0 {
+		out.GreedyOverLPRatio = greedy.Makespan / lb
+	}
+	return nil
+}
+
+// benchWAL measures the append path with and without per-record fsync.
+func benchWAL(out *walBench) error {
+	const payloadBytes = 256
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	out.PayloadBytes = payloadBytes
+
+	run := func(sync wal.SyncPolicy, n int) (float64, error) {
+		dir, err := os.MkdirTemp("", "cwc-bench-wal-")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(dir, wal.Options{Sync: sync})
+		if err != nil {
+			return 0, err
+		}
+		defer l.Close()
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := l.Append(1, payload); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start)) / float64(n), nil
+	}
+
+	const appends = 4096
+	out.Appends = appends
+	nsNoSync, err := run(wal.SyncNone, appends)
+	if err != nil {
+		return err
+	}
+	out.AppendNsPerOp = nsNoSync
+	// fsync-per-append is orders of magnitude slower; fewer iterations.
+	nsSync, err := run(wal.SyncAlways, 256)
+	if err != nil {
+		return err
+	}
+	out.AppendSyncNsPerOp = nsSync
+	return nil
+}
+
+// benchCheckpoint times the same workload on an in-process cluster with
+// checkpoint streaming off and on; the delta is the streaming tax paid
+// for bounded work loss.
+func benchCheckpoint(out *checkpointBench, seed int64) error {
+	const inputKB = 128
+	out.InputKB = inputKB
+
+	run := func(everyKB int) (float64, int, error) {
+		opts := cluster.Options{
+			Phones:            cluster.DefaultPhones()[:4],
+			DelayPerKB:        4 * time.Millisecond,
+			CheckpointEveryKB: everyKB,
+		}
+		opts.Server.CheckpointEveryKB = everyKB
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		c, err := cluster.Start(ctx, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer c.Stop()
+		if err := c.Master.MeasureBandwidths(ctx); err != nil {
+			return 0, 0, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		input := tasks.GenIntegers(inputKB, 100000, rng)
+		id, err := c.Master.Submit(tasks.PrimeCount{}, input, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		deadline := start.Add(90 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, err := c.Master.RunRound(ctx); err != nil {
+				return 0, 0, err
+			}
+			if _, ok := c.Master.Result(id); ok {
+				return float64(time.Since(start)) / float64(time.Millisecond),
+					c.Master.StreamedCheckpoints(), nil
+			}
+		}
+		return 0, 0, fmt.Errorf("job did not finish within budget")
+	}
+
+	base, _, err := run(-1) // streaming disabled
+	if err != nil {
+		return err
+	}
+	stream, folds, err := run(16)
+	if err != nil {
+		return err
+	}
+	out.BaselineMs = base
+	out.StreamingMs = stream
+	if base > 0 {
+		out.OverheadFrac = (stream - base) / base
+	}
+	out.StreamedFolds = folds
+	return nil
+}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"log"
 	"math/rand"
 	"net"
 	"os"
@@ -25,6 +24,7 @@ import (
 
 	"cwc/internal/faults"
 	"cwc/internal/migrate"
+	"cwc/internal/obs"
 	"cwc/internal/server"
 	"cwc/internal/tasks"
 	"cwc/internal/wal"
@@ -51,10 +51,32 @@ func main() {
 		snapEvery = flag.Duration("snapshot-every", 0, "also write -state/-journal snapshots periodically, not just on exit (0: exit only)")
 		ckptKB    = flag.Int("ckpt-kb", 256, "checkpoint-streaming interval announced to workers, in KB of input processed (negative: disable streaming)")
 		ckptEvery = flag.Duration("ckpt-every", 0, "additional wall-time checkpoint-streaming trigger announced to workers (0: byte trigger only)")
+		obsAddr   = flag.String("obs-addr", "", "admin-plane listen address for /metrics, /statusz, /debug/sched (empty: disabled)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		traceFile = flag.String("trace-file", "", "append task-lifecycle trace events to this JSONL file (empty: ring buffer only)")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "cwc-server: ", log.LstdFlags)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cwc-server:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("app", "cwc-server")
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(4096)
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("opening trace file: %v", err)
+		}
+		defer f.Close()
+		tracer.SetSink(f)
+	}
 	cfg := server.Config{
 		Addr:               *listen,
 		KeepalivePeriod:    *keepalive,
@@ -65,6 +87,9 @@ func main() {
 		CheckpointEveryKB:  *ckptKB,
 		CheckpointEvery:    *ckptEvery,
 		Logger:             logger,
+		Metrics:            metrics,
+		Tracer:             tracer,
+		ObsAddr:            *obsAddr,
 	}
 	var plan *faults.Plan
 	if *faultSpec != "" {
@@ -75,10 +100,10 @@ func main() {
 		var err error
 		plan, err = faults.ParseScenario(src)
 		if err != nil {
-			logger.Fatal(err)
+			fatalf("%v", err)
 		}
 		cfg.ListenerHook = func(ln net.Listener) net.Listener { return plan.WrapListener(ln) }
-		logger.Print("fault injection active on the listener (accept-side faults use the 'phone *' profile)")
+		logger.Infof("fault injection active on the listener (accept-side faults use the 'phone *' profile)")
 	}
 	var journal *migrate.Journal
 	if *jrnlFile != "" {
@@ -87,15 +112,15 @@ func main() {
 			journal, err = migrate.ReadJournal(f)
 			f.Close()
 			if err != nil {
-				logger.Fatalf("restoring journal %s: %v", *jrnlFile, err)
+				fatalf("restoring journal %s: %v", *jrnlFile, err)
 			}
-			logger.Printf("restored journal from %s (%d events)", *jrnlFile, journal.Len())
+			logger.Infof("restored journal from %s (%d events)", *jrnlFile, journal.Len())
 		case errors.Is(err, fs.ErrNotExist):
 			journal = migrate.NewJournal()
 		default:
 			// An unreadable journal (EACCES, I/O error) is not a fresh
 			// start: proceeding would overwrite it at the next save.
-			logger.Fatalf("opening journal %s: %v", *jrnlFile, err)
+			fatalf("opening journal %s: %v", *jrnlFile, err)
 		}
 		cfg.Journal = journal
 	}
@@ -108,7 +133,7 @@ func main() {
 			return err
 		})
 		if err != nil {
-			logger.Printf("saving journal: %v", err)
+			logger.Warnf("saving journal: %v", err)
 		}
 	}
 
@@ -116,15 +141,16 @@ func main() {
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
-			logger.Fatal(err)
+			fatalf("%v", err)
 		}
 		wlog, err = wal.Open(*walDir, wal.Options{
 			Sync:         policy,
 			CompactBytes: int64(*walKB) * 1024,
-			Logger:       logger,
+			Logger:       logger.With("sub", "wal").Std(),
+			Metrics:      metrics,
 		})
 		if err != nil {
-			logger.Fatalf("opening WAL %s: %v", *walDir, err)
+			fatalf("opening WAL %s: %v", *walDir, err)
 		}
 		cfg.WAL = wlog
 	}
@@ -137,17 +163,20 @@ func main() {
 	if wlog != nil {
 		hadState := len(wlog.Snapshot()) > 0 || len(wlog.Recovered()) > 0
 		if err := m.RecoverWAL(); err != nil {
-			logger.Fatalf("replaying WAL %s: %v", *walDir, err)
+			fatalf("replaying WAL %s: %v", *walDir, err)
 		}
 		if hadState {
-			logger.Printf("recovered state from WAL %s (%d pending items)", *walDir, m.PendingItems())
+			logger.Infof("recovered state from WAL %s (%d pending items)", *walDir, m.PendingItems())
 		}
 	}
 	if err := m.Start(); err != nil {
-		logger.Fatal(err)
+		fatalf("%v", err)
 	}
 	defer m.Close()
-	logger.Printf("listening on %s", m.Addr())
+	logger.Infof("listening on %s", m.Addr())
+	if *obsAddr != "" {
+		logger.Infof("admin plane on http://%s (/metrics /statusz /debug/sched /debug/trace)", m.ObsAddr())
+	}
 	if *stateFile != "" {
 		switch f, err := os.Open(*stateFile); {
 		case err == nil:
@@ -157,23 +186,23 @@ func main() {
 			case errors.Is(err, server.ErrStateNotEmpty):
 				// The WAL already rebuilt newer state; the file snapshot
 				// is a stale backup, not an error.
-				logger.Printf("ignoring %s: WAL recovery already restored state", *stateFile)
+				logger.Infof("ignoring %s: WAL recovery already restored state", *stateFile)
 			case err != nil:
-				logger.Fatalf("restoring %s: %v", *stateFile, err)
+				fatalf("restoring %s: %v", *stateFile, err)
 			default:
-				logger.Printf("restored state from %s (%d pending items)", *stateFile, m.PendingItems())
+				logger.Infof("restored state from %s (%d pending items)", *stateFile, m.PendingItems())
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh start; the exit/periodic snapshot will create it.
 		default:
-			logger.Fatalf("opening %s: %v", *stateFile, err)
+			fatalf("opening %s: %v", *stateFile, err)
 		}
 		defer func() {
 			if err := m.SaveStateFile(*stateFile); err != nil {
-				logger.Print(err)
+				logger.Errorf("%v", err)
 				return
 			}
-			logger.Printf("state saved to %s", *stateFile)
+			logger.Infof("state saved to %s", *stateFile)
 		}()
 	}
 	defer saveJournal()
@@ -184,7 +213,7 @@ func main() {
 			for range ticker.C {
 				if *stateFile != "" {
 					if err := m.SaveStateFile(*stateFile); err != nil {
-						logger.Printf("periodic snapshot: %v", err)
+						logger.Infof("periodic snapshot: %v", err)
 					}
 				}
 				saveJournal()
@@ -193,21 +222,21 @@ func main() {
 	}
 
 	if *waitSec == 0 {
-		logger.Print("register-only mode; ctrl-c to exit")
+		logger.Infof("register-only mode; ctrl-c to exit")
 		select {}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*waitSec)*time.Second)
 	defer cancel()
 	if err := m.WaitForPhones(ctx, *phones); err != nil {
-		logger.Fatal(err)
+		fatalf("%v", err)
 	}
-	logger.Printf("%d phones registered", *phones)
+	logger.Infof("%d phones registered", *phones)
 	if err := m.MeasureBandwidths(ctx); err != nil {
-		logger.Fatal(err)
+		fatalf("%v", err)
 	}
 	for _, p := range m.Phones() {
-		logger.Printf("phone %d: %s %.0f MHz, b=%.3f ms/KB", p.ID, p.Model, p.CPUMHz, p.BMsPerKB)
+		logger.Infof("phone %d: %s %.0f MHz, b=%.3f ms/KB", p.ID, p.Model, p.CPUMHz, p.BMsPerKB)
 	}
 
 	// Demo workload: prime counting, word counting and a photo blur.
@@ -216,7 +245,7 @@ func main() {
 	submit := func(task tasks.Task, input []byte, atomic bool, label string) {
 		id, err := m.Submit(task, input, atomic)
 		if err != nil {
-			logger.Fatal(err)
+			fatalf("%v", err)
 		}
 		jobIDs[id] = label
 	}
@@ -224,7 +253,7 @@ func main() {
 	submit(tasks.WordCount{Word: "inventory"}, tasks.GenText(float64(*inputKB), rng), false, "wordcount")
 	img, err := tasks.GenImageKB(float64(*inputKB)/4, rng)
 	if err != nil {
-		logger.Fatal(err)
+		fatalf("%v", err)
 	}
 	submit(tasks.Blur{}, img, true, "blur")
 
@@ -236,12 +265,12 @@ func main() {
 		round := 0
 		err := m.RunLoop(runCtx, 250*time.Millisecond, func(report *server.RoundReport) {
 			round++
-			logger.Printf("round %d: %d items, predicted %.0f ms, wall %v, completed %v, requeued %d",
+			logger.Infof("round %d: %d items, predicted %.0f ms, wall %v, completed %v, requeued %d",
 				round, report.Items, report.PredictedMakespanMs, report.Wall,
 				report.CompletedJobs, report.Requeued)
 		})
 		if err != nil && err != context.Canceled {
-			logger.Print(err)
+			logger.Errorf("%v", err)
 		}
 	}()
 	deadline := time.Now().Add(10 * time.Minute)
@@ -268,7 +297,7 @@ func main() {
 		}
 	}
 	for _, dl := range m.DeadLetters() {
-		logger.Printf("dead letter: job %d (%s, %d bytes) after %d retries: %s",
+		logger.Infof("dead letter: job %d (%s, %d bytes) after %d retries: %s",
 			dl.JobID, dl.Task, dl.Bytes, dl.Retries, dl.Reason)
 	}
 	if offline := m.OfflineFailures(); len(offline) > 0 {
@@ -276,13 +305,13 @@ func main() {
 		for _, of := range offline {
 			byReason[of.Reason]++
 		}
-		logger.Printf("offline-failure events: %v", byReason)
+		logger.Infof("offline-failure events: %v", byReason)
 	}
 	if plan != nil {
 		byKind := map[faults.EventKind]int{}
 		for _, e := range plan.Recorder().Events() {
 			byKind[e.Kind]++
 		}
-		logger.Printf("injected faults: %v", byKind)
+		logger.Infof("injected faults: %v", byKind)
 	}
 }

@@ -12,11 +12,12 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
 	"os"
 	"time"
 
 	"cwc/internal/device"
+	"cwc/internal/obs"
 	"cwc/internal/worker"
 )
 
@@ -40,9 +41,19 @@ func main() {
 		reconnBase  = flag.Duration("reconnect-base", 100*time.Millisecond, "initial reconnect backoff delay")
 		reconnMax   = flag.Duration("reconnect-max", 5*time.Second, "backoff delay cap")
 		reconnTries = flag.Int("reconnect-attempts", 10, "consecutive failed reconnects before giving up (negative: never)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "cwc-worker: ", log.LstdFlags)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cwc-worker:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("app", "cwc-worker")
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
 
 	cpuMHz, ramMB := *mhz, *ram
 	for _, spec := range device.Catalog() {
@@ -56,7 +67,7 @@ func main() {
 		}
 	}
 	if cpuMHz == 0 {
-		logger.Fatalf("unknown model %q and no -mhz given; catalog models: %v",
+		fatalf("unknown model %q and no -mhz given; catalog models: %v",
 			*model, catalogModels())
 	}
 	if ramMB == 0 {
@@ -77,7 +88,7 @@ func main() {
 			TimeScale:    *charge,
 		}
 	}
-	w, err := worker.New(worker.Config{
+	w, werr := worker.New(worker.Config{
 		ServerAddr: *addr,
 		Model:      *model,
 		CPUMHz:     cpuMHz,
@@ -95,35 +106,35 @@ func main() {
 			MaxAttempts: *reconnTries,
 		},
 	})
-	if err != nil {
-		logger.Fatal(err)
+	if werr != nil {
+		fatalf("%v", werr)
 	}
 	if *unplugIn > 0 {
 		time.AfterFunc(*unplugIn, func() {
-			logger.Print("unplugging (online failure)")
+			logger.Warnf("unplugging (online failure)")
 			w.Unplug()
 		})
 	}
 	if *vanishIn > 0 {
 		time.AfterFunc(*vanishIn, func() {
-			logger.Print("vanishing (offline failure)")
+			logger.Warnf("vanishing (offline failure)")
 			w.Vanish()
 		})
 	}
-	logger.Printf("connecting to %s as %s (%.0f MHz, %d MB)", *addr, *model, cpuMHz, ramMB)
+	logger.Infof("connecting to %s as %s (%.0f MHz, %d MB)", *addr, *model, cpuMHz, ramMB)
 	for {
 		if err := w.Run(context.Background()); err != nil {
-			logger.Fatal(err)
+			fatalf("%v", err)
 		}
 		if *replugIn <= 0 {
 			break
 		}
 		// The paper's phones re-enter the pool after short absences.
-		logger.Printf("left the pool; replugging in %v", *replugIn)
+		logger.Infof("left the pool; replugging in %v", *replugIn)
 		time.Sleep(*replugIn)
 		w.Replug()
 	}
-	logger.Print("exited cleanly")
+	logger.Infof("exited cleanly")
 }
 
 func catalogModels() []string {

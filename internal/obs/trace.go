@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span event kinds recorded by the master over a partition's life. A
+// span is minted per job at Submit and carried in protocol frames, so
+// every event of every partition of a submission shares one span ID:
+//
+//	submit → round → assign → (checkpoint)* → result | failure
+//	       → requeue/speculate/abandon/deadletter → ... → aggregate
+const (
+	KindSubmit     = "submit"
+	KindRound      = "round"
+	KindAssign     = "assign"
+	KindCheckpoint = "checkpoint"
+	KindResult     = "result"
+	KindFailure    = "failure"
+	KindRequeue    = "requeue"
+	KindSpeculate  = "speculate"
+	KindStraggler  = "straggler"
+	KindDeadLetter = "deadletter"
+	KindAggregate  = "aggregate"
+)
+
+// SpanEvent is one entry in a task-lifecycle trace.
+type SpanEvent struct {
+	TS   time.Time `json:"ts"`
+	Span string    `json:"span"`
+	Kind string    `json:"kind"`
+	// Job is the submission the event belongs to; Partition and Key
+	// identify the byte range where the event is range-scoped (assign,
+	// checkpoint, result, ...). Phone is -1 when no phone is involved.
+	Job       int     `json:"job"`
+	Partition int     `json:"partition"`
+	Key       int64   `json:"key,omitempty"`
+	Phone     int     `json:"phone"`
+	Bytes     int64   `json:"bytes,omitempty"`
+	Ms        float64 `json:"ms,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Tracer records span events into a bounded in-memory ring and,
+// optionally, an append-only JSONL sink. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so callers can
+// thread a tracer through unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanEvent
+	next  int
+	total int64
+	enc   *json.Encoder
+}
+
+// NewTracer returns a tracer whose ring keeps the last ringSize events
+// (minimum 16).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize < 16 {
+		ringSize = 16
+	}
+	return &Tracer{ring: make([]SpanEvent, 0, ringSize)}
+}
+
+// SetSink attaches a JSONL writer: every subsequent event is encoded as
+// one JSON line. Pass nil to detach. The tracer serializes writes; the
+// writer need not be concurrency-safe.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w == nil {
+		t.enc = nil
+		return
+	}
+	t.enc = json.NewEncoder(w)
+}
+
+// Record appends one event, stamping TS if unset.
+func (t *Tracer) Record(ev SpanEvent) {
+	if t == nil {
+		return
+	}
+	if ev.TS.IsZero() {
+		ev.TS = time.Now()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	if t.enc != nil {
+		_ = t.enc.Encode(ev) // best effort: a full disk must not stall dispatch
+	}
+}
+
+// Total returns how many events have ever been recorded (including ones
+// the ring has since evicted).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// snapshotLocked returns the ring contents oldest-first. Caller holds
+// t.mu.
+func (t *Tracer) snapshotLocked() []SpanEvent {
+	out := make([]SpanEvent, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Recent returns up to n of the newest events, oldest-first.
+func (t *Tracer) Recent(n int) []SpanEvent {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	all := t.snapshotLocked()
+	t.mu.Unlock()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Span returns every ring-resident event for the given span ID,
+// oldest-first. History evicted from the ring is only in the JSONL
+// sink, if one was attached.
+func (t *Tracer) Span(span string) []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	all := t.snapshotLocked()
+	t.mu.Unlock()
+	var out []SpanEvent
+	for _, ev := range all {
+		if ev.Span == span {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Record(SpanEvent{Span: "s", Kind: KindAssign, Job: i})
+	}
+	got := tr.Recent(100)
+	if len(got) != 16 {
+		t.Fatalf("ring holds %d events, want 16", len(got))
+	}
+	// Oldest-first, and only the newest 16 survive.
+	if got[0].Job != 24 || got[15].Job != 39 {
+		t.Errorf("ring window [%d, %d], want [24, 39]", got[0].Job, got[15].Job)
+	}
+	if tr.Total() != 40 {
+		t.Errorf("total = %d, want 40", tr.Total())
+	}
+}
+
+func TestTracerSpanFilterAndSink(t *testing.T) {
+	var sink bytes.Buffer
+	tr := NewTracer(64)
+	tr.SetSink(&sink)
+	tr.Record(SpanEvent{Span: "sp-1", Kind: KindSubmit, Job: 1, Phone: -1})
+	tr.Record(SpanEvent{Span: "sp-2", Kind: KindSubmit, Job: 2, Phone: -1})
+	tr.Record(SpanEvent{Span: "sp-1", Kind: KindAssign, Job: 1, Phone: 3, Partition: 0})
+	tr.Record(SpanEvent{Span: "sp-1", Kind: KindResult, Job: 1, Phone: 3, Partition: 0, Ms: 12.5})
+
+	evs := tr.Span("sp-1")
+	if len(evs) != 3 {
+		t.Fatalf("span filter returned %d events, want 3", len(evs))
+	}
+	kinds := []string{evs[0].Kind, evs[1].Kind, evs[2].Kind}
+	want := []string{KindSubmit, KindAssign, KindResult}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d kind %q, want %q", i, kinds[i], want[i])
+		}
+	}
+
+	// Every sink line is one decodable JSON event.
+	dec := json.NewDecoder(&sink)
+	n := 0
+	for dec.More() {
+		var ev SpanEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("sink line %d undecodable: %v", n, err)
+		}
+		if ev.TS.IsZero() {
+			t.Errorf("sink line %d missing timestamp", n)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("sink captured %d events, want 4", n)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(SpanEvent{Span: "x"}) // must not panic
+	tr.SetSink(&bytes.Buffer{})
+	if tr.Recent(5) != nil || tr.Span("x") != nil || tr.Total() != 0 {
+		t.Error("nil tracer returned data")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record(SpanEvent{Span: fmt.Sprintf("sp-%d", w), Kind: KindAssign, Job: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Errorf("total = %d, want 1600", tr.Total())
+	}
+	if got := len(tr.Recent(1000)); got != 128 {
+		t.Errorf("ring holds %d, want 128", got)
+	}
+}

@@ -122,6 +122,37 @@ func (e *Estimator) Report(task string, phoneID int, observedMsPerKB float64) er
 	return nil
 }
 
+// Profile returns T_s (ms/KB on the profiling phone) for a task, with ok
+// reporting whether the task was ever profiled.
+func (e *Estimator) Profile(task string) (float64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ts, ok := e.profile[task]
+	return ts, ok
+}
+
+// LearnedEstimate returns the report-refined c_ij for (phone, task), with
+// ok false when no report has been folded in yet (Estimate would fall
+// back to clock scaling).
+func (e *Estimator) LearnedEstimate(task string, phoneID int) (float64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c, ok := e.learned[learnKey{phoneID, task}]
+	return c, ok
+}
+
+// Tasks lists every profiled task (order unspecified). Introspection for
+// the master's /statusz view of prediction refinement.
+func (e *Estimator) Tasks() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.profile))
+	for t := range e.profile {
+		out = append(out, t)
+	}
+	return out
+}
+
 // Forget drops any refined estimate for (phone, task); Estimate falls back
 // to clock scaling. Useful when a phone re-registers after a long absence.
 func (e *Estimator) Forget(task string, phoneID int) {

@@ -99,10 +99,18 @@ type Message struct {
 	// replayed reports with the exact dispatch that caused them
 	// (first-result-wins for speculative re-dispatch). Zero means "no
 	// attempt tracking" (legacy peers).
-	Attempt int64  `json:"attempt,omitempty"`
-	Task    string `json:"task,omitempty"`
-	Params  []byte `json:"params,omitempty"`
-	Input   []byte `json:"input,omitempty"`
+	Attempt int64 `json:"attempt,omitempty"`
+	// Span is the task-lifecycle trace ID minted when the job was
+	// submitted. It rides every assign frame and is echoed in the
+	// matching result/failure/checkpoint frames so any partition's full
+	// history (assign → transfer → exec → checkpoint → report, plus
+	// failure/requeue/migration edges) can be reconstructed from the
+	// master's trace ring or JSONL sink. Empty means "untraced" (legacy
+	// peers); tracing is observability only, never correctness.
+	Span   string `json:"span,omitempty"`
+	Task   string `json:"task,omitempty"`
+	Params []byte `json:"params,omitempty"`
+	Input  []byte `json:"input,omitempty"`
 	// TotalLen, when larger than len(Input) on an assign frame, announces
 	// a chunked transfer: assign_chunk frames follow until the assembled
 	// input reaches TotalLen.
@@ -117,6 +125,33 @@ type Message struct {
 
 	// Ping / Pong.
 	Seq uint64 `json:"seq,omitempty"`
+
+	// Stats is the worker's cumulative self-metering, piggybacked on
+	// pong and result frames so the master can aggregate fleet-wide
+	// metrics without any extra connections or frames. Absent from
+	// legacy peers; purely observational.
+	Stats *WorkerStats `json:"stats,omitempty"`
+}
+
+// WorkerStats is a worker's cumulative (monotonic) self-metering,
+// snapshotted onto outgoing pong/result frames. All fields count since
+// the worker process started, so the master can treat the latest frame
+// as authoritative without summing deltas.
+type WorkerStats struct {
+	// ExecMs is total task execution wall time.
+	ExecMs float64 `json:"exec_ms,omitempty"`
+	// TransferKB is total assignment input received (assign + chunks).
+	TransferKB float64 `json:"transfer_kb,omitempty"`
+	// ThrottlePauses counts MIMD charging-throttle holds.
+	ThrottlePauses int `json:"throttle_pauses,omitempty"`
+	// Reconnects counts successful re-registrations after a lost
+	// connection.
+	Reconnects int `json:"reconnects,omitempty"`
+	// CkptFrames / CkptKB count streamed mid-execution checkpoints.
+	CkptFrames int     `json:"ckpt_frames,omitempty"`
+	CkptKB     float64 `json:"ckpt_kb,omitempty"`
+	// Assignments counts partitions accepted for execution.
+	Assignments int `json:"assignments,omitempty"`
 }
 
 // MaxFrameSize bounds a single frame; larger frames indicate a corrupt

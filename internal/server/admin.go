@@ -1,0 +1,412 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"cwc/internal/obs"
+	"cwc/internal/protocol"
+)
+
+// This file is the master's admin plane: the HTTP endpoints bound at
+// Config.ObsAddr (off by default) that expose what internal/obs records.
+//
+//	GET /metrics      Prometheus text exposition of Config.Metrics
+//	GET /healthz      liveness probe
+//	GET /statusz      JSON: fleet, predictions, rounds, dead letters
+//	GET /debug/sched  last round's bin-packing decision vs what happened
+//	GET /debug/trace  recent span events (?span=j3 filters, ?n=100 caps)
+//
+// Everything served here is a read-only snapshot; the plane never mutates
+// scheduling state, so leaving it unbound is byte-identical to binding it.
+
+// registerMasterMetrics pre-creates the master's unlabeled series with
+// help text so a scrape of a freshly started, idle master already shows
+// the full catalog at zero (labeled series appear on first use).
+func registerMasterMetrics(r *obs.Registry) {
+	counters := map[string]string{
+		"cwc_keepalive_pings_total":       "application-level keepalive pings sent",
+		"cwc_keepalive_misses_total":      "keepalive periods that elapsed without a pong",
+		"cwc_conn_errors_total":           "phone connections lost to read errors or corrupt frames",
+		"cwc_phones_registered_total":     "fresh phone registrations",
+		"cwc_phones_reconnected_total":    "phones that rejoined under a prior identity",
+		"cwc_submissions_total":           "jobs accepted by Submit",
+		"cwc_jobs_completed_total":        "jobs fully aggregated",
+		"cwc_results_total":               "partition results recorded (duplicates excluded)",
+		"cwc_failures_total":              "partition failure reports recorded",
+		"cwc_requeues_total":              "work items re-queued for a later round",
+		"cwc_dead_letters_total":          "work items dropped after exhausting their retry budget",
+		"cwc_speculations_total":          "speculative copies issued for straggling partitions",
+		"cwc_stragglers_total":            "assignments that blew their deadline",
+		"cwc_abandons_total":              "phones abandoned for a round at twice the deadline",
+		"cwc_stale_results_total":         "results credited to an earlier attempt on the same phone",
+		"cwc_rounds_total":                "scheduling rounds completed",
+		"cwc_assign_bytes_sent_total":     "assignment input bytes shipped to phones",
+		"cwc_checkpoint_frames_total":     "streamed checkpoint frames received",
+		"cwc_checkpoint_folds_total":      "streamed checkpoints accepted into resume state",
+		"cwc_checkpoint_bytes_total":      "checkpoint state bytes accepted",
+		"cwc_recompute_saved_bytes_total": "input bytes a requeue resumed past instead of recomputing",
+	}
+	for fam, help := range counters {
+		r.Help(fam, help)
+		r.Counter(fam)
+	}
+	gauges := map[string]string{
+		"cwc_phones_alive":                "live registered phones",
+		"cwc_pending_items":               "work items awaiting the next scheduling instant",
+		"cwc_round_predicted_makespan_ms": "last round's scheduler-predicted makespan",
+		"cwc_round_actual_makespan_ms":    "last round's measured wall time",
+	}
+	for fam, help := range gauges {
+		r.Help(fam, help)
+		r.Gauge(fam)
+	}
+	histograms := map[string]string{
+		"cwc_exec_ms":       "reported per-partition execution time in milliseconds",
+		"cwc_round_wall_ms": "scheduling round wall time in milliseconds",
+	}
+	for fam, help := range histograms {
+		r.Help(fam, help)
+		r.Histogram(fam)
+	}
+	r.Help("cwc_offline_failures_total", "offline-failure events by structured reason")
+	r.Help("cwc_frames_received_total", "protocol frames received by type")
+}
+
+// ingestWorkerStats publishes a worker's piggybacked cumulative counters
+// as per-phone gauges (cumulative on the worker, so Set is correct) and
+// keeps the latest snapshot for /statusz.
+func (m *Master) ingestWorkerStats(phoneID int, s *protocol.WorkerStats) {
+	id := strconv.Itoa(phoneID)
+	r := m.cfg.Metrics
+	r.Gauge("cwc_worker_exec_ms", "phone", id).Set(s.ExecMs)
+	r.Gauge("cwc_worker_transfer_kb", "phone", id).Set(s.TransferKB)
+	r.Gauge("cwc_worker_throttle_pauses", "phone", id).Set(float64(s.ThrottlePauses))
+	r.Gauge("cwc_worker_reconnects", "phone", id).Set(float64(s.Reconnects))
+	r.Gauge("cwc_worker_ckpt_frames", "phone", id).Set(float64(s.CkptFrames))
+	r.Gauge("cwc_worker_ckpt_kb", "phone", id).Set(s.CkptKB)
+	r.Gauge("cwc_worker_assignments", "phone", id).Set(float64(s.Assignments))
+	snap := *s
+	m.mu.Lock()
+	m.workerStats[phoneID] = snap
+	m.mu.Unlock()
+}
+
+// SchedAssignment is one dispatched partition in a SchedSnapshot: the
+// packing decision (size, predicted cost) next to what the round actually
+// saw for it.
+type SchedAssignment struct {
+	JobID       int     `json:"job"`
+	Partition   int     `json:"partition"`
+	Key         int64   `json:"key"`
+	SizeKB      float64 `json:"size_kb"`
+	PredictedMs float64 `json:"predicted_ms"`
+	// ActualMs is assign-to-report latency; -1 when no report arrived
+	// within the round.
+	ActualMs float64 `json:"actual_ms"`
+	// Outcome is the last thing the round saw for the partition:
+	// "result", "failure", "straggler", or "pending".
+	Outcome string `json:"outcome"`
+}
+
+// SchedPhone is one phone's queue in a SchedSnapshot.
+type SchedPhone struct {
+	PhoneID         int               `json:"phone"`
+	PredictedSpanMs float64           `json:"predicted_span_ms"`
+	ActualSpanMs    float64           `json:"actual_span_ms"`
+	Assignments     []SchedAssignment `json:"assignments"`
+}
+
+// SchedSnapshot is one round's bin-packing decision paired with the
+// round's actuals — the live counterpart of the paper's Figure 12
+// comparison. Served by /debug/sched.
+type SchedSnapshot struct {
+	Round               int          `json:"round"`
+	PredictedMakespanMs float64      `json:"predicted_makespan_ms"`
+	ActualMakespanMs    float64      `json:"actual_makespan_ms"`
+	Phones              []SchedPhone `json:"phones"`
+}
+
+// LastSched returns the most recent round's packing-vs-actuals snapshot,
+// or nil before the first completed round.
+func (m *Master) LastSched() *SchedSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastSched == nil {
+		return nil
+	}
+	cp := *m.lastSched
+	cp.Phones = append([]SchedPhone(nil), m.lastSched.Phones...)
+	return &cp
+}
+
+// finishSchedSnapshot folds a finished round's event timeline into the
+// snapshot built at dispatch time: per-assignment report latencies and
+// outcomes, per-phone busy spans, and the measured makespan.
+func finishSchedSnapshot(snap *SchedSnapshot, events []Event, wall time.Duration) {
+	snap.ActualMakespanMs = float64(wall) / float64(time.Millisecond)
+	type akey struct{ phone, job, part int }
+	assigned := map[akey]time.Duration{}
+	for _, e := range events {
+		k := akey{e.PhoneID, e.JobID, e.Partition}
+		switch e.Kind {
+		case "assign":
+			assigned[k] = e.At
+		case "result", "failure", "straggler":
+			for pi := range snap.Phones {
+				sp := &snap.Phones[pi]
+				if sp.PhoneID != e.PhoneID {
+					continue
+				}
+				for ai := range sp.Assignments {
+					a := &sp.Assignments[ai]
+					if a.JobID != e.JobID || a.Partition != e.Partition {
+						continue
+					}
+					a.Outcome = e.Kind
+					if e.Kind != "straggler" {
+						a.ActualMs = float64(e.At-assigned[k]) / float64(time.Millisecond)
+					}
+				}
+				if e.Kind != "straggler" {
+					if ms := float64(e.At) / float64(time.Millisecond); ms > sp.ActualSpanMs {
+						sp.ActualSpanMs = ms
+					}
+				}
+			}
+		}
+	}
+}
+
+// ObsAddr returns the admin plane's bound address ("" when unbound).
+func (m *Master) ObsAddr() string {
+	if m.obsLn == nil {
+		return ""
+	}
+	return m.obsLn.Addr().String()
+}
+
+// serveObs binds the admin plane. The listener dies with Close.
+func (m *Master) serveObs(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: admin plane listen %s: %w", addr, err)
+	}
+	m.obsLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/healthz", m.handleHealthz)
+	mux.HandleFunc("/statusz", m.handleStatusz)
+	mux.HandleFunc("/debug/sched", m.handleDebugSched)
+	mux.HandleFunc("/debug/trace", m.handleDebugTrace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		_ = srv.Serve(ln) // returns once Close closes the listener
+	}()
+	m.cfg.Logger.Infof("admin plane listening on %s", ln.Addr())
+	return nil
+}
+
+// refreshGauges recomputes the point-in-time gauges a scrape should see.
+func (m *Master) refreshGauges() {
+	m.mu.Lock()
+	alive := 0
+	for _, ps := range m.phones {
+		if ps.alive() {
+			alive++
+		}
+	}
+	pending := len(m.pending)
+	m.mu.Unlock()
+	m.cfg.Metrics.Gauge("cwc_phones_alive").Set(float64(alive))
+	m.cfg.Metrics.Gauge("cwc_pending_items").Set(float64(pending))
+}
+
+func (m *Master) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m.refreshGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = m.cfg.Metrics.WritePrometheus(w)
+}
+
+func (m *Master) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statusEstimate is one (phone, task) row of /statusz's prediction view:
+// the clock-scaling estimate next to the report-refined one, with the
+// relative refinement error (how far clock scaling alone was off).
+type statusEstimate struct {
+	Task           string   `json:"task"`
+	ScaledMsPerKB  float64  `json:"scaled_ms_per_kb"`
+	LearnedMsPerKB *float64 `json:"learned_ms_per_kb,omitempty"`
+	RefineErr      *float64 `json:"refine_err,omitempty"`
+}
+
+type statusPhone struct {
+	ID          int                   `json:"id"`
+	Model       string                `json:"model"`
+	CPUMHz      float64               `json:"cpu_mhz"`
+	RAMMB       int                   `json:"ram_mb"`
+	Alive       bool                  `json:"alive"`
+	BMsPerKB    float64               `json:"b_ms_per_kb"`
+	MissedPings int                   `json:"missed_pings"`
+	Worker      *protocol.WorkerStats `json:"worker,omitempty"`
+	Estimates   []statusEstimate      `json:"estimates,omitempty"`
+}
+
+type statusRound struct {
+	Round               int     `json:"round"`
+	PredictedMakespanMs float64 `json:"predicted_makespan_ms"`
+	ActualMakespanMs    float64 `json:"actual_makespan_ms"`
+}
+
+type statusz struct {
+	Now             time.Time      `json:"now"`
+	PhonesAlive     int            `json:"phones_alive"`
+	Phones          []statusPhone  `json:"phones"`
+	PendingItems    int            `json:"pending_items"`
+	Rounds          int            `json:"rounds"`
+	LastRound       *statusRound   `json:"last_round,omitempty"`
+	JobsSubmitted   int            `json:"jobs_submitted"`
+	JobsCompleted   int            `json:"jobs_completed"`
+	DeadLetters     []DeadLetter   `json:"dead_letters,omitempty"`
+	OfflineFailures map[string]int `json:"offline_failures,omitempty"`
+	CheckpointFolds int            `json:"checkpoint_folds"`
+	TraceEvents     int64          `json:"trace_events"`
+	MetricSeries    int            `json:"metric_series"`
+}
+
+func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	st := statusz{Now: time.Now(), TraceEvents: m.cfg.Tracer.Total(), MetricSeries: m.cfg.Metrics.SeriesCount()}
+
+	m.mu.Lock()
+	est := m.est
+	tasksSeen := map[string]bool{}
+	for _, js := range m.jobs {
+		st.JobsSubmitted++
+		if js.done {
+			st.JobsCompleted++
+		}
+		tasksSeen[js.task.Name()] = true
+	}
+	st.PendingItems = len(m.pending)
+	st.Rounds = m.rounds
+	if m.lastSched != nil {
+		st.LastRound = &statusRound{
+			Round:               m.lastSched.Round,
+			PredictedMakespanMs: m.lastSched.PredictedMakespanMs,
+			ActualMakespanMs:    m.lastSched.ActualMakespanMs,
+		}
+	}
+	st.DeadLetters = append(st.DeadLetters, m.deadLetters...)
+	if len(m.offline) > 0 {
+		st.OfflineFailures = map[string]int{}
+		for _, of := range m.offline {
+			st.OfflineFailures[of.Reason]++
+		}
+	}
+	st.CheckpointFolds = m.ckptFolds
+	type phoneRow struct {
+		info   PhoneInfo
+		missed int
+		alive  bool
+	}
+	rows := make([]phoneRow, 0, len(m.phones))
+	for _, ps := range m.phones {
+		ps.mu.Lock()
+		missed, deadClosed := ps.missedPings, ps.deadClosed
+		ps.mu.Unlock()
+		rows = append(rows, phoneRow{info: ps.info, missed: missed, alive: !deadClosed})
+	}
+	stats := make(map[int]protocol.WorkerStats, len(m.workerStats))
+	for id, s := range m.workerStats {
+		stats[id] = s
+	}
+	m.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].info.ID < rows[j].info.ID })
+	var tasks []string
+	if est != nil {
+		tasks = est.Tasks()
+		sort.Strings(tasks)
+	}
+	for _, row := range rows {
+		sp := statusPhone{
+			ID: row.info.ID, Model: row.info.Model, CPUMHz: row.info.CPUMHz,
+			RAMMB: row.info.RAMMB, Alive: row.alive, BMsPerKB: row.info.BMsPerKB,
+			MissedPings: row.missed,
+		}
+		if row.alive {
+			st.PhonesAlive++
+		}
+		if ws, ok := stats[row.info.ID]; ok {
+			w := ws
+			sp.Worker = &w
+		}
+		for _, task := range tasks {
+			ts, ok := est.Profile(task)
+			if !ok || !tasksSeen[task] || row.info.CPUMHz <= 0 {
+				continue
+			}
+			scaled := ts * est.BaseMHz() / row.info.CPUMHz
+			e := statusEstimate{Task: task, ScaledMsPerKB: scaled}
+			if learned, ok := est.LearnedEstimate(task, row.info.ID); ok && scaled > 0 {
+				l := learned
+				e.LearnedMsPerKB = &l
+				relErr := (learned - scaled) / scaled
+				e.RefineErr = &relErr
+			}
+			sp.Estimates = append(sp.Estimates, e)
+		}
+		st.Phones = append(st.Phones, sp)
+	}
+	writeJSON(w, st)
+}
+
+func (m *Master) handleDebugSched(w http.ResponseWriter, _ *http.Request) {
+	snap := m.LastSched()
+	if snap == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"no round completed yet"}`)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+func (m *Master) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	n := 200
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	var evs []obs.SpanEvent
+	if span := r.URL.Query().Get("span"); span != "" {
+		evs = m.cfg.Tracer.Span(span)
+		if len(evs) > n {
+			evs = evs[len(evs)-n:]
+		}
+	} else {
+		evs = m.cfg.Tracer.Recent(n)
+	}
+	if evs == nil {
+		evs = []obs.SpanEvent{}
+	}
+	writeJSON(w, evs)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

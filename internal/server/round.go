@@ -8,10 +8,32 @@ import (
 	"time"
 
 	"cwc/internal/core"
+	"cwc/internal/obs"
 	"cwc/internal/predict"
 	"cwc/internal/protocol"
 	"cwc/internal/tasks"
 )
+
+// spanForJobLocked returns the job's trace span, minting the
+// deterministic ID when recovery (which does not persist spans) left it
+// unset. Caller holds m.mu.
+func (m *Master) spanForJobLocked(jobID int) string {
+	js := m.jobs[jobID]
+	if js == nil {
+		return ""
+	}
+	if js.span == "" {
+		js.span = fmt.Sprintf("j%d", js.id)
+	}
+	return js.span
+}
+
+// spanForJob is spanForJobLocked for callers not holding m.mu.
+func (m *Master) spanForJob(jobID int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spanForJobLocked(jobID)
+}
 
 // Submit queues a job for the next scheduling round and returns its ID.
 // A task that does not implement tasks.Breakable is scheduled atomically
@@ -38,13 +60,19 @@ func (m *Master) Submit(task tasks.Task, input []byte, atomic bool) (int, error)
 	}
 	m.nextJobID++
 	m.nextItemSeq = seq
-	m.jobs[id] = &jobState{id: id, task: task, totalBytes: int64(len(input))}
+	span := fmt.Sprintf("j%d", id)
+	m.jobs[id] = &jobState{id: id, task: task, totalBytes: int64(len(input)), span: span}
 	m.pending = append(m.pending, &workItem{
 		jobID:  id,
 		task:   task,
 		input:  input,
 		atomic: atomic,
 		seq:    seq,
+	})
+	m.cfg.Metrics.Counter("cwc_submissions_total").Inc()
+	m.cfg.Tracer.Record(obs.SpanEvent{
+		Span: span, Kind: obs.KindSubmit, Job: id, Phone: -1,
+		Bytes: int64(len(input)), Detail: task.Name(),
 	})
 	return id, nil
 }
@@ -312,7 +340,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		return nil, ErrNoPhones
 	}
 
-	sched, _, err := m.buildSchedule(items, phones)
+	sched, inst, err := m.buildSchedule(items, phones)
 	if err != nil {
 		m.mu.Lock()
 		m.pending = append(items, m.pending...)
@@ -387,6 +415,10 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	}
 	m.mu.Unlock()
 
+	// The packing decision, snapshotted before dispatch so /debug/sched
+	// can pair it with the round's actuals afterwards.
+	snap := m.newSchedSnapshot(items, phones, plans, sched, inst)
+
 	report := &RoundReport{
 		Items:               len(items),
 		PredictedMakespanMs: sched.Makespan,
@@ -400,6 +432,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		evMu.Lock()
 		report.Events = append(report.Events, e)
 		evMu.Unlock()
+		m.traceEvent(e)
 	}
 	for pi, ps := range phones {
 		queue := plans[pi]
@@ -422,9 +455,18 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 			report.DeadLettered++
 		}
 	}
+	finishSchedSnapshot(snap, report.Events, report.Wall)
+	wallMs := float64(report.Wall) / float64(time.Millisecond)
+	m.cfg.Metrics.Counter("cwc_rounds_total").Inc()
+	m.cfg.Metrics.Gauge("cwc_round_predicted_makespan_ms").Set(sched.Makespan)
+	m.cfg.Metrics.Gauge("cwc_round_actual_makespan_ms").Set(wallMs)
+	m.cfg.Metrics.Histogram("cwc_round_wall_ms").Observe(wallMs)
 
 	// Aggregate completed jobs and count requeues.
 	m.mu.Lock()
+	m.rounds++
+	snap.Round = m.rounds
+	m.lastSched = snap
 	// Sweep attempt records that can no longer resolve: completed keys,
 	// and dead phones (whose in-flight work was re-queued on death).
 	for id, rec := range m.attempts {
@@ -446,6 +488,11 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		js.done = true
 		m.walAppend(walRecFinish, walFinish{JobID: js.id, Final: final})
 		report.CompletedJobs = append(report.CompletedJobs, js.id)
+		m.cfg.Metrics.Counter("cwc_jobs_completed_total").Inc()
+		m.cfg.Tracer.Record(obs.SpanEvent{
+			Span: m.spanForJobLocked(js.id), Kind: obs.KindAggregate, Job: js.id,
+			Phone: -1, Bytes: int64(len(final)), Detail: fmt.Sprintf("%d partials", len(js.partials)),
+		})
 	}
 	for _, ps := range phones {
 		if !ps.alive() {
@@ -459,6 +506,70 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// newSchedSnapshot captures the round's bin-packing decision before
+// dispatch: per-phone predicted busy spans and per-assignment predicted
+// costs under the cost model the scheduler actually used. Actuals are
+// filled in by finishSchedSnapshot once the round ends.
+func (m *Master) newSchedSnapshot(items []*workItem, phones []*phoneState, plans [][]assignment, sched *core.Schedule, inst *core.Instance) *SchedSnapshot {
+	itemIdx := make(map[*workItem]int, len(items))
+	for j, it := range items {
+		itemIdx[it] = j
+	}
+	snap := &SchedSnapshot{PredictedMakespanMs: sched.Makespan}
+	spans := sched.PhoneSpans(inst)
+	for pi, ps := range phones {
+		sp := SchedPhone{PhoneID: ps.info.ID, PredictedSpanMs: spans[pi]}
+		shipped := map[int]bool{}
+		for _, a := range plans[pi] {
+			j := itemIdx[a.item]
+			sizeKB := float64(len(a.input)) / 1024
+			withExec := !shipped[j]
+			shipped[j] = true
+			sp.Assignments = append(sp.Assignments, SchedAssignment{
+				JobID:       a.item.jobID,
+				Partition:   a.partition,
+				Key:         a.key,
+				SizeKB:      sizeKB,
+				PredictedMs: inst.Cost(pi, j, sizeKB, withExec),
+				ActualMs:    -1,
+				Outcome:     "pending",
+			})
+		}
+		snap.Phones = append(snap.Phones, sp)
+	}
+	return snap
+}
+
+// traceEvent mirrors a round timeline entry into the task-lifecycle
+// tracer. Requeue and dead-letter edges are recorded at their single
+// choke point (requeueLocked) instead, so they are skipped here.
+func (m *Master) traceEvent(e Event) {
+	var kind, detail string
+	switch e.Kind {
+	case "assign":
+		kind = obs.KindAssign
+	case "result":
+		kind = obs.KindResult
+	case "failure":
+		kind = obs.KindFailure
+	case "straggler":
+		kind = obs.KindStraggler
+	case "stale-result":
+		kind, detail = obs.KindResult, "stale"
+		m.cfg.Metrics.Counter("cwc_stale_results_total").Inc()
+	default:
+		return
+	}
+	if e.Kind == "straggler" {
+		m.cfg.Metrics.Counter("cwc_stragglers_total").Inc()
+	}
+	m.cfg.Tracer.Record(obs.SpanEvent{
+		Span: m.spanForJob(e.JobID), Kind: kind, Job: e.JobID,
+		Partition: e.Partition, Phone: e.PhoneID,
+		Ms: float64(e.At) / float64(time.Millisecond), Detail: detail,
+	})
 }
 
 // buildSchedule constructs the core instance from live state and solves it.
@@ -636,6 +747,12 @@ func (m *Master) speculate(a assignment) bool {
 		retries: a.item.retries,
 		seq:     m.nextSeqLocked(),
 	})
+	m.cfg.Metrics.Counter("cwc_speculations_total").Inc()
+	m.cfg.Tracer.Record(obs.SpanEvent{
+		Span: m.spanForJobLocked(a.item.jobID), Kind: obs.KindSpeculate,
+		Job: a.item.jobID, Partition: a.partition, Key: a.key, Phone: -1,
+		Bytes: int64(len(a.input)),
+	})
 	return true
 }
 
@@ -721,6 +838,7 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 				// Twice the deadline: abandon the phone for this round. It
 				// stays alive (it may just be slow); its eventual report is
 				// credited by the read loop if the key is still open.
+				m.cfg.Metrics.Counter("cwc_abandons_total").Inc()
 				m.cfg.Logger.Printf("phone %d abandoned for the round (job %d partition %d overdue)",
 					ps.info.ID, a.item.jobID, a.partition)
 				m.detachAttempt(attempt)
@@ -760,6 +878,7 @@ func (m *Master) recordStreamedCheckpoint(ps *phoneState, msg *protocol.Message)
 	ck := msg.Checkpoint
 	accepted := false
 	var jobID, partition int
+	m.cfg.Metrics.Counter("cwc_checkpoint_frames_total").Inc()
 	if msg.Attempt != 0 && ck != nil && ck.Offset > 0 {
 		m.mu.Lock()
 		if rec, ok := m.attempts[msg.Attempt]; ok {
@@ -776,6 +895,17 @@ func (m *Master) recordStreamedCheckpoint(ps *phoneState, msg *protocol.Message)
 				m.ckptFolds++
 				m.walAppend(walRecCheckpoint, walCheckpointRec{JobID: jobID, Key: a.key, Resume: c})
 				accepted = true
+				m.cfg.Metrics.Counter("cwc_checkpoint_folds_total").Inc()
+				m.cfg.Metrics.Counter("cwc_checkpoint_bytes_total").Add(int64(len(c.State)))
+				span := msg.Span
+				if span == "" {
+					span = m.spanForJobLocked(jobID)
+				}
+				m.cfg.Tracer.Record(obs.SpanEvent{
+					Span: span, Kind: obs.KindCheckpoint, Job: jobID,
+					Partition: partition, Key: a.key, Phone: ps.info.ID,
+					Bytes: c.Offset, Detail: "streamed",
+				})
 			}
 		}
 		m.mu.Unlock()
@@ -830,6 +960,10 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 		JobID: a.item.jobID, Key: a.key, Bytes: int64(len(a.input)), Partial: resp.Result,
 	})
 	m.mu.Unlock()
+	m.cfg.Metrics.Counter("cwc_results_total").Inc()
+	if resp.ExecMs > 0 {
+		m.cfg.Metrics.Histogram("cwc_exec_ms").Observe(resp.ExecMs)
+	}
 
 	if a.resume != nil && m.cfg.Journal != nil {
 		m.cfg.Journal.RecordComplete(a.item.jobID, a.partition, ps.info.ID)
@@ -845,6 +979,7 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 // migrated whole (input + checkpoint).
 func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int) {
 	ck := resp.Checkpoint
+	m.cfg.Metrics.Counter("cwc_failures_total").Inc()
 	if m.cfg.Journal != nil {
 		m.cfg.Journal.RecordSave(a.item.jobID, a.partition, phoneID, ck, resp.Error)
 	}
@@ -946,9 +1081,26 @@ func (m *Master) requeueLocked(it *workItem, reason string) bool {
 		m.cfg.Logger.Printf("job %d item dead-lettered after %d retries: %s",
 			it.jobID, it.retries-1, reason)
 		delete(m.streamed, it.key)
+		m.cfg.Metrics.Counter("cwc_dead_letters_total").Inc()
+		m.cfg.Tracer.Record(obs.SpanEvent{
+			Span: m.spanForJobLocked(it.jobID), Kind: obs.KindDeadLetter,
+			Job: it.jobID, Key: it.key, Phone: -1,
+			Bytes: int64(len(it.input)), Detail: reason,
+		})
 		return false
 	}
 	m.pending = append(m.pending, it)
+	m.cfg.Metrics.Counter("cwc_requeues_total").Inc()
+	if ck := m.streamed[it.key]; ck != nil && ck.Offset > 0 {
+		// A streamed checkpoint means the retry resumes mid-input: those
+		// bytes never get re-executed.
+		m.cfg.Metrics.Counter("cwc_recompute_saved_bytes_total").Add(ck.Offset)
+	}
+	m.cfg.Tracer.Record(obs.SpanEvent{
+		Span: m.spanForJobLocked(it.jobID), Kind: obs.KindRequeue,
+		Job: it.jobID, Key: it.key, Phone: -1,
+		Bytes: int64(len(it.input)), Detail: reason,
+	})
 	return true
 }
 
@@ -1118,6 +1270,7 @@ func (m *Master) sendAssign(ps *phoneState, a assignment, attempt int64) error {
 		JobID:     a.item.jobID,
 		Partition: a.partition,
 		Attempt:   attempt,
+		Span:      m.spanForJob(a.item.jobID),
 		Task:      a.item.task.Name(),
 		Params:    a.item.task.Params(),
 		Input:     first,
@@ -1126,6 +1279,7 @@ func (m *Master) sendAssign(ps *phoneState, a assignment, attempt int64) error {
 	}); err != nil {
 		return err
 	}
+	m.cfg.Metrics.Counter("cwc_assign_bytes_sent_total").Add(int64(len(a.input)))
 	for len(rest) > 0 {
 		n := chunk
 		if n > len(rest) {

@@ -12,8 +12,6 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
-	"io"
-	"log"
 	"math/rand"
 	"net"
 	"sort"
@@ -21,6 +19,7 @@ import (
 	"time"
 
 	"cwc/internal/migrate"
+	"cwc/internal/obs"
 	"cwc/internal/predict"
 	"cwc/internal/protocol"
 	"cwc/internal/tasks"
@@ -42,7 +41,22 @@ type Config struct {
 	// probed yet.
 	DefaultBMsPerKB float64
 	// Logger receives operational messages; nil discards them.
-	Logger *log.Logger
+	Logger *obs.Logger
+	// Metrics receives the master's instrumentation (and is what the
+	// admin plane's /metrics serves). Nil gets a private registry, so
+	// recording is always safe; share one registry with the WAL
+	// (wal.Options.Metrics) to expose both through one endpoint.
+	Metrics *obs.Registry
+	// Tracer records task-lifecycle span events (submit → assign → exec →
+	// checkpoint → report → aggregate, plus failure/requeue edges). Nil
+	// gets a private 4096-event ring; attach a JSONL sink via
+	// Tracer.SetSink to persist spans.
+	Tracer *obs.Tracer
+	// ObsAddr, when non-empty, binds the HTTP admin plane (GET /metrics,
+	// /healthz, /statusz, /debug/sched, /debug/trace) on Start. Empty
+	// keeps the plane off: observability is recorded either way, but
+	// nothing is served.
+	ObsAddr string
 	// Journal, when set, records every migration event (checkpoint
 	// saved / resumed / completed) for audit and crash recovery.
 	Journal *migrate.Journal
@@ -100,7 +114,13 @@ func (c *Config) fill() {
 		c.DefaultBMsPerKB = 10
 	}
 	if c.Logger == nil {
-		c.Logger = log.New(io.Discard, "", 0)
+		c.Logger = obs.Discard()
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(4096)
 	}
 	if c.ChunkKB == 0 {
 		c.ChunkKB = 4096
@@ -206,6 +226,10 @@ type jobState struct {
 	partials   [][]byte
 	final      []byte
 	done       bool
+	// span is the job's trace ID, minted at Submit. Deterministic in the
+	// job ID so WAL/state recovery reconstructs the same span and a
+	// partition's history stays stitchable across a master crash.
+	span string
 }
 
 // DeadLetter is a work item that exhausted its retry budget; it is
@@ -270,14 +294,27 @@ type Master struct {
 	streamed  map[int64]*tasks.Checkpoint
 	ckptFolds int // streamed checkpoints accepted (monotonic, for tests/ops)
 
+	// workerStats is each phone's latest piggybacked self-metering
+	// (cumulative since worker start; latest frame wins).
+	workerStats map[int]protocol.WorkerStats
+
 	closed  bool
 	wg      sync.WaitGroup
 	stopped chan struct{}
+
+	// rounds counts completed scheduling rounds; lastSched is the most
+	// recent round's packing decision paired with what actually happened
+	// (served by /debug/sched).
+	rounds    int
+	lastSched *SchedSnapshot
+
+	obsLn net.Listener // admin plane listener (nil when ObsAddr is unset)
 }
 
 // New creates a master; call Start to listen.
 func New(cfg Config) *Master {
 	cfg.fill()
+	registerMasterMetrics(cfg.Metrics)
 	return &Master{
 		cfg:         cfg,
 		handshaking: map[*protocol.Conn]struct{}{},
@@ -288,6 +325,7 @@ func New(cfg Config) *Master {
 		speculated:  map[int64]bool{},
 		attempts:    map[int64]*attemptRec{},
 		streamed:    map[int64]*tasks.Checkpoint{},
+		workerStats: map[int]protocol.WorkerStats{},
 		phoneWait:   make(chan struct{}),
 		stopped:     make(chan struct{}),
 	}
@@ -316,6 +354,7 @@ func (m *Master) recordOffline(phoneID int, reason, detail string) {
 	m.mu.Lock()
 	m.offline = append(m.offline, OfflineFailure{PhoneID: phoneID, Reason: reason, Detail: detail})
 	m.mu.Unlock()
+	m.cfg.Metrics.Counter("cwc_offline_failures_total", "reason", reason).Inc()
 }
 
 // Start begins listening and accepting phones.
@@ -330,6 +369,12 @@ func (m *Master) Start() error {
 	m.ln = ln
 	m.wg.Add(1)
 	go m.acceptLoop()
+	if m.cfg.ObsAddr != "" {
+		if err := m.serveObs(m.cfg.ObsAddr); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	return nil
 }
 
@@ -362,6 +407,9 @@ func (m *Master) Close() {
 	close(m.stopped)
 	if m.ln != nil {
 		m.ln.Close()
+	}
+	if m.obsLn != nil {
+		m.obsLn.Close()
 	}
 	for _, c := range pending {
 		c.Close() // cut half-finished handshakes short
@@ -474,10 +522,13 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		ps.markDead()
 		return
 	}
+	plog := m.cfg.Logger.With("phone", id)
 	if prior != nil {
-		m.cfg.Logger.Printf("phone %d reconnected: %s %.0f MHz", id, hello.Model, hello.CPUMHz)
+		m.cfg.Metrics.Counter("cwc_phones_reconnected_total").Inc()
+		plog.Infof("reconnected: %s %.0f MHz", hello.Model, hello.CPUMHz)
 	} else {
-		m.cfg.Logger.Printf("phone %d registered: %s %.0f MHz", id, hello.Model, hello.CPUMHz)
+		m.cfg.Metrics.Counter("cwc_phones_registered_total").Inc()
+		plog.Infof("registered: %s %.0f MHz", hello.Model, hello.CPUMHz)
 	}
 
 	m.wg.Add(1)
@@ -493,6 +544,7 @@ func (m *Master) readLoop(ps *phoneState) {
 	for {
 		msg, err := ps.conn.Recv()
 		if err != nil {
+			m.cfg.Metrics.Counter("cwc_conn_errors_total").Inc()
 			// A corrupt frame means framing is lost on an otherwise-open
 			// connection; it is handled exactly like a missed-keepalive
 			// offline failure (the in-flight partition re-enters the pool
@@ -507,6 +559,10 @@ func (m *Master) readLoop(ps *phoneState) {
 			}
 			ps.markDead()
 			return
+		}
+		m.cfg.Metrics.Counter("cwc_frames_received_total", "type", string(msg.Type)).Inc()
+		if msg.Stats != nil {
+			m.ingestWorkerStats(ps.info.ID, msg.Stats)
 		}
 		switch msg.Type {
 		case protocol.TypePong:
@@ -588,15 +644,20 @@ func (m *Master) keepalive(ps *phoneState) {
 			ps.missedPings++
 			missed := ps.missedPings
 			ps.mu.Unlock()
+			if missed > 1 {
+				// The previous ping went unanswered for a full period.
+				m.cfg.Metrics.Counter("cwc_keepalive_misses_total").Inc()
+			}
 			if missed > m.cfg.KeepaliveTolerance {
-				m.cfg.Logger.Printf("phone %d missed %d keepalives: offline failure",
-					ps.info.ID, m.cfg.KeepaliveTolerance)
+				m.cfg.Logger.With("phone", ps.info.ID).Warnf("missed %d keepalives: offline failure",
+					m.cfg.KeepaliveTolerance)
 				m.recordOffline(ps.info.ID, "keepalive",
 					fmt.Sprintf("%d consecutive misses", m.cfg.KeepaliveTolerance))
 				ps.markDead()
 				return
 			}
 			seq++
+			m.cfg.Metrics.Counter("cwc_keepalive_pings_total").Inc()
 			if err := ps.conn.Send(&protocol.Message{Type: protocol.TypePing, Seq: seq}); err != nil {
 				m.recordOffline(ps.info.ID, "send-failed", err.Error())
 				ps.markDead()

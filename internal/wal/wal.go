@@ -46,6 +46,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"cwc/internal/obs"
 )
 
 // Record is one logical log entry: an opaque payload tagged with a
@@ -101,6 +103,10 @@ type Options struct {
 	// written through it (fault injection, metrics). If the wrapped
 	// writer implements Sync() error, syncs flow through it too.
 	WriterHook func(io.Writer) io.Writer
+	// Metrics, when set, receives WAL instrumentation: append and fsync
+	// latency histograms (cwc_wal_append_ms, cwc_wal_fsync_ms) plus
+	// appended-bytes and error counters. Nil disables it at zero cost.
+	Metrics *obs.Registry
 }
 
 const (
@@ -213,6 +219,12 @@ type Log struct {
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
+
+	// Instrumentation (nil when Options.Metrics is unset).
+	appendHist  *obs.Histogram
+	fsyncHist   *obs.Histogram
+	appendBytes *obs.Counter
+	appendErrs  *obs.Counter
 }
 
 func segmentName(seq int) string  { return fmt.Sprintf("wal-%08d.log", seq) }
@@ -261,6 +273,16 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 	}
 	l := &Log{dir: dir, opts: opts, stopc: make(chan struct{})}
+	if m := opts.Metrics; m != nil {
+		m.Help("cwc_wal_append_ms", "WAL record append latency (framing, write and policy fsync) in milliseconds")
+		m.Help("cwc_wal_fsync_ms", "WAL fsync latency in milliseconds")
+		m.Help("cwc_wal_appended_bytes_total", "bytes appended to the WAL, framing included")
+		m.Help("cwc_wal_append_errors_total", "failed WAL appends (clawed back or wedged)")
+		l.appendHist = m.Histogram("cwc_wal_append_ms")
+		l.fsyncHist = m.Histogram("cwc_wal_fsync_ms")
+		l.appendBytes = m.Counter("cwc_wal_appended_bytes_total")
+		l.appendErrs = m.Counter("cwc_wal_append_errors_total")
+	}
 	if snapSeq > 0 {
 		b, err := os.ReadFile(filepath.Join(dir, snapshotName(snapSeq)))
 		if err != nil {
@@ -366,9 +388,18 @@ func (l *Log) CompactDue() bool {
 // good boundary, so an errored append never leaves its record in the
 // log and the log stays replayable; if even the claw-back fails the log
 // wedges and every later call reports the wedge.
-func (l *Log) Append(typ uint8, payload []byte) error {
+func (l *Log) Append(typ uint8, payload []byte) (err error) {
 	if len(payload) > MaxRecordBytes-1 {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	if l.appendHist != nil {
+		start := time.Now()
+		defer func() {
+			l.appendHist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+			if err != nil {
+				l.appendErrs.Inc()
+			}
+		}()
 	}
 	frame := make([]byte, headerSize+1+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(1+len(payload)))
@@ -398,6 +429,9 @@ func (l *Log) Append(typ uint8, payload []byte) error {
 	l.size += int64(len(frame))
 	l.total += int64(len(frame))
 	l.dirty = true
+	if l.appendBytes != nil {
+		l.appendBytes.Add(int64(len(frame)))
+	}
 	if l.opts.Sync == SyncAlways {
 		if serr := l.syncLocked(); serr != nil {
 			// The caller treats a failed append as not-persisted (Submit
@@ -431,11 +465,15 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	var err error
 	if s, ok := l.w.(interface{ Sync() error }); ok {
 		err = s.Sync()
 	} else {
 		err = l.f.Sync()
+	}
+	if l.fsyncHist != nil {
+		l.fsyncHist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}
 	if err != nil {
 		return fmt.Errorf("wal: sync: %w", err)

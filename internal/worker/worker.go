@@ -150,7 +150,46 @@ type Phone struct {
 	regOnce    sync.Once
 
 	throttle *throttleRunner // nil unless cfg.Charging is set
+
+	// Cumulative self-metering, snapshotted onto outgoing pong/result
+	// frames so the master aggregates fleet-wide metrics without extra
+	// connections (guarded by mu).
+	statExecMs      float64
+	statTransferKB  float64
+	statReconnects  int
+	statCkptFrames  int
+	statCkptKB      float64
+	statAssignments int
 }
+
+// addTransfer meters received assignment input bytes.
+func (p *Phone) addTransfer(n int) {
+	p.mu.Lock()
+	p.statTransferKB += float64(n) / 1024
+	p.mu.Unlock()
+}
+
+// statsSnapshot builds the piggyback stats frame field.
+func (p *Phone) statsSnapshot() *protocol.WorkerStats {
+	p.mu.Lock()
+	s := &protocol.WorkerStats{
+		ExecMs:      p.statExecMs,
+		TransferKB:  p.statTransferKB,
+		Reconnects:  p.statReconnects,
+		CkptFrames:  p.statCkptFrames,
+		CkptKB:      p.statCkptKB,
+		Assignments: p.statAssignments,
+	}
+	p.mu.Unlock()
+	if p.throttle != nil {
+		s.ThrottlePauses = p.throttle.Pauses()
+	}
+	return s
+}
+
+// Stats returns the worker's cumulative self-metering (what the last
+// piggybacked frame would carry).
+func (p *Phone) Stats() protocol.WorkerStats { return *p.statsSnapshot() }
 
 // New creates a worker; call Run to connect and serve.
 func New(cfg Config) (*Phone, error) {
@@ -339,6 +378,9 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 	enqueue := func(m *protocol.Message) {
 		select {
 		case assignQ <- m:
+			p.mu.Lock()
+			p.statAssignments++
+			p.mu.Unlock()
 		default:
 			// Queue overflow: a runaway server; refuse the work rather
 			// than buffer unboundedly.
@@ -371,6 +413,9 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			// Acks are per-connection; frames in flight on the old one
 			// are gone either way.
 			p.ckptUnacked = 0
+			if rejoin {
+				p.statReconnects++
+			}
 			p.mu.Unlock()
 			registered = true
 			p.regOnce.Do(func() { close(p.registered) })
@@ -378,7 +423,12 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			// them with their dispatch attempts.
 			p.flushUnsent(conn)
 		case protocol.TypePing:
-			if err := conn.Send(&protocol.Message{Type: protocol.TypePong, Seq: m.Seq}); err != nil {
+			// Pongs piggyback the worker's cumulative self-metering so the
+			// master's metrics stay fresh even between reports.
+			pong := &protocol.Message{
+				Type: protocol.TypePong, Seq: m.Seq, Stats: p.statsSnapshot(),
+			}
+			if err := conn.Send(pong); err != nil {
 				return registered, err
 			}
 		case protocol.TypeProbe:
@@ -386,6 +436,7 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 				return registered, err
 			}
 		case protocol.TypeAssign:
+			p.addTransfer(len(m.Input))
 			if m.TotalLen > int64(len(m.Input)) {
 				// First frame of a chunked transfer.
 				buf := make([]byte, 0, m.TotalLen)
@@ -395,6 +446,7 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			}
 			enqueue(m)
 		case protocol.TypeAssignChunk:
+			p.addTransfer(len(m.Input))
 			key := partKey{m.JobID, m.Partition}
 			pend, ok := assembling[key]
 			if !ok {
@@ -485,6 +537,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			JobID:      m.JobID,
 			Partition:  m.Partition,
 			Attempt:    m.Attempt,
+			Span:       m.Span,
 			Checkpoint: ck,
 			Error:      msg,
 		})
@@ -524,6 +577,9 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	start := time.Now()
 	result, err := task.Process(execCtx, m.Input, ck)
 	elapsed := time.Since(start)
+	p.mu.Lock()
+	p.statExecMs += float64(elapsed) / float64(time.Millisecond)
+	p.mu.Unlock()
 	switch {
 	case err == nil:
 		p.report(&protocol.Message{
@@ -531,9 +587,11 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			JobID:       m.JobID,
 			Partition:   m.Partition,
 			Attempt:     m.Attempt,
+			Span:        m.Span,
 			Result:      result,
 			ExecMs:      float64(elapsed) / float64(time.Millisecond),
 			ProcessedKB: float64(len(m.Input)) / 1024,
+			Stats:       p.statsSnapshot(),
 		})
 		p.maybeLeave()
 	case errors.Is(err, tasks.ErrInterrupted):
@@ -592,16 +650,20 @@ func (p *Phone) checkpointSink(m *protocol.Message) *tasks.CheckpointSink {
 				JobID:      m.JobID,
 				Partition:  m.Partition,
 				Attempt:    m.Attempt,
+				Span:       m.Span,
 				Seq:        seq,
 				Checkpoint: ck,
 			})
+			p.mu.Lock()
 			if err != nil {
-				p.mu.Lock()
 				if p.ckptUnacked > 0 {
 					p.ckptUnacked--
 				}
-				p.mu.Unlock()
+			} else {
+				p.statCkptFrames++
+				p.statCkptKB += float64(len(ck.State)+8) / 1024
 			}
+			p.mu.Unlock()
 		},
 	}
 }
