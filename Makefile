@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos wal-crash ckpt-chaos check bench bench-json fmt
+.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos check bench bench-json fmt
 
 all: check
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis: guarded fields, exhaustive frame
+# and WAL-record dispatch, leveled-logging discipline, goroutine
+# shutdown evidence. See docs/static-analysis.md.
+lint:
+	$(GO) run ./cmd/cwc-vet ./...
 
 # Fast suite (skips the chaos soak via -short).
 test:
@@ -38,7 +44,7 @@ ckpt-chaos:
 	$(GO) test ./internal/server/ -run 'TestOfflineFailureEndToEnd' -race -count=1 -v
 
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet build race chaos wal-crash ckpt-chaos
+check: vet lint build race chaos wal-crash ckpt-chaos
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

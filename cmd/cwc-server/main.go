@@ -293,6 +293,7 @@ func main() {
 			if len(preview) > 40 {
 				preview = preview[:40] + "..."
 			}
+			//lint:ignore obslog job results are the command's stdout payload, not operational logging
 			fmt.Printf("%s (job %d): %s\n", label, id, preview)
 		}
 	}

@@ -1,0 +1,164 @@
+// Command cwc-vet runs the project-invariant static-analysis suite over
+// the module: five analyzers (locks, frames, walrec, obslog, leaks)
+// that machine-check the concurrency, protocol, WAL, logging, and
+// goroutine-lifetime disciplines the codebase relies on. See
+// docs/static-analysis.md for the catalogue and the suppression syntax.
+//
+// Usage:
+//
+//	cwc-vet [flags] [./...]
+//
+// Exit status is 0 when clean, 1 when there are findings, 2 on a load
+// or usage error. The loader always analyzes the whole module (the
+// invariants are cross-package), so the only accepted package pattern
+// is "./...".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cwc/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated analyzers to skip")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cwc-vet [flags] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-8s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "cwc-vet: unsupported package pattern %q (the suite always analyzes the whole module; use ./...)\n", arg)
+			return 2
+		}
+	}
+
+	analyzers, err := selectAnalyzers(all, *enable, *disable)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
+		return 2
+	}
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
+		return 2
+	}
+	diags := prog.Run(lint.DefaultConfig(), analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cwc-vet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the suite.
+func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (run -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

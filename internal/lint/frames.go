@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FramesAnalyzer proves the wire protocol stays total as frame types are
+// added:
+//
+//  1. Every frame-type constant (protocol.Type) must be referenced in
+//     every endpoint package (server and worker). A frame only one side
+//     knows about is a frame the other side silently drops — exactly the
+//     hole that turns an "unplug" into undetectable lost work.
+//  2. Every switch over the frame type in an endpoint package must
+//     either carry a default case (explicit forward-compatibility
+//     policy) or cover every constant. Adding a frame without extending
+//     a dispatch switch is a build-breaking diagnostic, not a silent
+//     fallthrough.
+//  3. Every composite literal of the frame struct (protocol.Message)
+//     must set the Type field explicitly; an untyped frame is rejected
+//     by the peer as corrupt.
+var FramesAnalyzer = &Analyzer{
+	Name: "frames",
+	Doc:  "every protocol frame type is dispatched at both endpoints and every frame literal sets Type",
+	Run:  runFrames,
+}
+
+func runFrames(cfg *Config, prog *Program) []Diagnostic {
+	proto := prog.Lookup(cfg.ProtocolPkg)
+	if proto == nil {
+		return nil // nothing to check in this tree (fixtures)
+	}
+	var diags []Diagnostic
+
+	// Collect the frame-type constants declared in the protocol package.
+	consts := map[*types.Const]ast.Node{} // const -> declaration site
+	var names []string
+	byName := map[string]*types.Const{}
+	scope := proto.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isNamedType(c.Type(), cfg.ProtocolPkg, cfg.FrameTypeName) {
+			continue
+		}
+		consts[c] = declSite(proto, name)
+		names = append(names, name)
+		byName[name] = c
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+
+	// 1. Every constant referenced in every endpoint package.
+	for _, epPath := range cfg.EndpointPkgs {
+		ep := prog.Lookup(epPath)
+		if ep == nil {
+			continue
+		}
+		used := map[*types.Const]bool{}
+		for _, id := range usesOf(ep) {
+			if c, ok := ep.Info.Uses[id].(*types.Const); ok {
+				if _, tracked := consts[c]; tracked {
+					used[c] = true
+				}
+			}
+		}
+		for _, name := range names {
+			c := byName[name]
+			if !used[c] {
+				diags = append(diags, prog.diag("frames", consts[c],
+					"frame type %s.%s is never referenced in %s: add a dispatch case or sender",
+					proto.Types.Name(), name, epPath))
+			}
+		}
+	}
+
+	// 2. Frame-type switches are exhaustive or carry a default.
+	for _, epPath := range cfg.EndpointPkgs {
+		ep := prog.Lookup(epPath)
+		if ep == nil {
+			continue
+		}
+		for _, f := range ep.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				t, ok := ep.Info.Types[sw.Tag]
+				if !ok || !isNamedType(t.Type, cfg.ProtocolPkg, cfg.FrameTypeName) {
+					return true
+				}
+				covered := map[*types.Const]bool{}
+				hasDefault := false
+				for _, c := range sw.Body.List {
+					cc := c.(*ast.CaseClause)
+					if cc.List == nil {
+						hasDefault = true
+					}
+					for _, e := range cc.List {
+						if tv, ok := ep.Info.Types[e]; ok && tv.Value != nil {
+							for c2 := range consts {
+								if c2.Val() != nil && tv.Value.String() == c2.Val().String() {
+									covered[c2] = true
+								}
+							}
+						}
+					}
+				}
+				if hasDefault {
+					return true
+				}
+				var missing []string
+				for _, name := range names {
+					if !covered[byName[name]] {
+						missing = append(missing, name)
+					}
+				}
+				if len(missing) > 0 {
+					diags = append(diags, prog.diag("frames", sw,
+						"switch over %s.%s has no default case and misses: %s",
+						proto.Types.Name(), cfg.FrameTypeName, strings.Join(missing, ", ")))
+				}
+				return true
+			})
+		}
+	}
+
+	// 3. Every frame literal sets the Type field.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t, ok := pkg.Info.Types[lit]
+				if !ok || !isNamedType(t.Type, cfg.ProtocolPkg, cfg.MessageTypeName) {
+					return true
+				}
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Type" {
+							return true
+						}
+					}
+				}
+				diags = append(diags, prog.diag("frames", lit,
+					"%s literal does not set Type: the peer rejects untyped frames as corrupt",
+					cfg.MessageTypeName))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// declSite finds the AST node declaring a package-scope name; used for
+// positioning diagnostics at the constant's declaration.
+func declSite(pkg *Package, name string) ast.Node {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if id.Name == name {
+						return id
+					}
+				}
+			}
+		}
+	}
+	return pkg.Files[0]
+}
+
+// usesOf lists every identifier in a package (for Uses lookups).
+func usesOf(pkg *Package) []*ast.Ident {
+	var ids []*ast.Ident
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+			return true
+		})
+	}
+	return ids
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeaksAnalyzer proves every goroutine the master and worker spawn can
+// be shut down: a `go` statement must either be tracked by a
+// sync.WaitGroup (so Close/Run can wait for it) or be ctx/done-aware
+// (select, channel receive, or a range over a channel, so closing the
+// channel or canceling the context terminates it). An untracked,
+// unaware goroutine is exactly the kind that outlives Close and turns
+// the keepalive-detected failure model into a goroutine leak — the
+// PR-4 obs-neutrality tests assert no goroutine growth, and this keeps
+// that property as code is added.
+//
+// The evidence is searched in the goroutine's own body (for `go func`
+// literals) or the body of the named same-package function being
+// spawned; nested function literals do not count as evidence for their
+// parent.
+var LeaksAnalyzer = &Analyzer{
+	Name: "leaks",
+	Doc:  "every spawned goroutine is WaitGroup-tracked or ctx/done-aware",
+	Run:  runLeaks,
+}
+
+func runLeaks(cfg *Config, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !matchAnyPkg(cfg.LeakPkgs, pkg.Path) {
+			continue
+		}
+		decls := packageFuncBodies(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var body *ast.BlockStmt
+				switch fun := gs.Call.Fun.(type) {
+				case *ast.FuncLit:
+					body = fun.Body
+				case *ast.Ident, *ast.SelectorExpr:
+					var id *ast.Ident
+					if sel, ok := fun.(*ast.SelectorExpr); ok {
+						id = sel.Sel
+					} else {
+						id = fun.(*ast.Ident)
+					}
+					if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+						body = decls[fn]
+					}
+				}
+				if body == nil {
+					diags = append(diags, prog.diag("leaks", gs,
+						"goroutine spawns a function this analyzer cannot see into: track it with a sync.WaitGroup or make it ctx/done-aware"))
+					return true
+				}
+				if !goroutineTerminates(pkg, body) {
+					diags = append(diags, prog.diag("leaks", gs,
+						"goroutine is neither WaitGroup-tracked (defer wg.Done()) nor ctx/done-aware (select, channel receive, or range over a channel): it can outlive Close"))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// packageFuncBodies maps declared functions to their bodies so `go
+// m.acceptLoop()` can be checked through the method's own body.
+func packageFuncBodies(pkg *Package) map[*types.Func]*ast.BlockStmt {
+	out := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+// goroutineTerminates looks for shutdown evidence in a goroutine body:
+// a deferred WaitGroup.Done, a select statement, a channel receive, or
+// a range over a channel. Nested function literals are skipped — their
+// awareness is not the parent's.
+func goroutineTerminates(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.DeferStmt:
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if t, ok := pkg.Info.Types[sel.X]; ok &&
+					isNamedType(t.Type, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the flag / suppression key, e.g. "locks".
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports findings over the whole program.
+	Run func(cfg *Config, prog *Program) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LocksAnalyzer,
+		FramesAnalyzer,
+		WALRecAnalyzer,
+		ObsLogAnalyzer,
+		LeaksAnalyzer,
+	}
+}
+
+// Config names the project-specific packages and symbols the analyzers
+// check. DefaultConfig matches this repository; fixture tests point the
+// fields at miniature packages under testdata.
+type Config struct {
+	// ProtocolPkg declares the frame-type constants (frames analyzer).
+	ProtocolPkg string
+	// FrameTypeName is the frame discriminator type in ProtocolPkg.
+	FrameTypeName string
+	// MessageTypeName is the frame struct in ProtocolPkg; composite
+	// literals of it must set the Type field explicitly.
+	MessageTypeName string
+	// EndpointPkgs are the dispatch endpoints (master and worker): every
+	// frame constant must be referenced in each, and every switch over
+	// the frame type there must be exhaustive or carry a default case.
+	EndpointPkgs []string
+
+	// WALPkg holds the WAL record-type constants (walrec analyzer).
+	WALPkg string
+	// WALRecPrefix selects the record-type constants by name.
+	WALRecPrefix string
+	// WALAppendFuncs are the write-path functions every record type must
+	// be passed to (in addition to appearing as a replay-switch case).
+	WALAppendFuncs []string
+
+	// ObsPkg is the observability package: exempt from the logging bans
+	// and home of the leveled Logger type (obslog analyzer).
+	ObsPkg string
+	// LoggerTypeName is the leveled logger type in ObsPkg.
+	LoggerTypeName string
+	// BannedLoggerMethods are unleveled compatibility methods on the
+	// logger that daemon code must not call (use Infof/Warnf/Errorf).
+	BannedLoggerMethods []string
+	// DaemonPkgs are the packages the logging bans apply to. Patterns
+	// ending in "/..." match the prefix.
+	DaemonPkgs []string
+	// PurePkgs must stay deterministic: no time.Now/Since/Sleep, no
+	// math/rand (obslog analyzer).
+	PurePkgs []string
+
+	// LeakPkgs are the packages whose goroutines must be WaitGroup-
+	// tracked or ctx/done-aware (leaks analyzer).
+	LeakPkgs []string
+}
+
+// DefaultConfig returns the configuration for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		ProtocolPkg:     "cwc/internal/protocol",
+		FrameTypeName:   "Type",
+		MessageTypeName: "Message",
+		EndpointPkgs:    []string{"cwc/internal/server", "cwc/internal/worker"},
+
+		WALPkg:         "cwc/internal/server",
+		WALRecPrefix:   "walRec",
+		WALAppendFuncs: []string{"walAppend", "walAppendErr"},
+
+		ObsPkg:              "cwc/internal/obs",
+		LoggerTypeName:      "Logger",
+		BannedLoggerMethods: []string{"Printf"},
+		DaemonPkgs:          []string{"cwc/internal/...", "cwc/cmd/cwc-server", "cwc/cmd/cwc-worker"},
+		PurePkgs:            []string{"cwc/internal/core", "cwc/internal/lp", "cwc/internal/predict"},
+
+		LeakPkgs: []string{"cwc/internal/server", "cwc/internal/worker"},
+	}
+}
+
+// matchPkg reports whether an import path matches a pattern; a pattern
+// ending in "/..." matches the prefix and everything below it.
+func matchPkg(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return pattern == path
+}
+
+func matchAnyPkg(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if matchPkg(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the given analyzers over the program, drops findings
+// suppressed by //lint:ignore directives, and returns the rest sorted by
+// position. Malformed directives are reported as driver diagnostics.
+func (p *Program) Run(cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	sup, diags := p.collectIgnores(analyzers)
+	for _, a := range analyzers {
+		for _, d := range a.Run(cfg, p) {
+			if sup.suppressed(a.Name, d.Position) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ignoreRe matches "lint:ignore analyzer[,analyzer...] reason". The
+// reason is mandatory: a suppression with no justification is itself a
+// finding.
+var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(\s+(.*))?$`)
+
+// suppressions maps file name -> line -> analyzer names suppressed on
+// that line. A directive covers its own line and the line below it, so
+// it works both as a trailing comment and on the line above the
+// offending statement.
+type suppressions map[string]map[int][]string
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment for lint:ignore directives and
+// reports malformed ones (missing reason, unknown analyzer).
+func (p *Program) collectIgnores(analyzers []*Analyzer) (suppressions, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	sup := suppressions{}
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					m := ignoreRe.FindStringSubmatch(text)
+					if m == nil || strings.TrimSpace(m[3]) == "" {
+						diags = append(diags, Diagnostic{
+							Analyzer: "driver",
+							Position: pos,
+							Message:  "malformed lint:ignore: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+						})
+						continue
+					}
+					names := strings.Split(m[1], ",")
+					for _, name := range names {
+						if !known[name] {
+							diags = append(diags, Diagnostic{
+								Analyzer: "driver",
+								Position: pos,
+								Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q", name),
+							})
+						}
+					}
+					if sup[pos.Filename] == nil {
+						sup[pos.Filename] = map[int][]string{}
+					}
+					sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], names...)
+				}
+			}
+		}
+	}
+	return sup, diags
+}
+
+// diag builds a Diagnostic at a node's position.
+func (p *Program) diag(analyzer string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Position: p.Fset.Position(node.Pos()),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// exprString renders an expression as a stable key for matching lock
+// bases ("m", "ps", "m.cfg"). Unmatchable shapes render uniquely enough
+// to never alias.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// namedOrPtr unwraps pointers and returns the named type, or nil.
+func namedOrPtr(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamedType reports whether t (possibly behind pointers) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOrPtr(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

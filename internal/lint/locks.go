@@ -1,0 +1,486 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LocksAnalyzer enforces the "guarded by" annotation convention: a
+// struct field whose doc or trailing comment says "guarded by <mu>"
+// (where <mu> is a sibling sync.Mutex or sync.RWMutex field) may only be
+// accessed while that mutex is held.
+//
+// The check is a per-function flow walk, not a whole-program proof:
+//
+//   - base.mu.Lock() / RLock() marks base's mutex held from that
+//     statement on; base.mu.Unlock() / RUnlock() releases it; a deferred
+//     unlock keeps it held to the end of the function.
+//   - An if/for/select branch that terminates (return, panic, goto,
+//     os.Exit) does not leak its lock-state changes into the fall-through
+//     path, so the idiomatic "if bad { mu.Unlock(); return }" stays clean.
+//   - Functions named *Locked, or documented "caller holds <mu>" /
+//     "callers hold <mu>", are assumed to run with the receiver's
+//     mutexes held.
+//   - A local built from a composite literal in the same function is a
+//     fresh, unshared object; accesses through it are exempt.
+//   - go-routine literals start with no locks held (they run later);
+//     other function literals inherit the lock state at their definition.
+//
+// Everything else touching a guarded field is a diagnostic.
+var LocksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  `fields annotated "guarded by mu" are only accessed under that mutex`,
+	Run:  runLocks,
+}
+
+// guardedRe extracts the mutex name from a field comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// callerHoldsRe recognizes assumed-locked function docs.
+var callerHoldsRe = regexp.MustCompile(`(?i)callers? (?:must )?holds? ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardInfo is one annotated field.
+type guardInfo struct {
+	mu string // sibling mutex field name
+}
+
+func runLocks(cfg *Config, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		guarded, bad := collectGuarded(prog, pkg)
+		diags = append(diags, bad...)
+		if len(guarded) == 0 {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{
+					prog: prog, pkg: pkg, guarded: guarded,
+					fresh: freshLocals(pkg, fd.Body),
+				}
+				held := map[string]bool{}
+				if assumedLocked(fd) {
+					markReceiverMutexesHeld(pkg, fd, held)
+				}
+				w.walkStmts(fd.Body.List, held)
+				diags = append(diags, w.diags...)
+			}
+		}
+	}
+	return diags
+}
+
+// collectGuarded finds annotated fields in a package, validating that
+// the named mutex is a sibling field of a mutex type.
+func collectGuarded(prog *Program, pkg *Package) (map[*types.Var]guardInfo, []Diagnostic) {
+	guarded := map[*types.Var]guardInfo{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			mutexes := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if t, ok := pkg.Info.Types[fld.Type]; ok && isMutexType(t.Type) {
+					for _, name := range fld.Names {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				text := fieldComment(fld)
+				m := guardedRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				mu := m[1]
+				if !mutexes[mu] {
+					diags = append(diags, prog.diag("locks", fld,
+						`"guarded by %s" names no sibling sync.Mutex/RWMutex field`, mu))
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[obj] = guardInfo{mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded, diags
+}
+
+func fieldComment(fld *ast.Field) string {
+	var b strings.Builder
+	if fld.Doc != nil {
+		b.WriteString(fld.Doc.Text())
+	}
+	if fld.Comment != nil {
+		b.WriteString(" ")
+		b.WriteString(fld.Comment.Text())
+	}
+	return b.String()
+}
+
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// assumedLocked reports whether a function declares itself as running
+// under the caller's lock.
+func assumedLocked(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	return fd.Doc != nil && callerHoldsRe.MatchString(fd.Doc.Text())
+}
+
+// markReceiverMutexesHeld marks every mutex field of the receiver type
+// as held ("recv.mu"), plus any explicit "caller holds x.y" names.
+func markReceiverMutexesHeld(pkg *Package, fd *ast.FuncDecl, held map[string]bool) {
+	if fd.Doc != nil {
+		for _, m := range callerHoldsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			held[strings.TrimSuffix(m[1], ".")] = true
+		}
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	t, ok := pkg.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return
+	}
+	n := namedOrPtr(t.Type)
+	if n == nil {
+		return
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			held[recv+"."+st.Field(i).Name()] = true
+		}
+	}
+}
+
+// freshLocals finds local variables assigned from composite literals in
+// this function: freshly built, unshared objects whose fields may be
+// initialized without the lock.
+func freshLocals(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// lockWalker checks guarded-field accesses in one function against a
+// statement-ordered lock-state walk.
+type lockWalker struct {
+	prog    *Program
+	pkg     *Package
+	guarded map[*types.Var]guardInfo
+	fresh   map[types.Object]bool
+	diags   []Diagnostic
+}
+
+// walkStmts processes a statement list, threading the held set through.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+// copyHeld clones the lock state for a branch.
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// terminates reports whether a statement list definitely does not fall
+// through (return / panic / goto / os.Exit and friends as last stmt).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			name := exprString(call.Fun)
+			return name == "panic" || strings.HasSuffix(name, ".Exit") || strings.HasSuffix(name, ".Fatal") ||
+				strings.HasSuffix(name, ".Fatalf")
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.ExprStmt:
+		if w.lockEffect(s.X, held, false) {
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if w.lockEffect(s.Call, held, true) {
+			return
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs later: its body starts with nothing held.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]bool{})
+			for _, arg := range s.Call.Args {
+				w.checkExpr(arg, held)
+			}
+			return
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.checkExpr(s.Cond, held)
+		thenHeld := copyHeld(held)
+		w.walkStmts(s.Body.List, thenHeld)
+		elseHeld := copyHeld(held)
+		if s.Else != nil {
+			w.walkStmt(s.Else, elseHeld)
+		}
+		// Merge: a terminating branch does not constrain the fall-through
+		// state; otherwise stay optimistic (either branch may have
+		// locked) — false positives hurt more than false negatives here.
+		thenFalls := !terminates(s.Body.List)
+		elseFalls := true
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				elseFalls = !terminates(blk.List)
+			}
+		}
+		for k := range held {
+			delete(held, k)
+		}
+		if thenFalls {
+			for k, v := range thenHeld {
+				if v {
+					held[k] = true
+				}
+			}
+		}
+		if elseFalls {
+			for k, v := range elseHeld {
+				if v {
+					held[k] = true
+				}
+			}
+		}
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held)
+		w.checkExpr(s.Cond, held)
+		w.walkStmt(s.Post, held)
+		body := copyHeld(held)
+		w.walkStmts(s.Body.List, body)
+		for k, v := range body {
+			if v {
+				held[k] = true
+			}
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		body := copyHeld(held)
+		w.walkStmts(s.Body.List, body)
+		for k, v := range body {
+			if v {
+				held[k] = true
+			}
+		}
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.checkExpr(s.Tag, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.checkExpr(e, held)
+			}
+			w.walkStmts(cc.Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkStmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.walkStmts(cc.Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := copyHeld(held)
+			w.walkStmt(cc.Comm, branch)
+			w.walkStmts(cc.Body, branch)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Conservative default: scan any expressions reachable below.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkExpr(e, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lockEffect recognizes base.mu.Lock()/Unlock() calls (and RLock /
+// RUnlock) and updates held. Returns true when the expression was a
+// lock-state call. A deferred Unlock keeps the mutex held to function
+// end, so it is a no-op here.
+func (w *lockWalker) lockEffect(e ast.Expr, held map[string]bool, deferred bool) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	method := sel.Sel.Name
+	if method != "Lock" && method != "Unlock" && method != "RLock" && method != "RUnlock" {
+		return false
+	}
+	if t, ok := w.pkg.Info.Types[sel.X]; !ok || !isMutexType(t.Type) {
+		return false
+	}
+	key := exprString(sel.X)
+	switch method {
+	case "Lock", "RLock":
+		held[key] = true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			held[key] = false
+		}
+	}
+	return true
+}
+
+// checkExpr reports guarded-field accesses not covered by the held set.
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Plain literals inherit the current state (sort comparators,
+			// snapshot closures under the lock); their bodies are walked
+			// with a copy so their own Lock/Unlock stays local.
+			w.walkStmts(n.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			if w.lockEffect(n, held, false) {
+				return false
+			}
+		case *ast.SelectorExpr:
+			w.checkSelector(n, held)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkSelector(sel *ast.SelectorExpr, held map[string]bool) {
+	selection, ok := w.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fieldVar, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	info, ok := w.guarded[fieldVar]
+	if !ok {
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := w.pkg.Info.Uses[id]; obj != nil && w.fresh[obj] {
+			return // freshly built local, not shared yet
+		}
+	}
+	key := exprString(sel.X) + "." + info.mu
+	if held[key] {
+		return
+	}
+	w.diags = append(w.diags, w.prog.diag("locks", sel.Sel,
+		"%s.%s is guarded by %s but accessed without %s held",
+		exprString(sel.X), fieldVar.Name(), info.mu, key))
+}

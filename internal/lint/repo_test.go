@@ -1,0 +1,50 @@
+package lint_test
+
+// The meta-test: the repository itself must be clean under the full
+// suite with the default configuration. This is what keeps `make lint`
+// honest — removing a frame handler, a WAL replay case, or a mu.Lock()
+// in a guarded method turns this test (and CI) red.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cwc/internal/lint"
+)
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := lint.LoadModule(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(lint.DefaultConfig(), lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("run `go run ./cmd/cwc-vet ./...` for the same findings")
+	}
+}

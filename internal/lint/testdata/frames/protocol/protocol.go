@@ -1,0 +1,17 @@
+// Fixture protocol package for the frames analyzer.
+package protocol
+
+// Type discriminates frames.
+type Type string
+
+const (
+	TypeHello  Type = "hello"
+	TypeResult Type = "result"
+	TypeOrphan Type = "orphan" // want `frame type protocol\.TypeOrphan is never referenced in fix/worker`
+)
+
+// Message is the frame union.
+type Message struct {
+	Type Type
+	N    int
+}

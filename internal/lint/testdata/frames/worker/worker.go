@@ -1,0 +1,16 @@
+// Fixture worker endpoint: exhaustive-enough switch thanks to its
+// default case, but it never mentions TypeOrphan.
+package worker
+
+import "fix/protocol"
+
+func Handle(m protocol.Message) int {
+	switch m.Type {
+	case protocol.TypeHello:
+		return 1
+	case protocol.TypeResult:
+		return 2
+	default:
+		return 0
+	}
+}

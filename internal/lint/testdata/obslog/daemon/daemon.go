@@ -1,0 +1,19 @@
+// Fixture daemon package: stdlib logging, stdout prints, and the
+// unleveled obs shim are all banned; one print is suppressed.
+package daemon
+
+import (
+	"fmt"
+	"log"
+
+	"fix/obs"
+)
+
+func Run(lg *obs.Logger) {
+	log.Printf("boot")  // want `stdlib log\.Printf in daemon code`
+	fmt.Println("boot") // want `fmt\.Println in daemon code`
+	lg.Printf("boot")   // want `obs logger Printf is the unleveled compat shim`
+	lg.Infof("boot")
+	//lint:ignore obslog the banner is stdout payload, not logging
+	fmt.Println("banner")
+}

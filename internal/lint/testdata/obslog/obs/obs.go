@@ -1,0 +1,7 @@
+// Fixture obs package: the leveled logger with its banned compat shim.
+package obs
+
+type Logger struct{}
+
+func (l *Logger) Printf(format string, args ...any) {}
+func (l *Logger) Infof(format string, args ...any)  {}

@@ -1,0 +1,13 @@
+// Fixture pure package: wall clocks and unseeded randomness break
+// deterministic replay.
+package pure
+
+import (
+	"math/rand" // want `pure package fix/pure imports math/rand`
+	"time"
+)
+
+func Jitter() float64 {
+	_ = time.Now() // want `time\.Now in pure package fix/pure`
+	return rand.Float64()
+}

@@ -55,7 +55,7 @@ func ParseLevel(s string) (Level, error) {
 // one minimum level, however many field-scoped children.
 type logCore struct {
 	mu  sync.Mutex
-	w   io.Writer
+	w   io.Writer // guarded by mu
 	min atomic.Int32
 }
 

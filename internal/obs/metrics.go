@@ -173,8 +173,8 @@ type metric struct {
 // take a read lock, recording is atomic.
 type Registry struct {
 	mu     sync.RWMutex
-	series map[string]*metric
-	help   map[string]string // by family name
+	series map[string]*metric // guarded by mu
+	help   map[string]string  // guarded by mu; by family name
 }
 
 // NewRegistry returns an empty registry.

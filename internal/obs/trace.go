@@ -50,10 +50,10 @@ type SpanEvent struct {
 // thread a tracer through unconditionally.
 type Tracer struct {
 	mu    sync.Mutex
-	ring  []SpanEvent
-	next  int
-	total int64
-	enc   *json.Encoder
+	ring  []SpanEvent   // guarded by mu
+	next  int           // guarded by mu
+	total int64         // guarded by mu
+	enc   *json.Encoder // guarded by mu
 }
 
 // NewTracer returns a tracer whose ring keeps the last ringSize events

@@ -124,7 +124,7 @@ func (m *Master) MeasureBandwidths(ctx context.Context) error {
 				m.mu.Lock()
 				ps.info.BMsPerKB = b
 				m.mu.Unlock()
-				m.cfg.Logger.Printf("phone %d bandwidth: %.3f ms/KB", ps.info.ID, b)
+				m.cfg.Logger.With("phone", ps.info.ID).Infof("bandwidth: %.3f ms/KB", b)
 			case <-ps.dead:
 			case <-ctx.Done():
 			}
@@ -215,8 +215,8 @@ func (m *Master) profileOne(ctx context.Context, est *predict.Estimator, it *wor
 		select {
 		case resp := <-slowest.respCh:
 			if resp.Type != protocol.TypeResult {
-				m.cfg.Logger.Printf("profiling %s on phone %d failed (%s); retrying elsewhere",
-					name, slowest.info.ID, resp.Error)
+				m.cfg.Logger.With("phone", slowest.info.ID, "task", name).
+					Warnf("profiling failed (%s); retrying elsewhere", resp.Error)
 				continue
 			}
 			kb := float64(len(sample)) / 1024
@@ -227,10 +227,10 @@ func (m *Master) profileOne(ctx context.Context, est *predict.Estimator, it *wor
 			if err := est.SetProfile(name, ts); err != nil {
 				return err
 			}
-			m.cfg.Logger.Printf("profiled %s: %.3f ms/KB on phone %d", name, ts, slowest.info.ID)
+			m.cfg.Logger.With("phone", slowest.info.ID, "task", name).Infof("profiled: %.3f ms/KB", ts)
 			return nil
 		case <-slowest.dead:
-			m.cfg.Logger.Printf("profiling phone %d died; retrying elsewhere", slowest.info.ID)
+			m.cfg.Logger.With("phone", slowest.info.ID).Warnf("profiling phone died; retrying elsewhere")
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -406,9 +406,9 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 			// log). RunLoop retries at the next scheduling instant.
 			m.pending = append(items, m.pending...)
 			m.mu.Unlock()
-			m.cfg.Logger.Printf("wal: round record lost (%v); aborting round", err)
+			m.cfg.Logger.With("rec", walRecRound).Errorf("wal: round record lost (%v); aborting round", err)
 			if cerr := m.CompactWAL(); cerr != nil {
-				m.cfg.Logger.Printf("wal: compaction after lost round record: %v", cerr)
+				m.cfg.Logger.Errorf("wal: compaction after lost round record: %v", cerr)
 			}
 			return nil, fmt.Errorf("server: persisting round record: %w", err)
 		}
@@ -481,7 +481,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		}
 		final, err := aggregate(js)
 		if err != nil {
-			m.cfg.Logger.Printf("job %d aggregation failed: %v", js.id, err)
+			m.cfg.Logger.With("job", js.id).Errorf("aggregation failed: %v", err)
 			continue
 		}
 		js.final = final
@@ -502,7 +502,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	m.mu.Unlock()
 	if wl := m.cfg.WAL; wl != nil && wl.CompactDue() {
 		if err := m.CompactWAL(); err != nil {
-			m.cfg.Logger.Printf("wal: compaction failed: %v", err)
+			m.cfg.Logger.Errorf("wal: compaction failed: %v", err)
 		}
 	}
 	return report, nil
@@ -709,16 +709,19 @@ func (m *Master) detachAttempt(id int64) {
 // DeadlineFloor (early estimates are unreliable).
 func (m *Master) assignmentDeadline(a assignment, ps *phoneState) time.Duration {
 	d := m.cfg.DeadlineFloor
-	if m.est == nil {
+	// Snapshot the estimator pointer and the bandwidth together: m.est is
+	// lazily created under m.mu and this path runs on dispatcher goroutines.
+	m.mu.Lock()
+	est := m.est
+	b := ps.info.BMsPerKB
+	m.mu.Unlock()
+	if est == nil {
 		return d
 	}
-	c, err := m.est.Estimate(a.item.task.Name(), ps.info.ID, ps.info.CPUMHz)
+	c, err := est.Estimate(a.item.task.Name(), ps.info.ID, ps.info.CPUMHz)
 	if err != nil {
 		return d
 	}
-	m.mu.Lock()
-	b := ps.info.BMsPerKB
-	m.mu.Unlock()
 	l := float64(len(a.input)) / 1024
 	ms := a.item.task.ExecKB()*b + l*(b+c)
 	if byModel := time.Duration(ms * m.cfg.DeadlineFactor * float64(time.Millisecond)); byModel > d {
@@ -761,7 +764,11 @@ func (m *Master) speculate(a assignment) bool {
 // executing its last assigned task"), handling results, failures,
 // deadlines, and stragglers.
 func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignment, start time.Time, addEvent func(Event)) {
+	// m.est is lazily created under m.mu; dispatch runs on per-phone
+	// goroutines, so take the lock for the pointer snapshot.
+	m.mu.Lock()
 	est := m.est
+	m.mu.Unlock()
 	for qi, a := range queue {
 		addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID, JobID: a.item.jobID,
 			Partition: a.partition, Kind: "assign"})
@@ -811,13 +818,19 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 				case protocol.TypeFailure:
 					addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
 						JobID: a.item.jobID, Partition: a.partition, Kind: "failure"})
-					m.cfg.Logger.Printf("phone %d failed on job %d: %s",
-						ps.info.ID, a.item.jobID, resp.Error)
+					m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID).
+						Warnf("failure report: %s", resp.Error)
 					m.recordFailure(a, resp, ps.info.ID)
 					ps.markDead()
 					m.requeueFrom(queue[qi+1:], start, addEvent)
 					timer.Stop()
 					return
+				default:
+					// respCh only ever carries result/failure frames (the
+					// read loop routes everything else), so this is
+					// unreachable; the case makes the dispatch total.
+					m.cfg.Logger.With("phone", ps.info.ID, "type", string(resp.Type)).
+						Debugf("ignoring unexpected frame on response channel")
 				}
 				break wait
 			case <-timer.C:
@@ -827,8 +840,8 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 					// original one more deadline to deliver.
 					straggled = true
 					if m.speculate(a) {
-						m.cfg.Logger.Printf("phone %d straggling on job %d partition %d (deadline %v); speculating",
-							ps.info.ID, a.item.jobID, a.partition, deadline)
+						m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID, "partition", a.partition).
+							Warnf("straggling (deadline %v); speculating", deadline)
 						addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID,
 							JobID: a.item.jobID, Partition: a.partition, Kind: "straggler"})
 					}
@@ -839,8 +852,8 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 				// stays alive (it may just be slow); its eventual report is
 				// credited by the read loop if the key is still open.
 				m.cfg.Metrics.Counter("cwc_abandons_total").Inc()
-				m.cfg.Logger.Printf("phone %d abandoned for the round (job %d partition %d overdue)",
-					ps.info.ID, a.item.jobID, a.partition)
+				m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID, "partition", a.partition).
+					Warnf("abandoned for the round (overdue)")
 				m.detachAttempt(attempt)
 				m.requeueAbandoned(a, start, addEvent)
 				m.requeueFrom(queue[qi+1:], start, addEvent)
@@ -848,7 +861,7 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 			case <-ps.dead:
 				// Offline failure: no report; the whole in-flight partition
 				// and the rest of the queue go back to the pool.
-				m.cfg.Logger.Printf("phone %d died with job %d in flight", ps.info.ID, a.item.jobID)
+				m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID).Warnf("died with work in flight")
 				m.dropAttempt(attempt)
 				m.requeueFrom(queue[qi:], start, addEvent)
 				timer.Stop()
@@ -943,8 +956,8 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 	if a.key != 0 {
 		if m.completed[a.key] {
 			m.mu.Unlock()
-			m.cfg.Logger.Printf("duplicate result for job %d partition %d dropped (key %d already settled)",
-				a.item.jobID, a.partition, a.key)
+			m.cfg.Logger.With("job", a.item.jobID, "partition", a.partition, "key", a.key).
+				Infof("duplicate result dropped (key already settled)")
 			return
 		}
 		m.completed[a.key] = true
@@ -1028,7 +1041,7 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 				m.walAppend(walRecPartial, wrec)
 				return
 			}
-			m.cfg.Logger.Printf("job %d partial result unusable: %v", a.item.jobID, err)
+			m.cfg.Logger.With("job", a.item.jobID).Warnf("partial result unusable: %v", err)
 		}
 	}
 	// Whole-partition migration: resume exactly where it stopped.
@@ -1078,8 +1091,8 @@ func (m *Master) requeueLocked(it *workItem, reason string) bool {
 			JobID: it.jobID, Key: it.key, Seq: it.seq, Task: it.task.Name(),
 			Bytes: len(it.input), Retries: it.retries - 1, Reason: reason,
 		})
-		m.cfg.Logger.Printf("job %d item dead-lettered after %d retries: %s",
-			it.jobID, it.retries-1, reason)
+		m.cfg.Logger.With("job", it.jobID, "retries", it.retries-1).
+			Warnf("item dead-lettered: %s", reason)
 		delete(m.streamed, it.key)
 		m.cfg.Metrics.Counter("cwc_dead_letters_total").Inc()
 		m.cfg.Tracer.Record(obs.SpanEvent{
@@ -1242,7 +1255,7 @@ func (m *Master) RunLoop(ctx context.Context, period time.Duration, onRound func
 			// Graceful degradation: a failed round (profiling lost its
 			// phone, scheduling hit a transient inconsistency) must not
 			// kill the service; the pending queue still holds the work.
-			m.cfg.Logger.Printf("round failed: %v (retrying next period)", err)
+			m.cfg.Logger.Warnf("round failed: %v (retrying next period)", err)
 			select {
 			case <-ctx.Done():
 				return ctx.Err()

@@ -159,8 +159,8 @@ type phoneState struct {
 	dead    chan struct{}          // closed exactly once on death
 
 	mu          sync.Mutex
-	deadClosed  bool
-	missedPings int
+	deadClosed  bool // guarded by mu
+	missedPings int  // guarded by mu
 }
 
 func (ps *phoneState) markDead() {
@@ -269,44 +269,45 @@ type Master struct {
 	ln  net.Listener
 
 	mu          sync.Mutex
-	phones      map[int]*phoneState
-	nextPhoneID int
-	nextJobID   int
-	pending     []*workItem
-	jobs        map[int]*jobState
-	est         *predict.Estimator
-	phoneWait   chan struct{} // broadcast on registration
+	phones      map[int]*phoneState // guarded by mu
+	nextPhoneID int                 // guarded by mu
+	nextJobID   int                 // guarded by mu
+	pending     []*workItem         // guarded by mu
+	jobs        map[int]*jobState   // guarded by mu
+	est         *predict.Estimator  // guarded by mu
+	phoneWait   chan struct{}       // guarded by mu; broadcast on registration
 
-	handshaking map[*protocol.Conn]struct{} // accepted, hello not yet processed
+	// accepted, hello not yet processed
+	handshaking map[*protocol.Conn]struct{} // guarded by mu
 
-	nextKey     int64
-	nextAttempt int64
-	nextItemSeq int64
-	completed   map[int64]bool // keys whose result has been recorded
-	speculated  map[int64]bool // keys with a speculative copy issued
-	attempts    map[int64]*attemptRec
-	deadLetters []DeadLetter
-	offline     []OfflineFailure
+	nextKey     int64                 // guarded by mu
+	nextAttempt int64                 // guarded by mu
+	nextItemSeq int64                 // guarded by mu
+	completed   map[int64]bool        // guarded by mu; keys whose result has been recorded
+	speculated  map[int64]bool        // guarded by mu; keys with a speculative copy issued
+	attempts    map[int64]*attemptRec // guarded by mu
+	deadLetters []DeadLetter          // guarded by mu
+	offline     []OfflineFailure      // guarded by mu
 	// streamed holds the freshest mid-execution checkpoint streamed for
 	// each open byte-range key; any requeue of the key folds it into the
 	// item's resume state (see latestResumeLocked). Entries are dropped
 	// when the key settles.
-	streamed  map[int64]*tasks.Checkpoint
-	ckptFolds int // streamed checkpoints accepted (monotonic, for tests/ops)
+	streamed  map[int64]*tasks.Checkpoint // guarded by mu
+	ckptFolds int                         // guarded by mu; streamed checkpoints accepted (monotonic, for tests/ops)
 
 	// workerStats is each phone's latest piggybacked self-metering
 	// (cumulative since worker start; latest frame wins).
-	workerStats map[int]protocol.WorkerStats
+	workerStats map[int]protocol.WorkerStats // guarded by mu
 
-	closed  bool
+	closed  bool // guarded by mu
 	wg      sync.WaitGroup
 	stopped chan struct{}
 
 	// rounds counts completed scheduling rounds; lastSched is the most
 	// recent round's packing decision paired with what actually happened
 	// (served by /debug/sched).
-	rounds    int
-	lastSched *SchedSnapshot
+	rounds    int            // guarded by mu
+	lastSched *SchedSnapshot // guarded by mu
 
 	obsLn net.Listener // admin plane listener (nil when ObsAddr is unset)
 }
@@ -463,7 +464,7 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	if m.cfg.AuthToken != "" && !tokenMatch(hello.Token, m.cfg.AuthToken) {
-		m.cfg.Logger.Printf("rejecting phone from %s: bad enrolment token", conn.RemoteAddr())
+		m.cfg.Logger.With("addr", conn.RemoteAddr()).Warnf("rejecting phone: bad enrolment token")
 		conn.Close()
 		return
 	}
@@ -551,10 +552,10 @@ func (m *Master) readLoop(ps *phoneState) {
 			// via the dispatcher's dead-phone path), but recorded as its
 			// own structured event.
 			if errors.Is(err, protocol.ErrCorrupt) {
-				m.cfg.Logger.Printf("phone %d sent a corrupt frame: %v; offline failure", ps.info.ID, err)
+				m.cfg.Logger.With("phone", ps.info.ID).Warnf("corrupt frame: %v; offline failure", err)
 				m.recordOffline(ps.info.ID, "corrupt-frame", err.Error())
 			} else {
-				m.cfg.Logger.Printf("phone %d connection lost: %v", ps.info.ID, err)
+				m.cfg.Logger.With("phone", ps.info.ID).Warnf("connection lost: %v", err)
 				m.recordOffline(ps.info.ID, "conn-lost", err.Error())
 			}
 			ps.markDead()
@@ -593,10 +594,18 @@ func (m *Master) readLoop(ps *phoneState) {
 				return
 			}
 		case protocol.TypeBye:
-			m.cfg.Logger.Printf("phone %d unplugged while idle", ps.info.ID)
+			m.cfg.Logger.With("phone", ps.info.ID).Infof("unplugged while idle")
 			m.recordOffline(ps.info.ID, "bye", "orderly unplug")
 			ps.markDead()
 			return
+		default:
+			// A frame the master never expects from a worker (hello after
+			// registration, an echo of a server->worker type, a frame from
+			// a newer peer). Dropped for forward compatibility, but counted
+			// and logged so a chattering peer is visible in /metrics.
+			m.cfg.Metrics.Counter("cwc_frames_unexpected_total", "type", string(msg.Type)).Inc()
+			m.cfg.Logger.With("phone", ps.info.ID, "type", string(msg.Type)).
+				Debugf("ignoring unexpected frame")
 		}
 	}
 }
@@ -613,15 +622,18 @@ func (m *Master) resolveDetached(msg *protocol.Message) bool {
 		return false
 	}
 	delete(m.attempts, msg.Attempt)
+	// Snapshot the estimator while the lock is held: it is lazily
+	// created under m.mu and this path runs on read-loop goroutines.
+	est := m.est
 	m.mu.Unlock()
 	if !ok {
-		m.cfg.Logger.Printf("dropping report for unknown attempt %d", msg.Attempt)
+		m.cfg.Logger.With("attempt", msg.Attempt).Warnf("dropping report for unknown attempt")
 		return true
 	}
 	if msg.Type == protocol.TypeResult {
-		m.cfg.Logger.Printf("late result for job %d partition %d (attempt %d) credited",
-			rec.a.item.jobID, rec.a.partition, msg.Attempt)
-		m.recordResult(rec.a, msg, m.est, rec.ps)
+		m.cfg.Logger.With("job", rec.a.item.jobID, "partition", rec.a.partition,
+			"attempt", msg.Attempt).Infof("late result credited")
+		m.recordResult(rec.a, msg, est, rec.ps)
 	}
 	// A late failure needs no action: the speculative copy issued at the
 	// deadline already carries the work.

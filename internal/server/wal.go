@@ -358,7 +358,11 @@ func (m *Master) walAppend(typ uint8, v any) {
 		return
 	}
 	if err := m.walAppendErr(typ, v); err != nil {
-		m.cfg.Logger.Printf("wal: record type %d lost: %v", typ, err)
+		// A lost record is bounded data loss (the next compaction folds
+		// live state into a consistent snapshot), but it is exactly the
+		// event an operator tails structured logs for — error level, with
+		// the record type as a field.
+		m.cfg.Logger.With("rec", typ).Errorf("wal: record lost: %v", err)
 	}
 }
 
@@ -498,7 +502,7 @@ func (m *Master) installWALState(red *walReducer) error {
 			// aggregation sweep; finish the job now.
 			final, err := aggregate(js)
 			if err != nil {
-				m.cfg.Logger.Printf("wal: job %d aggregation after recovery failed: %v", id, err)
+				m.cfg.Logger.With("job", id).Errorf("wal: aggregation after recovery failed: %v", err)
 			} else {
 				js.final = final
 				js.done = true

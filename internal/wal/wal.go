@@ -251,6 +251,10 @@ func Open(dir string, opts Options) (*Log, error) {
 		opts.Interval = 100 * time.Millisecond
 	}
 	if opts.Logger == nil {
+		// Options.Logger is a *log.Logger on purpose: this package stays
+		// free of higher-layer dependencies, and obs.Logger.Std bridges
+		// leveled daemon logging into it.
+		//lint:ignore obslog default discard sink for the deliberately obs-free *log.Logger option
 		opts.Logger = log.New(io.Discard, "", 0)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {

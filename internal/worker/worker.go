@@ -135,16 +135,16 @@ type Phone struct {
 	cfg Config
 
 	mu             sync.Mutex
-	conn           *protocol.Conn
-	id             int
-	everRegistered bool               // a Welcome was received at least once
-	unplug         context.CancelFunc // cancels the in-flight task
-	leaving        bool               // Unplug called: report failure then close
-	vanished       bool               // Vanish called: die silently
-	unsent         []*protocol.Message
-	ckptKB         int // server-announced checkpoint-streaming policy
-	ckptMs         int
-	ckptUnacked    int // streamed checkpoints awaiting a checkpoint_ack
+	conn           *protocol.Conn      // guarded by mu
+	id             int                 // guarded by mu
+	everRegistered bool                // guarded by mu; a Welcome was received at least once
+	unplug         context.CancelFunc  // guarded by mu; cancels the in-flight task
+	leaving        bool                // guarded by mu; Unplug called: report failure then close
+	vanished       bool                // guarded by mu; Vanish called: die silently
+	unsent         []*protocol.Message // guarded by mu
+	ckptKB         int                 // guarded by mu; server-announced checkpoint-streaming policy
+	ckptMs         int                 // guarded by mu
+	ckptUnacked    int                 // guarded by mu; streamed checkpoints awaiting a checkpoint_ack
 
 	registered chan struct{} // closed once Welcome arrives
 	regOnce    sync.Once
@@ -153,13 +153,13 @@ type Phone struct {
 
 	// Cumulative self-metering, snapshotted onto outgoing pong/result
 	// frames so the master aggregates fleet-wide metrics without extra
-	// connections (guarded by mu).
-	statExecMs      float64
-	statTransferKB  float64
-	statReconnects  int
-	statCkptFrames  int
-	statCkptKB      float64
-	statAssignments int
+	// connections.
+	statExecMs      float64 // guarded by mu
+	statTransferKB  float64 // guarded by mu
+	statReconnects  int     // guarded by mu
+	statCkptFrames  int     // guarded by mu
+	statCkptKB      float64 // guarded by mu
+	statAssignments int     // guarded by mu
 }
 
 // addTransfer meters received assignment input bytes.
