@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos check bench bench-json fmt
+.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm check bench bench-json fmt
 
 all: check
 
@@ -43,8 +43,17 @@ ckpt-chaos:
 	$(GO) test ./internal/cluster/ -run 'TestCkptChaos' -race -count=1 -v
 	$(GO) test ./internal/server/ -run 'TestOfflineFailureEndToEnd' -race -count=1 -v
 
+# Churn storm: the morning unplug wave (half the fleet unplugging in a
+# narrow band with flapping replugs). Plug-aware placement must requeue
+# fewer attempts and re-ship fewer bytes than a prediction-disabled
+# baseline, with byte-identical aggregates.
+churn-storm:
+	$(GO) test ./internal/cluster/ -run 'TestChurnStorm' -race -count=1 -v
+	$(GO) test ./internal/faults/ -run 'TestParseScenarioWave|TestWaveSchedule' -race -count=1 -v
+	$(GO) test ./internal/server/ -run 'TestProactiveDrain|TestWALDrainLedger|TestRecordFailureDedupes' -race -count=1 -v
+
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet lint build race chaos wal-crash ckpt-chaos
+check: vet lint build race chaos wal-crash ckpt-chaos churn-storm
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

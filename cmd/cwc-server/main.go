@@ -51,6 +51,9 @@ func main() {
 		snapEvery = flag.Duration("snapshot-every", 0, "also write -state/-journal snapshots periodically, not just on exit (0: exit only)")
 		ckptKB    = flag.Int("ckpt-kb", 256, "checkpoint-streaming interval announced to workers, in KB of input processed (negative: disable streaming)")
 		ckptEvery = flag.Duration("ckpt-every", 0, "additional wall-time checkpoint-streaming trigger announced to workers (0: byte trigger only)")
+		plugAware = flag.Bool("plug-aware", false, "plug-aware predictive placement: learn per-phone charge windows, veto placements that would cross the predicted unplug, and proactively drain closing windows")
+		drainQ    = flag.Float64("drain-quantile", 0.25, "charge-window survival quantile for placement vetoes and drain timing (lower: more conservative)")
+		drainLead = flag.Duration("drain-lead", 30*time.Second, "how far ahead of the predicted unplug a proactive drain starts")
 		obsAddr   = flag.String("obs-addr", "", "admin-plane listen address for /metrics, /statusz, /debug/sched (empty: disabled)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		traceFile = flag.String("trace-file", "", "append task-lifecycle trace events to this JSONL file (empty: ring buffer only)")
@@ -86,6 +89,9 @@ func main() {
 		MaxItemRetries:     *retries,
 		CheckpointEveryKB:  *ckptKB,
 		CheckpointEvery:    *ckptEvery,
+		PlugAware:          *plugAware,
+		DrainQuantile:      *drainQ,
+		DrainLead:          *drainLead,
 		Logger:             logger,
 		Metrics:            metrics,
 		Tracer:             tracer,

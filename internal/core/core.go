@@ -41,6 +41,11 @@ type Phone struct {
 	ID       int     // caller-assigned identifier, unique within an instance
 	BMsPerKB float64 // b_i: measured per-KB transfer time from the server
 	RAMKB    float64 // partition size cap (footnote 4); 0 = unconstrained
+	// AvailMs caps this phone's total scheduled time (bin height) at its
+	// predicted remaining charge window, ms; 0 = unconstrained. The cap
+	// is advisory: callers whose instance becomes infeasible under the
+	// windows are expected to retry without them rather than starve.
+	AvailMs float64
 }
 
 // Instance is a complete scheduling problem.
@@ -77,6 +82,9 @@ func (inst *Instance) Validate() error {
 		}
 		if p.RAMKB < 0 {
 			return fmt.Errorf("core: phone %d has negative RAM", p.ID)
+		}
+		if p.AvailMs < 0 || math.IsNaN(p.AvailMs) {
+			return fmt.Errorf("core: phone %d has invalid availability window %v", p.ID, p.AvailMs)
 		}
 		if seenPhone[p.ID] {
 			return fmt.Errorf("core: duplicate phone ID %d", p.ID)
@@ -135,6 +143,11 @@ type Schedule struct {
 	PerPhone [][]Assignment
 	// Makespan is the predicted completion time of the last phone, ms.
 	Makespan float64
+	// Vetoed counts placement attempts the winning packing run rejected
+	// solely because of a phone's availability window (Phone.AvailMs) —
+	// placements the capacity alone would have accepted. Zero when no
+	// windows constrain the instance.
+	Vetoed int
 }
 
 // PartitionCounts returns, for each job index, how many partitions its

@@ -136,6 +136,7 @@ type packer struct {
 	height  []float64
 	shipped []map[int]bool
 	asgs    [][]Assignment
+	vetoed  int // placements rejected solely by an availability window
 }
 
 // packWithCapacity runs Algorithm 1. ok is false when the capacity does
@@ -185,7 +186,7 @@ func packWithCapacity(inst *Instance, cap float64, opt GreedyOptions) (*Schedule
 		p.pack(bin, 0)
 	}
 
-	sched := &Schedule{PerPhone: p.asgs}
+	sched := &Schedule{PerPhone: p.asgs, Vetoed: p.vetoed}
 	sched.Makespan = sched.Evaluate(inst)
 	return sched, true
 }
@@ -242,8 +243,20 @@ func (p *packer) minUnit(i int, it item) float64 {
 	return u
 }
 
+// binCap is bin i's effective capacity: the search capacity, tightened
+// to the phone's predicted availability window when one is set.
+func (p *packer) binCap(i int) float64 {
+	if a := p.inst.Phones[i].AvailMs; a > 0 && a < p.cap {
+		return a
+	}
+	return p.cap
+}
+
 // fits reports whether the item can contribute at least its minimum unit
 // to bin i without exceeding the capacity (and RAM, for atomic items).
+// A rejection the plain capacity would not have issued — the phone's
+// availability window alone turned the placement away — is counted as a
+// veto.
 func (p *packer) fits(i int, it item) bool {
 	job := p.inst.Jobs[it.job]
 	if job.Atomic {
@@ -253,7 +266,13 @@ func (p *packer) fits(i int, it item) bool {
 	}
 	unit := p.minUnit(i, it)
 	need := p.execCost(i, it.job) + unit*(p.inst.Phones[i].BMsPerKB+p.inst.C[i][it.job])
-	return p.height[i]+need <= p.cap*(1+capacityEps)
+	if p.height[i]+need <= p.binCap(i)*(1+capacityEps) {
+		return true
+	}
+	if p.height[i]+need <= p.cap*(1+capacityEps) {
+		p.vetoed++
+	}
+	return false
 }
 
 // bestOpenBin returns the minimum-height opened bin that fits the item,
@@ -272,11 +291,15 @@ func (p *packer) bestOpenBin(it item) int {
 }
 
 // bestNewBin returns the unopened phone minimizing Equation 1 for the
-// item's remaining input, or -1 when every bin is open.
+// item's remaining input, among phones that accept at least the item's
+// minimum unit, or -1 when none does. The fit filter keeps a phone
+// whose availability window is nearly closed from being opened and
+// immediately declaring the packing infeasible while roomier phones
+// stand unopened.
 func (p *packer) bestNewBin(it item) int {
 	best, bestCost := -1, math.Inf(1)
 	for i := range p.inst.Phones {
-		if p.opened[i] {
+		if p.opened[i] || !p.fits(i, it) {
 			continue
 		}
 		cost := p.inst.Cost(i, it.job, it.remaining, true)
@@ -298,7 +321,7 @@ func (p *packer) pack(i, idx int) {
 	phone := p.inst.Phones[i]
 	rate := phone.BMsPerKB + p.inst.C[i][jobIdx]
 	exec := p.execCost(i, jobIdx)
-	avail := p.cap*(1+capacityEps) - p.height[i] - exec
+	avail := p.binCap(i)*(1+capacityEps) - p.height[i] - exec
 
 	ramOK := phone.RAMKB == 0 || it.remaining <= phone.RAMKB
 	wholeFits := ramOK && it.remaining*rate <= avail

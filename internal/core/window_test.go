@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// twoPhoneInst builds a symmetric two-phone instance: identical phones,
+// one splittable job.
+func twoPhoneInst(inputKB float64) *Instance {
+	return &Instance{
+		Phones: []Phone{
+			{ID: 0, BMsPerKB: 1},
+			{ID: 1, BMsPerKB: 1},
+		},
+		Jobs: []Job{{ID: 0, Task: "t", InputKB: inputKB}},
+		C:    [][]float64{{1}, {1}},
+	}
+}
+
+func TestValidateRejectsNegativeAvail(t *testing.T) {
+	inst := twoPhoneInst(100)
+	inst.Phones[0].AvailMs = -1
+	if err := inst.Validate(); err == nil {
+		t.Fatal("negative AvailMs accepted")
+	}
+}
+
+// A phone whose availability window is about to close must not receive
+// the bulk of the work even though its cost row is identical.
+func TestGreedyRespectsAvailabilityWindow(t *testing.T) {
+	inst := twoPhoneInst(1000) // 1000 KB at 2 ms/KB = 2000 ms total work
+	inst.Phones[0].AvailMs = 100
+
+	sched, err := Greedy(inst)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if err := sched.Validate(inst); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	spans := sched.PhoneSpans(inst)
+	if spans[0] > 100*(1+1e-6) {
+		t.Errorf("phone 0 scheduled %v ms past its 100 ms window", spans[0])
+	}
+	if spans[1] < 1800 {
+		t.Errorf("phone 1 carries only %v ms; the window cap should shift work to it", spans[1])
+	}
+	if sched.Vetoed == 0 {
+		t.Error("Vetoed = 0; the window cap rejected placements and must be counted")
+	}
+}
+
+// Windows on every phone can make the instance infeasible even though
+// plain capacity packing would succeed; callers detect that and retry
+// without windows.
+func TestGreedyInfeasibleUnderWindows(t *testing.T) {
+	inst := twoPhoneInst(1000)
+	inst.Phones[0].AvailMs = 10
+	inst.Phones[1].AvailMs = 10
+	if _, err := Greedy(inst); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Greedy err = %v, want ErrInfeasible", err)
+	}
+
+	// Clearing the windows restores the baseline schedule.
+	inst.Phones[0].AvailMs = 0
+	inst.Phones[1].AvailMs = 0
+	sched, err := Greedy(inst)
+	if err != nil {
+		t.Fatalf("Greedy without windows: %v", err)
+	}
+	if sched.Vetoed != 0 {
+		t.Errorf("Vetoed = %d without windows, want 0", sched.Vetoed)
+	}
+}
+
+// An atomic job must skip a window-capped phone entirely rather than be
+// placed there and overrun the predicted unplug.
+func TestGreedyAtomicSkipsCappedPhone(t *testing.T) {
+	inst := &Instance{
+		Phones: []Phone{
+			{ID: 0, BMsPerKB: 1, AvailMs: 50}, // cheapest but closing
+			{ID: 1, BMsPerKB: 2},
+		},
+		Jobs: []Job{{ID: 0, Task: "t", InputKB: 100, Atomic: true}},
+		C:    [][]float64{{1}, {1}},
+	}
+	sched, err := Greedy(inst)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if err := sched.Validate(inst); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	if len(sched.PerPhone[0]) != 0 {
+		t.Errorf("atomic job landed on the window-capped phone: %v", sched.PerPhone[0])
+	}
+	if len(sched.PerPhone[1]) != 1 {
+		t.Errorf("atomic job not placed on the open phone: %v", sched.PerPhone[1])
+	}
+}
+
+// Random instances with random windows: every produced schedule stays
+// valid and no phone exceeds its window.
+func TestGreedyWindowsFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		inst := randInstance(rng, 2+rng.Intn(5), 1+rng.Intn(6))
+		// Cap a random subset of phones near the uncapped makespan so
+		// some windows bind and some do not.
+		base, err := Greedy(inst)
+		if err != nil {
+			t.Fatalf("trial %d baseline: %v", trial, err)
+		}
+		for i := range inst.Phones {
+			if rng.Float64() < 0.5 {
+				inst.Phones[i].AvailMs = base.Makespan * (0.3 + rng.Float64())
+			}
+		}
+		sched, err := Greedy(inst)
+		if errors.Is(err, ErrInfeasible) {
+			continue // legal outcome; the caller retries without windows
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(inst); err != nil {
+			t.Fatalf("trial %d schedule invalid: %v", trial, err)
+		}
+		for i, span := range sched.PhoneSpans(inst) {
+			if a := inst.Phones[i].AvailMs; a > 0 && span > a*(1+1e-6) {
+				t.Fatalf("trial %d: phone %d span %v exceeds window %v", trial, i, span, a)
+			}
+		}
+	}
+}

@@ -129,6 +129,7 @@ type Plan struct {
 	Seed     int64
 	Default  Profile // used for phones without a specific entry
 	PerPhone map[int]Profile
+	Waves    []Wave // coordinated unplug bands (see Schedule)
 
 	rec     Recorder
 	mu      sync.Mutex

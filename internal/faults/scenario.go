@@ -8,58 +8,90 @@ import (
 )
 
 // ParseScenario builds a Plan from a compact fault-scenario DSL. One
-// clause per line (or semicolon-separated), each targeting one phone or
-// every phone:
+// clause per line (or semicolon-separated), each targeting one phone,
+// every phone, the plan seed, or a coordinated unplug wave:
 //
 //	# phone 3 drops every 2nd assignment mid-transfer, at most 4 times
 //	phone 3: cut-every=2 max-cuts=4
 //	# every link: 5 ms +/- 2 ms latency, 256 KB/s, 5% corrupted frames
 //	phone *: latency=5ms jitter=2ms bw=256 corrupt=0.05
 //	phone 1: refuse=0.3 refuse-every=2 seed=42
+//	# the morning storm: 60% of the fleet unplugs between t=2s and t=3s,
+//	# each phone flapping back onto the charger 1500ms later
+//	seed: 7
+//	wave: frac=0.6 start=2s spread=1s replug-after=1500ms
 //
-// Keys: latency, jitter (durations), bw (KB/s), partial, corrupt, cut,
-// refuse (probabilities in [0,1]), cut-every, max-cuts, refuse-every
-// (counts), seed (int64). Repeated clauses for the same phone merge
-// key-wise; `phone *` sets the default profile used by phones without a
-// specific entry.
+// Phone keys: latency, jitter (durations), bw (KB/s), partial, corrupt,
+// cut, refuse (probabilities in [0,1]), cut-every, max-cuts,
+// refuse-every (counts), seed (int64). Repeated clauses for the same
+// phone merge key-wise; `phone *` sets the default profile used by
+// phones without a specific entry.
+//
+// Wave keys: frac (required, fraction of the fleet in (0,1]), start
+// (band start), spread (band width; unplug instants are uniform within
+// it), replug-after (how long each phone stays unplugged; omit for
+// phones that vanish for good). `seed:` sets Plan.Seed, which drives the
+// wave's deterministic phone selection and timing (see Plan.Schedule).
+//
+// Errors name the offending line and token.
 func ParseScenario(src string) (*Plan, error) {
 	pl := &Plan{PerPhone: map[int]Profile{}}
-	lines := strings.FieldsFunc(src, func(r rune) bool { return r == '\n' || r == ';' })
-	for _, line := range lines {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		head, body, ok := strings.Cut(line, ":")
-		if !ok {
-			return nil, fmt.Errorf("faults: clause %q missing ':'", line)
-		}
-		target := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(head), "phone"))
-		if strings.TrimSpace(head) == target {
-			return nil, fmt.Errorf("faults: clause %q must start with 'phone'", line)
-		}
-		var prof *Profile
-		wildcard := target == "*"
-		var id int
-		if wildcard {
-			prof = &pl.Default
-		} else {
-			n, err := strconv.Atoi(target)
-			if err != nil {
-				return nil, fmt.Errorf("faults: bad phone id %q: %v", target, err)
+	for ln, rawLine := range strings.Split(src, "\n") {
+		for _, clause := range strings.Split(rawLine, ";") {
+			clause = strings.TrimSpace(clause)
+			if clause == "" || strings.HasPrefix(clause, "#") {
+				continue
 			}
-			id = n
-			p := pl.PerPhone[id]
-			prof = &p
-		}
-		if err := applyClauses(prof, body); err != nil {
-			return nil, fmt.Errorf("faults: clause %q: %w", line, err)
-		}
-		if !wildcard {
-			pl.PerPhone[id] = *prof
+			if err := pl.parseClause(clause); err != nil {
+				return nil, fmt.Errorf("faults: line %d: %w", ln+1, err)
+			}
 		}
 	}
 	return pl, nil
+}
+
+func (pl *Plan) parseClause(clause string) error {
+	head, body, ok := strings.Cut(clause, ":")
+	if !ok {
+		return fmt.Errorf("clause %q missing ':'", clause)
+	}
+	head = strings.TrimSpace(head)
+	switch {
+	case head == "seed":
+		n, err := strconv.ParseInt(strings.TrimSpace(body), 10, 64)
+		if err != nil {
+			return fmt.Errorf("clause %q: seed: %v", clause, err)
+		}
+		pl.Seed = n
+		return nil
+	case head == "wave":
+		var w Wave
+		if err := applyWaveClauses(&w, body); err != nil {
+			return fmt.Errorf("clause %q: %w", clause, err)
+		}
+		pl.Waves = append(pl.Waves, w)
+		return nil
+	case strings.HasPrefix(head, "phone"):
+		target := strings.TrimSpace(strings.TrimPrefix(head, "phone"))
+		if target == "*" {
+			if err := applyClauses(&pl.Default, body); err != nil {
+				return fmt.Errorf("clause %q: %w", clause, err)
+			}
+			return nil
+		}
+		id, err := strconv.Atoi(target)
+		if err != nil {
+			return fmt.Errorf("clause %q: bad phone id %q: %v", clause, target, err)
+		}
+		p := pl.PerPhone[id]
+		if err := applyClauses(&p, body); err != nil {
+			return fmt.Errorf("clause %q: %w", clause, err)
+		}
+		pl.PerPhone[id] = p
+		return nil
+	default:
+		return fmt.Errorf("clause %q must start with 'phone', 'wave' or 'seed'", clause)
+	}
 }
 
 func applyClauses(p *Profile, body string) error {
@@ -123,6 +155,42 @@ func applyClauses(p *Profile, body string) error {
 		default:
 			return fmt.Errorf("unknown setting %q", key)
 		}
+	}
+	return nil
+}
+
+func applyWaveClauses(w *Wave, body string) error {
+	for _, field := range strings.Fields(body) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("setting %q is not key=value", field)
+		}
+		switch key {
+		case "frac":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return fmt.Errorf("frac: want fraction in (0,1], got %q", val)
+			}
+			w.Frac = f
+		case "start", "spread", "replug-after":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("%s: want non-negative duration, got %q", key, val)
+			}
+			switch key {
+			case "start":
+				w.Start = d
+			case "spread":
+				w.Spread = d
+			case "replug-after":
+				w.ReplugAfter = d
+			}
+		default:
+			return fmt.Errorf("unknown wave setting %q", key)
+		}
+	}
+	if w.Frac == 0 {
+		return fmt.Errorf("wave requires frac=")
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wave is a coordinated unplug band — the "morning storm" where a large
+// slice of the fleet leaves the chargers within minutes of each other.
+// Frac of the fleet unplugs inside [Start, Start+Spread), each phone at
+// a seeded, deterministic instant; phones with ReplugAfter > 0 plug back
+// in that long after unplugging (the flapping replug), the rest stay
+// gone for the run.
+type Wave struct {
+	Frac        float64       // fraction of the fleet in (0,1]
+	Start       time.Duration // band start, relative to scenario t=0
+	Spread      time.Duration // band width (0: all at Start)
+	ReplugAfter time.Duration // time unplugged before replug (0: never)
+}
+
+// WaveAction is one phone's part in a wave, ready to be driven against a
+// live worker: unplug at UnplugAt, and if ReplugAt is nonzero, rejoin
+// then.
+type WaveAction struct {
+	Phone    int
+	UnplugAt time.Duration
+	ReplugAt time.Duration // 0: stays unplugged for the run
+}
+
+// Schedule expands the plan's waves over a fleet of n phones into a
+// per-phone action list sorted by unplug time. Phone selection and
+// unplug instants are drawn from Plan.Seed, so the same seed and fleet
+// size replay the identical storm — which phones leave, in what order,
+// at what offsets.
+func (pl *Plan) Schedule(n int) []WaveAction {
+	rng := rand.New(rand.NewSource(pl.Seed ^ 0x3a7e))
+	var out []WaveAction
+	for _, w := range pl.Waves {
+		k := int(math.Round(w.Frac * float64(n)))
+		if k > n {
+			k = n
+		}
+		if k <= 0 {
+			continue
+		}
+		for _, phone := range rng.Perm(n)[:k] {
+			act := WaveAction{Phone: phone, UnplugAt: w.Start}
+			if w.Spread > 0 {
+				act.UnplugAt += time.Duration(rng.Int63n(int64(w.Spread)))
+			}
+			if w.ReplugAfter > 0 {
+				act.ReplugAt = act.UnplugAt + w.ReplugAfter
+			}
+			out = append(out, act)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UnplugAt != out[j].UnplugAt {
+			return out[i].UnplugAt < out[j].UnplugAt
+		}
+		return out[i].Phone < out[j].Phone
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScenarioWave(t *testing.T) {
+	pl, err := ParseScenario(`
+		seed: 7
+		phone *: latency=1ms
+		wave: frac=0.6 start=2s spread=1s replug-after=1500ms
+		wave: frac=0.25 start=10s
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Seed != 7 {
+		t.Errorf("seed = %d, want 7", pl.Seed)
+	}
+	if len(pl.Waves) != 2 {
+		t.Fatalf("waves = %d, want 2", len(pl.Waves))
+	}
+	w := pl.Waves[0]
+	if w.Frac != 0.6 || w.Start != 2*time.Second || w.Spread != time.Second || w.ReplugAfter != 1500*time.Millisecond {
+		t.Errorf("wave 0 = %+v", w)
+	}
+	w = pl.Waves[1]
+	if w.Frac != 0.25 || w.Start != 10*time.Second || w.Spread != 0 || w.ReplugAfter != 0 {
+		t.Errorf("wave 1 = %+v", w)
+	}
+	// The phone clauses still parse alongside waves.
+	if pl.Default.LatencyMs != 1 {
+		t.Errorf("default latency = %v", pl.Default.LatencyMs)
+	}
+}
+
+func TestParseScenarioWaveErrors(t *testing.T) {
+	for _, tc := range []struct {
+		src, token string
+	}{
+		{"wave: start=2s", "frac="},                      // frac is required
+		{"wave: frac=0", "frac"},                         // zero fraction
+		{"wave: frac=1.5", "frac"},                       // fraction out of range
+		{"wave: frac=0.5 start=soon", "start"},           // unparsable duration
+		{"wave: frac=0.5 spread=-1s", "spread"},          // negative duration
+		{"wave: frac=0.5 surge=1s", "surge"},             // unknown key
+		{"wave frac=0.5", "missing ':'"},                 // missing colon
+		{"seed: many", "seed"},                           // unparsable seed
+		{"storm: frac=0.5", "'phone', 'wave' or 'seed'"}, // unknown directive
+	} {
+		_, err := ParseScenario(tc.src)
+		if err == nil {
+			t.Errorf("ParseScenario(%q) accepted invalid input", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.token) {
+			t.Errorf("ParseScenario(%q) error %q does not name token %q", tc.src, err, tc.token)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("ParseScenario(%q) error %q does not name the line", tc.src, err)
+		}
+	}
+	// Line numbers point at the offending line, not line 1.
+	_, err := ParseScenario("phone *: latency=1ms\n\nwave: frac=2")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not name line 3", err)
+	}
+}
+
+func TestWaveSchedule(t *testing.T) {
+	pl, err := ParseScenario("seed: 42\nwave: frac=0.5 start=2s spread=1s replug-after=3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := pl.Schedule(10)
+	if len(acts) != 5 {
+		t.Fatalf("schedule has %d actions, want 5 (frac=0.5 of 10)", len(acts))
+	}
+	seen := map[int]bool{}
+	for i, a := range acts {
+		if seen[a.Phone] {
+			t.Errorf("phone %d scheduled twice", a.Phone)
+		}
+		seen[a.Phone] = true
+		if a.UnplugAt < 2*time.Second || a.UnplugAt >= 3*time.Second {
+			t.Errorf("unplug at %v outside [2s,3s)", a.UnplugAt)
+		}
+		if a.ReplugAt != a.UnplugAt+3*time.Second {
+			t.Errorf("replug at %v, want unplug+3s", a.ReplugAt)
+		}
+		if i > 0 && acts[i-1].UnplugAt > a.UnplugAt {
+			t.Error("schedule not sorted by unplug time")
+		}
+	}
+
+	// Same seed: bit-identical storm. Different seed: a different one.
+	again := pl.Schedule(10)
+	if len(again) != len(acts) {
+		t.Fatal("replay changed the schedule length")
+	}
+	for i := range acts {
+		if acts[i] != again[i] {
+			t.Errorf("replay diverged at action %d: %+v vs %+v", i, acts[i], again[i])
+		}
+	}
+	other := &Plan{Seed: 43, Waves: pl.Waves}
+	diverged := false
+	for i, a := range other.Schedule(10) {
+		if i < len(acts) && a != acts[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced the identical storm")
+	}
+
+	// No replug-after: phones stay gone.
+	solo := &Plan{Waves: []Wave{{Frac: 1, Start: time.Second}}}
+	for _, a := range solo.Schedule(4) {
+		if a.ReplugAt != 0 {
+			t.Errorf("phone %d scheduled a replug with no replug-after", a.Phone)
+		}
+		if a.UnplugAt != time.Second {
+			t.Errorf("zero spread should pin unplug to start, got %v", a.UnplugAt)
+		}
+	}
+	if got := len(solo.Schedule(4)); got != 4 {
+		t.Errorf("frac=1 scheduled %d of 4 phones", got)
+	}
+}

@@ -60,6 +60,12 @@ const (
 	// Server -> worker: flow-control acknowledgement of a streamed
 	// checkpoint (the worker caps unacknowledged checkpoint frames).
 	TypeCheckpointAck Type = "checkpoint_ack"
+	// Server -> worker: proactive drain. The phone's predicted charge
+	// window is closing; the worker must flush a checkpoint at its next
+	// progress point and interrupt any in-flight task, reporting it as a
+	// failure (with the checkpoint) so the server can requeue cleanly
+	// before the expected disconnect. The connection stays open.
+	TypeDrain Type = "drain"
 )
 
 // Message is the single frame shape; fields are populated per Type.

@@ -51,6 +51,9 @@ func registerMasterMetrics(r *obs.Registry) {
 		"cwc_checkpoint_folds_total":      "streamed checkpoints accepted into resume state",
 		"cwc_checkpoint_bytes_total":      "checkpoint state bytes accepted",
 		"cwc_recompute_saved_bytes_total": "input bytes a requeue resumed past instead of recomputing",
+		"cwc_drain_started_total":         "proactive drains started as predicted charge windows closed",
+		"cwc_drain_completed_total":       "proactive drains whose work was handed back before the disconnect",
+		"cwc_placements_vetoed_total":     "placements rejected because completion would cross the phone's predicted-unplug quantile",
 	}
 	for fam, help := range counters {
 		r.Help(fam, help)
@@ -260,6 +263,16 @@ type statusPhone struct {
 	MissedPings int                   `json:"missed_pings"`
 	Worker      *protocol.WorkerStats `json:"worker,omitempty"`
 	Estimates   []statusEstimate      `json:"estimates,omitempty"`
+	// DrainState is the proactive-drain ledger entry: "started",
+	// "completed", or absent when the phone is not draining.
+	DrainState string `json:"drain_state,omitempty"`
+	// ChargeSessions is how many completed charge sessions the window
+	// estimator has observed for this phone.
+	ChargeSessions int `json:"charge_sessions,omitempty"`
+	// PredictedRemainingMs is the predicted time left in the current
+	// charge window at the configured drain quantile; absent when the
+	// estimator lacks history (it would never veto).
+	PredictedRemainingMs *float64 `json:"predicted_remaining_ms,omitempty"`
 }
 
 type statusRound struct {
@@ -318,13 +331,17 @@ func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		info   PhoneInfo
 		missed int
 		alive  bool
+		drain  string
 	}
 	rows := make([]phoneRow, 0, len(m.phones))
 	for _, ps := range m.phones {
 		ps.mu.Lock()
 		missed, deadClosed := ps.missedPings, ps.deadClosed
 		ps.mu.Unlock()
-		rows = append(rows, phoneRow{info: ps.info, missed: missed, alive: !deadClosed})
+		rows = append(rows, phoneRow{
+			info: ps.info, missed: missed, alive: !deadClosed,
+			drain: m.draining[ps.info.ID],
+		})
 	}
 	stats := make(map[int]protocol.WorkerStats, len(m.workerStats))
 	for id, s := range m.workerStats {
@@ -338,11 +355,17 @@ func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		tasks = est.Tasks()
 		sort.Strings(tasks)
 	}
+	now := nowMs()
 	for _, row := range rows {
 		sp := statusPhone{
 			ID: row.info.ID, Model: row.info.Model, CPUMHz: row.info.CPUMHz,
 			RAMMB: row.info.RAMMB, Alive: row.alive, BMsPerKB: row.info.BMsPerKB,
-			MissedPings: row.missed,
+			MissedPings: row.missed, DrainState: row.drain,
+			ChargeSessions: m.windows.Sessions(row.info.ID),
+		}
+		if rem, ok := m.windows.RemainingMs(row.info.ID, now, m.cfg.DrainQuantile); ok {
+			r := rem
+			sp.PredictedRemainingMs = &r
 		}
 		if row.alive {
 			st.PhonesAlive++

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"time"
+
+	"cwc/internal/protocol"
+)
+
+// Proactive drain: the plug-aware half of failure handling. Where the
+// dispatcher reacts to unplugs after the fact, the drain monitor
+// anticipates them — when a phone's learned charge-window distribution
+// says the current session is about to close, the master stops placing
+// work there, asks the worker to flush a checkpoint and hand back its
+// in-flight partition, and re-queues it cleanly while the connection is
+// still healthy. The disconnect, when it comes, then loses nothing.
+//
+// Drain states (per phone, WAL-logged so recovery preserves them):
+//
+//	started   — drain frame sent; no new assignments; awaiting handback
+//	completed — the phone's work was handed back (or it was idle);
+//	            still excluded from placement until a new session
+//	(cleared) — a new charge session began: the entry is removed and
+//	            the phone is placeable again
+const (
+	drainStarted   = "started"
+	drainCompleted = "completed"
+	drainCleared   = "cleared"
+)
+
+// nowMs is the wall-clock timestamp fed to the (pure) window estimator.
+func nowMs() float64 {
+	return float64(time.Now().UnixNano()) / float64(time.Millisecond)
+}
+
+// observePlug feeds a registration into the charge-window estimator and
+// clears any drain entry when a genuinely new session began (the phone
+// was observed unplugged since). A reconnect within an open session —
+// a TCP blip, a master restart — keeps its drain state instead: the
+// prediction that triggered it is still about the same session.
+func (m *Master) observePlug(id int) {
+	newSession := !m.windows.Plugged(id)
+	m.windows.ObservePlug(id, nowMs())
+	if newSession {
+		m.clearDrain(id)
+	}
+}
+
+// observeUnplug feeds a phone's departure into the charge-window
+// estimator, unless this phoneState was already superseded by a rejoin:
+// the old connection's teardown must not close the session the new
+// registration just opened.
+func (m *Master) observeUnplug(ps *phoneState) {
+	m.mu.Lock()
+	current := m.phones[ps.info.ID] == ps
+	m.mu.Unlock()
+	if current {
+		m.windows.ObserveUnplug(ps.info.ID, nowMs())
+	}
+}
+
+// SeedChargeWindows imports a known charge trace (completed session
+// durations, ms) for a phone, bootstrapping the window estimator the
+// way an operator would import history from a prior deployment.
+func (m *Master) SeedChargeWindows(phoneID int, durationsMs []float64) {
+	m.windows.Seed(phoneID, durationsMs)
+}
+
+// DrainState returns the phone's drain state: "started", "completed",
+// or "" when the phone is not draining.
+func (m *Master) DrainState(phoneID int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining[phoneID]
+}
+
+// isDraining reports whether the phone is excluded from placement.
+func (m *Master) isDraining(phoneID int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.draining[phoneID]
+	return ok
+}
+
+// drainMonitor periodically compares every live phone's predicted
+// remaining window against the drain lead and starts drains as windows
+// close. Runs only under Config.PlugAware; exits with the master.
+func (m *Master) drainMonitor() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.DrainCheckPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.checkDrains()
+		case <-m.stopped:
+			return
+		}
+	}
+}
+
+// checkDrains is one monitor tick: start drains whose predicted window
+// is inside the lead, and complete drains whose phones hold no live
+// attempts anymore (the handback arrived, or the phone was idle).
+func (m *Master) checkDrains() {
+	now := nowMs()
+	lead := float64(m.cfg.DrainLead) / float64(time.Millisecond)
+	for _, ps := range m.alivePhones() {
+		id := ps.info.ID
+		if m.isDraining(id) {
+			continue
+		}
+		rem, ok := m.windows.RemainingMs(id, now, m.cfg.DrainQuantile)
+		if !ok || rem > lead {
+			continue
+		}
+		m.startDrain(ps, rem)
+	}
+
+	var idle []int
+	m.mu.Lock()
+	for id, st := range m.draining {
+		if st != drainStarted {
+			continue
+		}
+		busy := false
+		for _, rec := range m.attempts {
+			if rec.ps.info.ID == id && rec.live {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			idle = append(idle, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range idle {
+		m.completeDrain(id)
+	}
+}
+
+// startDrain begins a proactive drain: record and WAL-log the state,
+// then ask the worker to flush and hand its work back. The dispatcher
+// stops assigning to the phone the moment the state is recorded.
+func (m *Master) startDrain(ps *phoneState, remMs float64) {
+	id := ps.info.ID
+	m.mu.Lock()
+	if _, ok := m.draining[id]; ok {
+		m.mu.Unlock()
+		return
+	}
+	m.draining[id] = drainStarted
+	m.walAppend(walRecDrain, walDrainRec{PhoneID: id, State: drainStarted})
+	m.mu.Unlock()
+	m.cfg.Metrics.Counter("cwc_drain_started_total").Inc()
+	m.cfg.Logger.With("phone", id).Infof("proactive drain: predicted charge window closes in %.0f ms", remMs)
+	if err := ps.conn.Send(&protocol.Message{Type: protocol.TypeDrain}); err != nil {
+		// The connection is already failing; the reactive failure paths
+		// (keepalive, conn-lost) will reclaim the in-flight work.
+		m.cfg.Logger.With("phone", id).Warnf("drain frame failed: %v", err)
+	}
+}
+
+// completeDrain marks a started drain as completed: the phone's
+// in-flight work has been handed back (or it held none). The phone
+// stays excluded from placement until a new charge session clears it.
+func (m *Master) completeDrain(id int) {
+	m.mu.Lock()
+	if m.draining[id] != drainStarted {
+		m.mu.Unlock()
+		return
+	}
+	m.draining[id] = drainCompleted
+	m.walAppend(walRecDrain, walDrainRec{PhoneID: id, State: drainCompleted})
+	m.mu.Unlock()
+	m.cfg.Metrics.Counter("cwc_drain_completed_total").Inc()
+	m.cfg.Logger.With("phone", id).Infof("drain completed: work handed back before disconnect")
+}
+
+// clearDrain removes a phone's drain entry (a new charge session
+// started); a no-op when none exists.
+func (m *Master) clearDrain(id int) {
+	m.mu.Lock()
+	_, ok := m.draining[id]
+	if ok {
+		delete(m.draining, id)
+		m.walAppend(walRecDrain, walDrainRec{PhoneID: id, State: drainCleared})
+	}
+	m.mu.Unlock()
+	if ok {
+		m.cfg.Logger.With("phone", id).Infof("drain cleared: new charge session")
+	}
+}
+
+// placeablePhones filters draining phones out of a live-fleet snapshot.
+// When every live phone is draining the unfiltered fleet is returned:
+// the availability prediction is advisory and must never starve work
+// (a wrong prediction would otherwise park the queue forever).
+func (m *Master) placeablePhones(phones []*phoneState) []*phoneState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.draining) == 0 {
+		return phones
+	}
+	out := make([]*phoneState, 0, len(phones))
+	for _, ps := range phones {
+		if _, ok := m.draining[ps.info.ID]; !ok {
+			out = append(out, ps)
+		}
+	}
+	if len(out) == 0 {
+		return phones
+	}
+	return out
+}

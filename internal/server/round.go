@@ -317,7 +317,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		return nil, ErrNothingToDo
 	}
 
-	phones := m.alivePhones()
+	phones := m.placeablePhones(m.alivePhones())
 	if len(phones) == 0 {
 		m.mu.Lock()
 		m.pending = append(items, m.pending...)
@@ -331,8 +331,9 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		m.mu.Unlock()
 		return nil, err
 	}
-	// Re-snapshot: profiling may have killed a phone.
-	phones = m.alivePhones()
+	// Re-snapshot: profiling may have killed a phone (or the drain
+	// monitor may have closed one).
+	phones = m.placeablePhones(m.alivePhones())
 	if len(phones) == 0 {
 		m.mu.Lock()
 		m.pending = append(items, m.pending...)
@@ -474,6 +475,10 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 			delete(m.attempts, id)
 		}
 	}
+	// Settled-failure dedupe entries only matter while a replay can still
+	// race the original (within the round); afterwards resolveDetached's
+	// unknown-attempt drop covers replays.
+	m.settledFailures = map[int64]bool{}
 	report.Requeued = len(m.pending)
 	for _, js := range m.jobs {
 		if js.done || js.covered < js.totalBytes {
@@ -608,9 +613,42 @@ func (m *Master) buildSchedule(items []*workItem, phones []*phoneState) (*core.S
 			inst.C[i][j] = c
 		}
 	}
+	// Deadline-aware packing: cap each phone's bin at its predicted
+	// remaining charge window, so a partition whose completion would
+	// cross the phone's predicted-unplug quantile is placed elsewhere.
+	windowed := false
+	if m.cfg.PlugAware {
+		now := nowMs()
+		for i, ps := range phones {
+			rem, ok := m.windows.RemainingMs(ps.info.ID, now, m.cfg.DrainQuantile)
+			if !ok {
+				continue // too little history: never veto
+			}
+			if rem < 1 {
+				// Overdue phone: an epsilon window vetoes real work on it
+				// without the zero value's "unconstrained" meaning.
+				rem = 1
+			}
+			inst.Phones[i].AvailMs = rem
+			windowed = true
+		}
+	}
 	sched, err := core.Greedy(inst)
+	if windowed && errors.Is(err, core.ErrInfeasible) {
+		// The windows are advisory: when every phone's predicted window
+		// is too tight to fit the work at all, running somewhere beats
+		// starving the queue. Retry the same instance unconstrained.
+		m.cfg.Logger.Warnf("plug-aware windows made packing infeasible; retrying without them")
+		for i := range inst.Phones {
+			inst.Phones[i].AvailMs = 0
+		}
+		sched, err = core.Greedy(inst)
+	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if sched.Vetoed > 0 {
+		m.cfg.Metrics.Counter("cwc_placements_vetoed_total").Add(int64(sched.Vetoed))
 	}
 	return sched, inst, nil
 }
@@ -770,6 +808,12 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 	est := m.est
 	m.mu.Unlock()
 	for qi, a := range queue {
+		if m.isDraining(ps.info.ID) {
+			// The drain monitor closed this phone mid-round; hand the rest
+			// of its queue back instead of racing the predicted unplug.
+			m.requeueFrom(queue[qi:], start, addEvent)
+			return
+		}
 		addEvent(Event{At: time.Since(start), PhoneID: ps.info.ID, JobID: a.item.jobID,
 			Partition: a.partition, Kind: "assign"})
 		if a.resume != nil && m.cfg.Journal != nil {
@@ -820,7 +864,17 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 						JobID: a.item.jobID, Partition: a.partition, Kind: "failure"})
 					m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID).
 						Warnf("failure report: %s", resp.Error)
-					m.recordFailure(a, resp, ps.info.ID)
+					m.recordFailure(a, resp, ps.info.ID, attempt)
+					if resp.Error == drainFailureReason {
+						// Proactive-drain handback: the phone is still
+						// plugged and connected. Keep it alive — the real
+						// unplug must still be observed for window learning
+						// — but give it no more work.
+						m.completeDrain(ps.info.ID)
+						m.requeueFrom(queue[qi+1:], start, addEvent)
+						timer.Stop()
+						return
+					}
 					ps.markDead()
 					m.requeueFrom(queue[qi+1:], start, addEvent)
 					timer.Stop()
@@ -986,11 +1040,37 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 	}
 }
 
+// drainFailureReason is the failure-report error a worker sends when it
+// hands back an in-flight partition because the server asked it to
+// drain (see protocol.TypeDrain and worker.interruptReason).
+const drainFailureReason = "drained"
+
+// settleFailure marks a dispatch attempt's failure as folded, exactly
+// once: the first caller gets true, every later caller false. This is
+// the dedupe that keeps a phone which replugs before its failure
+// finished processing — replaying the same report over the new
+// connection — from re-queueing the same attempt twice.
+func (m *Master) settleFailure(attempt int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.settledFailures[attempt] {
+		return false
+	}
+	m.settledFailures[attempt] = true
+	return true
+}
+
 // recordFailure applies the paper's migration rule to a failed partition:
 // tasks that can convert their checkpoint into a partial result have it
 // saved and only the unprocessed input remainder re-queued; others are
-// migrated whole (input + checkpoint).
-func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int) {
+// migrated whole (input + checkpoint). The attempt ID (zero: untracked)
+// dedupes replayed reports so one failure is never folded twice.
+func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int, attempt int64) {
+	if attempt != 0 && !m.settleFailure(attempt) {
+		m.cfg.Logger.With("attempt", attempt).
+			Warnf("duplicate failure report for settled attempt dropped")
+		return
+	}
 	ck := resp.Checkpoint
 	m.cfg.Metrics.Counter("cwc_failures_total").Inc()
 	if m.cfg.Journal != nil {

@@ -98,6 +98,32 @@ type Config struct {
 	// on the append, and RecoverWAL replays it after a crash. See
 	// internal/wal and wal.go in this package.
 	WAL *wal.Log
+	// PlugAware enables plug-aware predictive placement and proactive
+	// drain: the master learns each phone's charge-window distribution
+	// from observed plug/unplug events, caps placements at the phone's
+	// predicted remaining window, and drains phones whose windows are
+	// closing (see drain.go). Off, the estimator still learns (so
+	// /statusz can show windows) but never influences placement.
+	PlugAware bool
+	// DrainQuantile is the charge-window survival quantile used both to
+	// cap placements and to trigger drains: q=0.25 means "plan as if
+	// this session ends where the shortest quarter of its history
+	// ended". Lower is more conservative. Default 0.25.
+	DrainQuantile float64
+	// DrainLead is how far ahead of the predicted unplug (at
+	// DrainQuantile) a proactive drain starts. Default 30 s.
+	DrainLead time.Duration
+	// DrainCheckPeriod is the drain monitor's polling interval.
+	// Default 1 s.
+	DrainCheckPeriod time.Duration
+	// WindowMinSessions is how many completed charge sessions a phone
+	// needs before its window predictions are trusted; below it the
+	// estimator never vetoes. Default 3.
+	WindowMinSessions int
+	// FlapMergeWindow treats an unplug followed by a replug within this
+	// duration as one continuing session (contact bounce, a brief cable
+	// wiggle) rather than two. Negative disables merging. Default 1 s.
+	FlapMergeWindow time.Duration
 }
 
 func (c *Config) fill() {
@@ -136,6 +162,23 @@ func (c *Config) fill() {
 	}
 	if c.CheckpointEveryKB == 0 {
 		c.CheckpointEveryKB = 256
+	}
+	if c.DrainQuantile <= 0 || c.DrainQuantile >= 1 {
+		c.DrainQuantile = 0.25
+	}
+	if c.DrainLead == 0 {
+		c.DrainLead = 30 * time.Second
+	}
+	if c.DrainCheckPeriod == 0 {
+		c.DrainCheckPeriod = time.Second
+	}
+	if c.WindowMinSessions <= 0 {
+		c.WindowMinSessions = 3
+	}
+	if c.FlapMergeWindow == 0 {
+		c.FlapMergeWindow = time.Second
+	} else if c.FlapMergeWindow < 0 {
+		c.FlapMergeWindow = 0
 	}
 }
 
@@ -286,8 +329,14 @@ type Master struct {
 	completed   map[int64]bool        // guarded by mu; keys whose result has been recorded
 	speculated  map[int64]bool        // guarded by mu; keys with a speculative copy issued
 	attempts    map[int64]*attemptRec // guarded by mu
-	deadLetters []DeadLetter          // guarded by mu
-	offline     []OfflineFailure      // guarded by mu
+	// settledFailures marks dispatch attempts whose failure has been
+	// folded, so a replayed report (a phone that replugged before its
+	// failure finished processing) cannot re-queue the same attempt
+	// twice. Reset each round; later replays hit the unknown-attempt
+	// drop in resolveDetached instead.
+	settledFailures map[int64]bool   // guarded by mu
+	deadLetters     []DeadLetter     // guarded by mu
+	offline         []OfflineFailure // guarded by mu
 	// streamed holds the freshest mid-execution checkpoint streamed for
 	// each open byte-range key; any requeue of the key folds it into the
 	// item's resume state (see latestResumeLocked). Entries are dropped
@@ -298,6 +347,15 @@ type Master struct {
 	// workerStats is each phone's latest piggybacked self-metering
 	// (cumulative since worker start; latest frame wins).
 	workerStats map[int]protocol.WorkerStats // guarded by mu
+
+	// windows learns each phone's charge-window distribution from
+	// observed plug/unplug events (internally synchronized; queried
+	// without m.mu).
+	windows *predict.WindowEstimator
+	// draining is the proactive-drain ledger: phone ID -> drainStarted
+	// or drainCompleted. Entries exclude the phone from placement until
+	// a new charge session clears them; WAL-logged (walRecDrain).
+	draining map[int]string // guarded by mu
 
 	closed  bool // guarded by mu
 	wg      sync.WaitGroup
@@ -316,19 +374,29 @@ type Master struct {
 func New(cfg Config) *Master {
 	cfg.fill()
 	registerMasterMetrics(cfg.Metrics)
+	// fill clamps both knobs into the estimator's valid range, so the
+	// constructor cannot fail here.
+	windows, err := predict.NewWindowEstimator(
+		cfg.WindowMinSessions, float64(cfg.FlapMergeWindow)/float64(time.Millisecond))
+	if err != nil {
+		panic(fmt.Sprintf("server: window estimator: %v", err))
+	}
 	return &Master{
-		cfg:         cfg,
-		handshaking: map[*protocol.Conn]struct{}{},
-		phones:      map[int]*phoneState{},
-		jobs:        map[int]*jobState{},
-		nextJobID:   1,
-		completed:   map[int64]bool{},
-		speculated:  map[int64]bool{},
-		attempts:    map[int64]*attemptRec{},
-		streamed:    map[int64]*tasks.Checkpoint{},
-		workerStats: map[int]protocol.WorkerStats{},
-		phoneWait:   make(chan struct{}),
-		stopped:     make(chan struct{}),
+		cfg:             cfg,
+		handshaking:     map[*protocol.Conn]struct{}{},
+		phones:          map[int]*phoneState{},
+		jobs:            map[int]*jobState{},
+		nextJobID:       1,
+		completed:       map[int64]bool{},
+		speculated:      map[int64]bool{},
+		attempts:        map[int64]*attemptRec{},
+		settledFailures: map[int64]bool{},
+		streamed:        map[int64]*tasks.Checkpoint{},
+		workerStats:     map[int]protocol.WorkerStats{},
+		windows:         windows,
+		draining:        map[int]string{},
+		phoneWait:       make(chan struct{}),
+		stopped:         make(chan struct{}),
 	}
 }
 
@@ -370,6 +438,10 @@ func (m *Master) Start() error {
 	m.ln = ln
 	m.wg.Add(1)
 	go m.acceptLoop()
+	if m.cfg.PlugAware {
+		m.wg.Add(1)
+		go m.drainMonitor()
+	}
 	if m.cfg.ObsAddr != "" {
 		if err := m.serveObs(m.cfg.ObsAddr); err != nil {
 			ln.Close()
@@ -507,6 +579,10 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		m.recordOffline(id, "rejoined", "superseded by a reconnection")
 		prior.markDead()
 	}
+	// Feed the charge-window estimator: a fresh registration opens a
+	// session; a rejoin either continues one (duplicate plug, ignored)
+	// or reopens after an observed unplug (flap-merged when quick).
+	m.observePlug(id)
 	close(waiters) // wake WaitForPhones
 
 	ckptKB := m.cfg.CheckpointEveryKB
@@ -559,6 +635,7 @@ func (m *Master) readLoop(ps *phoneState) {
 				m.recordOffline(ps.info.ID, "conn-lost", err.Error())
 			}
 			ps.markDead()
+			m.observeUnplug(ps)
 			return
 		}
 		m.cfg.Metrics.Counter("cwc_frames_received_total", "type", string(msg.Type)).Inc()
@@ -597,6 +674,7 @@ func (m *Master) readLoop(ps *phoneState) {
 			m.cfg.Logger.With("phone", ps.info.ID).Infof("unplugged while idle")
 			m.recordOffline(ps.info.ID, "bye", "orderly unplug")
 			ps.markDead()
+			m.observeUnplug(ps)
 			return
 		default:
 			// A frame the master never expects from a worker (hello after
@@ -666,6 +744,7 @@ func (m *Master) keepalive(ps *phoneState) {
 				m.recordOffline(ps.info.ID, "keepalive",
 					fmt.Sprintf("%d consecutive misses", m.cfg.KeepaliveTolerance))
 				ps.markDead()
+				m.observeUnplug(ps)
 				return
 			}
 			seq++
@@ -673,6 +752,7 @@ func (m *Master) keepalive(ps *phoneState) {
 			if err := ps.conn.Send(&protocol.Message{Type: protocol.TypePing, Seq: seq}); err != nil {
 				m.recordOffline(ps.info.ID, "send-failed", err.Error())
 				ps.markDead()
+				m.observeUnplug(ps)
 				return
 			}
 			timer.Reset(keepaliveJitter(m.cfg.KeepalivePeriod, rng))

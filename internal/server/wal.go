@@ -33,15 +33,16 @@ import (
 
 // WAL record types.
 const (
-	walRecSubmit     uint8 = 1 // job accepted (gates the Submit ack)
-	walRecRound      uint8 = 2 // partitions created at a scheduling instant
-	walRecDispatch   uint8 = 3 // assignment shipped to a phone (audit only)
-	walRecReport     uint8 = 4 // partition result recorded
-	walRecPartial    uint8 = 5 // failure folded into a partial result + remainder
-	walRecMigrate    uint8 = 6 // failure migrated whole with its checkpoint
-	walRecDeadLetter uint8 = 7 // work item abandoned after its retry budget
-	walRecFinish     uint8 = 8 // job aggregated to its final result
-	walRecCheckpoint uint8 = 9 // streamed mid-execution checkpoint folded into an open range
+	walRecSubmit     uint8 = 1  // job accepted (gates the Submit ack)
+	walRecRound      uint8 = 2  // partitions created at a scheduling instant
+	walRecDispatch   uint8 = 3  // assignment shipped to a phone (audit only)
+	walRecReport     uint8 = 4  // partition result recorded
+	walRecPartial    uint8 = 5  // failure folded into a partial result + remainder
+	walRecMigrate    uint8 = 6  // failure migrated whole with its checkpoint
+	walRecDeadLetter uint8 = 7  // work item abandoned after its retry budget
+	walRecFinish     uint8 = 8  // job aggregated to its final result
+	walRecCheckpoint uint8 = 9  // streamed mid-execution checkpoint folded into an open range
+	walRecDrain      uint8 = 10 // proactive-drain state transition for a phone
 )
 
 type walSubmit struct {
@@ -119,6 +120,14 @@ type walFinish struct {
 	Final []byte `json:"final"`
 }
 
+// walDrainRec logs one proactive-drain state transition so recovery
+// preserves which phones were being drained: State is drainStarted,
+// drainCompleted, or drainCleared.
+type walDrainRec struct {
+	PhoneID int    `json:"phone_id"`
+	State   string `json:"state"`
+}
+
 type walCheckpointRec struct {
 	JobID  int               `json:"job_id"`
 	Key    int64             `json:"key"`
@@ -151,24 +160,31 @@ type walItemRec struct {
 
 // walState is the compaction snapshot: the reducer's state serialized.
 type walState struct {
-	NextJobID   int          `json:"next_job_id"`
-	NextSeq     int64        `json:"next_seq"`
-	NextKey     int64        `json:"next_key"`
-	Jobs        []walJobRec  `json:"jobs,omitempty"`
-	Fresh       []walItemRec `json:"fresh,omitempty"`
-	Open        []walItemRec `json:"open,omitempty"`
-	DeadLetters []DeadLetter `json:"dead_letters,omitempty"`
+	NextJobID int   `json:"next_job_id"`
+	NextSeq   int64 `json:"next_seq"`
+	NextKey   int64 `json:"next_key"`
+	// NextPhoneID keeps phone IDs monotone across recovery so a drain
+	// ledger entry can never be misapplied to an unrelated phone that
+	// happened to be issued a recycled ID.
+	NextPhoneID int            `json:"next_phone_id,omitempty"`
+	Jobs        []walJobRec    `json:"jobs,omitempty"`
+	Fresh       []walItemRec   `json:"fresh,omitempty"`
+	Open        []walItemRec   `json:"open,omitempty"`
+	DeadLetters []DeadLetter   `json:"dead_letters,omitempty"`
+	Drains      map[int]string `json:"drains,omitempty"`
 }
 
 // walReducer replays a snapshot plus records into durable state.
 type walReducer struct {
-	nextJobID int
-	nextSeq   int64
-	nextKey   int64
-	jobs      map[int]*walJobRec
-	fresh     map[int64]*walItemRec // by item sequence number
-	open      map[int64]*walItemRec // by speculation key
-	dead      []DeadLetter
+	nextJobID   int
+	nextSeq     int64
+	nextKey     int64
+	nextPhoneID int
+	jobs        map[int]*walJobRec
+	fresh       map[int64]*walItemRec // by item sequence number
+	open        map[int64]*walItemRec // by speculation key
+	dead        []DeadLetter
+	drains      map[int]string // phone ID -> drain state
 }
 
 func newWALReducer() *walReducer {
@@ -177,6 +193,7 @@ func newWALReducer() *walReducer {
 		jobs:      map[int]*walJobRec{},
 		fresh:     map[int64]*walItemRec{},
 		open:      map[int64]*walItemRec{},
+		drains:    map[int]string{},
 	}
 }
 
@@ -206,6 +223,15 @@ func (r *walReducer) loadSnapshot(b []byte) error {
 		r.bumpKey(it.Key)
 	}
 	r.dead = append(r.dead, st.DeadLetters...)
+	if st.NextPhoneID > r.nextPhoneID {
+		r.nextPhoneID = st.NextPhoneID
+	}
+	for id, s := range st.Drains {
+		r.drains[id] = s
+		if id >= r.nextPhoneID {
+			r.nextPhoneID = id + 1
+		}
+	}
 	return nil
 }
 
@@ -343,6 +369,22 @@ func (r *walReducer) apply(rec wal.Record) error {
 		}
 		js.Final = p.Final
 		js.Done = true
+	case walRecDrain:
+		var p walDrainRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding drain: %w", err)
+		}
+		switch p.State {
+		case drainStarted, drainCompleted:
+			r.drains[p.PhoneID] = p.State
+		case drainCleared:
+			delete(r.drains, p.PhoneID)
+		default:
+			return fmt.Errorf("drain record for phone %d has unknown state %q", p.PhoneID, p.State)
+		}
+		if p.PhoneID >= r.nextPhoneID {
+			r.nextPhoneID = p.PhoneID + 1
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
@@ -392,8 +434,17 @@ func (m *Master) nextSeqLocked() int64 {
 // preserves speculation keys and item sequence numbers: the log that
 // continues after this snapshot refers to them.
 func (m *Master) walSnapshotLocked(w io.Writer) error {
-	st := walState{NextJobID: m.nextJobID, NextSeq: m.nextItemSeq, NextKey: m.nextKey}
+	st := walState{
+		NextJobID: m.nextJobID, NextSeq: m.nextItemSeq, NextKey: m.nextKey,
+		NextPhoneID: m.nextPhoneID,
+	}
 	st.DeadLetters = append(st.DeadLetters, m.deadLetters...)
+	if len(m.draining) > 0 {
+		st.Drains = make(map[int]string, len(m.draining))
+		for id, s := range m.draining {
+			st.Drains[id] = s
+		}
+	}
 	for _, js := range m.jobs {
 		st.Jobs = append(st.Jobs, walJobRec{
 			ID: js.id, Task: js.task.Name(), Params: js.task.Params(),
@@ -556,6 +607,12 @@ func (m *Master) installWALState(red *walReducer) error {
 	}
 	if red.nextKey > m.nextKey {
 		m.nextKey = red.nextKey
+	}
+	if red.nextPhoneID > m.nextPhoneID {
+		m.nextPhoneID = red.nextPhoneID
+	}
+	for id, s := range red.drains {
+		m.draining[id] = s
 	}
 	return nil
 }

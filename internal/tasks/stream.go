@@ -2,6 +2,7 @@ package tasks
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,7 +33,14 @@ type CheckpointSink struct {
 	started    bool
 	lastOffset int64
 	lastTime   time.Time
+	forced     atomic.Bool
 }
+
+// Force makes the next StreamCheckpoint call flush regardless of the
+// interval triggers — the proactive-drain path uses it to capture the
+// freshest possible state before an anticipated disconnect. Unlike the
+// rest of the sink it may be called from any goroutine.
+func (s *CheckpointSink) Force() { s.forced.Store(true) }
 
 // ckSinkKey is the context key carrying the sink.
 type ckSinkKey struct{}
@@ -84,13 +92,17 @@ func (s *CheckpointSink) maybeFlush(offset int64, ck *Checkpoint, save func()) {
 // counting from its inherited offset instead of instantly re-streaming
 // the checkpoint it was handed.
 func (s *CheckpointSink) due(offset int64) bool {
+	forced := s.forced.Swap(false)
 	if !s.started {
 		s.started = true
 		s.lastOffset = offset
 		if s.Every > 0 {
 			s.lastTime = time.Now()
 		}
-		return false
+		return forced
+	}
+	if forced {
+		return true
 	}
 	if s.EveryBytes > 0 && offset-s.lastOffset >= s.EveryBytes {
 		return true

@@ -135,16 +135,18 @@ type Phone struct {
 	cfg Config
 
 	mu             sync.Mutex
-	conn           *protocol.Conn      // guarded by mu
-	id             int                 // guarded by mu
-	everRegistered bool                // guarded by mu; a Welcome was received at least once
-	unplug         context.CancelFunc  // guarded by mu; cancels the in-flight task
-	leaving        bool                // guarded by mu; Unplug called: report failure then close
-	vanished       bool                // guarded by mu; Vanish called: die silently
-	unsent         []*protocol.Message // guarded by mu
-	ckptKB         int                 // guarded by mu; server-announced checkpoint-streaming policy
-	ckptMs         int                 // guarded by mu
-	ckptUnacked    int                 // guarded by mu; streamed checkpoints awaiting a checkpoint_ack
+	conn           *protocol.Conn        // guarded by mu
+	id             int                   // guarded by mu
+	everRegistered bool                  // guarded by mu; a Welcome was received at least once
+	unplug         context.CancelFunc    // guarded by mu; cancels the in-flight task
+	leaving        bool                  // guarded by mu; Unplug called: report failure then close
+	vanished       bool                  // guarded by mu; Vanish called: die silently
+	draining       bool                  // guarded by mu; server drain: interrupt reports "drained", stay connected
+	sink           *tasks.CheckpointSink // guarded by mu; streaming sink of the in-flight execution
+	unsent         []*protocol.Message   // guarded by mu
+	ckptKB         int                   // guarded by mu; server-announced checkpoint-streaming policy
+	ckptMs         int                   // guarded by mu
+	ckptUnacked    int                   // guarded by mu; streamed checkpoints awaiting a checkpoint_ack
 
 	registered chan struct{} // closed once Welcome arrives
 	regOnce    sync.Once
@@ -475,6 +477,25 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 				p.ckptUnacked--
 			}
 			p.mu.Unlock()
+		case protocol.TypeDrain:
+			// Proactive drain: the server predicts this phone's charge
+			// window is closing. Flush the freshest checkpoint and
+			// interrupt the in-flight task so it reports a "drained"
+			// failure (carrying the checkpoint) while the connection is
+			// still healthy. An idle phone has nothing to hand back.
+			p.mu.Lock()
+			cancel := p.unplug
+			sink := p.sink
+			if cancel != nil {
+				p.draining = true
+			}
+			p.mu.Unlock()
+			if sink != nil {
+				sink.Force()
+			}
+			if cancel != nil {
+				cancel()
+			}
 		case protocol.TypeBye:
 			return registered, nil
 		default:
@@ -521,13 +542,16 @@ func (p *Phone) flushUnsent(conn *protocol.Conn) {
 // ran, the report is buffered and replayed after the rejoin.
 func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	taskCtx, cancel := context.WithCancel(ctx)
+	sink := p.checkpointSink(m)
 	p.mu.Lock()
 	p.unplug = cancel
+	p.sink = sink
 	p.mu.Unlock()
 	defer func() {
 		cancel()
 		p.mu.Lock()
 		p.unplug = nil
+		p.sink = nil
 		p.mu.Unlock()
 	}()
 
@@ -563,7 +587,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			case <-t.C:
 			case <-taskCtx.Done():
 				t.Stop()
-				fail(ck, "unplugged")
+				fail(ck, p.interruptReason())
 				return
 			}
 		}
@@ -573,7 +597,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	if p.throttle != nil {
 		execCtx = tasks.WithPacer(taskCtx, p.throttle)
 	}
-	execCtx = tasks.WithCheckpointSink(execCtx, p.checkpointSink(m))
+	execCtx = tasks.WithCheckpointSink(execCtx, sink)
 	start := time.Now()
 	result, err := task.Process(execCtx, m.Input, ck)
 	elapsed := time.Since(start)
@@ -595,10 +619,26 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 		})
 		p.maybeLeave()
 	case errors.Is(err, tasks.ErrInterrupted):
-		fail(ck, "unplugged")
+		fail(ck, p.interruptReason())
 	default:
 		fail(nil, err.Error())
 	}
+}
+
+// interruptReason resolves what an interrupted execution should report:
+// "drained" when the server's proactive drain canceled the task (the
+// connection stays up and the phone remains in the pool), "unplugged"
+// when the user really detached the charger. A real unplug or vanish
+// racing a drain wins: the phone is actually leaving.
+func (p *Phone) interruptReason() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	drained := p.draining && !p.leaving && !p.vanished
+	p.draining = false
+	if drained {
+		return "drained"
+	}
+	return "unplugged"
 }
 
 // maxUnackedCkpts bounds streamed checkpoints in flight without a
@@ -724,8 +764,24 @@ func (p *Phone) Replug() {
 	defer p.mu.Unlock()
 	p.leaving = false
 	p.vanished = false
+	p.draining = false
 	p.conn = nil
 	p.id = 0
 	p.everRegistered = false
 	p.unsent = nil
+}
+
+// ReplugRejoin resets an unplugged or vanished phone like Replug but
+// keeps its identity: the next Run sends a rejoin hello under the prior
+// phone ID, so the server folds the new session into the same phone —
+// its charge-window history, bandwidth estimates and buffered reports
+// all survive. This is the flapping-replug shape of a churn storm: the
+// same physical phone bouncing off and back onto the charger.
+func (p *Phone) ReplugRejoin() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaving = false
+	p.vanished = false
+	p.draining = false
+	p.conn = nil
 }
