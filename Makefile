@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm check bench bench-json fmt
+.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm failover check bench bench-json fmt
 
 all: check
 
@@ -52,8 +52,20 @@ churn-storm:
 	$(GO) test ./internal/faults/ -run 'TestParseScenarioWave|TestWaveSchedule' -race -count=1 -v
 	$(GO) test ./internal/server/ -run 'TestProactiveDrain|TestWALDrainLedger|TestRecordFailureDedupes' -race -count=1 -v
 
+# Failover cluster e2e: kill the primary mid-round — the hot standby
+# must promote within its lease, workers must rotate and finish with
+# byte-identical aggregates, and a resurrected old primary (or the
+# losing side of a partition) must be epoch-fenced, never double-
+# accepting a result. Plus the replication-stream torn-cut harness.
+failover:
+	$(GO) test ./internal/cluster/ -run 'TestFailover' -race -count=1 -v
+	$(GO) test ./internal/replica/ -run 'TestStandbyTornStream' -race -count=1 -v
+	$(GO) test ./internal/wal/ -run 'TestStreamReader|TestEncodeRecord' -race -count=1 -v
+	$(GO) test ./internal/faults/ -run 'TestParseScenarioKillPrimary|TestParseScenarioPartition|TestParseScenarioFailoverErrors' -race -count=1 -v
+	$(GO) test ./internal/protocol/ -run 'TestSendIsOneWrite|TestRecvHostileLength|TestRecvChunkedBodyGrowth|TestEpochRoundTrip' -race -count=1 -v
+
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet lint build race chaos wal-crash ckpt-chaos churn-storm
+check: vet lint build race chaos wal-crash ckpt-chaos churn-storm failover
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

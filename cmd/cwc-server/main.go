@@ -25,6 +25,7 @@ import (
 	"cwc/internal/faults"
 	"cwc/internal/migrate"
 	"cwc/internal/obs"
+	"cwc/internal/replica"
 	"cwc/internal/server"
 	"cwc/internal/tasks"
 	"cwc/internal/wal"
@@ -54,6 +55,9 @@ func main() {
 		plugAware = flag.Bool("plug-aware", false, "plug-aware predictive placement: learn per-phone charge windows, veto placements that would cross the predicted unplug, and proactively drain closing windows")
 		drainQ    = flag.Float64("drain-quantile", 0.25, "charge-window survival quantile for placement vetoes and drain timing (lower: more conservative)")
 		drainLead = flag.Duration("drain-lead", 30*time.Second, "how far ahead of the predicted unplug a proactive drain starts")
+		replicaLn = flag.String("replica-listen", "", "replication-stream listen address for hot standbys (requires -wal-dir; empty: replication off)")
+		standbyOf = flag.String("standby-of", "", "run as a hot standby following this primary replication address; promotes to serving master when the lease expires (requires -wal-dir)")
+		leaseMs   = flag.Int("lease-ms", 2000, "standby lease in milliseconds: replication silence longer than this triggers promotion")
 		obsAddr   = flag.String("obs-addr", "", "admin-plane listen address for /metrics, /statusz, /debug/sched (empty: disabled)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		traceFile = flag.String("trace-file", "", "append task-lifecycle trace events to this JSONL file (empty: ring buffer only)")
@@ -143,6 +147,52 @@ func main() {
 		}
 	}
 
+	// Hot-standby mode: follow the primary's replication stream and, on
+	// promotion, serve scheduling rounds until interrupted. The standby
+	// owns its WAL (every shipped record is persisted before promotion
+	// trusts it), so the normal wal.Open path below is skipped.
+	if *standbyOf != "" {
+		if *walDir == "" {
+			fatalf("-standby-of requires -wal-dir")
+		}
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatalf("binding takeover listener: %v", err)
+		}
+		cfg.Listener = ln
+		st := replica.New(replica.StandbyOptions{
+			PrimaryAddr: *standbyOf,
+			WALDir:      *walDir,
+			WALOptions: wal.Options{
+				Sync:         policy,
+				CompactBytes: int64(*walKB) * 1024,
+				Logger:       logger.With("sub", "wal").Std(),
+				Metrics:      metrics,
+			},
+			Lease:        time.Duration(*leaseMs) * time.Millisecond,
+			MasterConfig: cfg,
+			Logger:       logger.With("sub", "standby"),
+			Metrics:      metrics,
+		})
+		logger.Infof("standby: following %s (lease %dms), takeover listener on %s", *standbyOf, *leaseMs, ln.Addr())
+		if err := st.Run(context.Background()); err != nil {
+			fatalf("standby: %v", err)
+		}
+		m := st.Master()
+		defer st.Log().Close()
+		defer m.Close()
+		defer saveJournal()
+		logger.Infof("promoted: serving on %s until interrupted", m.Addr())
+		if err := m.RunLoop(context.Background(), 250*time.Millisecond, nil); err != nil && err != context.Canceled {
+			fatalf("%v", err)
+		}
+		return
+	}
+
 	var wlog *wal.Log
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walSync)
@@ -160,9 +210,21 @@ func main() {
 		}
 		cfg.WAL = wlog
 	}
+	var ship *replica.Shipper
+	if *replicaLn != "" {
+		if wlog == nil {
+			fatalf("-replica-listen requires -wal-dir (replication ships WAL records)")
+		}
+		ship = replica.NewShipper(replica.ShipperOptions{Logger: logger.With("sub", "replica")})
+		cfg.ReplicaSink = ship
+	}
 	m := server.New(cfg)
-	// The master must stop before the WAL closes so no append races the
-	// close; deferred calls run last-in-first-out.
+	if ship != nil {
+		ship.BindMaster(m)
+	}
+	// The master must stop before the shipper, and the shipper before the
+	// WAL closes, so no append races a close; deferred calls run
+	// last-in-first-out.
 	if wlog != nil {
 		defer wlog.Close()
 	}
@@ -174,6 +236,22 @@ func main() {
 		if hadState {
 			logger.Infof("recovered state from WAL %s (%d pending items)", *walDir, m.PendingItems())
 		}
+	}
+	if ship != nil {
+		// First entry into the replicated regime: epoch 0 → 1. A plain
+		// restart of the same primary keeps its persisted epoch.
+		if m.Epoch() == 0 {
+			if _, err := m.BumpEpoch(); err != nil {
+				fatalf("recording initial epoch: %v", err)
+			}
+		}
+		rln, err := net.Listen("tcp", *replicaLn)
+		if err != nil {
+			fatalf("binding replication listener: %v", err)
+		}
+		ship.Serve(rln)
+		defer ship.Close()
+		logger.Infof("replication stream on %s (epoch %d)", rln.Addr(), m.Epoch())
 	}
 	if err := m.Start(); err != nil {
 		fatalf("%v", err)

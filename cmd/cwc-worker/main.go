@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("server", "127.0.0.1:9128", "central server address")
+		addr     = flag.String("server", "127.0.0.1:9128", "central server address, or a comma-separated failover list (primary,standby)")
 		model    = flag.String("model", "Nexus S", "device model from the catalog (or free-form with -mhz)")
 		mhz      = flag.Float64("mhz", 0, "CPU clock override in MHz (0: from catalog model)")
 		ram      = flag.Int("ram", 0, "RAM override in MB (0: from catalog model)")

@@ -11,9 +11,11 @@
 // frame is corrupted) regardless of wall-clock timing.
 //
 // The layer sits *below* the protocol framing: a "frame" here is one
-// Write call (the protocol package writes a header and a body per frame),
-// so cutting a connection mid-write is a mid-frame disconnect and
-// flipping a byte in a write yields an undecodable frame at the peer.
+// Write call (the protocol package coalesces header and body into a
+// single Write per frame), so cutting a connection mid-write is a
+// mid-frame disconnect and flipping a byte in a write yields an
+// undecodable frame at the peer. Partial writes split inside the one
+// call, so a torn header remains a reachable fault.
 package faults
 
 import (
@@ -130,11 +132,42 @@ type Plan struct {
 	Default  Profile // used for phones without a specific entry
 	PerPhone map[int]Profile
 	Waves    []Wave // coordinated unplug bands (see Schedule)
+	// PrimaryKills and Partitions script control-plane faults for a
+	// failover harness: when to SIGKILL-equivalently murder the primary
+	// master (and optionally resurrect it), and when to sever one side of
+	// the cluster. The faults package only parses and carries them — the
+	// harness owning the processes interprets the directives, because
+	// killing a master is not a per-link byte-level fault.
+	PrimaryKills []PrimaryKill
+	Partitions   []Partition
 
 	rec     Recorder
 	mu      sync.Mutex
 	cutsCnt map[int]int // per-phone cuts consumed (for MaxCuts)
 	dialCnt map[int]int // per-phone dial attempts (for refusals/ordinals)
+}
+
+// PrimaryKill scripts one abrupt primary-master death.
+type PrimaryKill struct {
+	// At is when (from scenario start) the primary is killed: no bye
+	// frames, no WAL shutdown record — the process just stops.
+	At time.Duration
+	// Resurrect, when positive, is how long after the kill the old
+	// primary is brought back from its own WAL — the split-brain probe:
+	// everything it then says must be fenced by epoch.
+	Resurrect time.Duration
+}
+
+// Partition scripts one asymmetric network partition.
+type Partition struct {
+	// Start is when (from scenario start) the partition begins.
+	Start time.Duration
+	// Duration is how long it lasts; zero means until scenario end.
+	Duration time.Duration
+	// Target names the severed traffic: "replica" cuts primary→standby
+	// replication (the standby's lease runs out while the primary still
+	// serves workers), "workers" cuts worker↔primary traffic.
+	Target string
 }
 
 // NewPlan derives a randomized-but-seeded plan giving every one of n

@@ -20,6 +20,10 @@ import (
 //	# each phone flapping back onto the charger 1500ms later
 //	seed: 7
 //	wave: frac=0.6 start=2s spread=1s replug-after=1500ms
+//	# failover drill: murder the primary at t=1s, resurrect it 2s later,
+//	# and sever replication for a second starting at t=4s
+//	kill-primary: at=1s resurrect=2s
+//	partition: start=4s duration=1s target=replica
 //
 // Phone keys: latency, jitter (durations), bw (KB/s), partial, corrupt,
 // cut, refuse (probabilities in [0,1]), cut-every, max-cuts,
@@ -32,6 +36,12 @@ import (
 // it), replug-after (how long each phone stays unplugged; omit for
 // phones that vanish for good). `seed:` sets Plan.Seed, which drives the
 // wave's deterministic phone selection and timing (see Plan.Schedule).
+//
+// kill-primary keys: at (required, when the primary dies), resurrect
+// (delay from the kill to restarting the old primary; omit to leave it
+// dead). partition keys: start (required), duration (zero/omitted means
+// until scenario end), target (required: "replica" or "workers"). Both
+// are carried on the Plan for a failover harness to interpret.
 //
 // Errors name the offending line and token.
 func ParseScenario(src string) (*Plan, error) {
@@ -71,6 +81,20 @@ func (pl *Plan) parseClause(clause string) error {
 		}
 		pl.Waves = append(pl.Waves, w)
 		return nil
+	case head == "kill-primary":
+		var k PrimaryKill
+		if err := applyKillClauses(&k, body); err != nil {
+			return fmt.Errorf("clause %q: %w", clause, err)
+		}
+		pl.PrimaryKills = append(pl.PrimaryKills, k)
+		return nil
+	case head == "partition":
+		var pt Partition
+		if err := applyPartitionClauses(&pt, body); err != nil {
+			return fmt.Errorf("clause %q: %w", clause, err)
+		}
+		pl.Partitions = append(pl.Partitions, pt)
+		return nil
 	case strings.HasPrefix(head, "phone"):
 		target := strings.TrimSpace(strings.TrimPrefix(head, "phone"))
 		if target == "*" {
@@ -90,8 +114,72 @@ func (pl *Plan) parseClause(clause string) error {
 		pl.PerPhone[id] = p
 		return nil
 	default:
-		return fmt.Errorf("clause %q must start with 'phone', 'wave' or 'seed'", clause)
+		return fmt.Errorf("clause %q must start with 'phone', 'wave', 'seed', 'kill-primary' or 'partition'", clause)
 	}
+}
+
+func applyKillClauses(k *PrimaryKill, body string) error {
+	sawAt := false
+	for _, field := range strings.Fields(body) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("setting %q is not key=value", field)
+		}
+		switch key {
+		case "at", "resurrect":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("%s: want non-negative duration, got %q", key, val)
+			}
+			if key == "at" {
+				k.At, sawAt = d, true
+			} else {
+				k.Resurrect = d
+			}
+		default:
+			return fmt.Errorf("unknown kill-primary setting %q", key)
+		}
+	}
+	if !sawAt {
+		return fmt.Errorf("kill-primary requires at=")
+	}
+	return nil
+}
+
+func applyPartitionClauses(pt *Partition, body string) error {
+	sawStart := false
+	for _, field := range strings.Fields(body) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("setting %q is not key=value", field)
+		}
+		switch key {
+		case "start", "duration":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf("%s: want non-negative duration, got %q", key, val)
+			}
+			if key == "start" {
+				pt.Start, sawStart = d, true
+			} else {
+				pt.Duration = d
+			}
+		case "target":
+			if val != "replica" && val != "workers" {
+				return fmt.Errorf("target: want \"replica\" or \"workers\", got %q", val)
+			}
+			pt.Target = val
+		default:
+			return fmt.Errorf("unknown partition setting %q", key)
+		}
+	}
+	if !sawStart {
+		return fmt.Errorf("partition requires start=")
+	}
+	if pt.Target == "" {
+		return fmt.Errorf("partition requires target=")
+	}
+	return nil
 }
 
 func applyClauses(p *Profile, body string) error {

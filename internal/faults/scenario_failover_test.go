@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScenarioKillPrimary(t *testing.T) {
+	pl, err := ParseScenario("kill-primary: at=1500ms resurrect=2s\nkill-primary: at=5s")
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if len(pl.PrimaryKills) != 2 {
+		t.Fatalf("got %d kills, want 2", len(pl.PrimaryKills))
+	}
+	if k := pl.PrimaryKills[0]; k.At != 1500*time.Millisecond || k.Resurrect != 2*time.Second {
+		t.Errorf("kill[0] = %+v, want at=1.5s resurrect=2s", k)
+	}
+	if k := pl.PrimaryKills[1]; k.At != 5*time.Second || k.Resurrect != 0 {
+		t.Errorf("kill[1] = %+v, want at=5s resurrect=0", k)
+	}
+}
+
+func TestParseScenarioPartition(t *testing.T) {
+	pl, err := ParseScenario("partition: start=4s duration=1s target=replica; partition: start=6s target=workers")
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if len(pl.Partitions) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(pl.Partitions))
+	}
+	if p := pl.Partitions[0]; p.Start != 4*time.Second || p.Duration != time.Second || p.Target != "replica" {
+		t.Errorf("partition[0] = %+v", p)
+	}
+	if p := pl.Partitions[1]; p.Start != 6*time.Second || p.Duration != 0 || p.Target != "workers" {
+		t.Errorf("partition[1] = %+v", p)
+	}
+}
+
+func TestParseScenarioFailoverErrors(t *testing.T) {
+	cases := []struct{ src, token string }{
+		{"kill-primary: resurrect=2s", "requires at="},
+		{"kill-primary: at=-1s", "non-negative duration"},
+		{"kill-primary: at=1s boom=2", "unknown kill-primary setting"},
+		{"partition: duration=1s target=replica", "requires start="},
+		{"partition: start=1s", "requires target="},
+		{"partition: start=1s target=moon", `"replica" or "workers"`},
+		{"partition: start=1s target=replica x=1", "unknown partition setting"},
+	}
+	for _, c := range cases {
+		_, err := ParseScenario(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.token) {
+			t.Errorf("ParseScenario(%q) error %v, want it to name %q", c.src, err, c.token)
+		}
+	}
+}

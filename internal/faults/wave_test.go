@@ -40,15 +40,15 @@ func TestParseScenarioWaveErrors(t *testing.T) {
 	for _, tc := range []struct {
 		src, token string
 	}{
-		{"wave: start=2s", "frac="},                      // frac is required
-		{"wave: frac=0", "frac"},                         // zero fraction
-		{"wave: frac=1.5", "frac"},                       // fraction out of range
-		{"wave: frac=0.5 start=soon", "start"},           // unparsable duration
-		{"wave: frac=0.5 spread=-1s", "spread"},          // negative duration
-		{"wave: frac=0.5 surge=1s", "surge"},             // unknown key
-		{"wave frac=0.5", "missing ':'"},                 // missing colon
-		{"seed: many", "seed"},                           // unparsable seed
-		{"storm: frac=0.5", "'phone', 'wave' or 'seed'"}, // unknown directive
+		{"wave: start=2s", "frac="},             // frac is required
+		{"wave: frac=0", "frac"},                // zero fraction
+		{"wave: frac=1.5", "frac"},              // fraction out of range
+		{"wave: frac=0.5 start=soon", "start"},  // unparsable duration
+		{"wave: frac=0.5 spread=-1s", "spread"}, // negative duration
+		{"wave: frac=0.5 surge=1s", "surge"},    // unknown key
+		{"wave frac=0.5", "missing ':'"},        // missing colon
+		{"seed: many", "seed"},                  // unparsable seed
+		{"storm: frac=0.5", "'phone', 'wave', 'seed', 'kill-primary' or 'partition'"}, // unknown directive
 	} {
 		_, err := ParseScenario(tc.src)
 		if err == nil {

@@ -105,7 +105,7 @@ func DefaultConfig() *Config {
 		DaemonPkgs:          []string{"cwc/internal/...", "cwc/cmd/cwc-server", "cwc/cmd/cwc-worker"},
 		PurePkgs:            []string{"cwc/internal/core", "cwc/internal/lp", "cwc/internal/predict"},
 
-		LeakPkgs: []string{"cwc/internal/server", "cwc/internal/worker"},
+		LeakPkgs: []string{"cwc/internal/server", "cwc/internal/worker", "cwc/internal/replica"},
 	}
 }
 

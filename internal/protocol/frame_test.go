@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countingConn counts Write calls; the fault layer treats one Write as
+// one frame, so Send must emit header and body in a single call.
+type countingConn struct {
+	net.Conn
+	writes int
+	buf    bytes.Buffer
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	c.writes++
+	return c.buf.Write(b)
+}
+
+func (c *countingConn) Close() error                       { return nil }
+func (c *countingConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *countingConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestSendIsOneWrite(t *testing.T) {
+	cc := &countingConn{}
+	c := NewConn(cc)
+	if err := c.Send(&Message{Type: TypePing, Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if cc.writes != 1 {
+		t.Fatalf("Send issued %d writes, want 1 (header and body coalesced)", cc.writes)
+	}
+	// The single write must still be a well-formed frame.
+	raw := cc.buf.Bytes()
+	if len(raw) < 4 {
+		t.Fatalf("frame too short: %d bytes", len(raw))
+	}
+	if n := binary.BigEndian.Uint32(raw); int(n) != len(raw)-4 {
+		t.Fatalf("length prefix %d, want %d", n, len(raw)-4)
+	}
+}
+
+// TestRecvHostileLength sends a frame whose length prefix claims far
+// more data than will ever arrive: the reader must not allocate the
+// claimed size up front, and must fail with a truncation error once the
+// stream dries up.
+func TestRecvHostileLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(b)
+	go func() {
+		// Claim just under the frame cap, deliver a handful of bytes.
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrameSize-1)
+		a.Write(hdr[:])
+		a.Write([]byte("only-this"))
+		a.Close()
+	}()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err := conn.Recv()
+	if err == nil {
+		t.Fatal("hostile length prefix decoded")
+	}
+	if !strings.Contains(err.Error(), io.ErrUnexpectedEOF.Error()) && !strings.Contains(err.Error(), io.EOF.Error()) {
+		t.Fatalf("err %v, want a truncation error", err)
+	}
+}
+
+// TestRecvChunkedBodyGrowth drives a body larger than the initial read
+// chunk through Recv to cover the incremental-growth path.
+func TestRecvChunkedBodyGrowth(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	big := bytes.Repeat([]byte("z"), recvChunk+recvChunk/2)
+	done := make(chan error, 1)
+	go func() { done <- a.Send(&Message{Type: TypeAssign, JobID: 1, Input: big}) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Input, big) {
+		t.Fatalf("large body mangled: %d bytes, want %d", len(got.Input), len(big))
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- a.Send(&Message{Type: TypeResult, JobID: 2, Epoch: 7}) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 {
+		t.Fatalf("epoch = %d, want 7", got.Epoch)
+	}
+
+	// Omitted epoch stays zero ("no epoch tracking") on the wire.
+	go func() { done <- a.Send(&Message{Type: TypeResult, JobID: 3}) }()
+	got, err = b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 0 {
+		t.Fatalf("epoch = %d, want 0", got.Epoch)
+	}
+}

@@ -132,6 +132,16 @@ type Message struct {
 	// Ping / Pong.
 	Seq uint64 `json:"seq,omitempty"`
 
+	// Epoch is the master's fencing epoch. A welcome announces it; the
+	// worker echoes it on every result/failure/checkpoint frame it
+	// creates from then on. The master rejects report frames stamped
+	// with a different non-zero epoch: after a standby promotion they
+	// belong to the previous regime (whose attempt numbering the new
+	// master cannot trust), and at a resurrected old primary they prove
+	// the frame's author has moved on. Zero means "no epoch tracking"
+	// (replication disabled, or a legacy peer).
+	Epoch int64 `json:"epoch,omitempty"`
+
 	// Stats is the worker's cumulative self-metering, piggybacked on
 	// pong and result frames so the master can aggregate fleet-wide
 	// metrics without any extra connections or frames. Absent from
@@ -163,6 +173,17 @@ type WorkerStats struct {
 // MaxFrameSize bounds a single frame; larger frames indicate a corrupt
 // stream or an abusive peer.
 const MaxFrameSize = 256 << 20 // 256 MiB
+
+// recvChunk caps how much Recv allocates per step while a frame body
+// arrives, so the declared length alone never commits real memory.
+const recvChunk = 1 << 20 // 1 MiB
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
 
 // ErrCorrupt marks a received frame as undecodable: an impossible length
 // prefix, a body that is not valid JSON, or a frame without a type. The
@@ -202,15 +223,15 @@ func (c *Conn) Send(m *Message) error {
 	if len(body) > MaxFrameSize {
 		return fmt.Errorf("protocol: %s frame of %d bytes exceeds limit", m.Type, len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	// One frame, one Write: a crash or fault-injected cut can never land
+	// between the header and the body, and each frame costs one syscall.
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
 	c.wm.Lock()
 	defer c.wm.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("protocol: writing frame header: %w", err)
-	}
-	if _, err := c.c.Write(body); err != nil {
-		return fmt.Errorf("protocol: writing frame body: %w", err)
+	if _, err := c.c.Write(frame); err != nil {
+		return fmt.Errorf("protocol: writing frame: %w", err)
 	}
 	return nil
 }
@@ -221,13 +242,24 @@ func (c *Conn) Recv() (*Message, error) {
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("protocol: reading frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("frame of %d bytes exceeds limit: %w", n, ErrCorrupt)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.r, body); err != nil {
-		return nil, fmt.Errorf("protocol: reading frame body: %w", err)
+	// A corrupt or hostile length prefix must not cost MaxFrameSize
+	// (256 MiB) up front: allocate at most recvChunk before any body byte
+	// has arrived and grow only as bytes actually land.
+	body := make([]byte, minInt(n, recvChunk))
+	off := 0
+	for {
+		if _, err := io.ReadFull(c.r, body[off:]); err != nil {
+			return nil, fmt.Errorf("protocol: reading frame body: %w", err)
+		}
+		off = len(body)
+		if off == n {
+			break
+		}
+		body = append(body, make([]byte, minInt(n-off, recvChunk))...)
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {

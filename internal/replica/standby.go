@@ -1,0 +1,341 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cwc/internal/obs"
+	"cwc/internal/server"
+	"cwc/internal/wal"
+)
+
+// errStandbyWAL marks a local-durability failure (the standby's own log
+// rejected a write): the one fault a resync cannot repair, so Run stops
+// instead of retrying.
+var errStandbyWAL = errors.New("replica: standby log failure")
+
+// StandbyOptions tunes a hot standby.
+type StandbyOptions struct {
+	// PrimaryAddr is the primary's replication listen address.
+	PrimaryAddr string
+	// Dial overrides the transport (tests, fault injection); the default
+	// dials PrimaryAddr over TCP.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// WALDir is the standby's own log directory: every shipped record is
+	// persisted here before it is folded, so promotion recovers from
+	// disk exactly like any master restart — the shipped stream is never
+	// trusted beyond what the local log took.
+	WALDir string
+	// WALOptions tune the standby's log (sync policy, compaction).
+	WALOptions wal.Options
+	// Lease is how long replication may stay silent (no records, no
+	// heartbeats, no successful dial) before the standby declares the
+	// primary dead and promotes itself. Default 2 s; it should comfortably
+	// exceed the primary's heartbeat period.
+	Lease time.Duration
+	// RetryEvery paces redials while the primary is unreachable.
+	// Default Lease/8.
+	RetryEvery time.Duration
+	// MasterConfig is the server configuration the promoted master runs
+	// with. Set Listener to a pre-bound takeover listener (workers that
+	// dial it before promotion get an immediate close, so their failover
+	// rotation moves on quickly); otherwise Addr is bound at promotion.
+	// The WAL field is owned by the standby and overwritten.
+	MasterConfig server.Config
+	// Logger receives standby lifecycle events; nil discards. Metrics,
+	// when set, exposes cwc_replica_lag_records from the standby's side
+	// (heartbeat-shipped minus locally applied).
+	Logger  *obs.Logger
+	Metrics *obs.Registry
+}
+
+// Standby follows a primary's replication stream and promotes itself to
+// a full master when the lease runs out. One Standby is single-use:
+// Run → (stream, possibly across many reconnects) → promotion.
+type Standby struct {
+	opts StandbyOptions
+
+	promoted chan struct{} // closed once the promoted master is serving
+	handover chan struct{} // closed to reclaim the takeover listener
+
+	mu     sync.Mutex
+	master *server.Master // guarded by mu until promoted closes
+	wlog   *wal.Log       // guarded by mu until promoted closes
+
+	wg sync.WaitGroup
+}
+
+// New creates a standby; call Run to start following.
+func New(opts StandbyOptions) *Standby {
+	if opts.Lease <= 0 {
+		opts.Lease = 2 * time.Second
+	}
+	if opts.RetryEvery <= 0 {
+		opts.RetryEvery = opts.Lease / 8
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.Discard()
+	}
+	if opts.Dial == nil {
+		addr := opts.PrimaryAddr
+		var d net.Dialer
+		opts.Dial = func(ctx context.Context) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return &Standby{
+		opts:     opts,
+		promoted: make(chan struct{}),
+		handover: make(chan struct{}),
+	}
+}
+
+// Promoted is closed once the standby has promoted itself and its
+// master is serving.
+func (s *Standby) Promoted() <-chan struct{} { return s.promoted }
+
+// Master returns the promoted master (nil before Promoted closes).
+func (s *Standby) Master() *server.Master {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.master
+}
+
+// Log returns the standby's WAL (after promotion: the promoted
+// master's log, which the caller closes after Master().Close()).
+func (s *Standby) Log() *wal.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wlog
+}
+
+// Run follows the primary until the lease expires, then promotes, and
+// returns nil with the promoted master serving. It returns early on
+// context cancellation or an unrecoverable local fault (a wedged
+// standby log). The lease clock starts now: a primary that is already
+// dead costs exactly one lease of patience.
+func (s *Standby) Run(ctx context.Context) error {
+	wl, err := wal.Open(s.opts.WALDir, s.opts.WALOptions)
+	if err != nil {
+		return fmt.Errorf("replica: opening standby wal: %w", err)
+	}
+	if ln := s.opts.MasterConfig.Listener; ln != nil {
+		s.wg.Add(1)
+		go s.refuseUntilPromoted(ln)
+	}
+	fold := server.NewWALFold()
+	lastHeard := time.Now()
+	for {
+		if ctx.Err() != nil {
+			wl.Close()
+			return ctx.Err()
+		}
+		if time.Since(lastHeard) > s.opts.Lease {
+			s.opts.Logger.Warnf("lease expired after %v of silence: promoting", s.opts.Lease)
+			return s.promote(wl, fold)
+		}
+		conn, err := s.opts.Dial(ctx)
+		if err != nil {
+			// Dial failures count as silence: the lease keeps draining.
+			s.opts.Logger.Debugf("primary unreachable: %v", err)
+			select {
+			case <-time.After(s.opts.RetryEvery):
+			case <-ctx.Done():
+			}
+			continue
+		}
+		err = s.follow(ctx, conn, wl, fold, &lastHeard)
+		conn.Close()
+		if err != nil {
+			if errors.Is(err, errStandbyWAL) {
+				wl.Close()
+				return err
+			}
+			s.opts.Logger.Warnf("stream lost: %v", err)
+		}
+	}
+}
+
+// follow consumes one replication connection: the snapshot frame, then
+// records (persist → fold) and heartbeats, refreshing lastHeard on
+// every frame. Returns when the connection breaks, the stream stalls a
+// full lease, or a record fails to persist or fold.
+func (s *Standby) follow(ctx context.Context, conn net.Conn, wl *wal.Log, fold *server.WALFold, lastHeard *time.Time) error {
+	sr := wal.NewStreamReader(bufio.NewReaderSize(conn, 64<<10))
+	var connApplied int64
+	sawSnapshot := false
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// A silent-but-open connection must not outlive the lease. A conn
+		// that refuses a deadline is already dead — keep reading so any
+		// buffered complete frames still apply; the read reports the end.
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.Lease))
+		rec, err := sr.Next()
+		if err != nil {
+			// Clean cut, torn record, corruption, timeout: all end this
+			// connection; the torn record was never applied (StreamReader
+			// yields only complete, checksummed records) and a reconnect
+			// resyncs from a fresh snapshot.
+			return err
+		}
+		*lastHeard = time.Now()
+		switch rec.Type {
+		case recSnapshot:
+			if sawSnapshot {
+				return fmt.Errorf("replica: unexpected mid-stream snapshot")
+			}
+			sawSnapshot = true
+			// The snapshot supersedes everything the standby's log holds:
+			// rotate it in verbatim so disk and fold agree on the cut.
+			if err := wl.Compact(func(w io.Writer) error {
+				_, werr := w.Write(rec.Payload)
+				return werr
+			}); err != nil {
+				return fmt.Errorf("%w: installing snapshot: %v", errStandbyWAL, err)
+			}
+			if err := fold.LoadSnapshot(rec.Payload); err != nil {
+				return fmt.Errorf("replica: folding snapshot: %w", err)
+			}
+			s.opts.Logger.Infof("synced snapshot from primary (%d bytes, epoch %d)", len(rec.Payload), fold.Epoch())
+		case recHeartbeat:
+			hb, err := decodeHeartbeat(rec.Payload)
+			if err != nil {
+				return err
+			}
+			s.setLag(hb.Shipped - connApplied)
+		default:
+			if !sawSnapshot {
+				return fmt.Errorf("replica: record before snapshot frame")
+			}
+			// Persist before fold: promotion trusts only the local log.
+			if err := wl.Append(rec.Type, rec.Payload); err != nil {
+				return fmt.Errorf("%w: persisting shipped record: %v", errStandbyWAL, err)
+			}
+			if err := fold.Apply(rec); err != nil {
+				// An inconsistent record: drop the stream and resync. The
+				// reconnect's snapshot Compact also rotates the bad record
+				// out of the local log, so disk and fold re-converge.
+				return fmt.Errorf("replica: folding shipped record: %w", err)
+			}
+			connApplied++
+			if wl.CompactDue() {
+				if err := wl.Compact(fold.Snapshot); err != nil {
+					return fmt.Errorf("%w: compacting standby log: %v", errStandbyWAL, err)
+				}
+			}
+		}
+	}
+}
+
+func decodeHeartbeat(b []byte) (heartbeat, error) {
+	var hb heartbeat
+	if err := json.Unmarshal(b, &hb); err != nil {
+		return hb, fmt.Errorf("replica: decoding heartbeat: %w", err)
+	}
+	return hb, nil
+}
+
+func (s *Standby) setLag(lag int64) {
+	if s.opts.Metrics == nil {
+		return
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	s.opts.Metrics.Gauge("cwc_replica_lag_records").Set(float64(lag))
+}
+
+// refuseUntilPromoted owns the pre-bound takeover listener before
+// promotion: workers trying the standby's address early get an
+// immediate close — a fast, deterministic "not yet" that sends their
+// failover rotation back to the primary — instead of a hung handshake.
+// Accept is deadline-paced so promotion can reclaim the listener
+// without closing it (the port must survive into the promoted master).
+func (s *Standby) refuseUntilPromoted(ln net.Listener) {
+	defer s.wg.Done()
+	type deadliner interface{ SetDeadline(time.Time) error }
+	dl, _ := ln.(deadliner)
+	for {
+		select {
+		case <-s.handover:
+			return
+		default:
+		}
+		if dl != nil {
+			_ = dl.SetDeadline(time.Now().Add(50 * time.Millisecond))
+		}
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+			continue
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			continue
+		}
+		return // listener closed underneath us
+	}
+}
+
+// promote turns the standby into a serving master: reclaim the takeover
+// listener, reopen the log so recovery sees everything the stream
+// persisted, replay it with the standard RecoverWAL machinery, bump the
+// fencing epoch (durably, before the first worker is welcomed), and
+// start serving.
+func (s *Standby) promote(wl *wal.Log, fold *server.WALFold) error {
+	close(s.handover)
+	s.wg.Wait()
+	if ln := s.opts.MasterConfig.Listener; ln != nil {
+		if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			_ = dl.SetDeadline(time.Time{})
+		}
+	}
+	streamEpoch := fold.Epoch()
+	if err := wl.Close(); err != nil {
+		return fmt.Errorf("replica: closing standby log for promotion: %w", err)
+	}
+	// Reopen: wal.Open is what populates Snapshot()/Recovered(), so the
+	// promoted master recovers from disk exactly like a restarted one.
+	wl2, err := wal.Open(s.opts.WALDir, s.opts.WALOptions)
+	if err != nil {
+		return fmt.Errorf("replica: reopening standby log: %w", err)
+	}
+	cfg := s.opts.MasterConfig
+	cfg.WAL = wl2
+	if cfg.Role == "" {
+		cfg.Role = "promoted-primary"
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = s.opts.Logger
+	}
+	m := server.New(cfg)
+	if err := m.RecoverWAL(); err != nil {
+		wl2.Close()
+		return fmt.Errorf("replica: recovering replicated state: %w", err)
+	}
+	epoch, err := m.BumpEpoch()
+	if err != nil {
+		wl2.Close()
+		return fmt.Errorf("replica: fencing promotion: %w", err)
+	}
+	if err := m.Start(); err != nil {
+		wl2.Close()
+		return fmt.Errorf("replica: starting promoted master: %w", err)
+	}
+	s.mu.Lock()
+	s.master = m
+	s.wlog = wl2
+	s.mu.Unlock()
+	close(s.promoted)
+	s.opts.Logger.Infof("promoted: serving on %s at epoch %d (stream epoch was %d)", m.Addr(), epoch, streamEpoch)
+	return nil
+}

@@ -1,0 +1,153 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cwc/internal/server"
+	"cwc/internal/tasks"
+	"cwc/internal/wal"
+)
+
+// captureSink records every record a primary ships.
+type captureSink struct {
+	mu   sync.Mutex
+	typs []uint8
+	recs [][]byte
+}
+
+func (c *captureSink) Ship(typ uint8, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.typs = append(c.typs, typ)
+	c.recs = append(c.recs, append([]byte(nil), payload...))
+}
+
+func (c *captureSink) Lag() int64 { return 0 }
+
+// TestStandbyTornStreamEveryCut feeds a standby a real replication
+// stream (snapshot frame + records captured from a live primary)
+// truncated at every byte offset, and asserts the standby applies
+// exactly the records whose frames arrived whole — a torn record is
+// never folded and never reaches the standby's log — with the follow
+// loop ending in a resync-able error, never a false success.
+func TestStandbyTornStreamEveryCut(t *testing.T) {
+	// A real primary generates the stream: bump the epoch, cut a
+	// snapshot, then submit jobs so records ship after the cut.
+	sink := &captureSink{}
+	pwl, err := wal.Open(filepath.Join(t.TempDir(), "primary"), wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pwl.Close()
+	m := server.New(server.Config{WAL: pwl, ReplicaSink: sink})
+	if err := m.RecoverWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BumpEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	if err := m.ReplicaSnapshot(func(b []byte) { snap = append([]byte(nil), b...) }); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	cutIdx := len(sink.recs)
+	sink.mu.Unlock()
+	task, err := tasks.New("primecount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(task, []byte("2 3 5 7 11"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(task, []byte("13 17 19"), true); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := wal.EncodeRecord(recSnapshot, snap)
+	boundaries := []int{len(stream)} // offsets at which a whole frame ends
+	sink.mu.Lock()
+	for i := cutIdx; i < len(sink.recs); i++ {
+		stream = append(stream, wal.EncodeRecord(sink.typs[i], sink.recs[i])...)
+		boundaries = append(boundaries, len(stream))
+	}
+	sink.mu.Unlock()
+	if len(boundaries) < 3 {
+		t.Fatalf("stream has %d frames, want snapshot + 2 submits", len(boundaries))
+	}
+
+	ctx := context.Background()
+	for cut := 0; cut <= len(stream); cut++ {
+		whole := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				whole++
+			}
+		}
+		wantApplied := int64(0)
+		if whole > 0 {
+			wantApplied = int64(whole - 1) // minus the snapshot frame
+		}
+
+		dir := filepath.Join(t.TempDir(), "standby")
+		wl, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fold := server.NewWALFold()
+		s := New(StandbyOptions{Lease: time.Minute})
+		us, them := net.Pipe()
+		go func() {
+			them.Write(stream[:cut])
+			them.Close()
+		}()
+		lastHeard := time.Now()
+		err = s.follow(ctx, us, wl, fold, &lastHeard)
+		us.Close()
+
+		if fold.Applied() != wantApplied {
+			t.Fatalf("cut %d: folded %d records, want %d", cut, fold.Applied(), wantApplied)
+		}
+		atBoundary := cut == 0
+		for _, b := range boundaries {
+			if cut == b {
+				atBoundary = true
+			}
+		}
+		switch {
+		case errors.Is(err, errStandbyWAL):
+			t.Fatalf("cut %d: local log failure from a torn stream: %v", cut, err)
+		case atBoundary && !errors.Is(err, io.EOF):
+			t.Fatalf("cut %d (frame boundary): err %v, want io.EOF", cut, err)
+		case !atBoundary && !errors.Is(err, io.ErrUnexpectedEOF):
+			t.Fatalf("cut %d (mid-frame): err %v, want ErrUnexpectedEOF", cut, err)
+		}
+		if whole > 0 && fold.Epoch() != 1 {
+			t.Fatalf("cut %d: fold epoch %d, want 1 from snapshot", cut, fold.Epoch())
+		}
+
+		// The standby's own log must hold exactly the applied records:
+		// reopen it the way promotion would and count what recovery sees.
+		if err := wl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wl2, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+		if err != nil {
+			t.Fatalf("cut %d: reopening standby log: %v", cut, err)
+		}
+		if got := int64(len(wl2.Recovered())); got != wantApplied {
+			t.Fatalf("cut %d: standby log holds %d records, want %d", cut, got, wantApplied)
+		}
+		if (wl2.Snapshot() != nil) != (whole > 0) {
+			t.Fatalf("cut %d: standby log snapshot presence %v, want %v", cut, wl2.Snapshot() != nil, whole > 0)
+		}
+		wl2.Close()
+	}
+}

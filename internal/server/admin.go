@@ -64,6 +64,8 @@ func registerMasterMetrics(r *obs.Registry) {
 		"cwc_pending_items":               "work items awaiting the next scheduling instant",
 		"cwc_round_predicted_makespan_ms": "last round's scheduler-predicted makespan",
 		"cwc_round_actual_makespan_ms":    "last round's measured wall time",
+		"cwc_epoch":                       "current fencing epoch (0: replication never enabled)",
+		"cwc_replica_lag_records":         "WAL records accepted locally but not yet written to the slowest attached standby",
 	}
 	for fam, help := range gauges {
 		r.Help(fam, help)
@@ -79,6 +81,7 @@ func registerMasterMetrics(r *obs.Registry) {
 	}
 	r.Help("cwc_offline_failures_total", "offline-failure events by structured reason")
 	r.Help("cwc_frames_received_total", "protocol frames received by type")
+	r.Help("cwc_frames_fenced_total", "report frames rejected for carrying another master regime's epoch")
 }
 
 // ingestWorkerStats publishes a worker's piggybacked cumulative counters
@@ -227,9 +230,14 @@ func (m *Master) refreshGauges() {
 		}
 	}
 	pending := len(m.pending)
+	epoch := m.epoch
 	m.mu.Unlock()
 	m.cfg.Metrics.Gauge("cwc_phones_alive").Set(float64(alive))
 	m.cfg.Metrics.Gauge("cwc_pending_items").Set(float64(pending))
+	m.cfg.Metrics.Gauge("cwc_epoch").Set(float64(epoch))
+	if m.cfg.ReplicaSink != nil {
+		m.cfg.Metrics.Gauge("cwc_replica_lag_records").Set(float64(m.cfg.ReplicaSink.Lag()))
+	}
 }
 
 func (m *Master) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -282,25 +290,39 @@ type statusRound struct {
 }
 
 type statusz struct {
-	Now             time.Time      `json:"now"`
-	PhonesAlive     int            `json:"phones_alive"`
-	Phones          []statusPhone  `json:"phones"`
-	PendingItems    int            `json:"pending_items"`
-	Rounds          int            `json:"rounds"`
-	LastRound       *statusRound   `json:"last_round,omitempty"`
-	JobsSubmitted   int            `json:"jobs_submitted"`
-	JobsCompleted   int            `json:"jobs_completed"`
-	DeadLetters     []DeadLetter   `json:"dead_letters,omitempty"`
-	OfflineFailures map[string]int `json:"offline_failures,omitempty"`
-	CheckpointFolds int            `json:"checkpoint_folds"`
-	TraceEvents     int64          `json:"trace_events"`
-	MetricSeries    int            `json:"metric_series"`
+	Now time.Time `json:"now"`
+	// Role is "primary" (or a promotion path's label); Epoch the fencing
+	// epoch; ReplicaLagRecords the slowest attached standby's backlog
+	// (absent when replication is off).
+	Role              string         `json:"role"`
+	Epoch             int64          `json:"epoch"`
+	ReplicaLagRecords *int64         `json:"replica_lag_records,omitempty"`
+	PhonesAlive       int            `json:"phones_alive"`
+	Phones            []statusPhone  `json:"phones"`
+	PendingItems      int            `json:"pending_items"`
+	Rounds            int            `json:"rounds"`
+	LastRound         *statusRound   `json:"last_round,omitempty"`
+	JobsSubmitted     int            `json:"jobs_submitted"`
+	JobsCompleted     int            `json:"jobs_completed"`
+	DeadLetters       []DeadLetter   `json:"dead_letters,omitempty"`
+	OfflineFailures   map[string]int `json:"offline_failures,omitempty"`
+	CheckpointFolds   int            `json:"checkpoint_folds"`
+	TraceEvents       int64          `json:"trace_events"`
+	MetricSeries      int            `json:"metric_series"`
 }
 
 func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
-	st := statusz{Now: time.Now(), TraceEvents: m.cfg.Tracer.Total(), MetricSeries: m.cfg.Metrics.SeriesCount()}
+	st := statusz{
+		Now: time.Now(), Role: m.cfg.Role,
+		TraceEvents: m.cfg.Tracer.Total(), MetricSeries: m.cfg.Metrics.SeriesCount(),
+	}
+	if m.cfg.ReplicaSink != nil {
+		lag := m.cfg.ReplicaSink.Lag()
+		st.ReplicaLagRecords = &lag
+	}
 
 	m.mu.Lock()
+	st.Epoch = m.epoch
 	est := m.est
 	tasksSeen := map[string]bool{}
 	for _, js := range m.jobs {

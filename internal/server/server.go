@@ -124,6 +124,29 @@ type Config struct {
 	// duration as one continuing session (contact bounce, a brief cable
 	// wiggle) rather than two. Negative disables merging. Default 1 s.
 	FlapMergeWindow time.Duration
+	// Listener, when set, is a pre-bound listener Start serves on instead
+	// of dialing Addr. A promoted standby uses it to take over a port it
+	// bound (and answered with fast refusals) long before promotion.
+	Listener net.Listener
+	// ReplicaSink, when set, receives every WAL record immediately after
+	// it reaches the local log, for live streaming to hot standbys
+	// (internal/replica). Ship is called with the master's state lock
+	// held, so implementations must not block.
+	ReplicaSink ReplicaSink
+	// Role labels this master in /statusz: "primary" (default), or
+	// whatever a promotion path sets (internal/replica uses
+	// "promoted-primary").
+	Role string
+}
+
+// ReplicaSink receives the master's WAL records for live replication.
+type ReplicaSink interface {
+	// Ship delivers one appended record (type + JSON payload). Called in
+	// log order for every record that matters on replay; must not block.
+	Ship(typ uint8, payload []byte)
+	// Lag reports records accepted locally but not yet written to the
+	// slowest attached standby (0 when none is attached).
+	Lag() int64
 }
 
 func (c *Config) fill() {
@@ -179,6 +202,9 @@ func (c *Config) fill() {
 		c.FlapMergeWindow = time.Second
 	} else if c.FlapMergeWindow < 0 {
 		c.FlapMergeWindow = 0
+	}
+	if c.Role == "" {
+		c.Role = "primary"
 	}
 }
 
@@ -357,6 +383,11 @@ type Master struct {
 	// a new charge session clears them; WAL-logged (walRecDrain).
 	draining map[int]string // guarded by mu
 
+	// epoch is the fencing epoch (walRecEpoch): 0 until replication
+	// assigns one, then strictly monotone across regimes. Report frames
+	// stamped with a different non-zero epoch are rejected (see fenced).
+	epoch int64 // guarded by mu
+
 	closed  bool // guarded by mu
 	wg      sync.WaitGroup
 	stopped chan struct{}
@@ -428,9 +459,13 @@ func (m *Master) recordOffline(phoneID int, reason, detail string) {
 
 // Start begins listening and accepting phones.
 func (m *Master) Start() error {
-	ln, err := net.Listen("tcp", m.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("server: listen %s: %w", m.cfg.Addr, err)
+	ln := m.cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", m.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("server: listen %s: %w", m.cfg.Addr, err)
+		}
 	}
 	if m.cfg.ListenerHook != nil {
 		ln = m.cfg.ListenerHook(ln)
@@ -494,6 +529,45 @@ func (m *Master) Close() {
 	m.wg.Wait()
 }
 
+// Kill is Close without the courtesy: no bye frames, no orderly
+// teardown — the closest an in-process master gets to SIGKILL.
+// Listeners and connections drop abruptly, goroutines are awaited, and
+// the WAL (owned by the caller) is left exactly as the last append left
+// it, so a failover harness can kill a primary mid-round and later
+// resurrect it from that log.
+func (m *Master) Kill() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	phones := make([]*phoneState, 0, len(m.phones))
+	for _, ps := range m.phones {
+		phones = append(phones, ps)
+	}
+	pending := make([]*protocol.Conn, 0, len(m.handshaking))
+	for c := range m.handshaking {
+		pending = append(pending, c)
+	}
+	m.mu.Unlock()
+
+	close(m.stopped)
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	if m.obsLn != nil {
+		m.obsLn.Close()
+	}
+	for _, c := range pending {
+		c.Close()
+	}
+	for _, ps := range phones {
+		ps.markDead()
+	}
+	m.wg.Wait()
+}
+
 func (m *Master) acceptLoop() {
 	defer m.wg.Done()
 	for {
@@ -544,15 +618,23 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 	m.mu.Lock()
 	var id int
 	var prior *phoneState
-	if old, ok := m.phones[hello.PhoneID]; hello.Rejoin && ok {
+	if old, ok := m.phones[hello.PhoneID]; hello.Rejoin && ok && old.info.Model == hello.Model {
 		// Reconnection: the phone resumes its prior identity. Bandwidth
 		// estimates (and the estimator's per-phone refinements, keyed by
 		// ID) survive the reconnect; the old connection state is retired.
+		// The model must match: after a failover two different phones can
+		// legitimately believe they hold the same ID (the old regime's
+		// grant vs the new master's), and an unchecked takeover lets them
+		// steal the registration from each other forever.
 		id = hello.PhoneID
 		prior = old
 	} else {
 		id = m.nextPhoneID
 		m.nextPhoneID++
+		// Durable (and replicated) so no later regime — a restarted
+		// master or a promoted standby — can ever reissue this ID while
+		// the phone still holds it.
+		m.walAppend(walRecRegister, walRegisterRec{PhoneID: id})
 	}
 	ps := &phoneState{
 		info: PhoneInfo{
@@ -572,6 +654,7 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		ps.info.BMsPerKB = prior.info.BMsPerKB
 	}
 	m.phones[id] = ps
+	epoch := m.epoch
 	waiters := m.phoneWait
 	m.phoneWait = make(chan struct{})
 	m.mu.Unlock()
@@ -595,6 +678,7 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		KeepaliveMs: int(m.cfg.KeepalivePeriod / time.Millisecond),
 		CkptEveryKB: ckptKB,
 		CkptEveryMs: int(m.cfg.CheckpointEvery / time.Millisecond),
+		Epoch:       epoch,
 	}); err != nil {
 		ps.markDead()
 		return
@@ -653,11 +737,19 @@ func (m *Master) readLoop(ps *phoneState) {
 			default:
 			}
 		case protocol.TypeCheckpoint:
+			if m.fenced(msg) {
+				m.rejectFenced(ps, msg)
+				continue
+			}
 			// Streamed mid-execution checkpoints are folded here, never
 			// routed to respCh: dispatchers only consume result/failure
 			// frames, and a checkpoint must not displace them.
 			m.recordStreamedCheckpoint(ps, msg)
 		case protocol.TypeResult, protocol.TypeFailure:
+			if m.fenced(msg) {
+				m.rejectFenced(ps, msg)
+				continue
+			}
 			// Reports for attempts no dispatcher is waiting on — a
 			// straggler finishing after abandonment, a reconnected worker
 			// flushing its unsent buffer — are resolved here so they never
@@ -685,6 +777,67 @@ func (m *Master) readLoop(ps *phoneState) {
 			m.cfg.Logger.With("phone", ps.info.ID, "type", string(msg.Type)).
 				Debugf("ignoring unexpected frame")
 		}
+	}
+}
+
+// Epoch returns the master's current fencing epoch (0 until replication
+// assigns one).
+func (m *Master) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// BumpEpoch durably advances the fencing epoch by one. The record is
+// WAL-logged (and shipped to standbys) before the new epoch takes
+// effect, so no crash can resurrect a regime that shares an epoch with
+// this one. Called exactly twice in a master's life cycle: once at
+// primary startup when replication is enabled (0 → 1), and once per
+// standby promotion (N → N+1). A plain restart never bumps — a
+// resurrected old primary stays at the epoch it last persisted, strictly
+// below its promoted standby's, which is what makes its frames fenceable.
+func (m *Master) BumpEpoch() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := m.epoch + 1
+	if err := m.walAppendErr(walRecEpoch, walEpochRec{Epoch: next}); err != nil {
+		return 0, fmt.Errorf("server: persisting epoch %d: %w", next, err)
+	}
+	m.epoch = next
+	m.cfg.Metrics.Gauge("cwc_epoch").Set(float64(next))
+	return next, nil
+}
+
+// fenced reports whether a report-carrying frame belongs to another
+// master regime and must be rejected. A frame stamped with a different
+// non-zero epoch was issued under a different primary: its attempt
+// numbering restarted at promotion, so accepting it could pair a stale
+// report with a fresh attempt — or let a resurrected old primary keep
+// collecting results it no longer owns. Epoch-less frames (replication
+// off, legacy workers) pass; the attempt/key dedupe still guards them.
+func (m *Master) fenced(msg *protocol.Message) bool {
+	if msg.Epoch == 0 {
+		return false
+	}
+	m.mu.Lock()
+	cur := m.epoch
+	m.mu.Unlock()
+	return msg.Epoch != cur
+}
+
+// rejectFenced drops a frame from another epoch: counted, logged, never
+// routed to dispatchers or folds. A frame from a *newer* epoch also
+// means this master itself is stale (a resurrected old primary watching
+// the fleet move on) — worth the louder log line.
+func (m *Master) rejectFenced(ps *phoneState, msg *protocol.Message) {
+	m.cfg.Metrics.Counter("cwc_frames_fenced_total", "type", string(msg.Type)).Inc()
+	cur := m.Epoch()
+	l := m.cfg.Logger.With("phone", ps.info.ID, "type", string(msg.Type),
+		"frame_epoch", msg.Epoch, "epoch", cur)
+	if msg.Epoch > cur {
+		l.Errorf("fenced frame from a newer epoch: this master has been superseded")
+	} else {
+		l.Warnf("fenced frame from a stale epoch")
 	}
 }
 

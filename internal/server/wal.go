@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,7 +44,27 @@ const (
 	walRecFinish     uint8 = 8  // job aggregated to its final result
 	walRecCheckpoint uint8 = 9  // streamed mid-execution checkpoint folded into an open range
 	walRecDrain      uint8 = 10 // proactive-drain state transition for a phone
+	walRecEpoch      uint8 = 11 // fencing epoch bumped (replication enabled or standby promoted)
+	walRecRegister   uint8 = 12 // phone ID issued to a fresh registration
 )
+
+// walRegisterRec keeps phone IDs monotone across recovery *and*
+// failover: a promoted standby (or restarted master) must never issue
+// an ID that a phone from the previous regime still holds, or the two
+// phones fight over one registration through endless rejoin takeovers.
+// Dispatch and drain records also carry phone IDs, but only this record
+// covers a phone that registered and was never assigned work.
+type walRegisterRec struct {
+	PhoneID int `json:"phone_id"`
+}
+
+// walEpochRec persists a fencing-epoch bump. The record is durable (and
+// shipped to standbys) before the new epoch takes effect, so no two
+// master regimes can ever share an epoch: a resurrected primary replays
+// the epochs it bumped, never the one its standby minted at promotion.
+type walEpochRec struct {
+	Epoch int64 `json:"epoch"`
+}
 
 type walSubmit struct {
 	JobID  int    `json:"job_id"`
@@ -172,6 +193,8 @@ type walState struct {
 	Open        []walItemRec   `json:"open,omitempty"`
 	DeadLetters []DeadLetter   `json:"dead_letters,omitempty"`
 	Drains      map[int]string `json:"drains,omitempty"`
+	// Epoch is the fencing epoch at the snapshot cut; see walRecEpoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // walReducer replays a snapshot plus records into durable state.
@@ -185,6 +208,7 @@ type walReducer struct {
 	open        map[int64]*walItemRec // by speculation key
 	dead        []DeadLetter
 	drains      map[int]string // phone ID -> drain state
+	epoch       int64
 }
 
 func newWALReducer() *walReducer {
@@ -231,6 +255,9 @@ func (r *walReducer) loadSnapshot(b []byte) error {
 		if id >= r.nextPhoneID {
 			r.nextPhoneID = id + 1
 		}
+	}
+	if st.Epoch > r.epoch {
+		r.epoch = st.Epoch
 	}
 	return nil
 }
@@ -385,6 +412,23 @@ func (r *walReducer) apply(rec wal.Record) error {
 		if p.PhoneID >= r.nextPhoneID {
 			r.nextPhoneID = p.PhoneID + 1
 		}
+	case walRecRegister:
+		var p walRegisterRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding register: %w", err)
+		}
+		if p.PhoneID >= r.nextPhoneID {
+			r.nextPhoneID = p.PhoneID + 1
+		}
+	case walRecEpoch:
+		var p walEpochRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding epoch: %w", err)
+		}
+		if p.Epoch < r.epoch {
+			return fmt.Errorf("epoch record regresses %d -> %d", r.epoch, p.Epoch)
+		}
+		r.epoch = p.Epoch
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
@@ -419,7 +463,17 @@ func (m *Master) walAppendErr(typ uint8, v any) error {
 	if err != nil {
 		return fmt.Errorf("encoding: %w", err)
 	}
-	return wl.Append(typ, b)
+	if err := wl.Append(typ, b); err != nil {
+		return err
+	}
+	// Ship only what the local log took: a standby must never hold a
+	// record its primary lost. Append sites that matter for replay order
+	// hold m.mu, so the shipped sequence matches the log sequence (the
+	// one lock-free site, walRecDispatch, is a replay no-op).
+	if s := m.cfg.ReplicaSink; s != nil {
+		s.Ship(typ, b)
+	}
+	return nil
 }
 
 // nextSeqLocked allocates a durable work-item sequence number. Caller
@@ -436,7 +490,7 @@ func (m *Master) nextSeqLocked() int64 {
 func (m *Master) walSnapshotLocked(w io.Writer) error {
 	st := walState{
 		NextJobID: m.nextJobID, NextSeq: m.nextItemSeq, NextKey: m.nextKey,
-		NextPhoneID: m.nextPhoneID,
+		NextPhoneID: m.nextPhoneID, Epoch: m.epoch,
 	}
 	st.DeadLetters = append(st.DeadLetters, m.deadLetters...)
 	if len(m.draining) > 0 {
@@ -614,5 +668,99 @@ func (m *Master) installWALState(red *walReducer) error {
 	for id, s := range red.drains {
 		m.draining[id] = s
 	}
+	if red.epoch > m.epoch {
+		m.epoch = red.epoch
+	}
 	return nil
+}
+
+// ReplicaSnapshot hands a replication shipper an exact cut of the
+// master's durable state: activate is called with the serialized
+// walState snapshot while the state lock is held, so if the callback
+// registers a stream subscriber, every record appended after it returns
+// is shipped and nothing already inside the snapshot is shipped again.
+// (Dispatch audit records, appended without the lock, may straddle the
+// cut; they are replay no-ops either way.)
+func (m *Master) ReplicaSnapshot(activate func(snapshot []byte)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var buf bytes.Buffer
+	if err := m.walSnapshotLocked(&buf); err != nil {
+		return fmt.Errorf("server: replica snapshot: %w", err)
+	}
+	activate(buf.Bytes())
+	return nil
+}
+
+// WALFold incrementally folds WAL records exactly as RecoverWAL replays
+// them, for consumers outside this package — a hot standby validating
+// its shipped stream, tracking the primary's state live, and
+// serializing compaction snapshots for its own log. (At promotion the
+// standby still recovers from its persisted log via RecoverWAL; the
+// fold never substitutes for the durable path.)
+type WALFold struct {
+	red     *walReducer
+	applied int64
+}
+
+// NewWALFold returns an empty fold.
+func NewWALFold() *WALFold { return &WALFold{red: newWALReducer()} }
+
+// LoadSnapshot primes the fold from a walState snapshot (a compaction
+// snapshot, or the replication stream's opening frame), replacing any
+// previous state and resetting the applied count.
+func (f *WALFold) LoadSnapshot(b []byte) error {
+	red := newWALReducer()
+	if err := red.loadSnapshot(b); err != nil {
+		return err
+	}
+	f.red = red
+	f.applied = 0
+	return nil
+}
+
+// Apply folds one record. An undecodable or inconsistent record is the
+// caller's cue to drop the stream and resync from a fresh snapshot.
+func (f *WALFold) Apply(rec wal.Record) error {
+	if err := f.red.apply(rec); err != nil {
+		return err
+	}
+	f.applied++
+	return nil
+}
+
+// Applied counts records folded since the last snapshot load.
+func (f *WALFold) Applied() int64 { return f.applied }
+
+// Epoch returns the folded fencing epoch.
+func (f *WALFold) Epoch() int64 { return f.red.epoch }
+
+// Snapshot serializes the folded state in the compaction-snapshot
+// format, collections sorted so equivalent states encode identically.
+func (f *WALFold) Snapshot(w io.Writer) error {
+	r := f.red
+	st := walState{
+		NextJobID: r.nextJobID, NextSeq: r.nextSeq, NextKey: r.nextKey,
+		NextPhoneID: r.nextPhoneID, Epoch: r.epoch,
+	}
+	st.DeadLetters = append(st.DeadLetters, r.dead...)
+	if len(r.drains) > 0 {
+		st.Drains = make(map[int]string, len(r.drains))
+		for id, s := range r.drains {
+			st.Drains[id] = s
+		}
+	}
+	for _, j := range r.jobs {
+		st.Jobs = append(st.Jobs, *j)
+	}
+	for _, it := range r.fresh {
+		st.Fresh = append(st.Fresh, *it)
+	}
+	for _, it := range r.open {
+		st.Open = append(st.Open, *it)
+	}
+	sort.Slice(st.Jobs, func(i, j int) bool { return st.Jobs[i].ID < st.Jobs[j].ID })
+	sort.Slice(st.Fresh, func(i, j int) bool { return st.Fresh[i].Seq < st.Fresh[j].Seq })
+	sort.Slice(st.Open, func(i, j int) bool { return st.Open[i].Key < st.Open[j].Key })
+	return json.NewEncoder(w).Encode(st)
 }

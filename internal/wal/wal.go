@@ -405,11 +405,7 @@ func (l *Log) Append(typ uint8, payload []byte) (err error) {
 			}
 		}()
 	}
-	frame := make([]byte, headerSize+1+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(1+len(payload)))
-	frame[headerSize] = typ
-	copy(frame[headerSize+1:], payload)
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(frame[headerSize:]))
+	frame := EncodeRecord(typ, payload)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

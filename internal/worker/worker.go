@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,10 @@ import (
 
 // Config describes the phone this worker emulates.
 type Config struct {
+	// ServerAddr is the master's address, or a comma-separated failover
+	// list ("primary:9128,standby:9128"): the worker dials the addresses
+	// in order, rotating to the next on every failed attempt, so a fleet
+	// survives a master failover without reconfiguration.
 	ServerAddr string
 	Model      string
 	CPUMHz     float64
@@ -147,6 +152,7 @@ type Phone struct {
 	ckptKB         int                   // guarded by mu; server-announced checkpoint-streaming policy
 	ckptMs         int                   // guarded by mu
 	ckptUnacked    int                   // guarded by mu; streamed checkpoints awaiting a checkpoint_ack
+	epoch          int64                 // guarded by mu; master regime from the last welcome (0 = untracked)
 
 	registered chan struct{} // closed once Welcome arrives
 	regOnce    sync.Once
@@ -251,11 +257,19 @@ func (p *Phone) WaitRegistered(ctx context.Context) error {
 // and replays any reports the dead connection swallowed.
 func (p *Phone) Run(ctx context.Context) error {
 	dial := p.cfg.Dial
+	rotate := func() {}
 	if dial == nil {
+		// Failover dialing: ServerAddr may list several masters; each
+		// failed attempt rotates to the next address, so a worker cut off
+		// from a dead primary finds the promoted standby on its own,
+		// paced by the same backoff as any reconnect.
+		addrs := splitAddrs(p.cfg.ServerAddr)
+		addrIdx := 0
 		dial = func(ctx context.Context) (net.Conn, error) {
 			var d net.Dialer
-			return d.DialContext(ctx, "tcp", p.cfg.ServerAddr)
+			return d.DialContext(ctx, "tcp", addrs[addrIdx%len(addrs)])
 		}
+		rotate = func() { addrIdx++ }
 	}
 
 	// Assignments execute strictly serially — a phone runs one task at a
@@ -304,6 +318,7 @@ func (p *Phone) Run(ctx context.Context) error {
 			failures = 0
 		}
 		failures++
+		rotate() // next attempt tries the next address in the failover list
 		if pol.MaxAttempts >= 0 && failures > pol.MaxAttempts {
 			return fmt.Errorf("worker: giving up after %d consecutive connection failures: %w",
 				failures-1, err)
@@ -317,6 +332,32 @@ func (p *Phone) Run(ctx context.Context) error {
 			return err
 		}
 	}
+}
+
+// splitAddrs parses a comma-separated failover address list; it always
+// returns at least one entry (an empty ServerAddr is rejected by New
+// unless a custom dialer is supplied).
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		addrs = []string{s}
+	}
+	return addrs
+}
+
+// currentEpoch reads the master regime this worker last registered with;
+// report frames are stamped at creation time, so a report built under an
+// old regime keeps the old epoch and is fenced after a failover instead
+// of being mis-accepted by the new master.
+func (p *Phone) currentEpoch() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
 }
 
 // runConn serves one connection to the master: dial, hello (a rejoin
@@ -389,6 +430,7 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			_ = conn.Send(&protocol.Message{
 				Type: protocol.TypeFailure, JobID: m.JobID,
 				Partition: m.Partition, Attempt: m.Attempt,
+				Epoch: p.currentEpoch(),
 				Error: "worker assignment queue full",
 			})
 		}
@@ -409,6 +451,17 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 		case protocol.TypeWelcome:
 			_ = conn.SetReadDeadline(time.Time{})
 			p.mu.Lock()
+			if m.Epoch != 0 && p.epoch != 0 && m.Epoch < p.epoch {
+				// A master announcing an older epoch is a resurrected
+				// primary that lost a failover; refuse it and let the
+				// failover rotation find the current regime.
+				old := p.epoch
+				p.mu.Unlock()
+				return registered, fmt.Errorf("worker: welcome from superseded master (epoch %d < %d)", m.Epoch, old)
+			}
+			if m.Epoch != 0 {
+				p.epoch = m.Epoch
+			}
 			p.id = m.PhoneID
 			p.everRegistered = true
 			p.ckptKB, p.ckptMs = m.CkptEveryKB, m.CkptEveryMs
@@ -454,7 +507,8 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			if !ok {
 				_ = conn.Send(&protocol.Message{
 					Type: protocol.TypeFailure, JobID: m.JobID,
-					Partition: m.Partition, Error: "unexpected assignment chunk",
+					Partition: m.Partition, Epoch: p.currentEpoch(),
+					Error: "unexpected assignment chunk",
 				})
 				continue
 			}
@@ -463,7 +517,8 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 				delete(assembling, key)
 				_ = conn.Send(&protocol.Message{
 					Type: protocol.TypeFailure, JobID: m.JobID,
-					Partition: m.Partition, Error: "assignment chunk overflow",
+					Partition: m.Partition, Epoch: p.currentEpoch(),
+					Error: "assignment chunk overflow",
 				})
 				continue
 			}
@@ -561,6 +616,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			JobID:      m.JobID,
 			Partition:  m.Partition,
 			Attempt:    m.Attempt,
+			Epoch:      p.currentEpoch(),
 			Span:       m.Span,
 			Checkpoint: ck,
 			Error:      msg,
@@ -611,6 +667,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			JobID:       m.JobID,
 			Partition:   m.Partition,
 			Attempt:     m.Attempt,
+			Epoch:       p.currentEpoch(),
 			Span:        m.Span,
 			Result:      result,
 			ExecMs:      float64(elapsed) / float64(time.Millisecond),
@@ -683,6 +740,7 @@ func (p *Phone) checkpointSink(m *protocol.Message) *tasks.CheckpointSink {
 				return
 			}
 			p.ckptUnacked++
+			epoch := p.epoch
 			p.mu.Unlock()
 			seq++
 			err := conn.Send(&protocol.Message{
@@ -690,6 +748,7 @@ func (p *Phone) checkpointSink(m *protocol.Message) *tasks.CheckpointSink {
 				JobID:      m.JobID,
 				Partition:  m.Partition,
 				Attempt:    m.Attempt,
+				Epoch:      epoch,
 				Span:       m.Span,
 				Seq:        seq,
 				Checkpoint: ck,
