@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm failover check bench bench-json fmt
+.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm failover byzantine check bench bench-json fmt
 
 all: check
 
@@ -64,8 +64,19 @@ failover:
 	$(GO) test ./internal/faults/ -run 'TestParseScenarioKillPrimary|TestParseScenarioPartition|TestParseScenarioFailoverErrors' -race -count=1 -v
 	$(GO) test ./internal/protocol/ -run 'TestSendIsOneWrite|TestRecvHostileLength|TestRecvChunkedBodyGrowth|TestEpochRoundTrip' -race -count=1 -v
 
+# Result-integrity e2e: a fleet seeded with 20% liars (faults DSL) under
+# replicated voting (k=2) must finish with byte-identical aggregates,
+# every liar reputation-quarantined, no honest phone harmed, and the
+# quarantine must survive an abrupt mid-run master kill via WAL record
+# replay. Plus the voting/audit/tie-break unit suite and the DSL parser.
+byzantine:
+	$(GO) test ./internal/cluster/ -run 'TestByzantine|TestClusterCorruptResult' -race -count=1 -v
+	$(GO) test ./internal/server/ -run 'TestVoting|TestAudit|TestQuarantine|TestClaimedDigest|TestReputation' -race -count=1 -v
+	$(GO) test ./internal/faults/ -run 'TestParseScenarioByzantine|TestByzantineFor' -race -count=1 -v
+	$(GO) test ./internal/tasks/ -run 'TestDigest' -race -count=1 -v
+
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet lint build race chaos wal-crash ckpt-chaos churn-storm failover
+check: vet lint build race chaos wal-crash ckpt-chaos churn-storm failover byzantine
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

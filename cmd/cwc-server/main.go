@@ -52,6 +52,8 @@ func main() {
 		snapEvery = flag.Duration("snapshot-every", 0, "also write -state/-journal snapshots periodically, not just on exit (0: exit only)")
 		ckptKB    = flag.Int("ckpt-kb", 256, "checkpoint-streaming interval announced to workers, in KB of input processed (negative: disable streaming)")
 		ckptEvery = flag.Duration("ckpt-every", 0, "additional wall-time checkpoint-streaming trigger announced to workers (0: byte trigger only)")
+		verifyK   = flag.Int("verify-replicas", 1, "replicated-voting factor k: execute every partition on k disjoint phones and quorum-vote the result digests (1: voting off)")
+		auditRate = flag.Float64("audit-rate", 0, "spot-check fraction of partitions silently re-executed on a second phone when voting is off (0: audits off)")
 		plugAware = flag.Bool("plug-aware", false, "plug-aware predictive placement: learn per-phone charge windows, veto placements that would cross the predicted unplug, and proactively drain closing windows")
 		drainQ    = flag.Float64("drain-quantile", 0.25, "charge-window survival quantile for placement vetoes and drain timing (lower: more conservative)")
 		drainLead = flag.Duration("drain-lead", 30*time.Second, "how far ahead of the predicted unplug a proactive drain starts")
@@ -93,6 +95,8 @@ func main() {
 		MaxItemRetries:     *retries,
 		CheckpointEveryKB:  *ckptKB,
 		CheckpointEvery:    *ckptEvery,
+		VerifyReplicas:     *verifyK,
+		AuditRate:          *auditRate,
 		PlugAware:          *plugAware,
 		DrainQuantile:      *drainQ,
 		DrainLead:          *drainLead,

@@ -96,6 +96,10 @@ func Start(ctx context.Context, opts Options) (*Cluster, error) {
 	runCtx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{Master: m, cancel: cancel}
 
+	var byz map[int]faults.ByzantineSpec
+	if opts.Faults != nil {
+		byz = opts.Faults.ByzantineFor(len(opts.Phones))
+	}
 	for i, ph := range opts.Phones {
 		delay := opts.DelayPerKB
 		if delay > 0 {
@@ -122,6 +126,15 @@ func Start(ctx context.Context, opts Options) (*Cluster, error) {
 		if rc.Seed != 0 {
 			rc.Seed += int64(i)
 		}
+		var wb worker.Byzantine
+		if s, ok := byz[i]; ok {
+			wb = worker.Byzantine{
+				LiarProb:    s.LiarProb,
+				LazyProb:    s.LazyProb,
+				CorruptProb: s.CorruptProb,
+				Seed:        s.Seed,
+			}
+		}
 		w, err := worker.New(worker.Config{
 			ServerAddr: m.Addr(),
 			Model:      ph.Spec.Model,
@@ -131,6 +144,7 @@ func Start(ctx context.Context, opts Options) (*Cluster, error) {
 			Dial:       dial,
 			Charging:   charging,
 			Reconnect:  rc,
+			Byzantine:  wb,
 
 			CheckpointEveryKB: opts.CheckpointEveryKB,
 			CheckpointEvery:   opts.CheckpointEvery,

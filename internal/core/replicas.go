@@ -1,0 +1,80 @@
+package core
+
+// Replica placement for result verification. A schedule fixes one phone
+// per partition; verification (replicated voting, spot-check audits)
+// needs the *same* partition on extra, disjoint phones so their result
+// digests can be compared. Placement is greedy by running span — each
+// copy lands on the currently least-loaded eligible phone — because a
+// copy is pure overhead: the goal is to bound the makespan damage, not
+// to optimize it.
+
+// Copy is one replica placement: the partition at
+// s.PerPhone[SrcPhone][SrcIdx] is to be re-executed on phone index
+// Phone. All indices index Instance.Phones / Schedule.PerPhone, not
+// phone IDs.
+type Copy struct {
+	SrcPhone int
+	SrcIdx   int
+	Phone    int
+}
+
+// PlaceCopies places want(srcPhone, srcIdx, a) extra executions of every
+// scheduled partition on phones disjoint from the original (and from
+// each other), greedily choosing the eligible phone with the smallest
+// running span. RAM caps are honoured; availability windows are
+// advisory here as everywhere (a copy may stretch a phone past its
+// predicted window — the drain machinery handles that like any other
+// overrun). When fewer eligible phones exist than copies wanted, the
+// shortfall is silent: callers that care compare the returned copies
+// against what they asked for.
+func PlaceCopies(inst *Instance, s *Schedule, want func(srcPhone, srcIdx int, a Assignment) int) []Copy {
+	spans := s.PhoneSpans(inst)
+	shipped := make([]map[int]bool, len(inst.Phones))
+	for i := range inst.Phones {
+		shipped[i] = map[int]bool{}
+	}
+	for i, asgs := range s.PerPhone {
+		for _, a := range asgs {
+			shipped[i][a.Job] = true
+		}
+	}
+	var out []Copy
+	for sp, asgs := range s.PerPhone {
+		for idx, a := range asgs {
+			n := want(sp, idx, a)
+			taken := map[int]bool{sp: true}
+			for c := 0; c < n; c++ {
+				best := -1
+				for i, p := range inst.Phones {
+					if taken[i] {
+						continue
+					}
+					if p.RAMKB > 0 && a.SizeKB > p.RAMKB+sizeTolerance {
+						continue
+					}
+					if best == -1 || spans[i] < spans[best] {
+						best = i
+					}
+				}
+				if best == -1 {
+					break // no disjoint phone left for this partition
+				}
+				taken[best] = true
+				withExec := !shipped[best][a.Job]
+				shipped[best][a.Job] = true
+				spans[best] += inst.Cost(best, a.Job, a.SizeKB, withExec)
+				out = append(out, Copy{SrcPhone: sp, SrcIdx: idx, Phone: best})
+			}
+		}
+	}
+	return out
+}
+
+// PlaceReplicas places k-1 disjoint copies of every scheduled partition,
+// for k total executions per partition. k <= 1 asks for no copies.
+func PlaceReplicas(inst *Instance, s *Schedule, k int) []Copy {
+	if k <= 1 {
+		return nil
+	}
+	return PlaceCopies(inst, s, func(int, int, Assignment) int { return k - 1 })
+}

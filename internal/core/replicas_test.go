@@ -1,0 +1,87 @@
+package core
+
+import "testing"
+
+func replicaInstance(nPhones int) *Instance {
+	inst := &Instance{}
+	for i := 0; i < nPhones; i++ {
+		inst.Phones = append(inst.Phones, Phone{ID: i + 1, BMsPerKB: 1})
+	}
+	inst.Jobs = []Job{{ID: 1, Task: "t", InputKB: 100}}
+	for range inst.Phones {
+		inst.C = append(inst.C, []float64{2})
+	}
+	return inst
+}
+
+func TestPlaceReplicasDisjoint(t *testing.T) {
+	inst := replicaInstance(4)
+	s := &Schedule{PerPhone: [][]Assignment{
+		{{Phone: 0, Job: 0, SizeKB: 50}},
+		{{Phone: 1, Job: 0, SizeKB: 50}},
+		{},
+		{},
+	}}
+	copies := PlaceReplicas(inst, s, 3)
+	if len(copies) != 4 {
+		t.Fatalf("want 4 copies (2 partitions x 2 extras), got %d", len(copies))
+	}
+	perSrc := map[[2]int]map[int]bool{}
+	for _, c := range copies {
+		key := [2]int{c.SrcPhone, c.SrcIdx}
+		if perSrc[key] == nil {
+			perSrc[key] = map[int]bool{}
+		}
+		if c.Phone == c.SrcPhone {
+			t.Fatalf("copy of %v landed on its own source phone", key)
+		}
+		if perSrc[key][c.Phone] {
+			t.Fatalf("two copies of %v on the same phone %d", key, c.Phone)
+		}
+		perSrc[key][c.Phone] = true
+	}
+}
+
+func TestPlaceReplicasShortfallIsSilent(t *testing.T) {
+	inst := replicaInstance(2)
+	s := &Schedule{PerPhone: [][]Assignment{
+		{{Phone: 0, Job: 0, SizeKB: 100}},
+		{},
+	}}
+	// Ask for 4 executions with only 2 phones: one copy materializes.
+	copies := PlaceReplicas(inst, s, 4)
+	if len(copies) != 1 {
+		t.Fatalf("want 1 copy, got %d", len(copies))
+	}
+	if copies[0].Phone != 1 {
+		t.Fatalf("copy went to phone index %d, want 1", copies[0].Phone)
+	}
+}
+
+func TestPlaceCopiesRespectsRAM(t *testing.T) {
+	inst := replicaInstance(3)
+	inst.Phones[2].RAMKB = 10 // too small for the 50 KB partition
+	s := &Schedule{PerPhone: [][]Assignment{
+		{{Phone: 0, Job: 0, SizeKB: 50}, {Phone: 0, Job: 0, SizeKB: 50}},
+		{},
+		{},
+	}}
+	copies := PlaceCopies(inst, s, func(int, int, Assignment) int { return 2 })
+	for _, c := range copies {
+		if c.Phone == 2 {
+			t.Fatal("copy placed on a phone whose RAM cap excludes it")
+		}
+	}
+	// Each partition still gets its one eligible copy (phone 1).
+	if len(copies) != 2 {
+		t.Fatalf("want 2 copies, got %d", len(copies))
+	}
+}
+
+func TestPlaceReplicasOffIsNil(t *testing.T) {
+	inst := replicaInstance(3)
+	s := &Schedule{PerPhone: [][]Assignment{{{Phone: 0, Job: 0, SizeKB: 100}}, {}, {}}}
+	if PlaceReplicas(inst, s, 1) != nil || PlaceReplicas(inst, s, 0) != nil {
+		t.Fatal("k<=1 must place nothing")
+	}
+}

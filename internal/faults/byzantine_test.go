@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseScenarioByzantine(t *testing.T) {
+	pl, err := ParseScenario(`
+		seed: 9
+		liar: frac=0.2
+		lazy-result: frac=0.5 prob=0.25
+		corrupt-result: frac=0.1 prob=0.5
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Liar != (ByzDirective{Frac: 0.2, Prob: 1}) {
+		t.Errorf("liar = %+v, want frac=0.2 prob=1 (default)", pl.Liar)
+	}
+	if pl.LazyResult != (ByzDirective{Frac: 0.5, Prob: 0.25}) {
+		t.Errorf("lazy-result = %+v", pl.LazyResult)
+	}
+	if pl.CorruptResult != (ByzDirective{Frac: 0.1, Prob: 0.5}) {
+		t.Errorf("corrupt-result = %+v", pl.CorruptResult)
+	}
+}
+
+func TestParseScenarioByzantineErrors(t *testing.T) {
+	for _, src := range []string{
+		"liar: prob=0.5",          // missing frac
+		"liar: frac=0",            // frac out of range
+		"liar: frac=1.5",          // frac out of range
+		"liar: frac=0.2 prob=0",   // prob out of range
+		"liar: frac=0.2 warp=9",   // unknown key
+		"lazy-result: frac",       // not key=value
+		"corrupt-result: frac=no", // unparsable fraction
+	} {
+		if _, err := ParseScenario(src); err == nil {
+			t.Errorf("ParseScenario(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestByzantineForDeterministicAndScaled(t *testing.T) {
+	pl, err := ParseScenario("seed: 7\nliar: frac=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pl.ByzantineFor(10), pl.ByzantineFor(10)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed and fleet should yield identical casts")
+	}
+	if len(a) != 2 {
+		t.Fatalf("frac=0.2 over 10 phones afflicted %d, want 2", len(a))
+	}
+	for phone, s := range a {
+		if s.LiarProb != 1 || s.LazyProb != 0 || s.CorruptProb != 0 {
+			t.Errorf("phone %d spec = %+v, want pure liar", phone, s)
+		}
+		if s.Seed == 0 {
+			t.Errorf("phone %d got zero misbehaviour seed", phone)
+		}
+	}
+	if got := pl.ByzantinePhones(10); len(got) != 2 || got[0] > got[1] {
+		t.Errorf("ByzantinePhones = %v, want 2 sorted indices", got)
+	}
+	pl2, _ := ParseScenario("seed: 8\nliar: frac=0.2")
+	if reflect.DeepEqual(pl.ByzantinePhones(10), pl2.ByzantinePhones(10)) &&
+		reflect.DeepEqual(pl.ByzantineFor(10), pl2.ByzantineFor(10)) {
+		t.Error("different seeds should yield different casts or specs")
+	}
+}
+
+func TestByzantineForMinimumOneAndOverlap(t *testing.T) {
+	pl, err := ParseScenario("liar: frac=0.1\nlazy-result: frac=0.1 prob=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frac=0.1 over 3 phones rounds to 0, but a requested directive
+	// always afflicts at least one phone.
+	specs := pl.ByzantineFor(3)
+	liars, lazies := 0, 0
+	for _, s := range specs {
+		if s.LiarProb > 0 {
+			liars++
+		}
+		if s.LazyProb > 0 {
+			lazies++
+		}
+	}
+	if liars != 1 || lazies != 1 {
+		t.Errorf("liars=%d lazies=%d, want 1 each (possibly overlapping)", liars, lazies)
+	}
+	if pl.ByzantineFor(0) == nil || len(pl.ByzantineFor(0)) != 0 {
+		t.Error("empty fleet should yield an empty cast")
+	}
+}

@@ -140,6 +140,14 @@ type Plan struct {
 	// killing a master is not a per-link byte-level fault.
 	PrimaryKills []PrimaryKill
 	Partitions   []Partition
+	// Liar, LazyResult and CorruptResult script compute-layer
+	// misbehaviour over a seeded fraction of the fleet (see
+	// ByzantineFor). Like the control-plane faults above, the package
+	// only parses and carries them — the harness wiring workers maps
+	// the expanded specs onto each worker's byzantine knobs.
+	Liar          ByzDirective
+	LazyResult    ByzDirective
+	CorruptResult ByzDirective
 
 	rec     Recorder
 	mu      sync.Mutex

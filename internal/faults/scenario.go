@@ -24,6 +24,8 @@ import (
 //	# and sever replication for a second starting at t=4s
 //	kill-primary: at=1s resurrect=2s
 //	partition: start=4s duration=1s target=replica
+//	# byzantine fleet: 20% of the phones lie about every result
+//	liar: frac=0.2
 //
 // Phone keys: latency, jitter (durations), bw (KB/s), partial, corrupt,
 // cut, refuse (probabilities in [0,1]), cut-every, max-cuts,
@@ -42,6 +44,13 @@ import (
 // dead). partition keys: start (required), duration (zero/omitted means
 // until scenario end), target (required: "replica" or "workers"). Both
 // are carried on the Plan for a failover harness to interpret.
+//
+// liar, lazy-result and corrupt-result keys: frac (required, fraction
+// of the fleet in (0,1] that misbehaves; seeded selection via
+// Plan.Seed, see ByzantineFor) and prob (per-result misbehaviour
+// probability in (0,1], default 1). These are compute-layer faults —
+// wrong bytes over a perfect link — carried for the harness to map
+// onto worker byzantine knobs.
 //
 // Errors name the offending line and token.
 func ParseScenario(src string) (*Plan, error) {
@@ -95,6 +104,20 @@ func (pl *Plan) parseClause(clause string) error {
 		}
 		pl.Partitions = append(pl.Partitions, pt)
 		return nil
+	case head == "liar", head == "lazy-result", head == "corrupt-result":
+		var d ByzDirective
+		if err := applyByzClauses(&d, body); err != nil {
+			return fmt.Errorf("clause %q: %w", clause, err)
+		}
+		switch head {
+		case "liar":
+			pl.Liar = d
+		case "lazy-result":
+			pl.LazyResult = d
+		case "corrupt-result":
+			pl.CorruptResult = d
+		}
+		return nil
 	case strings.HasPrefix(head, "phone"):
 		target := strings.TrimSpace(strings.TrimPrefix(head, "phone"))
 		if target == "*" {
@@ -114,7 +137,7 @@ func (pl *Plan) parseClause(clause string) error {
 		pl.PerPhone[id] = p
 		return nil
 	default:
-		return fmt.Errorf("clause %q must start with 'phone', 'wave', 'seed', 'kill-primary' or 'partition'", clause)
+		return fmt.Errorf("clause %q must start with 'phone', 'wave', 'seed', 'kill-primary', 'partition', 'liar', 'lazy-result' or 'corrupt-result'", clause)
 	}
 }
 
@@ -178,6 +201,34 @@ func applyPartitionClauses(pt *Partition, body string) error {
 	}
 	if pt.Target == "" {
 		return fmt.Errorf("partition requires target=")
+	}
+	return nil
+}
+
+func applyByzClauses(d *ByzDirective, body string) error {
+	d.Prob = 1
+	for _, field := range strings.Fields(body) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("setting %q is not key=value", field)
+		}
+		switch key {
+		case "frac", "prob":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return fmt.Errorf("%s: want fraction in (0,1], got %q", key, val)
+			}
+			if key == "frac" {
+				d.Frac = f
+			} else {
+				d.Prob = f
+			}
+		default:
+			return fmt.Errorf("unknown byzantine setting %q", key)
+		}
+	}
+	if d.Frac == 0 {
+		return fmt.Errorf("byzantine clause requires frac=")
 	}
 	return nil
 }

@@ -48,7 +48,7 @@ func TestParseScenarioWaveErrors(t *testing.T) {
 		{"wave: frac=0.5 surge=1s", "surge"},    // unknown key
 		{"wave frac=0.5", "missing ':'"},        // missing colon
 		{"seed: many", "seed"},                  // unparsable seed
-		{"storm: frac=0.5", "'phone', 'wave', 'seed', 'kill-primary' or 'partition'"}, // unknown directive
+		{"storm: frac=0.5", "'phone', 'wave', 'seed', 'kill-primary', 'partition', 'liar', 'lazy-result' or 'corrupt-result'"}, // unknown directive
 	} {
 		_, err := ParseScenario(tc.src)
 		if err == nil {

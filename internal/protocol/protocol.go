@@ -128,6 +128,15 @@ type Message struct {
 	ProcessedKB float64           `json:"processed_kb,omitempty"`
 	Checkpoint  *tasks.Checkpoint `json:"checkpoint,omitempty"`
 	Error       string            `json:"error,omitempty"`
+	// Digest is the worker-computed canonical SHA-256 digest of the
+	// frame's payload (tasks.Digest of Result on result frames,
+	// Checkpoint.Digest on checkpoint frames). The master recomputes the
+	// digest from the received bytes; a mismatch with the claimed value
+	// proves the payload was damaged between task output and fold, and
+	// the digest — not the payload — is what replica votes compare.
+	// Empty means "no digest" (legacy peers); the master then falls back
+	// to its own recomputation.
+	Digest string `json:"digest,omitempty"`
 
 	// Ping / Pong.
 	Seq uint64 `json:"seq,omitempty"`

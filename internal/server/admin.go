@@ -54,6 +54,10 @@ func registerMasterMetrics(r *obs.Registry) {
 		"cwc_drain_started_total":         "proactive drains started as predicted charge windows closed",
 		"cwc_drain_completed_total":       "proactive drains whose work was handed back before the disconnect",
 		"cwc_placements_vetoed_total":     "placements rejected because completion would cross the phone's predicted-unplug quantile",
+		"cwc_jobs_failed_total":           "jobs that ended in a terminal aggregation failure",
+		"cwc_verify_votes_total":          "verification ballots cast (result digests entered into a vote group)",
+		"cwc_verify_audits_total":         "spot-check audit comparisons completed",
+		"cwc_verify_quarantines_total":    "phones quarantined for falling below the reputation threshold",
 	}
 	for fam, help := range counters {
 		r.Help(fam, help)
@@ -66,6 +70,7 @@ func registerMasterMetrics(r *obs.Registry) {
 		"cwc_round_actual_makespan_ms":    "last round's measured wall time",
 		"cwc_epoch":                       "current fencing epoch (0: replication never enabled)",
 		"cwc_replica_lag_records":         "WAL records accepted locally but not yet written to the slowest attached standby",
+		"cwc_phones_quarantined":          "phones currently excluded from placement for integrity failures",
 	}
 	for fam, help := range gauges {
 		r.Help(fam, help)
@@ -80,6 +85,7 @@ func registerMasterMetrics(r *obs.Registry) {
 		r.Histogram(fam)
 	}
 	r.Help("cwc_offline_failures_total", "offline-failure events by structured reason")
+	r.Help("cwc_verify_mismatches_total", "verification disagreements by kind (digest, vote, audit, checkpoint)")
 	r.Help("cwc_frames_received_total", "protocol frames received by type")
 	r.Help("cwc_frames_fenced_total", "report frames rejected for carrying another master regime's epoch")
 }
@@ -231,9 +237,11 @@ func (m *Master) refreshGauges() {
 	}
 	pending := len(m.pending)
 	epoch := m.epoch
+	quarantined := len(m.quarantined)
 	m.mu.Unlock()
 	m.cfg.Metrics.Gauge("cwc_phones_alive").Set(float64(alive))
 	m.cfg.Metrics.Gauge("cwc_pending_items").Set(float64(pending))
+	m.cfg.Metrics.Gauge("cwc_phones_quarantined").Set(float64(quarantined))
 	m.cfg.Metrics.Gauge("cwc_epoch").Set(float64(epoch))
 	if m.cfg.ReplicaSink != nil {
 		m.cfg.Metrics.Gauge("cwc_replica_lag_records").Set(float64(m.cfg.ReplicaSink.Lag()))
@@ -281,6 +289,12 @@ type statusPhone struct {
 	// charge window at the configured drain quantile; absent when the
 	// estimator lacks history (it would never veto).
 	PredictedRemainingMs *float64 `json:"predicted_remaining_ms,omitempty"`
+	// Reputation is the phone's result-integrity score (EWMA of
+	// verification outcomes); absent until the first recorded outcome.
+	Reputation *float64 `json:"reputation,omitempty"`
+	// Quarantined marks a phone excluded from placement for integrity
+	// failures — still connected and visible, never assigned.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 type statusRound struct {
@@ -350,20 +364,28 @@ func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 	st.CheckpointFolds = m.ckptFolds
 	type phoneRow struct {
-		info   PhoneInfo
-		missed int
-		alive  bool
-		drain  string
+		info        PhoneInfo
+		missed      int
+		alive       bool
+		drain       string
+		rep         *float64
+		quarantined bool
 	}
 	rows := make([]phoneRow, 0, len(m.phones))
 	for _, ps := range m.phones {
 		ps.mu.Lock()
 		missed, deadClosed := ps.missedPings, ps.deadClosed
 		ps.mu.Unlock()
-		rows = append(rows, phoneRow{
+		row := phoneRow{
 			info: ps.info, missed: missed, alive: !deadClosed,
-			drain: m.draining[ps.info.ID],
-		})
+			drain:       m.draining[ps.info.ID],
+			quarantined: m.quarantined[ps.info.ID],
+		}
+		if r, ok := m.reputation[ps.info.ID]; ok {
+			rep := r
+			row.rep = &rep
+		}
+		rows = append(rows, row)
 	}
 	stats := make(map[int]protocol.WorkerStats, len(m.workerStats))
 	for id, s := range m.workerStats {
@@ -384,6 +406,7 @@ func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 			RAMMB: row.info.RAMMB, Alive: row.alive, BMsPerKB: row.info.BMsPerKB,
 			MissedPings: row.missed, DrainState: row.drain,
 			ChargeSessions: m.windows.Sessions(row.info.ID),
+			Reputation:     row.rep, Quarantined: row.quarantined,
 		}
 		if rem, ok := m.windows.RemainingMs(row.info.ID, now, m.cfg.DrainQuantile); ok {
 			r := rem

@@ -77,15 +77,28 @@ func (m *Master) Submit(task tasks.Task, input []byte, atomic bool) (int, error)
 	return id, nil
 }
 
-// Result returns a completed job's aggregated result.
+// Result returns a completed job's aggregated result. A job that ended
+// in a terminal aggregation failure never yields a result; JobFailure
+// reports why.
 func (m *Master) Result(jobID int) ([]byte, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	js, ok := m.jobs[jobID]
-	if !ok || !js.done {
+	if !ok || !js.done || js.failure != "" {
 		return nil, false
 	}
 	return js.final, true
+}
+
+// JobFailure reports a job's terminal aggregation error, if it has one.
+func (m *Master) JobFailure(jobID int) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js, ok := m.jobs[jobID]
+	if !ok || js.failure == "" {
+		return "", false
+	}
+	return js.failure, true
 }
 
 // PendingItems reports how many work items await scheduling (fresh jobs
@@ -190,7 +203,7 @@ func (m *Master) profileOne(ctx context.Context, est *predict.Estimator, it *wor
 	for {
 		var slowest *phoneState
 		for _, ps := range m.alivePhones() {
-			if tried[ps.info.ID] {
+			if tried[ps.info.ID] || m.isQuarantined(ps.info.ID) {
 				continue
 			}
 			if slowest == nil || ps.info.CPUMHz < slowest.info.CPUMHz {
@@ -317,7 +330,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 		return nil, ErrNothingToDo
 	}
 
-	phones := m.placeablePhones(m.alivePhones())
+	phones := m.admissiblePhones(m.placeablePhones(m.alivePhones()))
 	if len(phones) == 0 {
 		m.mu.Lock()
 		m.pending = append(items, m.pending...)
@@ -333,7 +346,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	}
 	// Re-snapshot: profiling may have killed a phone (or the drain
 	// monitor may have closed one).
-	phones = m.placeablePhones(m.alivePhones())
+	phones = m.admissiblePhones(m.placeablePhones(m.alivePhones()))
 	if len(phones) == 0 {
 		m.mu.Lock()
 		m.pending = append(items, m.pending...)
@@ -414,7 +427,19 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 			return nil, fmt.Errorf("server: persisting round record: %w", err)
 		}
 	}
+	// Verification executions (replicas / audits) ride the same round:
+	// registered in this critical section so their vote groups exist
+	// before any copy can report. Copies share their source's key, so
+	// the round record above already names every byte range once.
+	extra := m.planVerificationLocked(plans, inst, items)
+	// From here until the end-of-round sweep, RunRound owns aggregation;
+	// vote resolutions that complete a job's coverage mid-round leave the
+	// aggregate to the sweep.
+	m.roundActive = true
 	m.mu.Unlock()
+	for pi, es := range extra {
+		plans[pi] = append(plans[pi], es...)
+	}
 
 	// The packing decision, snapshotted before dispatch so /debug/sched
 	// can pair it with the round's actuals afterwards.
@@ -469,9 +494,11 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	snap.Round = m.rounds
 	m.lastSched = snap
 	// Sweep attempt records that can no longer resolve: completed keys,
-	// and dead phones (whose in-flight work was re-queued on death).
+	// and dead phones (whose in-flight work was re-queued on death). A
+	// key with an open vote group still wants its reports — an audit
+	// blame tie-break runs on a key that already folded.
 	for id, rec := range m.attempts {
-		if m.completed[rec.a.key] || !rec.ps.alive() {
+		if (m.completed[rec.a.key] && m.votes[rec.a.key] == nil) || !rec.ps.alive() {
 			delete(m.attempts, id)
 		}
 	}
@@ -479,25 +506,20 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	// race the original (within the round); afterwards resolveDetached's
 	// unknown-attempt drop covers replays.
 	m.settledFailures = map[int64]bool{}
+	// Vote groups the round could not settle are swept before aggregation:
+	// an unresolved group's range goes back to the queue, so its job stays
+	// under-covered rather than folding unverified.
+	m.sweepVoteGroupsLocked()
+	m.roundActive = false
 	report.Requeued = len(m.pending)
 	for _, js := range m.jobs {
 		if js.done || js.covered < js.totalBytes {
 			continue
 		}
-		final, err := aggregate(js)
-		if err != nil {
-			m.cfg.Logger.With("job", js.id).Errorf("aggregation failed: %v", err)
-			continue
+		m.finishJobLocked(js)
+		if js.done && js.failure == "" {
+			report.CompletedJobs = append(report.CompletedJobs, js.id)
 		}
-		js.final = final
-		js.done = true
-		m.walAppend(walRecFinish, walFinish{JobID: js.id, Final: final})
-		report.CompletedJobs = append(report.CompletedJobs, js.id)
-		m.cfg.Metrics.Counter("cwc_jobs_completed_total").Inc()
-		m.cfg.Tracer.Record(obs.SpanEvent{
-			Span: m.spanForJobLocked(js.id), Kind: obs.KindAggregate, Job: js.id,
-			Phone: -1, Bytes: int64(len(final)), Detail: fmt.Sprintf("%d partials", len(js.partials)),
-		})
 	}
 	for _, ps := range phones {
 		if !ps.alive() {
@@ -808,9 +830,10 @@ func (m *Master) dispatch(ctx context.Context, ps *phoneState, queue []assignmen
 	est := m.est
 	m.mu.Unlock()
 	for qi, a := range queue {
-		if m.isDraining(ps.info.ID) {
-			// The drain monitor closed this phone mid-round; hand the rest
-			// of its queue back instead of racing the predicted unplug.
+		if m.isDraining(ps.info.ID) || m.isQuarantined(ps.info.ID) {
+			// The drain monitor closed this phone mid-round (or a lost
+			// verification vote quarantined it); hand the rest of its
+			// queue back instead of feeding it more work.
 			m.requeueFrom(queue[qi:], start, addEvent)
 			return
 		}
@@ -947,6 +970,13 @@ func (m *Master) recordStreamedCheckpoint(ps *phoneState, msg *protocol.Message)
 	var jobID, partition int
 	m.cfg.Metrics.Counter("cwc_checkpoint_frames_total").Inc()
 	if msg.Attempt != 0 && ck != nil && ck.Offset > 0 {
+		if msg.Digest != "" && msg.Digest != ck.Digest() {
+			// In-transit damage: never fold, but still ack (flow control).
+			m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", "checkpoint").Inc()
+			m.cfg.Logger.With("phone", ps.info.ID).Warnf("streamed checkpoint digest mismatch; frame dropped")
+			_ = ps.conn.Send(&protocol.Message{Type: protocol.TypeCheckpointAck, Attempt: msg.Attempt, Seq: msg.Seq})
+			return
+		}
 		m.mu.Lock()
 		if rec, ok := m.attempts[msg.Attempt]; ok {
 			a := rec.a
@@ -1002,10 +1032,12 @@ func (m *Master) latestResumeLocked(key int64, resume *tasks.Checkpoint) *tasks.
 	return st.Clone()
 }
 
-// recordResult folds a completed partition into its job and refines the
-// execution-time prediction. Duplicate results for an already-settled key
-// (the loser of a speculative race, a reconnect replay) are dropped.
-func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict.Estimator, ps *phoneState) {
+// finalizeResult folds a completed (and, if verification applies,
+// verified — see recordResult in verify.go) partition into its job and
+// refines the execution-time prediction. Duplicate results for an
+// already-settled key (the loser of a speculative race, a reconnect
+// replay) are dropped.
+func (m *Master) finalizeResult(a assignment, resp *protocol.Message, est *predict.Estimator, ps *phoneState) {
 	m.mu.Lock()
 	if a.key != 0 {
 		if m.completed[a.key] {
@@ -1026,6 +1058,11 @@ func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict
 	m.walAppend(walRecReport, walReport{
 		JobID: a.item.jobID, Key: a.key, Bytes: int64(len(a.input)), Partial: resp.Result,
 	})
+	// A late result (tie-break, detached straggler) can complete a job's
+	// coverage outside any round; without a sweep coming, aggregate here.
+	if !m.roundActive && !js.done && js.covered >= js.totalBytes {
+		m.finishJobLocked(js)
+	}
 	m.mu.Unlock()
 	m.cfg.Metrics.Counter("cwc_results_total").Inc()
 	if resp.ExecMs > 0 {
@@ -1265,6 +1302,32 @@ func (m *Master) requeueFrom(rest []assignment, start time.Time, addEvent func(E
 		addEvent(Event{At: time.Since(start), JobID: a.item.jobID,
 			Partition: a.partition, Kind: kind})
 	}
+}
+
+// finishJobLocked aggregates a fully-covered job and marks it done. An
+// aggregation error is TERMINAL: the partials it would combine are the
+// only ones the byte ranges will ever produce (re-running them yields
+// the same set), so retrying next round can only wedge the job forever.
+// The failure is WAL-logged so replay reaches the same terminal state,
+// and surfaced to the submitter via JobFailure. Caller holds m.mu.
+func (m *Master) finishJobLocked(js *jobState) {
+	final, err := aggregate(js)
+	if err != nil {
+		js.failure = err.Error()
+		js.done = true
+		m.walAppend(walRecFinish, walFinish{JobID: js.id, Error: js.failure})
+		m.cfg.Metrics.Counter("cwc_jobs_failed_total").Inc()
+		m.cfg.Logger.With("job", js.id).Errorf("aggregation failed terminally: %v", err)
+		return
+	}
+	js.final = final
+	js.done = true
+	m.walAppend(walRecFinish, walFinish{JobID: js.id, Final: final})
+	m.cfg.Metrics.Counter("cwc_jobs_completed_total").Inc()
+	m.cfg.Tracer.Record(obs.SpanEvent{
+		Span: m.spanForJobLocked(js.id), Kind: obs.KindAggregate, Job: js.id,
+		Phone: -1, Bytes: int64(len(final)), Detail: fmt.Sprintf("%d partials", len(js.partials)),
+	})
 }
 
 // aggregate merges a completed job's partials into its final result.

@@ -137,6 +137,33 @@ type Config struct {
 	// whatever a promotion path sets (internal/replica uses
 	// "promoted-primary").
 	Role string
+	// VerifyReplicas is the replicated-voting factor k: every partition is
+	// executed on k disjoint phones and its result digests are put to a
+	// quorum vote — agreement finalizes, disagreement penalizes the
+	// losers' reputation, a tie triggers a tie-break re-execution on a
+	// high-reputation phone. 1 (the default) disables voting entirely;
+	// the fleet may deliver fewer than k executions when it is small
+	// (the shortfall resolves like a tie).
+	VerifyReplicas int
+	// AuditRate, in (0,1], spot-checks that fraction of partitions when
+	// voting is off (VerifyReplicas <= 1): the selected partitions are
+	// silently re-executed on a second phone and the digests compared.
+	// The first result is folded immediately (audits never delay jobs);
+	// a mismatch escalates to a tie-break for blame. 0 disables audits.
+	AuditRate float64
+	// AuditSeed makes audit selection deterministic for a given key
+	// stream (tests); 0 is a valid seed.
+	AuditSeed int64
+	// ReputationAlpha is the EWMA weight of one verification outcome in a
+	// phone's result-integrity reputation (1.0 start; win → 1, loss → 0).
+	// Default 0.4: three straight losses cross the default threshold.
+	ReputationAlpha float64
+	// ReputationThreshold quarantines a phone whose reputation falls
+	// below it after a loss: the phone stays connected (keepalives,
+	// /statusz visibility) but is never assigned work again — a hard
+	// veto, unlike the advisory drain filter. Default 0.3; negative
+	// disables quarantine (scores still tracked).
+	ReputationThreshold float64
 }
 
 // ReplicaSink receives the master's WAL records for live replication.
@@ -205,6 +232,20 @@ func (c *Config) fill() {
 	}
 	if c.Role == "" {
 		c.Role = "primary"
+	}
+	if c.VerifyReplicas <= 0 {
+		c.VerifyReplicas = 1
+	}
+	if c.AuditRate < 0 {
+		c.AuditRate = 0
+	} else if c.AuditRate > 1 {
+		c.AuditRate = 1
+	}
+	if c.ReputationAlpha <= 0 || c.ReputationAlpha >= 1 {
+		c.ReputationAlpha = 0.4
+	}
+	if c.ReputationThreshold == 0 {
+		c.ReputationThreshold = 0.3
 	}
 }
 
@@ -295,6 +336,10 @@ type jobState struct {
 	partials   [][]byte
 	final      []byte
 	done       bool
+	// failure, when non-empty on a done job, is its terminal aggregation
+	// error: the job can never produce a result (Result stays false;
+	// JobFailure surfaces the error to the Submit caller).
+	failure string
 	// span is the job's trace ID, minted at Submit. Deterministic in the
 	// job ID so WAL/state recovery reconstructs the same span and a
 	// partition's history stays stitchable across a master crash.
@@ -388,6 +433,23 @@ type Master struct {
 	// stamped with a different non-zero epoch are rejected (see fenced).
 	epoch int64 // guarded by mu
 
+	// Result-integrity state (verify.go). votes holds the open vote
+	// groups by speculation key; reputation is each phone's EWMA
+	// integrity score (absent: 1.0); quarantined phones are hard-vetoed
+	// from placement. reputation and quarantined are WAL-logged
+	// (walRecReputation) so they survive recovery and failover.
+	votes       map[int64]*voteGroup // guarded by mu
+	reputation  map[int]float64      // guarded by mu
+	quarantined map[int]bool         // guarded by mu
+	// walIdentity maps every issued phone ID to the model that claimed
+	// it (walRecRegister), so a rejoin after master recovery keeps its
+	// ID — and with it the reputation and quarantine the WAL restored.
+	walIdentity map[int]string // guarded by mu
+	// roundActive is true while RunRound owns job aggregation (its end-
+	// of-round sweep); outside a round, a vote or tie-break resolving the
+	// last open range aggregates the job inline (finishJobLocked).
+	roundActive bool // guarded by mu
+
 	closed  bool // guarded by mu
 	wg      sync.WaitGroup
 	stopped chan struct{}
@@ -424,6 +486,10 @@ func New(cfg Config) *Master {
 		settledFailures: map[int64]bool{},
 		streamed:        map[int64]*tasks.Checkpoint{},
 		workerStats:     map[int]protocol.WorkerStats{},
+		votes:           map[int64]*voteGroup{},
+		reputation:      map[int]float64{},
+		quarantined:     map[int]bool{},
+		walIdentity:     map[int]string{},
 		windows:         windows,
 		draining:        map[int]string{},
 		phoneWait:       make(chan struct{}),
@@ -618,7 +684,9 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 	m.mu.Lock()
 	var id int
 	var prior *phoneState
-	if old, ok := m.phones[hello.PhoneID]; hello.Rejoin && ok && old.info.Model == hello.Model {
+	old, haveLive := m.phones[hello.PhoneID]
+	switch {
+	case hello.Rejoin && haveLive && old.info.Model == hello.Model:
 		// Reconnection: the phone resumes its prior identity. Bandwidth
 		// estimates (and the estimator's per-phone refinements, keyed by
 		// ID) survive the reconnect; the old connection state is retired.
@@ -628,13 +696,21 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		// steal the registration from each other forever.
 		id = hello.PhoneID
 		prior = old
-	} else {
+	case hello.Rejoin && !haveLive && hello.Model != "" && m.walIdentity[hello.PhoneID] == hello.Model:
+		// Rejoin to a recovered (or promoted) master: no live connection
+		// holds the ID, but the WAL vouches that this model was issued
+		// it. Honoring the claim keeps the phone's durable reputation and
+		// quarantine state (walRecReputation) bound to the phone instead
+		// of evaporating with a freshly issued ID.
+		id = hello.PhoneID
+	default:
 		id = m.nextPhoneID
 		m.nextPhoneID++
+		m.walIdentity[id] = hello.Model
 		// Durable (and replicated) so no later regime — a restarted
 		// master or a promoted standby — can ever reissue this ID while
 		// the phone still holds it.
-		m.walAppend(walRecRegister, walRegisterRec{PhoneID: id})
+		m.walAppend(walRecRegister, walRegisterRec{PhoneID: id, Model: hello.Model})
 	}
 	ps := &phoneState{
 		info: PhoneInfo{

@@ -1,0 +1,573 @@
+package server
+
+import (
+	"time"
+
+	"cwc/internal/core"
+	"cwc/internal/predict"
+	"cwc/internal/protocol"
+	"cwc/internal/tasks"
+)
+
+// Result integrity for untrusted phones. The paper assumes an enterprise
+// fleet that returns honest results; a real deployment of other people's
+// phones cannot. This file makes the master robust to lying, lazy, and
+// corrupting workers without trusting any single phone:
+//
+//   - Every result frame carries a worker-computed SHA-256 digest of its
+//     payload (tasks.Digest). The master recomputes the digest from the
+//     received bytes; a claimed/computed mismatch proves in-transit
+//     damage and the frame is treated as a failure (the range requeues).
+//
+//   - Replicated voting (Config.VerifyReplicas = k > 1): the scheduler
+//     places every partition on k disjoint phones (core.PlaceCopies) and
+//     the recomputed digests are put to a quorum vote. Agreement
+//     finalizes the result; losers are penalized; a tie is re-executed
+//     on the highest-reputation uninvolved phone until some digest
+//     reaches quorum.
+//
+//   - Spot-check audits (Config.AuditRate, when voting is off): a seeded
+//     fraction of partitions is silently re-executed on a second phone.
+//     The first result folds immediately — audits never delay a job —
+//     and the comparison happens when the echo arrives; a mismatch
+//     escalates to a tie-break for blame (the folded result stands:
+//     audits protect the fleet via reputation, not the folded job).
+//
+//   - Reputation and quarantine: each verification outcome updates a
+//     per-phone EWMA score, WAL-logged (walRecReputation) so it survives
+//     crash recovery and failover replication. A phone whose score falls
+//     below Config.ReputationThreshold is quarantined: it stays
+//     connected and visible, but placement treats it as a HARD veto —
+//     no never-starve fallback, unlike the advisory drain filter.
+//
+// Voting compares digests the master computed itself, so legacy workers
+// that send no digest still vote correctly. What voting cannot catch is
+// collusion: two phones returning the same wrong bytes for the same
+// partition outvote the truth (the faults package's liars therefore
+// derandomize per phone; see docs/faults.md).
+
+// voteGroup tracks one partition's verification: the executions expected
+// for its key, the digests they reported, and how the group settled.
+type voteGroup struct {
+	a assignment // representative assignment (the original placement)
+	// need is how many executions are expected to report before the
+	// group declares a tie; tie-breaks increment it.
+	need int
+	// quorum is how many matching digests finalize the vote (fixed at
+	// creation: max(2, ceil((k+1)/2))).
+	quorum int
+	// audit marks a spot-check group: the first ballot folds immediately
+	// and later ballots only compare.
+	audit   bool
+	ballots map[int]string // phone ID -> recomputed digest
+	// folded is the digest of the result already folded into the job
+	// ("" until one is).
+	folded string
+	// winner is the quorum digest once resolved; late ballots are scored
+	// against it.
+	winner   string
+	resolved bool
+	// tiePending marks an outstanding tie-break re-execution; its expiry
+	// goroutine owns cleanup if the arbiter never reports.
+	tiePending bool
+}
+
+// recordResult folds a completed partition into its job — after the
+// verification layer has had its say. See finalizeResult for the fold
+// itself; verifyResult consumes the report when a digest mismatch or an
+// open vote group intercepts it.
+func (m *Master) recordResult(a assignment, resp *protocol.Message, est *predict.Estimator, ps *phoneState) {
+	if m.verifyResult(a, resp, est, ps) {
+		return
+	}
+	m.finalizeResult(a, resp, est, ps)
+}
+
+// verifyResult is the verification layer's interception point: every
+// result report passes through here before it may fold. Returns true
+// when the report was consumed (folded via a vote, recorded as a
+// ballot, or rejected outright); false hands it to finalizeResult
+// unchanged.
+func (m *Master) verifyResult(a assignment, resp *protocol.Message, est *predict.Estimator, ps *phoneState) bool {
+	computed := tasks.Digest(resp.Result)
+	if resp.Digest != "" && resp.Digest != computed {
+		// The payload was damaged between the worker's task output and
+		// this fold: detectable from the single frame, no vote needed.
+		// Treat it like a failure report so the range re-executes.
+		m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", "digest").Inc()
+		m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID, "partition", a.partition).
+			Warnf("result digest mismatch (claimed %.8s, computed %.8s); discarding", resp.Digest, computed)
+		m.mu.Lock()
+		m.reputationEventLocked(ps.info.ID, false, "digest mismatch")
+		m.mu.Unlock()
+		m.recordFailure(a, &protocol.Message{
+			Type: protocol.TypeFailure, Error: "result digest mismatch",
+		}, ps.info.ID, 0)
+		return true
+	}
+	if a.key == 0 {
+		return false
+	}
+	m.mu.Lock()
+	vg := m.votes[a.key]
+	if vg == nil {
+		if m.cfg.VerifyReplicas > 1 && !m.completed[a.key] && m.pendingTwinLocked(a.key) {
+			// Voting is on but this key's group was swept (a straggler's
+			// late result racing its own requeue): the queued twin will
+			// re-execute under a fresh vote, so never fold unverified.
+			m.mu.Unlock()
+			m.cfg.Logger.With("job", a.item.jobID, "key", a.key).
+				Infof("late result dropped: range awaits re-verification")
+			return true
+		}
+		m.mu.Unlock()
+		return false
+	}
+	pid := ps.info.ID
+	if _, dup := vg.ballots[pid]; dup {
+		// A replayed frame from a phone that already voted; the
+		// completed-key dedupe in finalizeResult handles any fold.
+		m.mu.Unlock()
+		return false
+	}
+	vg.ballots[pid] = computed
+	m.cfg.Metrics.Counter("cwc_verify_votes_total").Inc()
+
+	if vg.resolved {
+		// Late ballot after the vote settled: score it against the winner.
+		won := computed == vg.winner
+		if !won {
+			m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", "vote").Inc()
+		}
+		m.reputationEventLocked(pid, won, "late vote")
+		if len(vg.ballots) >= vg.need {
+			delete(m.votes, a.key)
+		}
+		m.mu.Unlock()
+		return true
+	}
+
+	if vg.audit && vg.folded == "" {
+		// Audit: the first result folds immediately; the echo compares.
+		vg.folded = computed
+		m.mu.Unlock()
+		m.finalizeResult(a, resp, est, ps)
+		return true
+	}
+	if vg.audit && len(vg.ballots) == 2 {
+		m.cfg.Metrics.Counter("cwc_verify_audits_total").Inc()
+	}
+
+	counts := map[string]int{}
+	for _, d := range vg.ballots {
+		counts[d]++
+	}
+	if counts[computed] >= vg.quorum {
+		m.resolveVoteLocked(a.key, vg, computed)
+		fold := !vg.audit // an audit group folded its first result already
+		m.mu.Unlock()
+		if fold {
+			m.finalizeResult(a, resp, est, ps)
+		}
+		return true
+	}
+	if len(vg.ballots) >= vg.need {
+		// Every expected execution reported and no digest reached quorum:
+		// a tie. Re-execute on a high-reputation uninvolved phone. (The
+		// mismatch metric is recorded per losing ballot at resolution.)
+		if vg.audit {
+			m.cfg.Logger.With("job", a.item.jobID, "key", a.key).
+				Warnf("audit mismatch: escalating to tie-break for blame")
+		}
+		m.mu.Unlock()
+		m.startTieBreak(a.key)
+		return true
+	}
+	m.mu.Unlock()
+	return true // ballot recorded; more executions still due
+}
+
+// resolveVoteLocked settles a vote group on the winning digest: winners
+// are rewarded, losers penalized (and counted as mismatches). The group
+// stays registered until every expected ballot is in, so stragglers on
+// the losing side are still penalized. Caller holds m.mu.
+func (m *Master) resolveVoteLocked(key int64, vg *voteGroup, winner string) {
+	vg.resolved = true
+	vg.winner = winner
+	kind := "vote"
+	if vg.audit {
+		kind = "audit"
+	}
+	for pid, d := range vg.ballots {
+		won := d == winner
+		if !won {
+			m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", kind).Inc()
+		}
+		m.reputationEventLocked(pid, won, "verification vote")
+	}
+	if vg.audit && vg.folded != "" && vg.folded != winner {
+		// The audited result had already been folded when the echo proved
+		// it wrong: the job's aggregate may be tainted. Audits are a
+		// sampling defense — they quarantine the liar so the *fleet*
+		// recovers; replicated voting is the mode that protects every job.
+		m.cfg.Logger.With("job", vg.a.item.jobID, "key", key).
+			Errorf("audit: folded result lost the vote; aggregate may be tainted")
+	}
+	if len(vg.ballots) >= vg.need {
+		delete(m.votes, key)
+	}
+}
+
+// reputationEventLocked folds one verification outcome into a phone's
+// EWMA integrity score, WAL-logs the new state, and quarantines the
+// phone when a loss drops it below the threshold. Quarantine is sticky:
+// only an operator (or a fresh enrolment, which the auth token gates)
+// readmits the phone. Caller holds m.mu.
+func (m *Master) reputationEventLocked(id int, won bool, why string) {
+	alpha := m.cfg.ReputationAlpha
+	rep := 1.0
+	if r, ok := m.reputation[id]; ok {
+		rep = r
+	}
+	prev := rep
+	outcome := 0.0
+	if won {
+		outcome = 1.0
+	}
+	rep = (1-alpha)*rep + alpha*outcome
+	m.reputation[id] = rep
+	quarantine := !won && !m.quarantined[id] &&
+		m.cfg.ReputationThreshold > 0 && rep < m.cfg.ReputationThreshold
+	if quarantine {
+		m.quarantined[id] = true
+	}
+	if rep != prev || quarantine {
+		m.walAppend(walRecReputation, walReputationRec{
+			PhoneID: id, Score: rep, Quarantined: m.quarantined[id],
+		})
+	}
+	switch {
+	case quarantine:
+		m.cfg.Metrics.Counter("cwc_verify_quarantines_total").Inc()
+		m.cfg.Logger.With("phone", id).Errorf(
+			"quarantined: reputation %.3f fell below %.3f (%s)", rep, m.cfg.ReputationThreshold, why)
+	case !won:
+		m.cfg.Logger.With("phone", id).Warnf("reputation %.3f after %s", rep, why)
+	}
+}
+
+// auditSelected deterministically picks ~AuditRate of all keys for
+// spot-check audits (stateless: a re-queued key re-selects identically).
+func (m *Master) auditSelected(key int64) bool {
+	rate := m.cfg.AuditRate
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	// SplitMix64-style scramble of (key, seed) into a uniform [0,1).
+	h := uint64(key)*0x9e3779b97f4a7c15 ^ uint64(m.cfg.AuditSeed)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11)/float64(1<<53) < rate
+}
+
+// planVerificationLocked places this round's verification executions —
+// full replication under VerifyReplicas, seeded spot-checks under
+// AuditRate — via core.PlaceCopies, registers their vote groups, and
+// returns the per-phone extra assignments to dispatch. The copies share
+// their source's key, so every report funnels into the same group.
+// Caller holds m.mu (groups must register atomically with the round's
+// key assignment).
+func (m *Master) planVerificationLocked(plans [][]assignment, inst *core.Instance, items []*workItem) [][]assignment {
+	k := m.cfg.VerifyReplicas
+	if k <= 1 && m.cfg.AuditRate <= 0 {
+		return nil
+	}
+	itemIdx := make(map[*workItem]int, len(items))
+	for j, it := range items {
+		itemIdx[it] = j
+	}
+	// Rebuild a core schedule positionally aligned with plans (the real
+	// schedule's slots were re-sliced and zero-byte pieces dropped).
+	cs := &core.Schedule{PerPhone: make([][]core.Assignment, len(plans))}
+	scheduled := 0
+	for pi, asgs := range plans {
+		cs.PerPhone[pi] = make([]core.Assignment, len(asgs))
+		for i, a := range asgs {
+			cs.PerPhone[pi][i] = core.Assignment{
+				Phone: pi, Job: itemIdx[a.item], SizeKB: float64(len(a.input)) / 1024,
+			}
+		}
+		scheduled += len(asgs)
+	}
+	want := func(sp, idx int, _ core.Assignment) int {
+		if k > 1 {
+			return k - 1
+		}
+		if m.auditSelected(plans[sp][idx].key) {
+			return 1
+		}
+		return 0
+	}
+	copies := core.PlaceCopies(inst, cs, want)
+	extra := make([][]assignment, len(plans))
+	groups := map[int64]*voteGroup{}
+	for _, c := range copies {
+		src := plans[c.SrcPhone][c.SrcIdx]
+		extra[c.Phone] = append(extra[c.Phone], src)
+		g := groups[src.key]
+		if g == nil {
+			g = &voteGroup{a: src, need: 1, audit: k <= 1, ballots: map[int]string{}}
+			groups[src.key] = g
+		}
+		g.need++
+	}
+	for key, g := range groups {
+		g.quorum = g.need/2 + 1
+		if g.quorum < 2 {
+			g.quorum = 2
+		}
+		m.votes[key] = g
+		// A voted key must settle through its group: suppress the
+		// speculation and partial-result shortcuts, which fold coverage
+		// outside it.
+		m.speculated[key] = true
+	}
+	if k > 1 && len(copies) < scheduled*(k-1) {
+		// Placement shortfall (fleet smaller than the factor): partitions
+		// without a single copy run unverified this round. Loud, not
+		// fatal — a small fleet still makes progress.
+		m.cfg.Logger.Warnf("verification: placed %d of %d wanted copies (fleet too small for k=%d)",
+			len(copies), scheduled*(k-1), k)
+	}
+	return extra
+}
+
+// sweepVoteGroupsLocked runs at the end of each round: settled groups
+// are dropped, groups whose range is queued for re-dispatch reset (the
+// next round recreates them with fresh ballots), and groups no
+// execution can resolve anymore hand their range back to the queue.
+// Caller holds m.mu.
+func (m *Master) sweepVoteGroupsLocked() {
+	for key, vg := range m.votes {
+		switch {
+		case vg.tiePending && !vg.resolved:
+			// An arbiter is in flight (an audit group's key is completed
+			// yet still awaiting blame); its expiry goroutine owns cleanup.
+		case m.completed[key] || vg.resolved:
+			delete(m.votes, key)
+		case m.pendingTwinLocked(key):
+			delete(m.votes, key)
+		default:
+			it := &workItem{
+				jobID:   vg.a.item.jobID,
+				task:    vg.a.item.task,
+				input:   vg.a.input,
+				resume:  m.latestResumeLocked(key, vg.a.resume),
+				atomic:  true,
+				key:     key,
+				retries: vg.a.item.retries,
+				seq:     m.nextSeqLocked(),
+			}
+			m.requeueLocked(it, "verification unresolved")
+			delete(m.votes, key)
+		}
+	}
+}
+
+// startTieBreak re-executes a tied partition on the highest-reputation
+// phone that has not voted on it, registering a detached attempt whose
+// report the read loop resolves into the group. When no eligible phone
+// exists the range goes back to the queue for a fresh vote next round.
+func (m *Master) startTieBreak(key int64) {
+	for {
+		m.mu.Lock()
+		vg := m.votes[key]
+		// An audit group's key is completed by construction (its first
+		// result folded); the tie-break still runs, for blame.
+		if vg == nil || vg.resolved || (!vg.audit && m.completed[key]) {
+			m.mu.Unlock()
+			return
+		}
+		arb := m.pickArbiterLocked(vg)
+		if arb == nil {
+			delete(m.votes, key)
+			if !m.completed[key] && !m.pendingTwinLocked(key) {
+				it := &workItem{
+					jobID:   vg.a.item.jobID,
+					task:    vg.a.item.task,
+					input:   vg.a.input,
+					resume:  m.latestResumeLocked(key, vg.a.resume),
+					atomic:  true,
+					key:     key,
+					retries: vg.a.item.retries,
+					seq:     m.nextSeqLocked(),
+				}
+				m.requeueLocked(it, "verification tie: no arbiter")
+			}
+			m.mu.Unlock()
+			m.cfg.Logger.With("job", vg.a.item.jobID, "key", key).
+				Warnf("verification tie with no arbiter available; range re-queued")
+			return
+		}
+		m.nextAttempt++
+		attempt := m.nextAttempt
+		// Detached from birth: no dispatcher waits on it, the read loop
+		// resolves the arbiter's report straight into the vote group.
+		m.attempts[attempt] = &attemptRec{a: vg.a, ps: arb, live: false}
+		vg.tiePending = true
+		vg.need++
+		a := vg.a
+		m.mu.Unlock()
+
+		m.walAppend(walRecDispatch, walDispatch{
+			Key: a.key, JobID: a.item.jobID, Partition: a.partition,
+			PhoneID: arb.info.ID, Attempt: attempt,
+		})
+		if err := m.sendAssign(arb, a, attempt); err != nil {
+			arb.markDead()
+			m.mu.Lock()
+			delete(m.attempts, attempt)
+			if g := m.votes[key]; g != nil {
+				g.tiePending = false
+				g.need--
+			}
+			m.mu.Unlock()
+			continue // next-best arbiter
+		}
+		m.cfg.Logger.With("job", a.item.jobID, "key", key, "phone", arb.info.ID).
+			Infof("verification tie: re-executing on arbiter")
+		deadline := 2 * m.assignmentDeadline(a, arb)
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			t := time.NewTimer(deadline)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				m.tieBreakExpired(key, attempt)
+			case <-m.stopped:
+			}
+		}()
+		return
+	}
+}
+
+// tieBreakExpired reclaims a tie-break whose arbiter never reported:
+// the group is dropped and the range re-queued for a fresh vote.
+func (m *Master) tieBreakExpired(key, attempt int64) {
+	m.mu.Lock()
+	vg := m.votes[key]
+	if vg == nil || vg.resolved || !vg.tiePending || (!vg.audit && m.completed[key]) {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.attempts, attempt)
+	delete(m.votes, key)
+	if !m.completed[key] && !m.pendingTwinLocked(key) {
+		it := &workItem{
+			jobID:   vg.a.item.jobID,
+			task:    vg.a.item.task,
+			input:   vg.a.input,
+			resume:  m.latestResumeLocked(key, vg.a.resume),
+			atomic:  true,
+			key:     key,
+			retries: vg.a.item.retries,
+			seq:     m.nextSeqLocked(),
+		}
+		m.requeueLocked(it, "verification tie-break expired")
+	}
+	m.mu.Unlock()
+	m.cfg.Logger.With("job", vg.a.item.jobID, "key", key).
+		Warnf("tie-break arbiter never reported; range re-queued")
+}
+
+// pickArbiterLocked selects the tie-break phone: alive, not quarantined,
+// not draining, and not already a voter — highest reputation first, ties
+// by lowest ID for determinism. Caller holds m.mu.
+func (m *Master) pickArbiterLocked(vg *voteGroup) *phoneState {
+	var best *phoneState
+	var bestRep float64
+	for id, ps := range m.phones {
+		if !ps.alive() || m.quarantined[id] {
+			continue
+		}
+		if _, voted := vg.ballots[id]; voted {
+			continue
+		}
+		if _, draining := m.draining[id]; draining {
+			continue
+		}
+		rep := 1.0
+		if r, ok := m.reputation[id]; ok {
+			rep = r
+		}
+		if best == nil || rep > bestRep || (rep == bestRep && id < best.info.ID) {
+			best, bestRep = ps, rep
+		}
+	}
+	return best
+}
+
+// Reputation returns a phone's result-integrity score (1.0 when no
+// verification outcome has been recorded for it).
+func (m *Master) Reputation(id int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.reputation[id]; ok {
+		return r
+	}
+	return 1.0
+}
+
+// Quarantined reports whether a phone is excluded from placement for
+// integrity failures.
+func (m *Master) Quarantined(id int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined[id]
+}
+
+// QuarantinedPhones lists quarantined phone IDs in ascending order.
+func (m *Master) QuarantinedPhones() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.quarantined))
+	for id := range m.quarantined {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// isQuarantined is Quarantined under a different name for symmetry with
+// isDraining at the dispatch call sites.
+func (m *Master) isQuarantined(id int) bool { return m.Quarantined(id) }
+
+// admissiblePhones drops quarantined phones from a placement snapshot.
+// Unlike the drain filter this is a HARD veto with no never-starve
+// fallback: a fleet that is entirely quarantined gets no work (the
+// caller sees ErrNoPhones), because a wrong answer is worse than none.
+func (m *Master) admissiblePhones(phones []*phoneState) []*phoneState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.quarantined) == 0 {
+		return phones
+	}
+	out := make([]*phoneState, 0, len(phones))
+	for _, ps := range phones {
+		if !m.quarantined[ps.info.ID] {
+			out = append(out, ps)
+		}
+	}
+	return out
+}

@@ -46,6 +46,7 @@ const (
 	walRecDrain      uint8 = 10 // proactive-drain state transition for a phone
 	walRecEpoch      uint8 = 11 // fencing epoch bumped (replication enabled or standby promoted)
 	walRecRegister   uint8 = 12 // phone ID issued to a fresh registration
+	walRecReputation uint8 = 13 // per-phone result-integrity reputation update / quarantine
 )
 
 // walRegisterRec keeps phone IDs monotone across recovery *and*
@@ -53,9 +54,14 @@ const (
 // an ID that a phone from the previous regime still holds, or the two
 // phones fight over one registration through endless rejoin takeovers.
 // Dispatch and drain records also carry phone IDs, but only this record
-// covers a phone that registered and was never assigned work.
+// covers a phone that registered and was never assigned work. Model is
+// the phone's self-reported identity, letting a recovered master honor
+// a rejoin under the old ID — without it, reputation and quarantine
+// state (record 13) would detach from the phone at the first master
+// restart, because the phone would be reissued a fresh ID.
 type walRegisterRec struct {
-	PhoneID int `json:"phone_id"`
+	PhoneID int    `json:"phone_id"`
+	Model   string `json:"model,omitempty"`
 }
 
 // walEpochRec persists a fencing-epoch bump. The record is durable (and
@@ -139,6 +145,21 @@ type walDeadLetterRec struct {
 type walFinish struct {
 	JobID int    `json:"job_id"`
 	Final []byte `json:"final"`
+	// Error marks a terminal aggregation failure instead of a result: the
+	// job is done but failed, and replay must reach the same terminal
+	// state rather than re-attempting the (deterministic) aggregation
+	// forever.
+	Error string `json:"error,omitempty"`
+}
+
+// walReputationRec logs one phone's result-integrity reputation after a
+// verification event (vote won or lost, audit outcome, digest mismatch).
+// Each record carries the full post-event state, so replaying only the
+// latest record per phone — or all of them in order — converges.
+type walReputationRec struct {
+	PhoneID     int     `json:"phone_id"`
+	Score       float64 `json:"score"`
+	Quarantined bool    `json:"quarantined,omitempty"`
 }
 
 // walDrainRec logs one proactive-drain state transition so recovery
@@ -166,6 +187,8 @@ type walJobRec struct {
 	Partials   [][]byte `json:"partials,omitempty"`
 	Final      []byte   `json:"final,omitempty"`
 	Done       bool     `json:"done,omitempty"`
+	// Failure carries a terminal aggregation error (Done with no Final).
+	Failure string `json:"failure,omitempty"`
 }
 
 // walItemRec is a queued or in-flight work item's durable state.
@@ -193,6 +216,14 @@ type walState struct {
 	Open        []walItemRec   `json:"open,omitempty"`
 	DeadLetters []DeadLetter   `json:"dead_letters,omitempty"`
 	Drains      map[int]string `json:"drains,omitempty"`
+	// Reputation is each phone's result-integrity EWMA score (absent
+	// phones are at the initial 1.0); Quarantined lists phones vetoed
+	// from placement for integrity failures (sorted, see walRecReputation).
+	Reputation  map[int]float64 `json:"reputation,omitempty"`
+	Quarantined []int           `json:"quarantined,omitempty"`
+	// Identity maps issued phone IDs to self-reported models so rejoins
+	// keep their IDs (and reputation) across recovery; see walRegisterRec.
+	Identity map[int]string `json:"identity,omitempty"`
 	// Epoch is the fencing epoch at the snapshot cut; see walRecEpoch.
 	Epoch int64 `json:"epoch,omitempty"`
 }
@@ -208,16 +239,22 @@ type walReducer struct {
 	open        map[int64]*walItemRec // by speculation key
 	dead        []DeadLetter
 	drains      map[int]string // phone ID -> drain state
+	reputation  map[int]float64
+	quarantined map[int]bool
+	identity    map[int]string // phone ID -> model, for rejoins after recovery
 	epoch       int64
 }
 
 func newWALReducer() *walReducer {
 	return &walReducer{
-		nextJobID: 1,
-		jobs:      map[int]*walJobRec{},
-		fresh:     map[int64]*walItemRec{},
-		open:      map[int64]*walItemRec{},
-		drains:    map[int]string{},
+		nextJobID:   1,
+		jobs:        map[int]*walJobRec{},
+		fresh:       map[int64]*walItemRec{},
+		open:        map[int64]*walItemRec{},
+		drains:      map[int]string{},
+		reputation:  map[int]float64{},
+		quarantined: map[int]bool{},
+		identity:    map[int]string{},
 	}
 }
 
@@ -252,6 +289,24 @@ func (r *walReducer) loadSnapshot(b []byte) error {
 	}
 	for id, s := range st.Drains {
 		r.drains[id] = s
+		if id >= r.nextPhoneID {
+			r.nextPhoneID = id + 1
+		}
+	}
+	for id, score := range st.Reputation {
+		r.reputation[id] = score
+		if id >= r.nextPhoneID {
+			r.nextPhoneID = id + 1
+		}
+	}
+	for _, id := range st.Quarantined {
+		r.quarantined[id] = true
+		if id >= r.nextPhoneID {
+			r.nextPhoneID = id + 1
+		}
+	}
+	for id, model := range st.Identity {
+		r.identity[id] = model
 		if id >= r.nextPhoneID {
 			r.nextPhoneID = id + 1
 		}
@@ -396,6 +451,7 @@ func (r *walReducer) apply(rec wal.Record) error {
 		}
 		js.Final = p.Final
 		js.Done = true
+		js.Failure = p.Error
 	case walRecDrain:
 		var p walDrainRec
 		if err := json.Unmarshal(rec.Payload, &p); err != nil {
@@ -416,6 +472,21 @@ func (r *walReducer) apply(rec wal.Record) error {
 		var p walRegisterRec
 		if err := json.Unmarshal(rec.Payload, &p); err != nil {
 			return fmt.Errorf("decoding register: %w", err)
+		}
+		if p.Model != "" {
+			r.identity[p.PhoneID] = p.Model
+		}
+		if p.PhoneID >= r.nextPhoneID {
+			r.nextPhoneID = p.PhoneID + 1
+		}
+	case walRecReputation:
+		var p walReputationRec
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return fmt.Errorf("decoding reputation: %w", err)
+		}
+		r.reputation[p.PhoneID] = p.Score
+		if p.Quarantined {
+			r.quarantined[p.PhoneID] = true
 		}
 		if p.PhoneID >= r.nextPhoneID {
 			r.nextPhoneID = p.PhoneID + 1
@@ -499,11 +570,28 @@ func (m *Master) walSnapshotLocked(w io.Writer) error {
 			st.Drains[id] = s
 		}
 	}
+	if len(m.reputation) > 0 {
+		st.Reputation = make(map[int]float64, len(m.reputation))
+		for id, score := range m.reputation {
+			st.Reputation[id] = score
+		}
+	}
+	for id := range m.quarantined {
+		st.Quarantined = append(st.Quarantined, id)
+	}
+	sort.Ints(st.Quarantined)
+	if len(m.walIdentity) > 0 {
+		st.Identity = make(map[int]string, len(m.walIdentity))
+		for id, model := range m.walIdentity {
+			st.Identity[id] = model
+		}
+	}
 	for _, js := range m.jobs {
 		st.Jobs = append(st.Jobs, walJobRec{
 			ID: js.id, Task: js.task.Name(), Params: js.task.Params(),
 			TotalBytes: js.totalBytes, Covered: js.covered,
 			Partials: js.partials, Final: js.final, Done: js.done,
+			Failure: js.failure,
 		})
 	}
 	seen := map[int64]bool{}
@@ -601,13 +689,20 @@ func (m *Master) installWALState(red *walReducer) error {
 		js := &jobState{
 			id: id, task: task, totalBytes: jr.TotalBytes, covered: jr.Covered,
 			partials: jr.Partials, final: jr.Final, done: jr.Done,
+			failure: jr.Failure,
 		}
 		if !js.done && js.totalBytes > 0 && js.covered >= js.totalBytes {
 			// The crash fell between the last report and the round's
-			// aggregation sweep; finish the job now.
+			// aggregation sweep; finish the job now. An aggregation error is
+			// terminal here exactly as in the live sweep (aggregation is
+			// deterministic over the same partials): the job is marked
+			// failed — surfaced via JobFailure — instead of wedging the
+			// recovered master in a retry-forever loop.
 			final, err := aggregate(js)
 			if err != nil {
-				m.cfg.Logger.With("job", id).Errorf("wal: aggregation after recovery failed: %v", err)
+				js.failure = err.Error()
+				js.done = true
+				m.cfg.Logger.With("job", id).Errorf("wal: aggregation after recovery failed terminally: %v", err)
 			} else {
 				js.final = final
 				js.done = true
@@ -667,6 +762,15 @@ func (m *Master) installWALState(red *walReducer) error {
 	}
 	for id, s := range red.drains {
 		m.draining[id] = s
+	}
+	for id, score := range red.reputation {
+		m.reputation[id] = score
+	}
+	for id := range red.quarantined {
+		m.quarantined[id] = true
+	}
+	for id, model := range red.identity {
+		m.walIdentity[id] = model
 	}
 	if red.epoch > m.epoch {
 		m.epoch = red.epoch
@@ -750,6 +854,16 @@ func (f *WALFold) Snapshot(w io.Writer) error {
 			st.Drains[id] = s
 		}
 	}
+	if len(r.reputation) > 0 {
+		st.Reputation = make(map[int]float64, len(r.reputation))
+		for id, score := range r.reputation {
+			st.Reputation[id] = score
+		}
+	}
+	for id := range r.quarantined {
+		st.Quarantined = append(st.Quarantined, id)
+	}
+	sort.Ints(st.Quarantined)
 	for _, j := range r.jobs {
 		st.Jobs = append(st.Jobs, *j)
 	}

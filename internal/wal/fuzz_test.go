@@ -1,6 +1,9 @@
 package wal
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -44,6 +47,66 @@ func FuzzScanRecords(f *testing.F) {
 		}
 		if total != good {
 			t.Fatalf("decoded records span %d bytes but good offset is %d", total, good)
+		}
+	})
+}
+
+// FuzzStreamReader asserts the replication-stream decoder's safety
+// contract on arbitrary bytes: never panic, never allocate more than a
+// bounded chunk ahead of the bytes actually received, and terminate
+// every stream with one of the three contract errors — io.EOF (clean
+// boundary), io.ErrUnexpectedEOF (cut inside a record), or a wrapped
+// ErrCorrupt (bad length or checksum). It also cross-checks against
+// scanRecords: both decoders must agree on the records of any prefix
+// they both accept, since a standby replays shipped bytes through
+// scanRecords after appending them verbatim.
+func FuzzStreamReader(f *testing.F) {
+	f.Add([]byte{})
+	valid := append(EncodeRecord(1, []byte("hello")), EncodeRecord(2, []byte("world"))...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn inside the second record
+	f.Add(valid[:headerSize-1]) // torn inside a header
+	flipped := append([]byte{}, valid...)
+	flipped[headerSize+2] ^= 0xff // body bit-flip: checksum mismatch
+	f.Add(flipped)
+	huge := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0} // absurd declared length
+	f.Add(huge)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // declared length 0
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sr := NewStreamReader(bytes.NewReader(b))
+		var streamed []Record
+		consumed := 0
+		for {
+			rec, err := sr.Next()
+			if err != nil {
+				switch {
+				case err == io.EOF, err == io.ErrUnexpectedEOF, errors.Is(err, ErrCorrupt):
+				default:
+					t.Fatalf("error outside the contract: %v", err)
+				}
+				// A clean EOF means every byte was consumed as records.
+				if err == io.EOF && consumed != len(b) {
+					t.Fatalf("clean EOF after %d of %d bytes", consumed, len(b))
+				}
+				break
+			}
+			consumed += headerSize + 1 + len(rec.Payload)
+			if consumed > len(b) {
+				t.Fatalf("decoded %d bytes of records from a %d-byte stream", consumed, len(b))
+			}
+			streamed = append(streamed, rec)
+		}
+		// Agreement with the at-rest scanner over the accepted prefix.
+		scanned, good, _ := scanRecords(b[:consumed])
+		if good != consumed || len(scanned) != len(streamed) {
+			t.Fatalf("scanRecords accepts %d bytes / %d records of a prefix the stream decoded as %d bytes / %d records",
+				good, len(scanned), consumed, len(streamed))
+		}
+		for i := range streamed {
+			if streamed[i].Type != scanned[i].Type || !bytes.Equal(streamed[i].Payload, scanned[i].Payload) {
+				t.Fatalf("record %d differs between stream and scan decode", i)
+			}
 		}
 	})
 }

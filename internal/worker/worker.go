@@ -61,6 +61,39 @@ type Config struct {
 	// Reconnect tunes how the phone retries the server after a dial or
 	// I/O failure. Zero values get defaults; see ReconnectPolicy.
 	Reconnect ReconnectPolicy
+	// Byzantine makes this worker deliberately misbehave — lie, slack, or
+	// corrupt its reports — for result-integrity testing. The zero value
+	// is an honest worker.
+	Byzantine Byzantine
+}
+
+// Byzantine configures deliberate worker misbehaviour, the adversary the
+// result-integrity layer (digests, replicated voting, audits,
+// reputation quarantine) exists to defeat. All decisions are drawn from
+// a seeded source, so a byzantine fleet misbehaves reproducibly.
+type Byzantine struct {
+	// LiarProb is the per-result probability that a correctly computed
+	// result is replaced with a wrong-but-well-formed value *before* the
+	// digest is computed: the frame is internally consistent and only
+	// replicated voting or an audit can catch it.
+	LiarProb float64
+	// LazyProb is the per-assignment probability that the worker skips
+	// execution entirely and fabricates a result without reading the
+	// input — the freeloader that banks reputation while doing no work.
+	LazyProb float64
+	// CorruptProb is the per-result probability that one byte of the
+	// result is flipped *after* the digest is computed: the claimed
+	// digest no longer matches the payload, so the master can catch it
+	// from the single frame (flaky flash, not an adversary).
+	CorruptProb float64
+	// Seed drives the misbehaviour decisions; zero derives one from the
+	// phone's CPU clock so distinct phones still diverge.
+	Seed int64
+}
+
+// zero reports whether the spec configures no misbehaviour.
+func (b Byzantine) zero() bool {
+	return b.LiarProb == 0 && b.LazyProb == 0 && b.CorruptProb == 0
 }
 
 // ReconnectPolicy is capped exponential backoff with jitter for the
@@ -159,6 +192,10 @@ type Phone struct {
 
 	throttle *throttleRunner // nil unless cfg.Charging is set
 
+	// byzRng drives Byzantine misbehaviour decisions. It is touched only
+	// by the single executor goroutine, so it needs no lock.
+	byzRng *rand.Rand
+
 	// Cumulative self-metering, snapshotted onto outgoing pong/result
 	// frames so the master aggregates fleet-wide metrics without extra
 	// connections.
@@ -211,6 +248,13 @@ func New(cfg Config) (*Phone, error) {
 	if cfg.Charging != nil {
 		p.throttle = newThrottleRunner(cfg.Charging)
 	}
+	if !cfg.Byzantine.zero() {
+		seed := cfg.Byzantine.Seed
+		if seed == 0 {
+			seed = int64(cfg.CPUMHz*1000) + 41
+		}
+		p.byzRng = rand.New(rand.NewSource(seed))
+	}
 	return p, nil
 }
 
@@ -256,15 +300,28 @@ func (p *Phone) WaitRegistered(ctx context.Context) error {
 // a successful registration the phone rejoins under its prior identity
 // and replays any reports the dead connection swallowed.
 func (p *Phone) Run(ctx context.Context) error {
+	pol := p.cfg.Reconnect.fill()
+	src := rand.NewSource(pol.Seed)
+	if pol.Seed == 0 {
+		src = rand.NewSource(int64(p.cfg.CPUMHz*1000) + 17)
+	}
+	rng := rand.New(src)
+
 	dial := p.cfg.Dial
 	rotate := func() {}
 	if dial == nil {
 		// Failover dialing: ServerAddr may list several masters; each
 		// failed attempt rotates to the next address, so a worker cut off
 		// from a dead primary finds the promoted standby on its own,
-		// paced by the same backoff as any reconnect.
+		// paced by the same backoff as any reconnect. The rotation starts
+		// at a per-worker random offset so a large fleet spreads its
+		// first attempts across the list instead of synchronously
+		// hammering the first (possibly dead) address after a primary
+		// kill; a standby's pre-bound takeover listener fast-refuses
+		// pre-promotion dialers, so landing there first costs one
+		// rotation, not a timeout.
 		addrs := splitAddrs(p.cfg.ServerAddr)
-		addrIdx := 0
+		addrIdx := rng.Intn(len(addrs))
 		dial = func(ctx context.Context) (net.Conn, error) {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addrs[addrIdx%len(addrs)])
@@ -285,12 +342,6 @@ func (p *Phone) Run(ctx context.Context) error {
 		}
 	}()
 
-	pol := p.cfg.Reconnect.fill()
-	src := rand.NewSource(pol.Seed)
-	if pol.Seed == 0 {
-		src = rand.NewSource(int64(p.cfg.CPUMHz*1000) + 17)
-	}
-	rng := rand.New(src)
 	failures := 0
 	for {
 		registered, err := p.runConn(ctx, dial, assignQ, pol.HandshakeTimeout)
@@ -634,6 +685,26 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 		ck = &tasks.Checkpoint{}
 	}
 
+	// Byzantine laziness: skip execution entirely and fabricate a
+	// plausible result without reading the input.
+	if p.byzRng != nil && p.cfg.Byzantine.LazyProb > 0 && p.byzRng.Float64() < p.cfg.Byzantine.LazyProb {
+		payload, digest := p.mutateResult([]byte("0"))
+		p.report(&protocol.Message{
+			Type:        protocol.TypeResult,
+			JobID:       m.JobID,
+			Partition:   m.Partition,
+			Attempt:     m.Attempt,
+			Epoch:       p.currentEpoch(),
+			Span:        m.Span,
+			Result:      payload,
+			Digest:      digest,
+			ProcessedKB: float64(len(m.Input)) / 1024,
+			Stats:       p.statsSnapshot(),
+		})
+		p.maybeLeave()
+		return
+	}
+
 	// Emulated CPU slowness: pay the remaining input's worth of delay.
 	if p.cfg.DelayPerKB > 0 {
 		remainingKB := float64(int64(len(m.Input))-ck.Offset) / 1024
@@ -662,6 +733,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	p.mu.Unlock()
 	switch {
 	case err == nil:
+		payload, digest := p.mutateResult(result)
 		p.report(&protocol.Message{
 			Type:        protocol.TypeResult,
 			JobID:       m.JobID,
@@ -669,7 +741,8 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			Attempt:     m.Attempt,
 			Epoch:       p.currentEpoch(),
 			Span:        m.Span,
-			Result:      result,
+			Result:      payload,
+			Digest:      digest,
 			ExecMs:      float64(elapsed) / float64(time.Millisecond),
 			ProcessedKB: float64(len(m.Input)) / 1024,
 			Stats:       p.statsSnapshot(),
@@ -680,6 +753,50 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	default:
 		fail(nil, err.Error())
 	}
+}
+
+// mutateResult applies the worker's Byzantine misbehaviour to a
+// computed result and returns the payload to ship plus its claimed
+// digest. An honest worker returns the result untouched with its true
+// digest. A lie is applied BEFORE the digest (the frame stays
+// internally consistent — only voting or an audit can catch it);
+// corruption is applied AFTER (the claimed digest no longer matches the
+// payload, so the master catches it from the single frame).
+func (p *Phone) mutateResult(result []byte) ([]byte, string) {
+	b := p.cfg.Byzantine
+	if p.byzRng != nil && b.LiarProb > 0 && p.byzRng.Float64() < b.LiarProb {
+		// The offset is drawn per result from this phone's own rng so two
+		// liars given the same partition (dis)agree like independent
+		// adversaries — a deterministic lie would let them accidentally
+		// collude and outvote the honest replica.
+		result = lieAbout(result, byte(1+p.byzRng.Intn(9)))
+	}
+	digest := tasks.Digest(result)
+	if p.byzRng != nil && b.CorruptProb > 0 && len(result) > 0 && p.byzRng.Float64() < b.CorruptProb {
+		mangled := append([]byte(nil), result...)
+		mangled[p.byzRng.Intn(len(mangled))] ^= 0xff
+		result = mangled
+	}
+	return result, digest
+}
+
+// lieAbout produces a wrong-but-well-formed variant of a result: every
+// ASCII digit is shifted by off (1..9) mod 10, so a counting task's
+// decimal result stays parseable but wrong. A result with no digits
+// gets a byte appended instead, so the lie is never a no-op.
+func lieAbout(result []byte, off byte) []byte {
+	out := append([]byte(nil), result...)
+	changed := false
+	for i, c := range out {
+		if c >= '0' && c <= '9' {
+			out[i] = '0' + (c-'0'+off)%10
+			changed = true
+		}
+	}
+	if !changed {
+		out = append(out, '!'+off)
+	}
+	return out
 }
 
 // interruptReason resolves what an interrupted execution should report:
@@ -752,6 +869,7 @@ func (p *Phone) checkpointSink(m *protocol.Message) *tasks.CheckpointSink {
 				Span:       m.Span,
 				Seq:        seq,
 				Checkpoint: ck,
+				Digest:     ck.Digest(),
 			})
 			p.mu.Lock()
 			if err != nil {
