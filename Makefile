@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm failover byzantine check bench bench-json fmt
+.PHONY: all build vet lint test race chaos wal-crash ckpt-chaos churn-storm failover byzantine obs-chaos check bench bench-json fmt
 
 all: check
 
@@ -75,8 +75,19 @@ byzantine:
 	$(GO) test ./internal/faults/ -run 'TestParseScenarioByzantine|TestByzantineFor' -race -count=1 -v
 	$(GO) test ./internal/tasks/ -run 'TestDigest' -race -count=1 -v
 
+# Observability chaos: a seeded failover where every partition's merged
+# master+worker timeline must stay causally ordered across the standby
+# promotion (no orphan spans), a SIGQUIT'd master must leave a parseable
+# black-box dump, and an obs-disabled run must ship zero telemetry
+# frames with byte-identical aggregates. Failing runs save their trace
+# JSONL and timeline under $$CWC_ARTIFACT_DIR when it is set.
+obs-chaos:
+	$(GO) test ./internal/cluster/ -run 'TestObsChaos|TestObsDisabledNeutrality' -race -count=1 -v
+	$(GO) test ./internal/server/ -run 'TestFoldTelemetry|TestIngestWorkerStats|TestTimeline' -race -count=1 -v
+	$(GO) test ./internal/obs/ -race -count=1
+
 # The pre-PR gate: everything that must be green before a change ships.
-check: vet lint build race chaos wal-crash ckpt-chaos churn-storm failover byzantine
+check: vet lint build race chaos wal-crash ckpt-chaos churn-storm failover byzantine obs-chaos
 	gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0
 
 bench:

@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cwc/internal/faults"
@@ -63,6 +65,7 @@ func main() {
 		obsAddr   = flag.String("obs-addr", "", "admin-plane listen address for /metrics, /statusz, /debug/sched (empty: disabled)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		traceFile = flag.String("trace-file", "", "append task-lifecycle trace events to this JSONL file (empty: ring buffer only)")
+		bboxFile  = flag.String("blackbox-file", "", "dump the in-memory flight recorder (recent log lines + trace events) to this JSONL file on panic or SIGQUIT (empty: /debug/blackbox only)")
 	)
 	flag.Parse()
 
@@ -86,6 +89,38 @@ func main() {
 		defer f.Close()
 		tracer.SetSink(f)
 	}
+	// The flight recorder shadows the log and trace streams into a
+	// bounded ring so the last moments before a crash are always
+	// recoverable — from /debug/blackbox while alive, and as a JSONL
+	// dump on panic/SIGQUIT when -blackbox-file is set.
+	blackbox := obs.NewBlackbox(2048)
+	blackbox.TapLogger(logger)
+	blackbox.TeeTracer(tracer)
+	dumpBlackbox := func(why string) {
+		if *bboxFile == "" {
+			return
+		}
+		if err := blackbox.DumpFile(*bboxFile); err != nil {
+			logger.Errorf("black-box dump (%s): %v", why, err)
+			return
+		}
+		logger.Infof("black-box dumped to %s (%s)", *bboxFile, why)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			dumpBlackbox("panic")
+			panic(r)
+		}
+	}()
+	if *bboxFile != "" {
+		qc := make(chan os.Signal, 1)
+		signal.Notify(qc, syscall.SIGQUIT)
+		go func() {
+			<-qc
+			dumpBlackbox("SIGQUIT")
+			os.Exit(131)
+		}()
+	}
 	cfg := server.Config{
 		Addr:               *listen,
 		KeepalivePeriod:    *keepalive,
@@ -104,6 +139,7 @@ func main() {
 		Metrics:            metrics,
 		Tracer:             tracer,
 		ObsAddr:            *obsAddr,
+		Blackbox:           blackbox,
 	}
 	var plan *faults.Plan
 	if *faultSpec != "" {
@@ -263,7 +299,7 @@ func main() {
 	defer m.Close()
 	logger.Infof("listening on %s", m.Addr())
 	if *obsAddr != "" {
-		logger.Infof("admin plane on http://%s (/metrics /statusz /debug/sched /debug/trace)", m.ObsAddr())
+		logger.Infof("admin plane on http://%s (/metrics /statusz /debug/sched /debug/trace /debug/timeline /debug/blackbox)", m.ObsAddr())
 	}
 	if *stateFile != "" {
 		switch f, err := os.Open(*stateFile); {

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cwc/internal/device"
@@ -42,6 +44,7 @@ func main() {
 		reconnMax   = flag.Duration("reconnect-max", 5*time.Second, "backoff delay cap")
 		reconnTries = flag.Int("reconnect-attempts", 10, "consecutive failed reconnects before giving up (negative: never)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		bboxFile    = flag.String("blackbox-file", "", "dump the in-memory flight recorder (recent log lines + span events) to this JSONL file on panic or SIGQUIT (empty: recorder off)")
 	)
 	flag.Parse()
 	level, err := obs.ParseLevel(*logLevel)
@@ -53,6 +56,34 @@ func main() {
 	fatalf := func(format string, args ...any) {
 		logger.Errorf(format, args...)
 		os.Exit(1)
+	}
+	// Worker-side flight recorder: records this phone's own span events
+	// and log tail regardless of whether the master asked for telemetry
+	// (a black box must already be recording when the crash happens).
+	var blackbox *obs.Blackbox
+	if *bboxFile != "" {
+		blackbox = obs.NewBlackbox(1024)
+		blackbox.TapLogger(logger)
+		dump := func(why string) {
+			if err := blackbox.DumpFile(*bboxFile); err != nil {
+				logger.Errorf("black-box dump (%s): %v", why, err)
+				return
+			}
+			logger.Infof("black-box dumped to %s (%s)", *bboxFile, why)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				dump("panic")
+				panic(r)
+			}
+		}()
+		qc := make(chan os.Signal, 1)
+		signal.Notify(qc, syscall.SIGQUIT)
+		go func() {
+			<-qc
+			dump("SIGQUIT")
+			os.Exit(131)
+		}()
 	}
 
 	cpuMHz, ramMB := *mhz, *ram
@@ -96,6 +127,7 @@ func main() {
 		DelayPerKB: *delay,
 		Charging:   charging,
 		AuthToken:  *token,
+		Blackbox:   blackbox,
 
 		CheckpointEveryKB: *ckptKB,
 		CheckpointEvery:   *ckptMs,

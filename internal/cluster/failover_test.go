@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net"
@@ -115,9 +116,10 @@ func TestFailoverPrimaryKillMidRound(t *testing.T) {
 	}
 	ship := replica.NewShipper(replica.ShipperOptions{})
 	preg := obs.NewRegistry()
+	ptracer := obs.NewTracer(4096)
 	m1 := server.New(server.Config{
 		Addr: "127.0.0.1:0", WAL: pwl, ReplicaSink: ship,
-		Role: "primary", Metrics: preg,
+		Role: "primary", Metrics: preg, Tracer: ptracer,
 	})
 	ship.BindMaster(m1)
 	if err := m1.RecoverWAL(); err != nil {
@@ -135,12 +137,15 @@ func TestFailoverPrimaryKillMidRound(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Standby with a pre-bound takeover listener and its own metrics.
+	// Standby with a pre-bound takeover listener, its own metrics, and a
+	// trace ring + admin plane so the promoted master's view of the
+	// spans can be asserted after the takeover.
 	tln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	sreg := obs.NewRegistry()
+	stracer := obs.NewTracer(4096)
 	st := replica.New(replica.StandbyOptions{
 		PrimaryAddr: rln.Addr().String(),
 		WALDir:      standbyDir,
@@ -148,6 +153,7 @@ func TestFailoverPrimaryKillMidRound(t *testing.T) {
 		Lease:       lease,
 		MasterConfig: server.Config{
 			Listener: tln, Addr: tln.Addr().String(), Metrics: sreg,
+			Tracer: stracer, ObsAddr: "127.0.0.1:0",
 		},
 		Metrics: sreg,
 	})
@@ -168,7 +174,11 @@ func TestFailoverPrimaryKillMidRound(t *testing.T) {
 			Model:      fmt.Sprintf("phone-%d", i),
 			CPUMHz:     800 + 100*float64(i),
 			RAMMB:      512,
-			DelayPerKB: 4 * time.Millisecond,
+			// Slow enough that no partition can finish before the
+			// scripted 400ms kill: the whole workload must complete
+			// under the promoted master, so the post-promotion trace
+			// assertions below are deterministic.
+			DelayPerKB: 20 * time.Millisecond,
 			Reconnect: worker.ReconnectPolicy{
 				BaseDelay:   20 * time.Millisecond,
 				MaxDelay:    150 * time.Millisecond,
@@ -276,6 +286,53 @@ func TestFailoverPrimaryKillMidRound(t *testing.T) {
 	}
 	if string(results[idWords]) != string(wantWords) {
 		t.Errorf("words after failover = %s, want %s", results[idWords], wantWords)
+	}
+
+	// The trace survives the promotion. Spans are deterministic in the
+	// job ID, so the dead regime's ring and the promoted master's ring
+	// hold the *same* span — the two histories stitch — and the new
+	// regime's events carry the bumped epoch, with the promotion itself
+	// annotated in the ring.
+	span := fmt.Sprintf("j%d", idPrimes)
+	if evs := ptracer.Span(span); len(evs) == 0 {
+		t.Errorf("dead primary's ring has no events for span %s", span)
+	}
+	sevs := stracer.Span(span)
+	if len(sevs) == 0 {
+		t.Fatalf("promoted master's ring has no events for span %s", span)
+	}
+	epoch2 := false
+	for _, ev := range sevs {
+		if ev.Epoch == 2 {
+			epoch2 = true
+		}
+	}
+	if !epoch2 {
+		t.Errorf("no post-promotion event in span %s carries epoch 2: %+v", span, sevs)
+	}
+	promoted := false
+	for _, ev := range stracer.Recent(100000) {
+		if ev.Kind == obs.KindPromote && ev.Epoch == 2 {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Error("promoted master's ring has no epoch-2 promote annotation")
+	}
+	// And /debug/trace on the promoted master serves the stitched span.
+	if m2.ObsAddr() == "" {
+		t.Fatal("promoted master did not bind its admin plane")
+	}
+	body, code := httpGet(t, "http://"+m2.ObsAddr()+"/debug/trace?span="+span)
+	if code != 200 {
+		t.Fatalf("/debug/trace status %d after promotion", code)
+	}
+	var served []obs.SpanEvent
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatalf("/debug/trace after promotion is not JSON: %v\n%s", err, body)
+	}
+	if len(served) == 0 {
+		t.Errorf("/debug/trace serves no events for span %s after promotion", span)
 	}
 
 	// Fencing, direction 1: a frame stamped with the dead regime's epoch

@@ -263,8 +263,9 @@ func findLine(text, prefix string) string {
 
 // obs must be a flight recorder, not a flight control: with ObsAddr
 // unset, the aggregates are byte-identical to an instrumented run, no
-// admin listener exists, and shutdown returns the process to its
-// goroutine baseline.
+// admin listener exists, not one telemetry frame crosses the wire (the
+// welcome never asks for worker telemetry), and shutdown returns the
+// process to its goroutine baseline.
 func TestObsDisabledNeutrality(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	primes := tasks.GenIntegers(96, 100000, rng)
@@ -293,11 +294,22 @@ func TestObsDisabledNeutrality(t *testing.T) {
 
 	before := runtime.NumGoroutine()
 
+	// The disabled run gets a private registry purely as a witness: with
+	// ObsAddr unset the master must never see a telemetry frame, because
+	// its welcome never asked the workers to buffer any.
+	dreg := obs.NewRegistry()
 	var plain map[int][]byte
 	t.Run("disabled", func(t *testing.T) {
 		opts := Options{}
+		opts.Server.Metrics = dreg
 		plain = run(t, opts)
 	})
+	if got := dreg.Counter("cwc_frames_received_total", "type", "telemetry").Value(); got != 0 {
+		t.Errorf("obs-disabled master received %d telemetry frames, want 0", got)
+	}
+	if got := dreg.Counter("cwc_telemetry_events_total", "kind", "exec_finish").Value(); got != 0 {
+		t.Errorf("obs-disabled master folded %d worker events, want 0", got)
+	}
 
 	// The disabled run must not leave goroutines behind (no admin plane,
 	// no scrape loops). Cleanup is asynchronous, so poll briefly.
@@ -310,16 +322,21 @@ func TestObsDisabledNeutrality(t *testing.T) {
 	}
 
 	var instrumented map[int][]byte
+	ereg := obs.NewRegistry()
 	t.Run("enabled", func(t *testing.T) {
-		reg := obs.NewRegistry()
 		tracer := obs.NewTracer(1024)
 		tracer.SetSink(io.Discard)
 		opts := Options{}
-		opts.Server.Metrics = reg
+		opts.Server.Metrics = ereg
 		opts.Server.Tracer = tracer
 		opts.Server.ObsAddr = "127.0.0.1:0"
 		instrumented = run(t, opts)
 	})
+	// The same workload with the obs plane bound DOES ship telemetry —
+	// proving the disabled run's zero above is the gate, not a dead path.
+	if got := ereg.Counter("cwc_frames_received_total", "type", "telemetry").Value(); got < 1 {
+		t.Errorf("obs-enabled master received %d telemetry frames, want >= 1", got)
+	}
 
 	for k, p := range plain {
 		if !bytes.Equal(p, instrumented[k]) {

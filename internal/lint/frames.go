@@ -22,6 +22,10 @@ import (
 //  3. Every composite literal of the frame struct (protocol.Message)
 //     must set the Type field explicitly; an untyped frame is rejected
 //     by the peer as corrupt.
+//  4. When Config.EventKindTypeName is set, rule 2 also applies to
+//     switches over that discriminator (the worker telemetry event
+//     kinds): a new event kind must extend every fold switch or the
+//     switch must declare a default policy.
 var FramesAnalyzer = &Analyzer{
 	Name: "frames",
 	Doc:  "every protocol frame type is dispatched at both endpoints and every frame literal sets Type",
@@ -36,20 +40,7 @@ func runFrames(cfg *Config, prog *Program) []Diagnostic {
 	var diags []Diagnostic
 
 	// Collect the frame-type constants declared in the protocol package.
-	consts := map[*types.Const]ast.Node{} // const -> declaration site
-	var names []string
-	byName := map[string]*types.Const{}
-	scope := proto.Types.Scope()
-	for _, name := range scope.Names() {
-		c, ok := scope.Lookup(name).(*types.Const)
-		if !ok || !isNamedType(c.Type(), cfg.ProtocolPkg, cfg.FrameTypeName) {
-			continue
-		}
-		consts[c] = declSite(proto, name)
-		names = append(names, name)
-		byName[name] = c
-	}
-	sort.Strings(names)
+	consts, names, byName := discriminatorConsts(proto, cfg.ProtocolPkg, cfg.FrameTypeName)
 	if len(names) == 0 {
 		return nil
 	}
@@ -78,7 +69,70 @@ func runFrames(cfg *Config, prog *Program) []Diagnostic {
 		}
 	}
 
-	// 2. Frame-type switches are exhaustive or carry a default.
+	// 2. Frame-type switches are exhaustive or carry a default — and the
+	// same for the telemetry event-kind discriminator (rule 4).
+	diags = append(diags, switchDiags(cfg, prog, proto, cfg.FrameTypeName, consts, names, byName)...)
+	if cfg.EventKindTypeName != "" {
+		ekConsts, ekNames, ekByName := discriminatorConsts(proto, cfg.ProtocolPkg, cfg.EventKindTypeName)
+		if len(ekNames) > 0 {
+			diags = append(diags, switchDiags(cfg, prog, proto, cfg.EventKindTypeName, ekConsts, ekNames, ekByName)...)
+		}
+	}
+
+	// 3. Every frame literal sets the Type field.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t, ok := pkg.Info.Types[lit]
+				if !ok || !isNamedType(t.Type, cfg.ProtocolPkg, cfg.MessageTypeName) {
+					return true
+				}
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Type" {
+							return true
+						}
+					}
+				}
+				diags = append(diags, prog.diag("frames", lit,
+					"%s literal does not set Type: the peer rejects untyped frames as corrupt",
+					cfg.MessageTypeName))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// discriminatorConsts collects the constants of one named discriminator
+// type declared in the protocol package, with their declaration sites.
+func discriminatorConsts(proto *Package, pkgPath, typeName string) (map[*types.Const]ast.Node, []string, map[string]*types.Const) {
+	consts := map[*types.Const]ast.Node{}
+	var names []string
+	byName := map[string]*types.Const{}
+	scope := proto.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isNamedType(c.Type(), pkgPath, typeName) {
+			continue
+		}
+		consts[c] = declSite(proto, name)
+		names = append(names, name)
+		byName[name] = c
+	}
+	sort.Strings(names)
+	return consts, names, byName
+}
+
+// switchDiags checks that every switch over the named discriminator type
+// in an endpoint package is exhaustive or carries a default case.
+func switchDiags(cfg *Config, prog *Program, proto *Package, typeName string,
+	consts map[*types.Const]ast.Node, names []string, byName map[string]*types.Const) []Diagnostic {
+	var diags []Diagnostic
 	for _, epPath := range cfg.EndpointPkgs {
 		ep := prog.Lookup(epPath)
 		if ep == nil {
@@ -91,7 +145,7 @@ func runFrames(cfg *Config, prog *Program) []Diagnostic {
 					return true
 				}
 				t, ok := ep.Info.Types[sw.Tag]
-				if !ok || !isNamedType(t.Type, cfg.ProtocolPkg, cfg.FrameTypeName) {
+				if !ok || !isNamedType(t.Type, cfg.ProtocolPkg, typeName) {
 					return true
 				}
 				covered := map[*types.Const]bool{}
@@ -123,35 +177,8 @@ func runFrames(cfg *Config, prog *Program) []Diagnostic {
 				if len(missing) > 0 {
 					diags = append(diags, prog.diag("frames", sw,
 						"switch over %s.%s has no default case and misses: %s",
-						proto.Types.Name(), cfg.FrameTypeName, strings.Join(missing, ", ")))
+						proto.Types.Name(), typeName, strings.Join(missing, ", ")))
 				}
-				return true
-			})
-		}
-	}
-
-	// 3. Every frame literal sets the Type field.
-	for _, pkg := range prog.Pkgs {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				lit, ok := n.(*ast.CompositeLit)
-				if !ok {
-					return true
-				}
-				t, ok := pkg.Info.Types[lit]
-				if !ok || !isNamedType(t.Type, cfg.ProtocolPkg, cfg.MessageTypeName) {
-					return true
-				}
-				for _, el := range lit.Elts {
-					if kv, ok := el.(*ast.KeyValueExpr); ok {
-						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Type" {
-							return true
-						}
-					}
-				}
-				diags = append(diags, prog.diag("frames", lit,
-					"%s literal does not set Type: the peer rejects untyped frames as corrupt",
-					cfg.MessageTypeName))
 				return true
 			})
 		}

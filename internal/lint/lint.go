@@ -58,6 +58,12 @@ type Config struct {
 	// frame constant must be referenced in each, and every switch over
 	// the frame type there must be exhaustive or carry a default case.
 	EndpointPkgs []string
+	// EventKindTypeName, when non-empty, names a second discriminator
+	// type in ProtocolPkg (the worker telemetry event kinds): every
+	// switch over it in an endpoint package must be exhaustive or carry
+	// a default case, so adding an event kind cannot silently skip a
+	// fold path.
+	EventKindTypeName string
 
 	// WALPkg holds the WAL record-type constants (walrec analyzer).
 	WALPkg string
@@ -90,10 +96,11 @@ type Config struct {
 // DefaultConfig returns the configuration for this repository.
 func DefaultConfig() *Config {
 	return &Config{
-		ProtocolPkg:     "cwc/internal/protocol",
-		FrameTypeName:   "Type",
-		MessageTypeName: "Message",
-		EndpointPkgs:    []string{"cwc/internal/server", "cwc/internal/worker"},
+		ProtocolPkg:       "cwc/internal/protocol",
+		FrameTypeName:     "Type",
+		MessageTypeName:   "Message",
+		EndpointPkgs:      []string{"cwc/internal/server", "cwc/internal/worker"},
+		EventKindTypeName: "EventKind",
 
 		WALPkg:         "cwc/internal/server",
 		WALRecPrefix:   "walRec",

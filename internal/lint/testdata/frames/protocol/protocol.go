@@ -15,3 +15,11 @@ type Message struct {
 	Type Type
 	N    int
 }
+
+// EventKind discriminates telemetry events.
+type EventKind string
+
+const (
+	EventStart EventKind = "start"
+	EventStop  EventKind = "stop"
+)

@@ -28,3 +28,13 @@ func Suppressed() protocol.Message {
 	//lint:ignore frames the caller fills in Type before sending
 	return protocol.Message{N: 3}
 }
+
+// Fold dispatches telemetry event kinds but forgot one and has no
+// default policy.
+func Fold(k protocol.EventKind) int {
+	switch k { // want `switch over protocol\.EventKind has no default case and misses: EventStop`
+	case protocol.EventStart:
+		return 1
+	}
+	return 0
+}

@@ -14,3 +14,14 @@ func Handle(m protocol.Message) int {
 		return 0
 	}
 }
+
+// Classify covers every event kind, so it needs no default.
+func Classify(k protocol.EventKind) int {
+	switch k {
+	case protocol.EventStart:
+		return 1
+	case protocol.EventStop:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// BlackboxEntry is one frame of the black-box flight recorder: either a
+// log line (Src "log") or a shadowed trace event (Src "trace").
+type BlackboxEntry struct {
+	TS    time.Time  `json:"ts"`
+	Src   string     `json:"src"`
+	Line  string     `json:"line,omitempty"`
+	Event *SpanEvent `json:"event,omitempty"`
+}
+
+// Blackbox is a bounded in-memory ring of the most recent log lines and
+// trace events, dumped as JSONL when the process dies messily (panic,
+// SIGQUIT) or on demand (/debug/blackbox). It is the postmortem
+// artifact for the failures the metrics plane cannot explain: by the
+// time you know you needed -log-level debug, the incident is over — the
+// black box was recording anyway. All methods are safe for concurrent
+// use and on a nil receiver (no-ops).
+type Blackbox struct {
+	mu    sync.Mutex
+	ring  []BlackboxEntry // guarded by mu
+	next  int             // guarded by mu
+	total int64           // guarded by mu
+}
+
+// NewBlackbox returns a recorder keeping the last ringSize entries
+// (minimum 64).
+func NewBlackbox(ringSize int) *Blackbox {
+	if ringSize < 64 {
+		ringSize = 64
+	}
+	return &Blackbox{ring: make([]BlackboxEntry, 0, ringSize)}
+}
+
+// TapLogger wires b as the logger family's tap so every emitted line is
+// shadowed into the ring. Nil-safe on both sides.
+func (b *Blackbox) TapLogger(l *Logger) {
+	if b == nil || l == nil {
+		return
+	}
+	l.SetTap(b.AddLine)
+}
+
+// TeeTracer wires b as the tracer's tee so every recorded span event is
+// shadowed into the ring. Nil-safe on both sides.
+func (b *Blackbox) TeeTracer(t *Tracer) {
+	if b == nil || t == nil {
+		return
+	}
+	t.SetTee(b.AddEvent)
+}
+
+// AddLine records a log line.
+func (b *Blackbox) AddLine(line string) {
+	if b == nil {
+		return
+	}
+	b.add(BlackboxEntry{TS: time.Now(), Src: "log", Line: line})
+}
+
+// AddEvent records a trace event.
+func (b *Blackbox) AddEvent(ev SpanEvent) {
+	if b == nil {
+		return
+	}
+	b.add(BlackboxEntry{TS: ev.TS, Src: "trace", Event: &ev})
+}
+
+func (b *Blackbox) add(e BlackboxEntry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.next] = e
+		b.next = (b.next + 1) % cap(b.ring)
+	}
+	b.total++
+}
+
+// Total returns how many entries have ever been recorded (including
+// ones the ring has since evicted).
+func (b *Blackbox) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// snapshotLocked returns the ring oldest-first. Caller holds b.mu.
+func (b *Blackbox) snapshotLocked() []BlackboxEntry {
+	out := make([]BlackboxEntry, 0, len(b.ring))
+	if len(b.ring) < cap(b.ring) {
+		out = append(out, b.ring...)
+		return out
+	}
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// Snapshot returns the ring contents oldest-first.
+func (b *Blackbox) Snapshot() []BlackboxEntry {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snapshotLocked()
+}
+
+// WriteJSONL dumps the ring oldest-first, one JSON object per line.
+func (b *Blackbox) WriteJSONL(w io.Writer) error {
+	if b == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range b.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpFile writes the ring to path (truncating), fsyncing so the dump
+// survives the crash that triggered it. Best-effort by design: it is
+// called from panic handlers and signal handlers where there is nobody
+// left to report an error to, so the error return is advisory.
+func (b *Blackbox) DumpFile(path string) error {
+	if b == nil || path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	werr := b.WriteJSONL(f)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBlackboxRingBounds(t *testing.T) {
+	b := NewBlackbox(64)
+	for i := 0; i < 200; i++ {
+		b.AddLine(fmt.Sprintf("line %d", i))
+	}
+	if got := b.Total(); got != 200 {
+		t.Fatalf("Total = %d, want 200", got)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("ring kept %d entries, want 64", len(snap))
+	}
+	if snap[0].Line != "line 136" || snap[63].Line != "line 199" {
+		t.Fatalf("ring window = [%s .. %s], want [line 136 .. line 199]",
+			snap[0].Line, snap[63].Line)
+	}
+}
+
+func TestBlackboxTapsLoggerAndTracer(t *testing.T) {
+	b := NewBlackbox(64)
+	var sink bytes.Buffer
+	logger := NewLogger(&sink, LevelInfo).With("app", "test")
+	b.TapLogger(logger)
+	tracer := NewTracer(16)
+	b.TeeTracer(tracer)
+
+	logger.Infof("hello %d", 42)
+	tracer.Record(SpanEvent{Span: "j1", Kind: KindAssign, Job: 1, Phone: 3})
+
+	snap := b.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("recorded %d entries, want 2", len(snap))
+	}
+	if snap[0].Src != "log" || !strings.Contains(snap[0].Line, "hello 42") {
+		t.Fatalf("log entry = %+v", snap[0])
+	}
+	if snap[1].Src != "trace" || snap[1].Event == nil || snap[1].Event.Span != "j1" {
+		t.Fatalf("trace entry = %+v", snap[1])
+	}
+	// Detaching stops the shadowing.
+	logger.SetTap(nil)
+	tracer.SetTee(nil)
+	logger.Infof("after detach")
+	tracer.Record(SpanEvent{Span: "j2", Kind: KindResult})
+	if got := b.Total(); got != 2 {
+		t.Fatalf("entries after detach = %d, want 2", got)
+	}
+}
+
+func TestBlackboxDumpFileJSONL(t *testing.T) {
+	b := NewBlackbox(64)
+	b.AddLine("first")
+	b.AddEvent(SpanEvent{TS: time.Unix(1, 0), Span: "j9", Kind: KindPromote, Epoch: 2})
+	path := filepath.Join(t.TempDir(), "blackbox.jsonl")
+	if err := b.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var entries []BlackboxEntry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e BlackboxEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not parseable: %v", len(entries)+1, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("dump has %d lines, want 2", len(entries))
+	}
+	if entries[0].Line != "first" || entries[1].Event == nil || entries[1].Event.Epoch != 2 {
+		t.Fatalf("dump = %+v", entries)
+	}
+}
+
+func TestBlackboxNilSafe(t *testing.T) {
+	var b *Blackbox
+	b.AddLine("x")
+	b.AddEvent(SpanEvent{})
+	b.TapLogger(nil)
+	b.TeeTracer(nil)
+	if b.Total() != 0 || b.Snapshot() != nil {
+		t.Fatal("nil blackbox should be inert")
+	}
+	if err := b.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DumpFile(""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -57,6 +57,7 @@ type logCore struct {
 	mu  sync.Mutex
 	w   io.Writer // guarded by mu
 	min atomic.Int32
+	tap atomic.Pointer[func(string)]
 }
 
 // Logger writes structured, leveled lines:
@@ -96,6 +97,21 @@ func (l *Logger) Enabled(level Level) bool {
 	return l != nil && int32(level) >= l.core.min.Load()
 }
 
+// SetTap attaches a callback invoked (outside the writer lock) with
+// every line this logger family emits — the hook a black-box recorder
+// uses to shadow the log stream. Shared by every relative of this
+// logger's core; pass nil to detach.
+func (l *Logger) SetTap(fn func(line string)) {
+	if l == nil {
+		return
+	}
+	if fn == nil {
+		l.core.tap.Store(nil)
+		return
+	}
+	l.core.tap.Store(&fn)
+}
+
 // With returns a child logger whose lines carry the given key/value
 // pairs as fields. Values are rendered with %v; strings containing
 // spaces are quoted.
@@ -130,6 +146,9 @@ func (l *Logger) emit(level Level, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	line := fmt.Sprintf("ts=%s level=%s%s msg=%q\n",
 		time.Now().UTC().Format("2006-01-02T15:04:05.000Z"), level, l.fields, msg)
+	if fn := l.core.tap.Load(); fn != nil {
+		(*fn)(strings.TrimRight(line, "\n"))
+	}
 	l.core.mu.Lock()
 	_, _ = io.WriteString(l.core.w, line)
 	l.core.mu.Unlock()

@@ -129,7 +129,10 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Quantile returns an estimate of the q-quantile (0..1) assuming
 // observations sit at their bucket's upper bound; good enough for
-// operator dashboards, not for billing.
+// operator dashboards, not for billing. Observations beyond the last
+// finite bucket clamp to that bound rather than reporting +Inf — a
+// dashboard fed "Inf ms" is strictly less useful than "at least 2^20
+// ms", and JSON cannot carry the infinity anyway.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -139,6 +142,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if rank < 1 {
 		rank = 1
 	}
+	last := 0.0
+	if len(h.bounds) > 0 {
+		last = h.bounds[len(h.bounds)-1]
+	}
 	var cum int64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
@@ -146,10 +153,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i < len(h.bounds) {
 				return h.bounds[i]
 			}
-			return math.Inf(1)
+			return last
 		}
 	}
-	return math.Inf(1)
+	return last
 }
 
 // metricKind discriminates registry entries for exposition.

@@ -73,6 +73,49 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	// Observations past the last finite bound land in the +Inf bucket;
+	// quantiles that resolve there must clamp to the last finite bound
+	// instead of returning +Inf, so dashboards stay plottable.
+	h := newHistogram(nil)
+	last := h.bounds[len(h.bounds)-1] // 2^20 for DefaultBuckets
+	for i := 0; i < 10; i++ {
+		h.Observe(last * 4)
+	}
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 1) {
+			t.Fatalf("Quantile(%v) = +Inf, want clamp to %v", q, last)
+		}
+		if got != last {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, last)
+		}
+	}
+
+	// Same clamp on custom bounds.
+	hc := newHistogram([]float64{1, 2, 4})
+	hc.Observe(100)
+	if got := hc.Quantile(0.99); got != 4 {
+		t.Errorf("custom-bounds overflow quantile = %v, want 4", got)
+	}
+
+	// Mixed population: quantiles below the overflow mass still resolve
+	// to their finite buckets.
+	hm := newHistogram(nil)
+	for i := 0; i < 90; i++ {
+		hm.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		hm.Observe(last * 2)
+	}
+	if got := hm.Quantile(0.5); got != 1 {
+		t.Errorf("mixed p50 = %v, want 1", got)
+	}
+	if got := hm.Quantile(0.99); got != last {
+		t.Errorf("mixed p99 = %v, want clamp to %v", got, last)
+	}
+}
+
 func TestRegistryConcurrentAccess(t *testing.T) {
 	r := NewRegistry()
 	const workers = 8

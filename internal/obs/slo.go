@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO verdicts, best to worst. The burn rate is the observed error rate
+// divided by the objective's error budget: burn < 1 means the budget is
+// being underspent (VerdictOK), 1 ≤ burn < 2 means the budget is being
+// consumed exactly as fast as it accrues or a little faster
+// (VerdictWarn), and burn ≥ 2 means the budget will be exhausted in
+// under half the window (VerdictCritical).
+const (
+	VerdictOK       = "ok"
+	VerdictWarn     = "warn"
+	VerdictCritical = "critical"
+)
+
+// SLOStatus is a point-in-time view of one objective.
+type SLOStatus struct {
+	Name      string  `json:"name"`
+	Target    float64 `json:"target"` // tolerated bad fraction of events (the error budget)
+	Good      int64   `json:"good"`   // good events in the rolling window
+	Bad       int64   `json:"bad"`    // bad events in the rolling window
+	ErrorRate float64 `json:"error_rate"`
+	Burn      float64 `json:"burn"` // ErrorRate / Target
+	Verdict   string  `json:"verdict"`
+}
+
+// sloBucket is one time slice of the rolling window.
+type sloBucket struct {
+	slot      int64 // bucket index: unix-nanos / width
+	good, bad int64
+}
+
+// SLO tracks one rolling-window service-level objective as good/bad
+// event counts in fixed-width time buckets. Cheap enough to feed from
+// hot paths (one mutex, no allocation after warmup) and safe on a nil
+// receiver, like every other obs sink.
+type SLO struct {
+	name   string
+	target float64
+	width  time.Duration
+
+	mu      sync.Mutex
+	buckets []sloBucket // guarded by mu; ring keyed by slot % len
+	now     func() time.Time
+}
+
+// NewSLO returns an objective tolerating a `target` fraction of bad
+// events over a rolling window of `window` split into `buckets` slices.
+// A target of 0 is clamped to a tiny budget so the burn ratio stays
+// finite; buckets below 4 are raised to 4.
+func NewSLO(name string, target float64, window time.Duration, buckets int) *SLO {
+	if buckets < 4 {
+		buckets = 4
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	if target <= 0 {
+		target = 1e-6
+	}
+	return &SLO{
+		name:    name,
+		target:  target,
+		width:   window / time.Duration(buckets),
+		buckets: make([]sloBucket, buckets),
+		now:     time.Now,
+	}
+}
+
+// Observe records one event outcome.
+func (s *SLO) Observe(good bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bucketLocked(s.now())
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+}
+
+// bucketLocked returns the live bucket for t, recycling stale slots.
+// Caller holds s.mu.
+func (s *SLO) bucketLocked(t time.Time) *sloBucket {
+	slot := t.UnixNano() / int64(s.width)
+	b := &s.buckets[int(slot%int64(len(s.buckets)))]
+	if b.slot != slot {
+		*b = sloBucket{slot: slot}
+	}
+	return b
+}
+
+// Status returns the current window's counts and burn verdict.
+func (s *SLO) Status() SLOStatus {
+	if s == nil {
+		return SLOStatus{Verdict: VerdictOK}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	minSlot := now.UnixNano()/int64(s.width) - int64(len(s.buckets)) + 1
+	st := SLOStatus{Name: s.name, Target: s.target}
+	for i := range s.buckets {
+		if s.buckets[i].slot < minSlot {
+			continue // stale slice outside the rolling window
+		}
+		st.Good += s.buckets[i].good
+		st.Bad += s.buckets[i].bad
+	}
+	if total := st.Good + st.Bad; total > 0 {
+		st.ErrorRate = float64(st.Bad) / float64(total)
+	}
+	st.Burn = st.ErrorRate / s.target
+	switch {
+	case st.Burn >= 2:
+		st.Verdict = VerdictCritical
+	case st.Burn >= 1:
+		st.Verdict = VerdictWarn
+	default:
+		st.Verdict = VerdictOK
+	}
+	return st
+}
+
+// SLOSet is a named collection of objectives with an overall health
+// verdict — the shape /statusz serves. Nil-safe.
+type SLOSet struct {
+	mu   sync.Mutex
+	slos map[string]*SLO // guarded by mu
+}
+
+// NewSLOSet returns an empty set.
+func NewSLOSet() *SLOSet {
+	return &SLOSet{slos: map[string]*SLO{}}
+}
+
+// Register adds an objective (replacing any previous one of the same
+// name) and returns it.
+func (ss *SLOSet) Register(name string, target float64, window time.Duration, buckets int) *SLO {
+	if ss == nil {
+		return nil
+	}
+	s := NewSLO(name, target, window, buckets)
+	ss.mu.Lock()
+	ss.slos[name] = s
+	ss.mu.Unlock()
+	return s
+}
+
+// Observe records one outcome against the named objective; unknown
+// names are dropped.
+func (ss *SLOSet) Observe(name string, good bool) {
+	if ss == nil {
+		return
+	}
+	ss.mu.Lock()
+	s := ss.slos[name]
+	ss.mu.Unlock()
+	s.Observe(good)
+}
+
+// Statuses returns every objective's status, sorted by name.
+func (ss *SLOSet) Statuses() []SLOStatus {
+	if ss == nil {
+		return nil
+	}
+	ss.mu.Lock()
+	slos := make([]*SLO, 0, len(ss.slos))
+	for _, s := range ss.slos {
+		slos = append(slos, s)
+	}
+	ss.mu.Unlock()
+	out := make([]SLOStatus, 0, len(slos))
+	for _, s := range slos {
+		out = append(out, s.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Health folds every objective's verdict into the worst one — the
+// one-word answer "is this cluster okay".
+func (ss *SLOSet) Health() string {
+	worst := VerdictOK
+	for _, st := range ss.Statuses() {
+		switch st.Verdict {
+		case VerdictCritical:
+			return VerdictCritical
+		case VerdictWarn:
+			worst = VerdictWarn
+		}
+	}
+	return worst
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets SLO tests steer the rolling window deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(s *SLO, c *fakeClock) *SLO    { s.now = c.now; return s }
+
+func TestSLOVerdicts(t *testing.T) {
+	c := newFakeClock()
+	s := withClock(NewSLO("requeue", 0.10, time.Minute, 12), c)
+
+	for i := 0; i < 100; i++ {
+		s.Observe(true)
+	}
+	st := s.Status()
+	if st.Good != 100 || st.Bad != 0 || st.Verdict != VerdictOK || st.Burn != 0 {
+		t.Fatalf("all-good status = %+v", st)
+	}
+
+	// 10 bad out of 110: error rate ~0.09, burn ~0.9 → still ok.
+	for i := 0; i < 10; i++ {
+		s.Observe(false)
+	}
+	if st := s.Status(); st.Verdict != VerdictOK {
+		t.Fatalf("burn %.2f verdict = %s, want ok", st.Burn, st.Verdict)
+	}
+
+	// Push the error rate past the target but under 2x → warn.
+	for i := 0; i < 8; i++ {
+		s.Observe(false)
+	}
+	if st := s.Status(); st.Verdict != VerdictWarn {
+		t.Fatalf("burn %.2f verdict = %s, want warn", st.Burn, st.Verdict)
+	}
+
+	// Past 2x → critical.
+	for i := 0; i < 30; i++ {
+		s.Observe(false)
+	}
+	if st := s.Status(); st.Verdict != VerdictCritical {
+		t.Fatalf("burn %.2f verdict = %s, want critical", st.Burn, st.Verdict)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	c := newFakeClock()
+	s := withClock(NewSLO("keepalive", 0.05, time.Minute, 12), c)
+	for i := 0; i < 50; i++ {
+		s.Observe(false)
+	}
+	if st := s.Status(); st.Verdict != VerdictCritical {
+		t.Fatalf("fresh failures verdict = %s, want critical", st.Verdict)
+	}
+	// A full window later the failures have aged out entirely.
+	c.advance(2 * time.Minute)
+	st := s.Status()
+	if st.Good != 0 || st.Bad != 0 || st.Verdict != VerdictOK {
+		t.Fatalf("post-window status = %+v, want empty/ok", st)
+	}
+	// And new observations land in recycled buckets.
+	s.Observe(true)
+	if st := s.Status(); st.Good != 1 || st.Bad != 0 {
+		t.Fatalf("post-recycle status = %+v", st)
+	}
+}
+
+func TestSLOZeroTargetStaysFinite(t *testing.T) {
+	c := newFakeClock()
+	s := withClock(NewSLO("strict", 0, time.Minute, 4), c)
+	s.Observe(false)
+	st := s.Status()
+	if st.Burn <= 0 || st.Burn != st.Burn /* NaN check */ {
+		t.Fatalf("zero-target burn = %v, want finite positive", st.Burn)
+	}
+	if st.Verdict != VerdictCritical {
+		t.Fatalf("zero-target verdict = %s, want critical", st.Verdict)
+	}
+}
+
+func TestSLOSetHealthWorstOf(t *testing.T) {
+	ss := NewSLOSet()
+	c := newFakeClock()
+	withClock(ss.Register("a", 0.5, time.Minute, 4), c)
+	withClock(ss.Register("b", 0.01, time.Minute, 4), c)
+	if got := ss.Health(); got != VerdictOK {
+		t.Fatalf("empty set health = %s, want ok", got)
+	}
+	ss.Observe("a", true)
+	ss.Observe("b", false) // burn 100 → critical
+	if got := ss.Health(); got != VerdictCritical {
+		t.Fatalf("health = %s, want critical", got)
+	}
+	sts := ss.Statuses()
+	if len(sts) != 2 || sts[0].Name != "a" || sts[1].Name != "b" {
+		t.Fatalf("statuses = %+v, want sorted [a b]", sts)
+	}
+	// Unknown names drop silently.
+	ss.Observe("nope", false)
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(true)
+	if st := s.Status(); st.Verdict != VerdictOK {
+		t.Fatalf("nil SLO status = %+v", st)
+	}
+	var ss *SLOSet
+	ss.Observe("x", false)
+	if ss.Register("x", 0.1, time.Minute, 4) != nil {
+		t.Fatal("nil set Register should return nil")
+	}
+	if ss.Statuses() != nil {
+		t.Fatal("nil set Statuses should return nil")
+	}
+	if ss.Health() != VerdictOK {
+		t.Fatal("nil set health should be ok")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +26,7 @@ const (
 	KindStraggler  = "straggler"
 	KindDeadLetter = "deadletter"
 	KindAggregate  = "aggregate"
+	KindPromote    = "promote"
 )
 
 // SpanEvent is one entry in a task-lifecycle trace.
@@ -42,6 +44,13 @@ type SpanEvent struct {
 	Bytes     int64   `json:"bytes,omitempty"`
 	Ms        float64 `json:"ms,omitempty"`
 	Detail    string  `json:"detail,omitempty"`
+	// Src names the process side that minted the event: "" or "master"
+	// for master-side events, "worker" for events folded out of
+	// telemetry frames. Epoch is the fencing regime the event was
+	// minted under (0: replication untracked), so a timeline assembled
+	// across a standby promotion keeps the regime boundary visible.
+	Src   string `json:"src,omitempty"`
+	Epoch int64  `json:"epoch,omitempty"`
 }
 
 // Tracer records span events into a bounded in-memory ring and,
@@ -54,6 +63,8 @@ type Tracer struct {
 	next  int           // guarded by mu
 	total int64         // guarded by mu
 	enc   *json.Encoder // guarded by mu
+	epoch atomic.Int64
+	tee   atomic.Pointer[func(SpanEvent)]
 }
 
 // NewTracer returns a tracer whose ring keeps the last ringSize events
@@ -81,6 +92,31 @@ func (t *Tracer) SetSink(w io.Writer) {
 	t.enc = json.NewEncoder(w)
 }
 
+// SetEpoch stamps every subsequently recorded event that does not carry
+// its own epoch with e. The master calls this at WAL recovery and on
+// every BumpEpoch, so master-side events are regime-annotated without
+// touching each Record site.
+func (t *Tracer) SetEpoch(e int64) {
+	if t == nil {
+		return
+	}
+	t.epoch.Store(e)
+}
+
+// SetTee attaches a callback invoked (outside the ring lock) with every
+// recorded event — the hook a black-box recorder uses to shadow the
+// trace stream. Pass nil to detach.
+func (t *Tracer) SetTee(fn func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.tee.Store(nil)
+		return
+	}
+	t.tee.Store(&fn)
+}
+
 // Record appends one event, stamping TS if unset.
 func (t *Tracer) Record(ev SpanEvent) {
 	if t == nil {
@@ -88,6 +124,12 @@ func (t *Tracer) Record(ev SpanEvent) {
 	}
 	if ev.TS.IsZero() {
 		ev.TS = time.Now()
+	}
+	if ev.Epoch == 0 {
+		ev.Epoch = t.epoch.Load()
+	}
+	if fn := t.tee.Load(); fn != nil {
+		(*fn)(ev)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -65,6 +65,42 @@ func TestTracerSpanFilterAndSink(t *testing.T) {
 	}
 }
 
+func TestTracerEpochStamping(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(SpanEvent{Span: "a", Kind: KindAssign})
+	tr.SetEpoch(2)
+	tr.Record(SpanEvent{Span: "a", Kind: KindResult})
+	tr.Record(SpanEvent{Span: "a", Kind: KindCheckpoint, Epoch: 1}) // worker-minted: keeps its own
+	evs := tr.Span("a")
+	if len(evs) != 3 {
+		t.Fatalf("span has %d events, want 3", len(evs))
+	}
+	if evs[0].Epoch != 0 {
+		t.Errorf("pre-SetEpoch event stamped %d, want 0", evs[0].Epoch)
+	}
+	if evs[1].Epoch != 2 {
+		t.Errorf("post-SetEpoch event stamped %d, want 2", evs[1].Epoch)
+	}
+	if evs[2].Epoch != 1 {
+		t.Errorf("pre-stamped event rewritten to %d, want 1 preserved", evs[2].Epoch)
+	}
+}
+
+func TestTracerTee(t *testing.T) {
+	tr := NewTracer(16)
+	var got []SpanEvent
+	tr.SetTee(func(ev SpanEvent) { got = append(got, ev) })
+	tr.Record(SpanEvent{Span: "t", Kind: KindAssign})
+	if len(got) != 1 || got[0].Span != "t" || got[0].TS.IsZero() {
+		t.Fatalf("tee saw %+v, want one stamped event", got)
+	}
+	tr.SetTee(nil)
+	tr.Record(SpanEvent{Span: "t", Kind: KindResult})
+	if len(got) != 1 {
+		t.Fatalf("detached tee still invoked: %d events", len(got))
+	}
+}
+
 func TestTracerNilSafe(t *testing.T) {
 	var tr *Tracer
 	tr.Record(SpanEvent{Span: "x"}) // must not panic

@@ -66,7 +66,62 @@ const (
 	// failure (with the checkpoint) so the server can requeue cleanly
 	// before the expected disconnect. The connection stays open.
 	TypeDrain Type = "drain"
+	// Worker -> server: a batch of worker-side span events (see
+	// WorkerEvent), shipped opportunistically after pong and result
+	// frames. Sent only when the welcome announced Telemetry — with the
+	// master's admin plane off, zero telemetry frames cross the wire.
+	// Purely observational: the master folds the events into its trace
+	// ring and never acts on them.
+	TypeTelemetry Type = "telemetry"
 )
+
+// EventKind discriminates worker-side span events carried in telemetry
+// frames. The master's fold switches over these; the cwc-vet frames
+// analyzer requires that switch to stay exhaustive-or-default.
+type EventKind string
+
+// Worker-side event kinds.
+const (
+	// EventAssignRecv: an assignment was received and queued (after
+	// chunked assembly completed, for streamed inputs).
+	EventAssignRecv EventKind = "assign_recv"
+	// EventExecStart / EventExecFinish bracket task execution; finish
+	// carries the wall ms and the outcome in Detail ("ok", "failed",
+	// "drained", "unplugged").
+	EventExecStart  EventKind = "exec_start"
+	EventExecFinish EventKind = "exec_finish"
+	// EventThrottlePause: the MIMD charging throttle held execution.
+	EventThrottlePause EventKind = "throttle_pause"
+	// EventCkptFlush / EventCkptAck bracket a streamed checkpoint's
+	// round trip as the worker sees it.
+	EventCkptFlush EventKind = "ckpt_flush"
+	EventCkptAck   EventKind = "ckpt_ack"
+	// EventDrainHandback: a proactive drain interrupted the running
+	// task and the partition was handed back with its checkpoint.
+	EventDrainHandback EventKind = "drain_handback"
+	// EventDial: a dial attempt in the reconnect/failover loop; Detail
+	// carries the address and outcome.
+	EventDial EventKind = "dial"
+)
+
+// WorkerEvent is one worker-side span event. TSMs is the worker's own
+// clock (unix milliseconds) — the master keeps it in Ms-resolution
+// order but never compares it against its own clock for correctness.
+// Span is the parent trace span carried on the assign frame (empty for
+// events outside any assignment, e.g. dials); Epoch is the fencing
+// epoch the worker held when the event was minted, so a timeline
+// assembled across a failover shows which regime each event belongs to.
+type WorkerEvent struct {
+	TSMs      int64     `json:"ts_ms"`
+	Kind      EventKind `json:"kind"`
+	Span      string    `json:"span,omitempty"`
+	Job       int       `json:"job,omitempty"`
+	Partition int       `json:"partition,omitempty"`
+	Bytes     int64     `json:"bytes,omitempty"`
+	Ms        float64   `json:"ms,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+	Epoch     int64     `json:"epoch,omitempty"`
+}
 
 // Message is the single frame shape; fields are populated per Type.
 // A union keeps the framing trivial and the protocol self-describing.
@@ -93,6 +148,10 @@ type Message struct {
 	// worker-side configuration may override).
 	CkptEveryKB int `json:"ckpt_every_kb,omitempty"`
 	CkptEveryMs int `json:"ckpt_every_ms,omitempty"`
+	// Welcome: the master wants worker-side telemetry (its admin plane
+	// is bound). Workers buffer and ship span events only after seeing
+	// this; an unobserved master costs workers nothing.
+	Telemetry bool `json:"telemetry,omitempty"`
 
 	// Probe.
 	Payload []byte `json:"payload,omitempty"`
@@ -156,12 +215,26 @@ type Message struct {
 	// metrics without any extra connections or frames. Absent from
 	// legacy peers; purely observational.
 	Stats *WorkerStats `json:"stats,omitempty"`
+
+	// Telemetry frames: the batched worker-side span events, and how
+	// many events the worker's bounded buffer dropped (cumulative) —
+	// backpressure is visible, never silent.
+	Events  []WorkerEvent `json:"events,omitempty"`
+	Dropped int64         `json:"dropped,omitempty"`
 }
 
 // WorkerStats is a worker's cumulative (monotonic) self-metering,
 // snapshotted onto outgoing pong/result frames. All fields count since
-// the worker process started, so the master can treat the latest frame
-// as authoritative without summing deltas.
+// the worker process started. A frame therefore supersedes every
+// earlier frame from the same process — but NOT frames from a previous
+// process that held the same phone ID: after a reconnect identity
+// takeover by a restarted worker, counters restart from zero. The
+// master handles that by monotone folding (see server.ingestWorkerStats):
+// when a snapshot regresses, the previous totals are folded into a
+// per-phone base, so the published per-phone series never move
+// backwards and nothing is lost across restarts. Overflow is not a
+// practical concern (float64 ms and int counters at phone-scale rates),
+// and the fold would absorb a wrapped counter the same way.
 type WorkerStats struct {
 	// ExecMs is total task execution wall time.
 	ExecMs float64 `json:"exec_ms,omitempty"`

@@ -327,6 +327,13 @@ func (s *Standby) promote(wl *wal.Log, fold *server.WALFold) error {
 		wl2.Close()
 		return fmt.Errorf("replica: fencing promotion: %w", err)
 	}
+	// Annotate the trace with the regime boundary: a timeline read off
+	// the promoted master shows where the standby took over and which
+	// epoch the replication stream had caught up to.
+	cfg.Tracer.Record(obs.SpanEvent{
+		Kind: obs.KindPromote, Job: -1, Partition: -1, Phone: -1, Epoch: epoch,
+		Detail: fmt.Sprintf("standby promotion: stream epoch %d, serving epoch %d", streamEpoch, epoch),
+	})
 	if err := m.Start(); err != nil {
 		wl2.Close()
 		return fmt.Errorf("replica: starting promoted master: %w", err)

@@ -16,11 +16,13 @@ import (
 // This file is the master's admin plane: the HTTP endpoints bound at
 // Config.ObsAddr (off by default) that expose what internal/obs records.
 //
-//	GET /metrics      Prometheus text exposition of Config.Metrics
-//	GET /healthz      liveness probe
-//	GET /statusz      JSON: fleet, predictions, rounds, dead letters
-//	GET /debug/sched  last round's bin-packing decision vs what happened
-//	GET /debug/trace  recent span events (?span=j3 filters, ?n=100 caps)
+//	GET /metrics         Prometheus text exposition of Config.Metrics
+//	GET /healthz         liveness probe
+//	GET /statusz         JSON: fleet, predictions, rounds, SLO burn
+//	GET /debug/sched     last round's bin-packing decision vs what happened
+//	GET /debug/trace     recent span events (?span=j3 filters, ?n=100 caps)
+//	GET /debug/timeline  one job's merged master+worker causal timeline (?job=3)
+//	GET /debug/blackbox  the in-memory flight recorder as JSONL
 //
 // Everything served here is a read-only snapshot; the plane never mutates
 // scheduling state, so leaving it unbound is byte-identical to binding it.
@@ -30,34 +32,35 @@ import (
 // the full catalog at zero (labeled series appear on first use).
 func registerMasterMetrics(r *obs.Registry) {
 	counters := map[string]string{
-		"cwc_keepalive_pings_total":       "application-level keepalive pings sent",
-		"cwc_keepalive_misses_total":      "keepalive periods that elapsed without a pong",
-		"cwc_conn_errors_total":           "phone connections lost to read errors or corrupt frames",
-		"cwc_phones_registered_total":     "fresh phone registrations",
-		"cwc_phones_reconnected_total":    "phones that rejoined under a prior identity",
-		"cwc_submissions_total":           "jobs accepted by Submit",
-		"cwc_jobs_completed_total":        "jobs fully aggregated",
-		"cwc_results_total":               "partition results recorded (duplicates excluded)",
-		"cwc_failures_total":              "partition failure reports recorded",
-		"cwc_requeues_total":              "work items re-queued for a later round",
-		"cwc_dead_letters_total":          "work items dropped after exhausting their retry budget",
-		"cwc_speculations_total":          "speculative copies issued for straggling partitions",
-		"cwc_stragglers_total":            "assignments that blew their deadline",
-		"cwc_abandons_total":              "phones abandoned for a round at twice the deadline",
-		"cwc_stale_results_total":         "results credited to an earlier attempt on the same phone",
-		"cwc_rounds_total":                "scheduling rounds completed",
-		"cwc_assign_bytes_sent_total":     "assignment input bytes shipped to phones",
-		"cwc_checkpoint_frames_total":     "streamed checkpoint frames received",
-		"cwc_checkpoint_folds_total":      "streamed checkpoints accepted into resume state",
-		"cwc_checkpoint_bytes_total":      "checkpoint state bytes accepted",
-		"cwc_recompute_saved_bytes_total": "input bytes a requeue resumed past instead of recomputing",
-		"cwc_drain_started_total":         "proactive drains started as predicted charge windows closed",
-		"cwc_drain_completed_total":       "proactive drains whose work was handed back before the disconnect",
-		"cwc_placements_vetoed_total":     "placements rejected because completion would cross the phone's predicted-unplug quantile",
-		"cwc_jobs_failed_total":           "jobs that ended in a terminal aggregation failure",
-		"cwc_verify_votes_total":          "verification ballots cast (result digests entered into a vote group)",
-		"cwc_verify_audits_total":         "spot-check audit comparisons completed",
-		"cwc_verify_quarantines_total":    "phones quarantined for falling below the reputation threshold",
+		"cwc_keepalive_pings_total":        "application-level keepalive pings sent",
+		"cwc_keepalive_misses_total":       "keepalive periods that elapsed without a pong",
+		"cwc_conn_errors_total":            "phone connections lost to read errors or corrupt frames",
+		"cwc_phones_registered_total":      "fresh phone registrations",
+		"cwc_phones_reconnected_total":     "phones that rejoined under a prior identity",
+		"cwc_submissions_total":            "jobs accepted by Submit",
+		"cwc_jobs_completed_total":         "jobs fully aggregated",
+		"cwc_results_total":                "partition results recorded (duplicates excluded)",
+		"cwc_failures_total":               "partition failure reports recorded",
+		"cwc_requeues_total":               "work items re-queued for a later round",
+		"cwc_dead_letters_total":           "work items dropped after exhausting their retry budget",
+		"cwc_speculations_total":           "speculative copies issued for straggling partitions",
+		"cwc_stragglers_total":             "assignments that blew their deadline",
+		"cwc_abandons_total":               "phones abandoned for a round at twice the deadline",
+		"cwc_stale_results_total":          "results credited to an earlier attempt on the same phone",
+		"cwc_rounds_total":                 "scheduling rounds completed",
+		"cwc_assign_bytes_sent_total":      "assignment input bytes shipped to phones",
+		"cwc_checkpoint_frames_total":      "streamed checkpoint frames received",
+		"cwc_checkpoint_folds_total":       "streamed checkpoints accepted into resume state",
+		"cwc_checkpoint_bytes_total":       "checkpoint state bytes accepted",
+		"cwc_recompute_saved_bytes_total":  "input bytes a requeue resumed past instead of recomputing",
+		"cwc_drain_started_total":          "proactive drains started as predicted charge windows closed",
+		"cwc_drain_completed_total":        "proactive drains whose work was handed back before the disconnect",
+		"cwc_placements_vetoed_total":      "placements rejected because completion would cross the phone's predicted-unplug quantile",
+		"cwc_jobs_failed_total":            "jobs that ended in a terminal aggregation failure",
+		"cwc_verify_votes_total":           "verification ballots cast (result digests entered into a vote group)",
+		"cwc_verify_audits_total":          "spot-check audit comparisons completed",
+		"cwc_verify_quarantines_total":     "phones quarantined for falling below the reputation threshold",
+		"cwc_telemetry_orphan_spans_total": "worker telemetry events naming a span no known job owns",
 	}
 	for fam, help := range counters {
 		r.Help(fam, help)
@@ -88,25 +91,65 @@ func registerMasterMetrics(r *obs.Registry) {
 	r.Help("cwc_verify_mismatches_total", "verification disagreements by kind (digest, vote, audit, checkpoint)")
 	r.Help("cwc_frames_received_total", "protocol frames received by type")
 	r.Help("cwc_frames_fenced_total", "report frames rejected for carrying another master regime's epoch")
+	r.Help("cwc_telemetry_events_total", "worker span events folded into the trace ring, by kind")
+	r.Help("cwc_telemetry_unknown_total", "worker span events of a kind this master does not know (version skew)")
+	r.Help("cwc_telemetry_dropped", "per-phone cumulative telemetry events lost to the worker's bounded buffer")
+	r.Help("cwc_slo_good_total", "SLO observations within objective, by SLO name")
+	r.Help("cwc_slo_bad_total", "SLO observations burning error budget, by SLO name")
+	r.Help("cwc_slo_error_rate", "rolling-window bad fraction per SLO")
+	r.Help("cwc_slo_burn", "rolling-window burn rate per SLO (error rate over target; 1.0 spends budget exactly on time)")
 }
 
-// ingestWorkerStats publishes a worker's piggybacked cumulative counters
-// as per-phone gauges (cumulative on the worker, so Set is correct) and
-// keeps the latest snapshot for /statusz.
+// ingestWorkerStats folds a worker's piggybacked cumulative counters
+// into per-phone published totals. Counters are cumulative per worker
+// *process*: a restarted worker that takes its identity back over
+// restarts them from zero, so a later frame can regress. The master
+// keeps a per-phone base (everything prior incarnations accumulated)
+// and folds the dying incarnation's last snapshot into it whenever a
+// regression proves a restart — the published series (gauges and
+// /statusz) stay monotone and no completed work is ever un-counted.
 func (m *Master) ingestWorkerStats(phoneID int, s *protocol.WorkerStats) {
+	m.mu.Lock()
+	base := m.workerStatBase[phoneID]
+	if last, ok := m.workerStatLast[phoneID]; ok && statsRegressed(last, *s) {
+		base = statsAdd(base, last)
+		m.workerStatBase[phoneID] = base
+	}
+	m.workerStatLast[phoneID] = *s
+	total := statsAdd(base, *s)
+	m.workerStats[phoneID] = total
+	m.mu.Unlock()
 	id := strconv.Itoa(phoneID)
 	r := m.cfg.Metrics
-	r.Gauge("cwc_worker_exec_ms", "phone", id).Set(s.ExecMs)
-	r.Gauge("cwc_worker_transfer_kb", "phone", id).Set(s.TransferKB)
-	r.Gauge("cwc_worker_throttle_pauses", "phone", id).Set(float64(s.ThrottlePauses))
-	r.Gauge("cwc_worker_reconnects", "phone", id).Set(float64(s.Reconnects))
-	r.Gauge("cwc_worker_ckpt_frames", "phone", id).Set(float64(s.CkptFrames))
-	r.Gauge("cwc_worker_ckpt_kb", "phone", id).Set(s.CkptKB)
-	r.Gauge("cwc_worker_assignments", "phone", id).Set(float64(s.Assignments))
-	snap := *s
-	m.mu.Lock()
-	m.workerStats[phoneID] = snap
-	m.mu.Unlock()
+	r.Gauge("cwc_worker_exec_ms", "phone", id).Set(total.ExecMs)
+	r.Gauge("cwc_worker_transfer_kb", "phone", id).Set(total.TransferKB)
+	r.Gauge("cwc_worker_throttle_pauses", "phone", id).Set(float64(total.ThrottlePauses))
+	r.Gauge("cwc_worker_reconnects", "phone", id).Set(float64(total.Reconnects))
+	r.Gauge("cwc_worker_ckpt_frames", "phone", id).Set(float64(total.CkptFrames))
+	r.Gauge("cwc_worker_ckpt_kb", "phone", id).Set(total.CkptKB)
+	r.Gauge("cwc_worker_assignments", "phone", id).Set(float64(total.Assignments))
+}
+
+// statsRegressed reports whether cur moved backwards relative to prev on
+// any cumulative field — the signature of a worker process restart.
+func statsRegressed(prev, cur protocol.WorkerStats) bool {
+	return cur.ExecMs < prev.ExecMs || cur.TransferKB < prev.TransferKB ||
+		cur.ThrottlePauses < prev.ThrottlePauses || cur.Reconnects < prev.Reconnects ||
+		cur.CkptFrames < prev.CkptFrames || cur.CkptKB < prev.CkptKB ||
+		cur.Assignments < prev.Assignments
+}
+
+// statsAdd sums two cumulative snapshots field-wise.
+func statsAdd(a, b protocol.WorkerStats) protocol.WorkerStats {
+	return protocol.WorkerStats{
+		ExecMs:         a.ExecMs + b.ExecMs,
+		TransferKB:     a.TransferKB + b.TransferKB,
+		ThrottlePauses: a.ThrottlePauses + b.ThrottlePauses,
+		Reconnects:     a.Reconnects + b.Reconnects,
+		CkptFrames:     a.CkptFrames + b.CkptFrames,
+		CkptKB:         a.CkptKB + b.CkptKB,
+		Assignments:    a.Assignments + b.Assignments,
+	}
 }
 
 // SchedAssignment is one dispatched partition in a SchedSnapshot: the
@@ -216,6 +259,8 @@ func (m *Master) serveObs(addr string) error {
 	mux.HandleFunc("/statusz", m.handleStatusz)
 	mux.HandleFunc("/debug/sched", m.handleDebugSched)
 	mux.HandleFunc("/debug/trace", m.handleDebugTrace)
+	mux.HandleFunc("/debug/timeline", m.handleDebugTimeline)
+	mux.HandleFunc("/debug/blackbox", m.handleDebugBlackbox)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	m.wg.Add(1)
 	go func() {
@@ -245,6 +290,10 @@ func (m *Master) refreshGauges() {
 	m.cfg.Metrics.Gauge("cwc_epoch").Set(float64(epoch))
 	if m.cfg.ReplicaSink != nil {
 		m.cfg.Metrics.Gauge("cwc_replica_lag_records").Set(float64(m.cfg.ReplicaSink.Lag()))
+	}
+	for _, st := range m.slos.Statuses() {
+		m.cfg.Metrics.Gauge("cwc_slo_error_rate", "slo", st.Name).Set(st.ErrorRate)
+		m.cfg.Metrics.Gauge("cwc_slo_burn", "slo", st.Name).Set(st.Burn)
 	}
 }
 
@@ -323,12 +372,18 @@ type statusz struct {
 	CheckpointFolds   int            `json:"checkpoint_folds"`
 	TraceEvents       int64          `json:"trace_events"`
 	MetricSeries      int            `json:"metric_series"`
+	// SLOs is the rolling-window burn view of every registered
+	// objective; SLOHealth is the worst verdict among them ("ok",
+	// "warn", or "critical").
+	SLOs      []obs.SLOStatus `json:"slos"`
+	SLOHealth string          `json:"slo_health"`
 }
 
 func (m *Master) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	st := statusz{
 		Now: time.Now(), Role: m.cfg.Role,
 		TraceEvents: m.cfg.Tracer.Total(), MetricSeries: m.cfg.Metrics.SeriesCount(),
+		SLOs: m.slos.Statuses(), SLOHealth: m.slos.Health(),
 	}
 	if m.cfg.ReplicaSink != nil {
 		lag := m.cfg.ReplicaSink.Lag()
@@ -470,6 +525,95 @@ func (m *Master) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		evs = []obs.SpanEvent{}
 	}
 	writeJSON(w, evs)
+}
+
+// TimelinePartition is one partition's merged causal timeline: master
+// and worker events interleaved in time order.
+type TimelinePartition struct {
+	Partition int             `json:"partition"`
+	Events    []obs.SpanEvent `json:"events"`
+}
+
+// Timeline is /debug/timeline's response: one job's span history with
+// both process sides stitched together. JobEvents are span-wide
+// milestones (submit, round, aggregate, promote); Epochs lists every
+// fencing regime the events crossed, so a timeline that survived a
+// standby promotion shows the boundary explicitly.
+type Timeline struct {
+	Job        int                 `json:"job"`
+	Span       string              `json:"span"`
+	Epochs     []int64             `json:"epochs"`
+	JobEvents  []obs.SpanEvent     `json:"job_events,omitempty"`
+	Partitions []TimelinePartition `json:"partitions"`
+}
+
+// jobTimeline assembles one job's merged timeline from the trace ring.
+// Returns nil when the job is unknown to this master.
+func (m *Master) jobTimeline(jobID int) *Timeline {
+	m.mu.Lock()
+	known := m.jobs[jobID] != nil
+	span := m.spanForJobLocked(jobID)
+	m.mu.Unlock()
+	if !known {
+		return nil
+	}
+	evs := m.cfg.Tracer.Span(span)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS.Before(evs[j].TS) })
+	tl := &Timeline{Job: jobID, Span: span, Partitions: []TimelinePartition{}}
+	epochs := map[int64]bool{}
+	parts := map[int]int{} // partition -> index into tl.Partitions
+	for _, ev := range evs {
+		epochs[ev.Epoch] = true
+		switch ev.Kind {
+		case obs.KindSubmit, obs.KindRound, obs.KindAggregate, obs.KindPromote:
+			tl.JobEvents = append(tl.JobEvents, ev)
+			continue
+		}
+		pi, ok := parts[ev.Partition]
+		if !ok {
+			pi = len(tl.Partitions)
+			parts[ev.Partition] = pi
+			tl.Partitions = append(tl.Partitions, TimelinePartition{Partition: ev.Partition})
+		}
+		tl.Partitions[pi].Events = append(tl.Partitions[pi].Events, ev)
+	}
+	sort.Slice(tl.Partitions, func(i, j int) bool {
+		return tl.Partitions[i].Partition < tl.Partitions[j].Partition
+	})
+	for e := range epochs {
+		tl.Epochs = append(tl.Epochs, e)
+	}
+	sort.Slice(tl.Epochs, func(i, j int) bool { return tl.Epochs[i] < tl.Epochs[j] })
+	return tl
+}
+
+func (m *Master) handleDebugTimeline(w http.ResponseWriter, r *http.Request) {
+	jobID, err := strconv.Atoi(r.URL.Query().Get("job"))
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":"missing or malformed ?job="}`)
+		return
+	}
+	tl := m.jobTimeline(jobID)
+	if tl == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"unknown job"}`)
+		return
+	}
+	writeJSON(w, tl)
+}
+
+func (m *Master) handleDebugBlackbox(w http.ResponseWriter, _ *http.Request) {
+	if m.cfg.Blackbox == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"no black-box recorder configured"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = m.cfg.Blackbox.WriteJSONL(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -404,6 +404,7 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 				rr.Items = append(rr.Items, walRoundItem{
 					JobID: a.item.jobID, Key: a.key, Input: a.input,
 					Resume: a.resume, Retries: a.item.retries,
+					Partition: a.partition,
 				})
 			}
 		}
@@ -487,6 +488,10 @@ func (m *Master) RunRound(ctx context.Context) (*RoundReport, error) {
 	m.cfg.Metrics.Gauge("cwc_round_predicted_makespan_ms").Set(sched.Makespan)
 	m.cfg.Metrics.Gauge("cwc_round_actual_makespan_ms").Set(wallMs)
 	m.cfg.Metrics.Histogram("cwc_round_wall_ms").Observe(wallMs)
+	// SLO: the packing prediction held if the measured wall time stayed
+	// within tolerance of the estimate (an unpredicted round is vacuously
+	// good — there was no promise to break).
+	m.sloObserve(sloMakespan, sched.Makespan <= 0 || wallMs <= sched.Makespan*sloMakespanTolerance)
 
 	// Aggregate completed jobs and count requeues.
 	m.mu.Lock()
@@ -701,8 +706,10 @@ func slicePartitions(items []*workItem, sched *core.Schedule) ([][]assignment, e
 			return nil, fmt.Errorf("server: item %d received no assignment", j)
 		}
 		if len(slots) == 1 {
+			// A re-queued range keeps the partition number it was first
+			// dispatched under so its timeline stays one row.
 			plans[slots[0].phone][slots[0].pos] = assignment{
-				item: it, partition: 0, input: it.input, resume: it.resume,
+				item: it, partition: it.partition, input: it.input, resume: it.resume,
 			}
 			continue
 		}
@@ -801,14 +808,15 @@ func (m *Master) speculate(a assignment) bool {
 	}
 	m.speculated[a.key] = true
 	m.pending = append(m.pending, &workItem{
-		jobID:   a.item.jobID,
-		task:    a.item.task,
-		input:   a.input,
-		resume:  m.latestResumeLocked(a.key, a.resume),
-		atomic:  true,
-		key:     a.key,
-		retries: a.item.retries,
-		seq:     m.nextSeqLocked(),
+		jobID:     a.item.jobID,
+		task:      a.item.task,
+		input:     a.input,
+		resume:    m.latestResumeLocked(a.key, a.resume),
+		atomic:    true,
+		key:       a.key,
+		retries:   a.item.retries,
+		seq:       m.nextSeqLocked(),
+		partition: a.partition,
 	})
 	m.cfg.Metrics.Counter("cwc_speculations_total").Inc()
 	m.cfg.Tracer.Record(obs.SpanEvent{
@@ -973,6 +981,7 @@ func (m *Master) recordStreamedCheckpoint(ps *phoneState, msg *protocol.Message)
 		if msg.Digest != "" && msg.Digest != ck.Digest() {
 			// In-transit damage: never fold, but still ack (flow control).
 			m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", "checkpoint").Inc()
+			m.sloObserve(sloVerify, false)
 			m.cfg.Logger.With("phone", ps.info.ID).Warnf("streamed checkpoint digest mismatch; frame dropped")
 			_ = ps.conn.Send(&protocol.Message{Type: protocol.TypeCheckpointAck, Attempt: msg.Attempt, Seq: msg.Seq})
 			return
@@ -1010,7 +1019,16 @@ func (m *Master) recordStreamedCheckpoint(ps *phoneState, msg *protocol.Message)
 	if accepted && m.cfg.Journal != nil {
 		m.cfg.Journal.RecordSave(jobID, partition, ps.info.ID, ck, "streamed checkpoint")
 	}
-	_ = ps.conn.Send(&protocol.Message{Type: protocol.TypeCheckpointAck, Attempt: msg.Attempt, Seq: msg.Seq})
+	// Echo the span coordinates so the worker's ckpt_ack telemetry event
+	// anchors to the same trace span as the master's checkpoint fold.
+	var span string
+	if jobID != 0 {
+		span = m.spanForJob(jobID)
+	}
+	_ = ps.conn.Send(&protocol.Message{
+		Type: protocol.TypeCheckpointAck, Attempt: msg.Attempt, Seq: msg.Seq,
+		JobID: jobID, Partition: partition, Span: span,
+	})
 }
 
 // StreamedCheckpoints reports how many streamed checkpoints have been
@@ -1065,6 +1083,7 @@ func (m *Master) finalizeResult(a assignment, resp *protocol.Message, est *predi
 	}
 	m.mu.Unlock()
 	m.cfg.Metrics.Counter("cwc_results_total").Inc()
+	m.sloObserve(sloRequeue, true)
 	if resp.ExecMs > 0 {
 		m.cfg.Metrics.Histogram("cwc_exec_ms").Observe(resp.ExecMs)
 	}
@@ -1173,19 +1192,20 @@ func (m *Master) recordFailure(a assignment, resp *protocol.Message, phoneID int
 	// resumes from the last streamed one.
 	resume = m.latestResumeLocked(a.key, resume)
 	it := &workItem{
-		jobID:   a.item.jobID,
-		task:    a.item.task,
-		input:   a.input,
-		resume:  resume,
-		atomic:  true,
-		key:     a.key,
-		retries: a.item.retries,
-		seq:     m.nextSeqLocked(),
+		jobID:     a.item.jobID,
+		task:      a.item.task,
+		input:     a.input,
+		resume:    resume,
+		atomic:    true,
+		key:       a.key,
+		retries:   a.item.retries,
+		seq:       m.nextSeqLocked(),
+		partition: a.partition,
 	}
 	if m.requeueLocked(it, "failure: "+resp.Error) {
 		m.walAppend(walRecMigrate, walMigrate{
 			JobID: a.item.jobID, Key: a.key, Input: a.input,
-			Resume: resume, Retries: it.retries,
+			Resume: resume, Retries: it.retries, Partition: a.partition,
 		})
 	}
 }
@@ -1221,6 +1241,7 @@ func (m *Master) requeueLocked(it *workItem, reason string) bool {
 	}
 	m.pending = append(m.pending, it)
 	m.cfg.Metrics.Counter("cwc_requeues_total").Inc()
+	m.sloObserve(sloRequeue, false)
 	if ck := m.streamed[it.key]; ck != nil && ck.Offset > 0 {
 		// A streamed checkpoint means the retry resumes mid-input: those
 		// bytes never get re-executed.
@@ -1255,14 +1276,15 @@ func (m *Master) requeueAbandoned(a assignment, start time.Time, addEvent func(E
 		return
 	}
 	it := &workItem{
-		jobID:   a.item.jobID,
-		task:    a.item.task,
-		input:   a.input,
-		resume:  m.latestResumeLocked(a.key, a.resume),
-		atomic:  true,
-		key:     a.key,
-		retries: a.item.retries,
-		seq:     m.nextSeqLocked(),
+		jobID:     a.item.jobID,
+		task:      a.item.task,
+		input:     a.input,
+		resume:    m.latestResumeLocked(a.key, a.resume),
+		atomic:    true,
+		key:       a.key,
+		retries:   a.item.retries,
+		seq:       m.nextSeqLocked(),
+		partition: a.partition,
 	}
 	kind := "requeue"
 	if !m.requeueLocked(it, "straggler abandoned") {
@@ -1290,10 +1312,11 @@ func (m *Master) requeueFrom(rest []assignment, start time.Time, addEvent func(E
 			resume: m.latestResumeLocked(a.key, a.resume),
 			// A keyed item must stay whole so the key keeps naming one
 			// exact byte range.
-			atomic:  a.key != 0 || a.resume != nil || a.item.atomic,
-			key:     a.key,
-			retries: a.item.retries,
-			seq:     m.nextSeqLocked(),
+			atomic:    a.key != 0 || a.resume != nil || a.item.atomic,
+			key:       a.key,
+			retries:   a.item.retries,
+			seq:       m.nextSeqLocked(),
+			partition: a.partition,
 		}
 		kind := "requeue"
 		if !m.requeueLocked(it, "phone lost mid-round") {

@@ -53,10 +53,19 @@ type Config struct {
 	// Tracer.SetSink to persist spans.
 	Tracer *obs.Tracer
 	// ObsAddr, when non-empty, binds the HTTP admin plane (GET /metrics,
-	// /healthz, /statusz, /debug/sched, /debug/trace) on Start. Empty
-	// keeps the plane off: observability is recorded either way, but
-	// nothing is served.
+	// /healthz, /statusz, /debug/sched, /debug/trace, /debug/timeline,
+	// /debug/blackbox) on Start. Empty keeps the plane off:
+	// observability is recorded either way, but nothing is served — and
+	// workers are not asked for telemetry frames (the welcome's
+	// Telemetry flag follows this setting), so an unobserved cluster
+	// ships zero telemetry bytes.
 	ObsAddr string
+	// Blackbox, when set, is the master's black-box flight recorder:
+	// /debug/blackbox serves its ring as JSONL, and the daemon dumps it
+	// on panic/SIGQUIT. The master does not feed it directly — wire it
+	// to the logger (Blackbox.TapLogger) and tracer (Blackbox.TeeTracer)
+	// at construction, as cmd/cwc-server does.
+	Blackbox *obs.Blackbox
 	// Journal, when set, records every migration event (checkpoint
 	// saved / resumed / completed) for audit and crash recovery.
 	Journal *migrate.Journal
@@ -308,6 +317,14 @@ type workItem struct {
 	// retries counts re-queues; past Config.MaxItemRetries the item is
 	// dead-lettered instead of re-queued.
 	retries int
+	// partition is the partition number this byte range carried when it
+	// was first dispatched. Partition numbers are minted at split time,
+	// so without this field every re-dispatch (same-master re-queue or
+	// post-failover recovery) would renumber the range to 0 and its
+	// timeline rows — keyed on (job, partition) — would split in two.
+	// Only meaningful for atomic re-queues; fresh splittable items are
+	// numbered by slicePartitions.
+	partition int
 	// seq is the item's durable identity in the write-ahead log: a
 	// round record names the fresh items it consumed by seq. Assigned
 	// at creation, meaningful only while key is zero.
@@ -415,9 +432,15 @@ type Master struct {
 	streamed  map[int64]*tasks.Checkpoint // guarded by mu
 	ckptFolds int                         // guarded by mu; streamed checkpoints accepted (monotonic, for tests/ops)
 
-	// workerStats is each phone's latest piggybacked self-metering
-	// (cumulative since worker start; latest frame wins).
-	workerStats map[int]protocol.WorkerStats // guarded by mu
+	// workerStats is each phone's published self-metering totals,
+	// monotone across worker restarts: workerStatLast is the newest raw
+	// snapshot from the current worker incarnation, workerStatBase the
+	// folded sum of every prior incarnation, and workerStats = base +
+	// last (what /statusz and the per-phone gauges publish). See
+	// ingestWorkerStats.
+	workerStats    map[int]protocol.WorkerStats // guarded by mu
+	workerStatBase map[int]protocol.WorkerStats // guarded by mu
+	workerStatLast map[int]protocol.WorkerStats // guarded by mu
 
 	// windows learns each phone's charge-window distribution from
 	// observed plug/unplug events (internally synchronized; queried
@@ -460,6 +483,10 @@ type Master struct {
 	rounds    int            // guarded by mu
 	lastSched *SchedSnapshot // guarded by mu
 
+	// slos tracks the master's rolling-window service-level objectives
+	// (internally synchronized; see registerMasterSLOs for the catalog).
+	slos *obs.SLOSet
+
 	obsLn net.Listener // admin plane listener (nil when ObsAddr is unset)
 }
 
@@ -486,12 +513,15 @@ func New(cfg Config) *Master {
 		settledFailures: map[int64]bool{},
 		streamed:        map[int64]*tasks.Checkpoint{},
 		workerStats:     map[int]protocol.WorkerStats{},
+		workerStatBase:  map[int]protocol.WorkerStats{},
+		workerStatLast:  map[int]protocol.WorkerStats{},
 		votes:           map[int64]*voteGroup{},
 		reputation:      map[int]float64{},
 		quarantined:     map[int]bool{},
 		walIdentity:     map[int]string{},
 		windows:         windows,
 		draining:        map[int]string{},
+		slos:            registerMasterSLOs(),
 		phoneWait:       make(chan struct{}),
 		stopped:         make(chan struct{}),
 	}
@@ -755,6 +785,10 @@ func (m *Master) handlePhone(conn *protocol.Conn) {
 		CkptEveryKB: ckptKB,
 		CkptEveryMs: int(m.cfg.CheckpointEvery / time.Millisecond),
 		Epoch:       epoch,
+		// Telemetry opt-in follows the admin plane: a master nobody can
+		// observe asks for no telemetry, so the unobserved cluster ships
+		// zero extra frames and zero extra bytes.
+		Telemetry: m.cfg.ObsAddr != "",
 	}); err != nil {
 		ps.markDead()
 		return
@@ -807,6 +841,12 @@ func (m *Master) readLoop(ps *phoneState) {
 			ps.mu.Lock()
 			ps.missedPings = 0
 			ps.mu.Unlock()
+			m.sloObserve(sloKeepalive, true)
+		case protocol.TypeTelemetry:
+			// Deliberately not fenced: a worker's buffered span events
+			// must survive a standby promotion — each event carries the
+			// epoch it was minted under instead of the frame.
+			m.foldTelemetry(ps, msg)
 		case protocol.TypeProbeAck:
 			select {
 			case ps.probeCh <- msg:
@@ -881,6 +921,11 @@ func (m *Master) BumpEpoch() (int64, error) {
 	}
 	m.epoch = next
 	m.cfg.Metrics.Gauge("cwc_epoch").Set(float64(next))
+	m.cfg.Tracer.SetEpoch(next)
+	m.cfg.Tracer.Record(obs.SpanEvent{
+		Kind: obs.KindPromote, Job: -1, Partition: -1, Phone: -1,
+		Detail: fmt.Sprintf("epoch %d -> %d", next-1, next), Epoch: next,
+	})
 	return next, nil
 }
 
@@ -940,6 +985,15 @@ func (m *Master) resolveDetached(msg *protocol.Message) bool {
 	if msg.Type == protocol.TypeResult {
 		m.cfg.Logger.With("job", rec.a.item.jobID, "partition", rec.a.partition,
 			"attempt", msg.Attempt).Infof("late result credited")
+		// Round results are traced by the dispatcher's timeline; a
+		// detached credit happens outside any round, so record it here or
+		// the partition's timeline ends without its master-side fold —
+		// exactly the partitions that survived a failover via replay.
+		m.cfg.Tracer.Record(obs.SpanEvent{
+			Span: m.spanForJob(rec.a.item.jobID), Kind: obs.KindResult,
+			Job: rec.a.item.jobID, Partition: rec.a.partition,
+			Phone: rec.ps.info.ID, Detail: "late",
+		})
 		m.recordResult(rec.a, msg, est, rec.ps)
 	}
 	// A late failure needs no action: the speculative copy issued at the
@@ -966,6 +1020,7 @@ func (m *Master) keepalive(ps *phoneState) {
 			if missed > 1 {
 				// The previous ping went unanswered for a full period.
 				m.cfg.Metrics.Counter("cwc_keepalive_misses_total").Inc()
+				m.sloObserve(sloKeepalive, false)
 			}
 			if missed > m.cfg.KeepaliveTolerance {
 				m.cfg.Logger.With("phone", ps.info.ID).Warnf("missed %d keepalives: offline failure",

@@ -95,6 +95,7 @@ func (m *Master) verifyResult(a assignment, resp *protocol.Message, est *predict
 		// this fold: detectable from the single frame, no vote needed.
 		// Treat it like a failure report so the range re-executes.
 		m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", "digest").Inc()
+		m.sloObserve(sloVerify, false)
 		m.cfg.Logger.With("phone", ps.info.ID, "job", a.item.jobID, "partition", a.partition).
 			Warnf("result digest mismatch (claimed %.8s, computed %.8s); discarding", resp.Digest, computed)
 		m.mu.Lock()
@@ -104,6 +105,11 @@ func (m *Master) verifyResult(a assignment, resp *protocol.Message, est *predict
 			Type: protocol.TypeFailure, Error: "result digest mismatch",
 		}, ps.info.ID, 0)
 		return true
+	}
+	if resp.Digest != "" {
+		// A carried digest that matched is one successful verification
+		// comparison, whatever the voting layer decides next.
+		m.sloObserve(sloVerify, true)
 	}
 	if a.key == 0 {
 		return false
@@ -139,6 +145,7 @@ func (m *Master) verifyResult(a assignment, resp *protocol.Message, est *predict
 		if !won {
 			m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", "vote").Inc()
 		}
+		m.sloObserve(sloVerify, won)
 		m.reputationEventLocked(pid, won, "late vote")
 		if len(vg.ballots) >= vg.need {
 			delete(m.votes, a.key)
@@ -203,6 +210,7 @@ func (m *Master) resolveVoteLocked(key int64, vg *voteGroup, winner string) {
 		if !won {
 			m.cfg.Metrics.Counter("cwc_verify_mismatches_total", "kind", kind).Inc()
 		}
+		m.sloObserve(sloVerify, won)
 		m.reputationEventLocked(pid, won, "verification vote")
 	}
 	if vg.audit && vg.folded != "" && vg.folded != winner {
@@ -365,14 +373,15 @@ func (m *Master) sweepVoteGroupsLocked() {
 			delete(m.votes, key)
 		default:
 			it := &workItem{
-				jobID:   vg.a.item.jobID,
-				task:    vg.a.item.task,
-				input:   vg.a.input,
-				resume:  m.latestResumeLocked(key, vg.a.resume),
-				atomic:  true,
-				key:     key,
-				retries: vg.a.item.retries,
-				seq:     m.nextSeqLocked(),
+				jobID:     vg.a.item.jobID,
+				task:      vg.a.item.task,
+				input:     vg.a.input,
+				resume:    m.latestResumeLocked(key, vg.a.resume),
+				atomic:    true,
+				key:       key,
+				retries:   vg.a.item.retries,
+				seq:       m.nextSeqLocked(),
+				partition: vg.a.partition,
 			}
 			m.requeueLocked(it, "verification unresolved")
 			delete(m.votes, key)
@@ -399,14 +408,15 @@ func (m *Master) startTieBreak(key int64) {
 			delete(m.votes, key)
 			if !m.completed[key] && !m.pendingTwinLocked(key) {
 				it := &workItem{
-					jobID:   vg.a.item.jobID,
-					task:    vg.a.item.task,
-					input:   vg.a.input,
-					resume:  m.latestResumeLocked(key, vg.a.resume),
-					atomic:  true,
-					key:     key,
-					retries: vg.a.item.retries,
-					seq:     m.nextSeqLocked(),
+					jobID:     vg.a.item.jobID,
+					task:      vg.a.item.task,
+					input:     vg.a.input,
+					resume:    m.latestResumeLocked(key, vg.a.resume),
+					atomic:    true,
+					key:       key,
+					retries:   vg.a.item.retries,
+					seq:       m.nextSeqLocked(),
+					partition: vg.a.partition,
 				}
 				m.requeueLocked(it, "verification tie: no arbiter")
 			}
@@ -471,14 +481,15 @@ func (m *Master) tieBreakExpired(key, attempt int64) {
 	delete(m.votes, key)
 	if !m.completed[key] && !m.pendingTwinLocked(key) {
 		it := &workItem{
-			jobID:   vg.a.item.jobID,
-			task:    vg.a.item.task,
-			input:   vg.a.input,
-			resume:  m.latestResumeLocked(key, vg.a.resume),
-			atomic:  true,
-			key:     key,
-			retries: vg.a.item.retries,
-			seq:     m.nextSeqLocked(),
+			jobID:     vg.a.item.jobID,
+			task:      vg.a.item.task,
+			input:     vg.a.input,
+			resume:    m.latestResumeLocked(key, vg.a.resume),
+			atomic:    true,
+			key:       key,
+			retries:   vg.a.item.retries,
+			seq:       m.nextSeqLocked(),
+			partition: vg.a.partition,
 		}
 		m.requeueLocked(it, "verification tie-break expired")
 	}

@@ -87,6 +87,11 @@ type walRoundItem struct {
 	Input   []byte            `json:"input"`
 	Resume  *tasks.Checkpoint `json:"resume,omitempty"`
 	Retries int               `json:"retries,omitempty"`
+	// Partition is the timeline identity of this byte range: a promoted
+	// standby re-dispatches a recovered open range under the same
+	// partition number, so the merged trace shows one row per range
+	// across the failover instead of a ghost row per regime.
+	Partition int `json:"partition,omitempty"`
 }
 
 type walRound struct {
@@ -125,11 +130,12 @@ type walPartialRec struct {
 }
 
 type walMigrate struct {
-	JobID   int               `json:"job_id"`
-	Key     int64             `json:"key"`
-	Input   []byte            `json:"input"`
-	Resume  *tasks.Checkpoint `json:"resume,omitempty"`
-	Retries int               `json:"retries,omitempty"`
+	JobID     int               `json:"job_id"`
+	Key       int64             `json:"key"`
+	Input     []byte            `json:"input"`
+	Resume    *tasks.Checkpoint `json:"resume,omitempty"`
+	Retries   int               `json:"retries,omitempty"`
+	Partition int               `json:"partition,omitempty"` // see walRoundItem.Partition
 }
 
 type walDeadLetterRec struct {
@@ -200,6 +206,9 @@ type walItemRec struct {
 	Resume  *tasks.Checkpoint `json:"resume,omitempty"`
 	Atomic  bool              `json:"atomic,omitempty"`
 	Retries int               `json:"retries,omitempty"`
+	// Partition preserves the range's timeline row across recovery; see
+	// walRoundItem.Partition.
+	Partition int `json:"partition,omitempty"`
 }
 
 // walState is the compaction snapshot: the reducer's state serialized.
@@ -371,6 +380,7 @@ func (r *walReducer) apply(rec wal.Record) error {
 			r.open[it.Key] = &walItemRec{
 				Key: it.Key, JobID: it.JobID, Input: it.Input,
 				Resume: it.Resume, Atomic: true, Retries: it.Retries,
+				Partition: it.Partition,
 			}
 			r.bumpKey(it.Key)
 		}
@@ -417,6 +427,7 @@ func (r *walReducer) apply(rec wal.Record) error {
 		r.open[p.Key] = &walItemRec{
 			Key: p.Key, JobID: p.JobID, Input: p.Input,
 			Resume: p.Resume, Atomic: true, Retries: p.Retries,
+			Partition: p.Partition,
 		}
 		r.bumpKey(p.Key)
 	case walRecDeadLetter:
@@ -595,7 +606,7 @@ func (m *Master) walSnapshotLocked(w io.Writer) error {
 		})
 	}
 	seen := map[int64]bool{}
-	addOpen := func(key int64, jobID int, input []byte, resume *tasks.Checkpoint, retries int) {
+	addOpen := func(key int64, jobID int, input []byte, resume *tasks.Checkpoint, retries, partition int) {
 		if m.completed[key] || seen[key] {
 			return
 		}
@@ -603,6 +614,7 @@ func (m *Master) walSnapshotLocked(w io.Writer) error {
 		st.Open = append(st.Open, walItemRec{
 			Key: key, JobID: jobID, Input: input,
 			Resume: m.latestResumeLocked(key, resume), Atomic: true, Retries: retries,
+			Partition: partition,
 		})
 	}
 	for _, it := range m.pending {
@@ -613,14 +625,14 @@ func (m *Master) walSnapshotLocked(w io.Writer) error {
 			})
 			continue
 		}
-		addOpen(it.key, it.jobID, it.input, it.resume, it.retries)
+		addOpen(it.key, it.jobID, it.input, it.resume, it.retries, it.partition)
 	}
 	for _, rec := range m.attempts {
 		a := rec.a
 		if a.key == 0 {
 			continue
 		}
-		addOpen(a.key, a.item.jobID, a.input, a.resume, a.item.retries)
+		addOpen(a.key, a.item.jobID, a.input, a.resume, a.item.retries, a.partition)
 	}
 	sort.Slice(st.Jobs, func(i, j int) bool { return st.Jobs[i].ID < st.Jobs[j].ID })
 	sort.Slice(st.Fresh, func(i, j int) bool { return st.Fresh[i].Seq < st.Fresh[j].Seq })
@@ -730,10 +742,13 @@ func (m *Master) installWALState(red *walReducer) error {
 		}
 		// Keys are dropped: the old master's attempts can never reach
 		// this one, so first-result-wins state would be dead weight —
-		// the same reasoning SaveState documents.
+		// the same reasoning SaveState documents. The partition number
+		// survives, so the re-dispatch extends the range's timeline row
+		// instead of opening a fresh "partition 0" per recovered range.
 		pending = append(pending, &workItem{
 			jobID: it.JobID, task: js.task, input: it.Input,
 			resume: it.Resume, atomic: it.Atomic, retries: it.Retries,
+			partition: it.Partition,
 		})
 	}
 
@@ -775,6 +790,9 @@ func (m *Master) installWALState(red *walReducer) error {
 	if red.epoch > m.epoch {
 		m.epoch = red.epoch
 	}
+	// Re-arm the tracer's epoch stamp: master-side events recorded after
+	// recovery must carry the recovered fencing regime, not 0.
+	m.cfg.Tracer.SetEpoch(m.epoch)
 	return nil
 }
 

@@ -39,6 +39,10 @@ type throttleRunner struct {
 	running bool    // current duty-cycle phase
 
 	pauses int // Pause calls that actually slept
+
+	// onPause, when set, is invoked (outside r.mu) after each counted
+	// pause — the worker's telemetry hook.
+	onPause func()
 }
 
 // newThrottleRunner builds the runtime throttler.
@@ -106,7 +110,11 @@ func (r *throttleRunner) Pause(ctx context.Context) {
 	if slept {
 		r.mu.Lock()
 		r.pauses++
+		hook := r.onPause
 		r.mu.Unlock()
+		if hook != nil {
+			hook()
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"cwc/internal/obs"
 	"cwc/internal/protocol"
 	"cwc/internal/tasks"
 )
@@ -65,6 +66,15 @@ type Config struct {
 	// corrupt its reports — for result-integrity testing. The zero value
 	// is an honest worker.
 	Byzantine Byzantine
+	// Metrics, when set, is this worker's own obs registry: every minted
+	// telemetry span event is counted into cwc_worker_events_total{kind}
+	// regardless of whether the master asked for telemetry. Nil skips
+	// the counting entirely.
+	Metrics *obs.Registry
+	// Blackbox, when set, shadows every minted span event into the
+	// worker's black-box flight recorder (dumped by the daemon on panic
+	// or SIGQUIT). Independent of the master's telemetry opt-in.
+	Blackbox *obs.Blackbox
 }
 
 // Byzantine configures deliberate worker misbehaviour, the adversary the
@@ -173,19 +183,22 @@ type Phone struct {
 	cfg Config
 
 	mu             sync.Mutex
-	conn           *protocol.Conn        // guarded by mu
-	id             int                   // guarded by mu
-	everRegistered bool                  // guarded by mu; a Welcome was received at least once
-	unplug         context.CancelFunc    // guarded by mu; cancels the in-flight task
-	leaving        bool                  // guarded by mu; Unplug called: report failure then close
-	vanished       bool                  // guarded by mu; Vanish called: die silently
-	draining       bool                  // guarded by mu; server drain: interrupt reports "drained", stay connected
-	sink           *tasks.CheckpointSink // guarded by mu; streaming sink of the in-flight execution
-	unsent         []*protocol.Message   // guarded by mu
-	ckptKB         int                   // guarded by mu; server-announced checkpoint-streaming policy
-	ckptMs         int                   // guarded by mu
-	ckptUnacked    int                   // guarded by mu; streamed checkpoints awaiting a checkpoint_ack
-	epoch          int64                 // guarded by mu; master regime from the last welcome (0 = untracked)
+	conn           *protocol.Conn         // guarded by mu
+	id             int                    // guarded by mu
+	everRegistered bool                   // guarded by mu; a Welcome was received at least once
+	unplug         context.CancelFunc     // guarded by mu; cancels the in-flight task
+	leaving        bool                   // guarded by mu; Unplug called: report failure then close
+	vanished       bool                   // guarded by mu; Vanish called: die silently
+	draining       bool                   // guarded by mu; server drain: interrupt reports "drained", stay connected
+	sink           *tasks.CheckpointSink  // guarded by mu; streaming sink of the in-flight execution
+	unsent         []*protocol.Message    // guarded by mu
+	ckptKB         int                    // guarded by mu; server-announced checkpoint-streaming policy
+	ckptMs         int                    // guarded by mu
+	ckptUnacked    int                    // guarded by mu; streamed checkpoints awaiting a checkpoint_ack
+	epoch          int64                  // guarded by mu; master regime from the last welcome (0 = untracked)
+	telemetry      bool                   // guarded by mu; the last welcome asked for worker telemetry
+	telEvents      []protocol.WorkerEvent // guarded by mu; span events awaiting a shipping opportunity
+	telDropped     int64                  // guarded by mu; cumulative events dropped to the buffer bound
 
 	registered chan struct{} // closed once Welcome arrives
 	regOnce    sync.Once
@@ -247,6 +260,9 @@ func New(cfg Config) (*Phone, error) {
 	p := &Phone{cfg: cfg, registered: make(chan struct{})}
 	if cfg.Charging != nil {
 		p.throttle = newThrottleRunner(cfg.Charging)
+		p.throttle.onPause = func() {
+			p.event(protocol.EventThrottlePause, "", 0, 0, 0, 0, "")
+		}
 	}
 	if !cfg.Byzantine.zero() {
 		seed := cfg.Byzantine.Seed
@@ -417,8 +433,10 @@ func (p *Phone) currentEpoch() int64 {
 func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net.Conn, error), assignQ chan *protocol.Message, handshake time.Duration) (registered bool, err error) {
 	raw, err := dial(ctx)
 	if err != nil {
+		p.event(protocol.EventDial, "", 0, 0, 0, 0, "fail: "+err.Error())
 		return false, fmt.Errorf("worker: dialing server: %w", err)
 	}
+	p.event(protocol.EventDial, "", 0, 0, 0, 0, "ok")
 	conn := protocol.NewConn(raw)
 	p.mu.Lock()
 	p.conn = conn
@@ -475,6 +493,8 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			p.mu.Lock()
 			p.statAssignments++
 			p.mu.Unlock()
+			p.event(protocol.EventAssignRecv, m.Span, m.JobID, m.Partition,
+				int64(len(m.Input)), 0, "")
 		default:
 			// Queue overflow: a runaway server; refuse the work rather
 			// than buffer unboundedly.
@@ -516,6 +536,14 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			p.id = m.PhoneID
 			p.everRegistered = true
 			p.ckptKB, p.ckptMs = m.CkptEveryKB, m.CkptEveryMs
+			// Telemetry is master-driven: buffer span events only for a
+			// master that will look at them. A master that stopped asking
+			// (obs plane unbound) also stops the buffering, and whatever
+			// was queued for the old regime is discarded with it.
+			p.telemetry = m.Telemetry
+			if !m.Telemetry {
+				p.telEvents, p.telDropped = nil, 0
+			}
 			// Acks are per-connection; frames in flight on the old one
 			// are gone either way.
 			p.ckptUnacked = 0
@@ -537,6 +565,8 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 			if err := conn.Send(pong); err != nil {
 				return registered, err
 			}
+			// Piggyback buffered span events on the keepalive cadence.
+			p.shipTelemetry(conn)
 		case protocol.TypeProbe:
 			if err := conn.Send(&protocol.Message{Type: protocol.TypeProbeAck, Seq: m.Seq}); err != nil {
 				return registered, err
@@ -583,6 +613,7 @@ func (p *Phone) runConn(ctx context.Context, dial func(ctx context.Context) (net
 				p.ckptUnacked--
 			}
 			p.mu.Unlock()
+			p.event(protocol.EventCkptAck, m.Span, m.JobID, m.Partition, 0, 0, "")
 		case protocol.TypeDrain:
 			// Proactive drain: the server predicts this phone's charge
 			// window is closing. Flush the freshest checkpoint and
@@ -617,6 +648,9 @@ func (p *Phone) report(m *protocol.Message) {
 	conn := p.conn
 	p.mu.Unlock()
 	if conn != nil && conn.Send(m) == nil {
+		// A delivered report is a shipping opportunity for buffered span
+		// events (the exec_finish for this very report is among them).
+		p.shipTelemetry(conn)
 		return
 	}
 	p.mu.Lock()
@@ -684,11 +718,24 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	if ck == nil {
 		ck = &tasks.Checkpoint{}
 	}
+	p.event(protocol.EventExecStart, m.Span, m.JobID, m.Partition, int64(len(m.Input)), 0, m.Task)
+
+	// finish mints the exec_finish span event and, for a proactive-drain
+	// handback, the drain_handback edge the master's timeline pairs with
+	// its own completeDrain.
+	finish := func(elapsed time.Duration, outcome string) {
+		p.event(protocol.EventExecFinish, m.Span, m.JobID, m.Partition,
+			int64(len(m.Input)), float64(elapsed)/float64(time.Millisecond), outcome)
+		if outcome == drainedReason {
+			p.event(protocol.EventDrainHandback, m.Span, m.JobID, m.Partition, 0, 0, "")
+		}
+	}
 
 	// Byzantine laziness: skip execution entirely and fabricate a
 	// plausible result without reading the input.
 	if p.byzRng != nil && p.cfg.Byzantine.LazyProb > 0 && p.byzRng.Float64() < p.cfg.Byzantine.LazyProb {
 		payload, digest := p.mutateResult([]byte("0"))
+		finish(0, "ok")
 		p.report(&protocol.Message{
 			Type:        protocol.TypeResult,
 			JobID:       m.JobID,
@@ -714,7 +761,9 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 			case <-t.C:
 			case <-taskCtx.Done():
 				t.Stop()
-				fail(ck, p.interruptReason())
+				reason := p.interruptReason()
+				finish(0, reason)
+				fail(ck, reason)
 				return
 			}
 		}
@@ -733,6 +782,7 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 	p.mu.Unlock()
 	switch {
 	case err == nil:
+		finish(elapsed, "ok")
 		payload, digest := p.mutateResult(result)
 		p.report(&protocol.Message{
 			Type:        protocol.TypeResult,
@@ -749,8 +799,11 @@ func (p *Phone) execute(ctx context.Context, m *protocol.Message) {
 		})
 		p.maybeLeave()
 	case errors.Is(err, tasks.ErrInterrupted):
-		fail(ck, p.interruptReason())
+		reason := p.interruptReason()
+		finish(elapsed, reason)
+		fail(ck, reason)
 	default:
+		finish(elapsed, "failed")
 		fail(nil, err.Error())
 	}
 }
@@ -799,6 +852,10 @@ func lieAbout(result []byte, off byte) []byte {
 	return out
 }
 
+// drainedReason is the failure-report error for a proactive-drain
+// handback; the server's dispatch path matches it exactly.
+const drainedReason = "drained"
+
 // interruptReason resolves what an interrupted execution should report:
 // "drained" when the server's proactive drain canceled the task (the
 // connection stays up and the phone remains in the pool), "unplugged"
@@ -810,7 +867,7 @@ func (p *Phone) interruptReason() string {
 	drained := p.draining && !p.leaving && !p.vanished
 	p.draining = false
 	if drained {
-		return "drained"
+		return drainedReason
 	}
 	return "unplugged"
 }
@@ -881,6 +938,10 @@ func (p *Phone) checkpointSink(m *protocol.Message) *tasks.CheckpointSink {
 				p.statCkptKB += float64(len(ck.State)+8) / 1024
 			}
 			p.mu.Unlock()
+			if err == nil {
+				p.event(protocol.EventCkptFlush, m.Span, m.JobID, m.Partition,
+					int64(len(ck.State)), 0, "")
+			}
 		},
 	}
 }
