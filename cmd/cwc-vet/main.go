@@ -1,17 +1,19 @@
 // Command cwc-vet runs the project-invariant static-analysis suite over
-// the module: five analyzers (locks, frames, walrec, obslog, leaks)
-// that machine-check the concurrency, protocol, WAL, logging, and
-// goroutine-lifetime disciplines the codebase relies on. See
-// docs/static-analysis.md for the catalogue and the suppression syntax.
+// the module: nine analyzers built on a shared dataflow substrate
+// (per-function CFGs plus a module-wide call graph) that machine-check
+// the concurrency, deadlock, cancellation, protocol, epoch-fencing,
+// WAL, metric-hygiene, logging, and goroutine-lifetime disciplines the
+// codebase relies on. See docs/static-analysis.md for the catalogue and
+// the suppression syntax.
 //
 // Usage:
 //
 //	cwc-vet [flags] [./...]
 //
-// Exit status is 0 when clean, 1 when there are findings, 2 on a load
-// or usage error. The loader always analyzes the whole module (the
-// invariants are cross-package), so the only accepted package pattern
-// is "./...".
+// Exit status is 0 when clean, 1 when there are findings, 2 on a load,
+// usage, or budget error. The loader always analyzes the whole module
+// (the invariants are cross-package), so the only accepted package
+// pattern is "./...".
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cwc/internal/lint"
 )
@@ -31,10 +34,14 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
-		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = flag.String("disable", "", "comma-separated analyzers to skip")
-		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		enable    = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = flag.String("disable", "", "comma-separated analyzers to skip")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		timings   = flag.Bool("timings", false, "print per-analyzer wall-clock to stderr")
+		budget    = flag.Duration("budget", 0, "fail (exit 2) when load+analysis exceeds this duration")
+		baseline  = flag.String("baseline", "", "JSON baseline file; findings recorded in it are not reported")
+		writeBase = flag.String("write-baseline", "", "write the current findings to this baseline file and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: cwc-vet [flags] [./...]\n")
@@ -45,7 +52,7 @@ func run() int {
 	all := lint.Analyzers()
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-8s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -67,12 +74,48 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
 		return 2
 	}
+	loadStart := time.Now()
 	prog, err := lint.LoadModule(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
 		return 2
 	}
-	diags := prog.Run(lint.DefaultConfig(), analyzers)
+	loadElapsed := time.Since(loadStart)
+	diags, tms := prog.RunTimed(lint.DefaultConfig(), analyzers)
+	tms = append([]lint.Timing{{Analyzer: "load", Elapsed: loadElapsed}}, tms...)
+
+	total := time.Duration(0)
+	for _, tm := range tms {
+		total += tm.Elapsed
+	}
+	if *timings {
+		for _, tm := range tms {
+			fmt.Fprintf(os.Stderr, "cwc-vet: %-10s %v\n", tm.Analyzer, tm.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr, "cwc-vet: %-10s %v\n", "total", total.Round(time.Millisecond))
+	}
+	if *budget > 0 && total > *budget {
+		fmt.Fprintf(os.Stderr, "cwc-vet: analysis took %v, over the %v budget\n",
+			total.Round(time.Millisecond), *budget)
+		return 2
+	}
+
+	if *writeBase != "" {
+		if err := writeBaseline(*writeBase, root, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "cwc-vet: wrote %d finding(s) to %s\n", len(diags), *writeBase)
+		return 0
+	}
+	if *baseline != "" {
+		kept, err := filterBaseline(*baseline, root, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cwc-vet: %v\n", err)
+			return 2
+		}
+		diags = kept
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -96,6 +139,66 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// baselineEntry identifies one accepted finding. The line number is
+// deliberately omitted so unrelated edits shifting a file do not
+// invalidate the baseline; entries are a multiset keyed by analyzer,
+// root-relative file, and message.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// entryFor renders a diagnostic as its baseline key.
+func entryFor(root string, d lint.Diagnostic) baselineEntry {
+	file := d.Position.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return baselineEntry{Analyzer: d.Analyzer, File: file, Message: d.Message}
+}
+
+// writeBaseline snapshots the findings so CI can gate on *new* ones.
+func writeBaseline(path, root string, diags []lint.Diagnostic) error {
+	entries := make([]baselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, entryFor(root, d))
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// filterBaseline drops findings recorded in the baseline file. Each
+// baseline entry forgives one matching finding, so a regression that
+// adds a second identical finding in the same file still fails.
+func filterBaseline(path, root string, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	allowed := map[baselineEntry]int{}
+	for _, e := range entries {
+		allowed[e]++
+	}
+	var kept []lint.Diagnostic
+	for _, d := range diags {
+		key := entryFor(root, d)
+		if allowed[key] > 0 {
+			allowed[key]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
 }
 
 // selectAnalyzers applies -enable/-disable to the suite.

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cwc/internal/lint"
+)
+
+func diag(analyzer, file string, line int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+// The baseline is line-insensitive (edits that shift a file must not
+// invalidate it) but a multiset: each entry forgives exactly one
+// matching finding.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	recorded := []lint.Diagnostic{
+		diag("locks", filepath.Join(root, "a", "a.go"), 10, "field x accessed without mu"),
+		diag("metrics", filepath.Join(root, "b", "b.go"), 20, "label value id is unbounded"),
+	}
+	if err := writeBaseline(path, root, recorded); err != nil {
+		t.Fatal(err)
+	}
+
+	now := []lint.Diagnostic{
+		// Same finding, shifted 30 lines: still forgiven.
+		diag("locks", filepath.Join(root, "a", "a.go"), 40, "field x accessed without mu"),
+		diag("metrics", filepath.Join(root, "b", "b.go"), 20, "label value id is unbounded"),
+		// A second identical metrics finding: not in the multiset.
+		diag("metrics", filepath.Join(root, "b", "b.go"), 99, "label value id is unbounded"),
+		// A brand-new finding.
+		diag("epoch", filepath.Join(root, "c", "c.go"), 5, "TypeResult frame minted without Epoch; fenced frames must carry the regime counter from creation"),
+	}
+	kept, err := filterBaseline(path, root, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "metrics" || kept[0].Position.Line != 99 {
+		t.Errorf("kept[0] = %v, want the duplicate metrics finding", kept[0])
+	}
+	if kept[1].Analyzer != "epoch" {
+		t.Errorf("kept[1] = %v, want the new epoch finding", kept[1])
+	}
+}
+
+func TestEmptyBaselineKeepsEverything(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(path, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	now := []lint.Diagnostic{diag("locks", filepath.Join(root, "a.go"), 1, "m")}
+	kept, err := filterBaseline(path, root, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 {
+		t.Fatalf("kept %d findings, want 1", len(kept))
+	}
+}
+
+func TestFilterBaselineBadFile(t *testing.T) {
+	root := t.TempDir()
+	if _, err := filterBaseline(filepath.Join(root, "missing.json"), root, nil); err == nil {
+		t.Error("missing baseline file should be an error, not an empty allowlist")
+	}
+	bad := filepath.Join(root, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filterBaseline(bad, root, nil); err == nil {
+		t.Error("malformed baseline JSON should be an error")
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.Analyzers()
+	sel, err := selectAnalyzers(all, "lockorder,metrics", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "lockorder" || sel[1].Name != "metrics" {
+		t.Errorf("enable selected %v", names(sel))
+	}
+	sel, err = selectAnalyzers(all, "", "leaks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(all)-1 {
+		t.Errorf("disable kept %d analyzers, want %d", len(sel), len(all)-1)
+	}
+	if _, err := selectAnalyzers(all, "nope", ""); err == nil {
+		t.Error("unknown analyzer should be an error")
+	}
+}
+
+func names(as []*lint.Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}

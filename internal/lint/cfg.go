@@ -1,0 +1,341 @@
+package lint
+
+// The control-flow half of the analysis substrate: a per-function CFG
+// over go/ast. Blocks hold the statements and control expressions that
+// execute straight-line; edges follow Go's structured control flow
+// (if/for/range/switch/select, break/continue with labels, terminating
+// calls). The builder is deliberately approximate where precision does
+// not pay: goto falls back to an edge to the exit block, and defer
+// bodies are analyzed at their declaration point, matching the v1
+// walker's semantics so the locks fixtures keep their meaning.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one straight-line run of nodes. Nodes are simple statements
+// (ExprStmt, AssignStmt, ...) plus the control expressions evaluated on
+// entry to a construct (if conditions, switch tags, range operands),
+// in evaluation order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is one function body's control-flow graph. Entry is the first
+// block; a block with no successors either returns, panics, or ends
+// the function.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// cfgBuilder threads the "current block" through a recursive walk of
+// the body, tracking break/continue targets (with label support).
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breakTo / continueTo are stacks of jump targets; label is ""
+	// for unlabeled loops and switches.
+	breaks    []jumpTarget
+	continues []jumpTarget
+	// label pending for the next loop/switch/select statement.
+	pendingLabel string
+	// exit collects blocks for goto targets we do not model precisely.
+	exit *Block
+}
+
+type jumpTarget struct {
+	label string
+	block *Block
+}
+
+// BuildCFG builds the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.exit = b.newBlock() // shared sink for returns and goto
+	b.stmts(body.List)
+	b.edge(b.cur, b.exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current straight-line block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil || b.cur == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminatingCall recognizes calls that never return: panic, os.Exit,
+// log.Fatal*, testing's t.Fatal*.
+func terminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := exprString(call.Fun)
+	return name == "panic" || strings.HasSuffix(name, ".Exit") ||
+		strings.HasSuffix(name, ".Fatal") || strings.HasSuffix(name, ".Fatalf")
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable code after a jump still gets a block so its
+		// nodes are visited (with bottom facts) rather than lost.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, label); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, label); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			b.edge(b.cur, b.exit) // approximate: a goto leaves the region
+		case token.FALLTHROUGH:
+			// handled by the switch builder (edge to next case)
+		}
+		if s.Tok != token.FALLTHROUGH {
+			b.cur = nil
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(head, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(head, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		// The per-iteration key/value targets are evaluated in the body.
+		b.add(s.Key)
+		b.add(s.Value)
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body.List, nil)
+	case *ast.TypeSwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.caseClauses(label, s.Body.List, s.Assign)
+	case *ast.SelectStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, jumpTarget{label, after}, jumpTarget{"", after})
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-2]
+		if len(s.Body.List) == 0 || hasDefault {
+			b.edge(head, after)
+		}
+		b.cur = after
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminatingCall(s.X) {
+			b.cur = nil
+		}
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch/type-switch bodies: every case branches
+// from the head; fallthrough edges link a case to the one below it.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, assign ast.Stmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, jumpTarget{label, after}, jumpTarget{"", after})
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blocks[i])
+		b.cur = blocks[i]
+		if assign != nil {
+			b.add(assign)
+		}
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmts(cc.Body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, jumpTarget{label, brk}, jumpTarget{"", brk})
+	b.continues = append(b.continues, jumpTarget{label, cont}, jumpTarget{"", cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.continues = b.continues[:len(b.continues)-2]
+}
+
+// findTarget resolves a break/continue label against the target stack
+// (innermost last; "" matches the innermost unlabeled entry).
+func findTarget(stack []jumpTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+// epoch machine-checks the fencing discipline the failover design
+// (hot-standby master with epoch fencing) relies on: a frame that
+// participates in fencing is worthless unless it carries the regime
+// counter from the moment it is minted, and a WAL record that persists
+// the regime must thread it too. Three rules:
+//
+//  1. A protocol.Message composite literal whose Type field is one of
+//     the fenced constants must also set Epoch in the same literal.
+//  2. An assignment `x.Type = <fenced const>` must be matched by an
+//     `x.Epoch = ...` assignment to the same base somewhere in the same
+//     function (literal-free construction paths).
+//  3. A keyed composite literal of a fenced WAL record type must set
+//     its Epoch field (positional literals necessarily set every
+//     field and pass).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochAnalyzer reports fenced frames and WAL records minted without an
+// epoch.
+var EpochAnalyzer = &Analyzer{
+	Name: "epoch",
+	Doc:  "require fenced frames and WAL records to set Epoch at mint time",
+	Run:  runEpoch,
+}
+
+func runEpoch(cfg *Config, prog *Program) []Diagnostic {
+	fenced := map[string]bool{}
+	for _, name := range cfg.FencedFrameTypes {
+		fenced[name] = true
+	}
+	fencedWAL := map[string]bool{}
+	for _, name := range cfg.FencedWALTypes {
+		fencedWAL[name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			diags = append(diags, epochLiterals(cfg, prog, pkg, f, fenced, fencedWAL)...)
+		}
+		diags = append(diags, epochAssignments(cfg, prog, pkg, fenced)...)
+	}
+	return diags
+}
+
+// fencedConstName returns the constant's name when e resolves to one of
+// the fenced frame-type constants declared in ProtocolPkg.
+func fencedConstName(cfg *Config, pkg *Package, e ast.Expr, fenced map[string]bool) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := pkg.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Path() != cfg.ProtocolPkg || !fenced[c.Name()] {
+		return ""
+	}
+	return c.Name()
+}
+
+// epochLiterals checks composite literals (rules 1 and 3).
+func epochLiterals(cfg *Config, prog *Program, pkg *Package, f *ast.File, fenced, fencedWAL map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		named := namedOrPtr(pkg.Info.TypeOf(lit))
+		if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+			return true
+		}
+		obj := named.Obj()
+		keyed := len(lit.Elts) > 0
+		keys := map[string]ast.Expr{}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				keyed = false
+				break
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				keys[id.Name] = kv.Value
+			}
+		}
+
+		// Rule 1: fenced Message literal must set Epoch.
+		if obj.Pkg().Path() == cfg.ProtocolPkg && obj.Name() == cfg.MessageTypeName && keyed {
+			if name := fencedConstName(cfg, pkg, keys["Type"], fenced); name != "" {
+				if _, ok := keys["Epoch"]; !ok {
+					diags = append(diags, prog.diag("epoch", lit,
+						"%s frame minted without Epoch; fenced frames must carry the regime counter from creation", name))
+				}
+			}
+		}
+
+		// Rule 3: fenced WAL record literal must set Epoch.
+		if obj.Pkg().Path() == cfg.WALPkg && fencedWAL[obj.Name()] && keyed {
+			if _, ok := keys["Epoch"]; !ok {
+				diags = append(diags, prog.diag("epoch", lit,
+					"%s literal does not thread Epoch; the record is the regime's durable evidence", obj.Name()))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// epochAssignments checks rule 2: `x.Type = <fenced>` without a
+// matching `x.Epoch = ...` in the same function body.
+func epochAssignments(cfg *Config, prog *Program, pkg *Package, fenced map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	check := func(body *ast.BlockStmt) {
+		type typeSet struct {
+			node ast.Node
+			base string
+			name string
+		}
+		var sets []typeSet
+		epochSet := map[string]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				base := exprString(sel.X)
+				if !isNamedType(pkg.Info.TypeOf(sel.X), cfg.ProtocolPkg, cfg.MessageTypeName) {
+					continue
+				}
+				switch sel.Sel.Name {
+				case "Type":
+					if name := fencedConstName(cfg, pkg, as.Rhs[i], fenced); name != "" {
+						sets = append(sets, typeSet{node: as, base: base, name: name})
+					}
+				case "Epoch":
+					epochSet[base] = true
+				}
+			}
+			return true
+		})
+		for _, s := range sets {
+			if !epochSet[s.base] {
+				diags = append(diags, prog.diag("epoch", s.node,
+					"%s.Type set to fenced %s but %s.Epoch is never assigned in this function", s.base, s.name, s.base))
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				check(fd.Body)
+			}
+		}
+	}
+	return diags
+}

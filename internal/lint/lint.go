@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one analyzer finding.
@@ -36,6 +37,10 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LocksAnalyzer,
+		LockOrderAnalyzer,
+		CtxFlowAnalyzer,
+		EpochAnalyzer,
+		MetricsAnalyzer,
 		FramesAnalyzer,
 		WALRecAnalyzer,
 		ObsLogAnalyzer,
@@ -91,6 +96,32 @@ type Config struct {
 	// LeakPkgs are the packages whose goroutines must be WaitGroup-
 	// tracked or ctx/done-aware (leaks analyzer).
 	LeakPkgs []string
+
+	// LockOrderPkgs are the packages whose mutex acquisition order is
+	// checked for cycles (lockorder analyzer).
+	LockOrderPkgs []string
+	// BlockingUnderLock names functions and methods that must never be
+	// called with a mutex held, as "pkgpath.Func" or
+	// "pkgpath.Type.Method" (lockorder analyzer).
+	BlockingUnderLock []string
+
+	// CtxPkgs are the packages whose spawned goroutines must keep every
+	// blocking channel op cancellable (ctxflow analyzer).
+	CtxPkgs []string
+
+	// FencedFrameTypes are frame-type constant names in ProtocolPkg whose
+	// Message values must set Epoch at mint time (epoch analyzer).
+	FencedFrameTypes []string
+	// FencedWALTypes are record struct type names in WALPkg whose
+	// composite literals must thread the Epoch field (epoch analyzer).
+	FencedWALTypes []string
+
+	// MetricPrefix is the mandatory metric family-name prefix; families
+	// must match ^<prefix>[a-z0-9_]+$ (metrics analyzer).
+	MetricPrefix string
+	// MetricDocFiles are module-relative non-Go files scanned for metric
+	// names that must correspond to a registered family.
+	MetricDocFiles []string
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -113,6 +144,24 @@ func DefaultConfig() *Config {
 		PurePkgs:            []string{"cwc/internal/core", "cwc/internal/lp", "cwc/internal/predict"},
 
 		LeakPkgs: []string{"cwc/internal/server", "cwc/internal/worker", "cwc/internal/replica"},
+
+		LockOrderPkgs: []string{
+			"cwc/internal/server", "cwc/internal/worker",
+			"cwc/internal/replica", "cwc/internal/obs", "cwc/internal/wal",
+		},
+		BlockingUnderLock: []string{
+			"cwc/internal/protocol.Conn.Send",
+			"cwc/internal/protocol.Conn.Recv",
+			"time.Sleep",
+		},
+
+		CtxPkgs: []string{"cwc/internal/server", "cwc/internal/worker", "cwc/internal/replica"},
+
+		FencedFrameTypes: []string{"TypeWelcome", "TypeResult", "TypeFailure", "TypeCheckpoint"},
+		FencedWALTypes:   []string{"walEpochRec", "walSnapshot"},
+
+		MetricPrefix:   "cwc_",
+		MetricDocFiles: []string{"docs/observability.md"},
 	}
 }
 
@@ -134,18 +183,46 @@ func matchAnyPkg(patterns []string, path string) bool {
 	return false
 }
 
+// Timing is one analyzer's wall-clock cost within a Run.
+type Timing struct {
+	Analyzer string        `json:"analyzer"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
 // Run executes the given analyzers over the program, drops findings
 // suppressed by //lint:ignore directives, and returns the rest sorted by
-// position. Malformed directives are reported as driver diagnostics.
+// position. Malformed directives are reported as driver diagnostics,
+// and suppressions that no finding needed are reported as "unused".
 func (p *Program) Run(cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := p.RunTimed(cfg, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings. The first
+// timing row ("substrate") is the shared snapshot build — the CFGs and
+// call graph every interprocedural analyzer reuses — so the cost is
+// visible once instead of being silently paid per analyzer.
+func (p *Program) RunTimed(cfg *Config, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	sup, diags := p.collectIgnores(analyzers)
+	var timings []Timing
+	start := time.Now()
+	p.Index()
+	timings = append(timings, Timing{Analyzer: "substrate", Elapsed: time.Since(start)})
 	for _, a := range analyzers {
+		start = time.Now()
 		for _, d := range a.Run(cfg, p) {
 			if sup.suppressed(a.Name, d.Position) {
 				continue
 			}
 			diags = append(diags, d)
 		}
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
+	}
+	for _, d := range sup.unused(analyzers) {
+		if sup.suppressed("unused", d.Position) {
+			continue
+		}
+		diags = append(diags, d)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
@@ -160,7 +237,7 @@ func (p *Program) Run(cfg *Config, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // ignoreRe matches "lint:ignore analyzer[,analyzer...] reason". The
@@ -168,32 +245,81 @@ func (p *Program) Run(cfg *Config, analyzers []*Analyzer) []Diagnostic {
 // finding.
 var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(\s+(.*))?$`)
 
-// suppressions maps file name -> line -> analyzer names suppressed on
-// that line. A directive covers its own line and the line below it, so
-// it works both as a trailing comment and on the line above the
-// offending statement.
-type suppressions map[string]map[int][]string
+// directive is one parsed //lint:ignore comment; used tracks which of
+// its analyzer names actually matched a finding, so stale suppressions
+// become findings themselves.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  map[string]bool
+}
 
-func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
+// suppressions maps file name -> line -> directives on that line. A
+// directive covers its own line and the line below it, so it works both
+// as a trailing comment and on the line above the offending statement.
+type suppressions struct {
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
-				return true
+		for _, d := range lines[line] {
+			for _, name := range d.names {
+				if name == analyzer {
+					d.used[name] = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused reports directives whose analyzer names never matched a
+// finding. Only analyzers that actually ran are judged — a directive
+// for a disabled analyzer may still be load-bearing. A directive that
+// itself names "unused" is the escape hatch for deliberate keep-alives.
+func (s *suppressions) unused(ran []*Analyzer) []Diagnostic {
+	ranSet := map[string]bool{}
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, d := range s.all {
+		keep := false
+		for _, name := range d.names {
+			if name == "unused" {
+				keep = true
+			}
+		}
+		if keep {
+			continue
+		}
+		for _, name := range d.names {
+			if name == "driver" || name == "unused" || !ranSet[name] || d.used[name] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "unused",
+				Position: d.pos,
+				Message:  fmt.Sprintf("lint:ignore %s suppresses nothing; delete it (or add unused to the list if it must stay)", name),
+			})
+		}
+	}
+	return diags
 }
 
 // collectIgnores scans every comment for lint:ignore directives and
 // reports malformed ones (missing reason, unknown analyzer).
-func (p *Program) collectIgnores(analyzers []*Analyzer) (suppressions, []Diagnostic) {
-	known := map[string]bool{}
+func (p *Program) collectIgnores(analyzers []*Analyzer) (*suppressions, []Diagnostic) {
+	known := map[string]bool{"driver": true, "unused": true}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	sup := suppressions{}
+	sup := &suppressions{byLine: map[string]map[int][]*directive{}}
 	var diags []Diagnostic
 	for _, pkg := range p.Pkgs {
 		for _, f := range pkg.Files {
@@ -223,10 +349,12 @@ func (p *Program) collectIgnores(analyzers []*Analyzer) (suppressions, []Diagnos
 							})
 						}
 					}
-					if sup[pos.Filename] == nil {
-						sup[pos.Filename] = map[int][]string{}
+					d := &directive{pos: pos, names: names, used: map[string]bool{}}
+					sup.all = append(sup.all, d)
+					if sup.byLine[pos.Filename] == nil {
+						sup.byLine[pos.Filename] = map[int][]*directive{}
 					}
-					sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], names...)
+					sup.byLine[pos.Filename][pos.Line] = append(sup.byLine[pos.Filename][pos.Line], d)
 				}
 			}
 		}

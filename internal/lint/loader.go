@@ -40,9 +40,16 @@ type Package struct {
 
 // Program is a loaded module: every package, sharing one FileSet.
 type Program struct {
-	Fset   *token.FileSet
-	Pkgs   []*Package
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Root is the directory the module was loaded from; analyzers that
+	// scan non-Go evidence (test files, docs) resolve paths against it.
+	Root   string
 	byPath map[string]*Package
+
+	// index is the shared substrate snapshot (CFGs, call graph); built
+	// once on first use and reused by every analyzer in a Run.
+	index *Index
 }
 
 // Lookup returns the package with the given import path, or nil.
@@ -81,7 +88,7 @@ func LoadModuleAs(root, modPath string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog := &Program{Fset: fset, byPath: make(map[string]*Package)}
+	prog := &Program{Fset: fset, Root: root, byPath: make(map[string]*Package)}
 	imp := &moduleImporter{
 		loaded: prog.byPath,
 		std:    importer.ForCompiler(fset, "source", nil),

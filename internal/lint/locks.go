@@ -13,21 +13,26 @@ import (
 // (where <mu> is a sibling sync.Mutex or sync.RWMutex field) may only be
 // accessed while that mutex is held.
 //
-// The check is a per-function flow walk, not a whole-program proof:
+// v2 runs on the shared substrate: the per-function CFG and the forward
+// dataflow engine, with held-lock facts joined by union at merge points
+// (optimistic — a fact survives a merge if it held on any falling-
+// through path, because false positives hurt more than false negatives
+// here). The conventions carry over from v1:
 //
-//   - base.mu.Lock() / RLock() marks base's mutex held from that
-//     statement on; base.mu.Unlock() / RUnlock() releases it; a deferred
-//     unlock keeps it held to the end of the function.
-//   - An if/for/select branch that terminates (return, panic, goto,
-//     os.Exit) does not leak its lock-state changes into the fall-through
-//     path, so the idiomatic "if bad { mu.Unlock(); return }" stays clean.
+//   - base.mu.Lock() / RLock() marks base's mutex held from that point
+//     on; base.mu.Unlock() / RUnlock() releases it; a deferred unlock
+//     keeps it held to the end of the function.
+//   - A branch that terminates (return, panic, os.Exit) contributes
+//     nothing to the merge, so "if bad { mu.Unlock(); return }" stays
+//     clean.
 //   - Functions named *Locked, or documented "caller holds <mu>" /
 //     "callers hold <mu>", are assumed to run with the receiver's
 //     mutexes held.
 //   - A local built from a composite literal in the same function is a
 //     fresh, unshared object; accesses through it are exempt.
 //   - go-routine literals start with no locks held (they run later);
-//     other function literals inherit the lock state at their definition.
+//     other function literals inherit the lock state at their
+//     definition point.
 //
 // Everything else touching a guarded field is a diagnostic.
 var LocksAnalyzer = &Analyzer{
@@ -61,16 +66,16 @@ func runLocks(cfg *Config, prog *Program) []Diagnostic {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				w := &lockWalker{
+				lf := &lockFlow{
 					prog: prog, pkg: pkg, guarded: guarded,
 					fresh: freshLocals(pkg, fd.Body),
 				}
-				held := map[string]bool{}
+				init := Facts{}
 				if assumedLocked(fd) {
-					markReceiverMutexesHeld(pkg, fd, held)
+					markReceiverMutexesHeld(pkg, fd, init)
 				}
-				w.walkStmts(fd.Body.List, held)
-				diags = append(diags, w.diags...)
+				lf.checkBody(BuildCFG(fd.Body), init)
+				diags = append(diags, lf.diags...)
 			}
 		}
 	}
@@ -147,7 +152,7 @@ func assumedLocked(fd *ast.FuncDecl) bool {
 
 // markReceiverMutexesHeld marks every mutex field of the receiver type
 // as held ("recv.mu"), plus any explicit "caller holds x.y" names.
-func markReceiverMutexesHeld(pkg *Package, fd *ast.FuncDecl, held map[string]bool) {
+func markReceiverMutexesHeld(pkg *Package, fd *ast.FuncDecl, held Facts) {
 	if fd.Doc != nil {
 		for _, m := range callerHoldsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
 			held[strings.TrimSuffix(m[1], ".")] = true
@@ -207,9 +212,9 @@ func freshLocals(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
 	return fresh
 }
 
-// lockWalker checks guarded-field accesses in one function against a
-// statement-ordered lock-state walk.
-type lockWalker struct {
+// lockFlow checks guarded-field accesses in one function by running the
+// held-lock dataflow over its CFG.
+type lockFlow struct {
 	prog    *Program
 	pkg     *Package
 	guarded map[*types.Var]guardInfo
@@ -217,184 +222,74 @@ type lockWalker struct {
 	diags   []Diagnostic
 }
 
-// walkStmts processes a statement list, threading the held set through.
-func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
-	for _, s := range stmts {
-		w.walkStmt(s, held)
-	}
+// checkBody solves the held-lock dataflow over one CFG and replays the
+// solution, emitting diagnostics. Function literals met along the way
+// are analyzed recursively: go-literals with nothing held, the rest
+// with the facts at their definition point.
+func (lf *lockFlow) checkBody(cfg *CFG, init Facts) {
+	transfer := func(n ast.Node, facts Facts) { lf.node(n, facts, false) }
+	in := Forward(cfg, init, transfer)
+	Visit(cfg, in, transfer, func(n ast.Node, facts Facts) {
+		lf.node(n, facts.Clone(), true)
+	})
 }
 
-// copyHeld clones the lock state for a branch.
-func copyHeld(held map[string]bool) map[string]bool {
-	cp := make(map[string]bool, len(held))
-	for k, v := range held {
-		cp[k] = v
-	}
-	return cp
-}
-
-// terminates reports whether a statement list definitely does not fall
-// through (return / panic / goto / os.Exit and friends as last stmt).
-func terminates(stmts []ast.Stmt) bool {
-	if len(stmts) == 0 {
-		return false
-	}
-	switch s := stmts[len(stmts)-1].(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.BranchStmt:
-		return s.Tok == token.CONTINUE || s.Tok == token.BREAK || s.Tok == token.GOTO
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			name := exprString(call.Fun)
-			return name == "panic" || strings.HasSuffix(name, ".Exit") || strings.HasSuffix(name, ".Fatal") ||
-				strings.HasSuffix(name, ".Fatalf")
-		}
-	case *ast.BlockStmt:
-		return terminates(s.List)
-	}
-	return false
-}
-
-func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
-	switch s := s.(type) {
+// node applies one CFG node's lock effects to facts and, in check
+// mode, reports guarded accesses made without the right mutex held.
+func (lf *lockFlow) node(n ast.Node, facts Facts, check bool) {
+	switch s := n.(type) {
 	case nil:
-	case *ast.BlockStmt:
-		w.walkStmts(s.List, held)
 	case *ast.ExprStmt:
-		if w.lockEffect(s.X, held, false) {
-			return
-		}
-		w.checkExpr(s.X, held)
+		lf.expr(s.X, facts, check, false)
 	case *ast.DeferStmt:
-		if w.lockEffect(s.Call, held, true) {
+		if lf.lockEffect(s.Call, facts, true) {
 			return
 		}
-		w.checkExpr(s.Call, held)
+		lf.expr(s.Call, facts, check, false)
 	case *ast.GoStmt:
-		// The goroutine runs later: its body starts with nothing held.
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.walkStmts(lit.Body.List, map[string]bool{})
+			if check {
+				lf.checkBody(BuildCFG(lit.Body), Facts{})
+			}
 			for _, arg := range s.Call.Args {
-				w.checkExpr(arg, held)
+				lf.expr(arg, facts, check, false)
 			}
 			return
 		}
-		w.checkExpr(s.Call, held)
+		lf.expr(s.Call, facts, check, true)
 	case *ast.AssignStmt:
 		for _, e := range s.Rhs {
-			w.checkExpr(e, held)
+			lf.expr(e, facts, check, false)
 		}
 		for _, e := range s.Lhs {
-			w.checkExpr(e, held)
-		}
-	case *ast.IfStmt:
-		w.walkStmt(s.Init, held)
-		w.checkExpr(s.Cond, held)
-		thenHeld := copyHeld(held)
-		w.walkStmts(s.Body.List, thenHeld)
-		elseHeld := copyHeld(held)
-		if s.Else != nil {
-			w.walkStmt(s.Else, elseHeld)
-		}
-		// Merge: a terminating branch does not constrain the fall-through
-		// state; otherwise stay optimistic (either branch may have
-		// locked) — false positives hurt more than false negatives here.
-		thenFalls := !terminates(s.Body.List)
-		elseFalls := true
-		if s.Else != nil {
-			if blk, ok := s.Else.(*ast.BlockStmt); ok {
-				elseFalls = !terminates(blk.List)
-			}
-		}
-		for k := range held {
-			delete(held, k)
-		}
-		if thenFalls {
-			for k, v := range thenHeld {
-				if v {
-					held[k] = true
-				}
-			}
-		}
-		if elseFalls {
-			for k, v := range elseHeld {
-				if v {
-					held[k] = true
-				}
-			}
-		}
-	case *ast.ForStmt:
-		w.walkStmt(s.Init, held)
-		w.checkExpr(s.Cond, held)
-		w.walkStmt(s.Post, held)
-		body := copyHeld(held)
-		w.walkStmts(s.Body.List, body)
-		for k, v := range body {
-			if v {
-				held[k] = true
-			}
-		}
-	case *ast.RangeStmt:
-		w.checkExpr(s.X, held)
-		body := copyHeld(held)
-		w.walkStmts(s.Body.List, body)
-		for k, v := range body {
-			if v {
-				held[k] = true
-			}
-		}
-	case *ast.SwitchStmt:
-		w.walkStmt(s.Init, held)
-		w.checkExpr(s.Tag, held)
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CaseClause)
-			for _, e := range cc.List {
-				w.checkExpr(e, held)
-			}
-			w.walkStmts(cc.Body, copyHeld(held))
-		}
-	case *ast.TypeSwitchStmt:
-		w.walkStmt(s.Init, held)
-		w.walkStmt(s.Assign, held)
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CaseClause)
-			w.walkStmts(cc.Body, copyHeld(held))
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			branch := copyHeld(held)
-			w.walkStmt(cc.Comm, branch)
-			w.walkStmts(cc.Body, branch)
+			lf.expr(e, facts, check, false)
 		}
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
-			w.checkExpr(e, held)
+			lf.expr(e, facts, check, false)
 		}
 	case *ast.SendStmt:
-		w.checkExpr(s.Chan, held)
-		w.checkExpr(s.Value, held)
+		lf.expr(s.Chan, facts, check, false)
+		lf.expr(s.Value, facts, check, false)
 	case *ast.IncDecStmt:
-		w.checkExpr(s.X, held)
+		lf.expr(s.X, facts, check, false)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
 					for _, v := range vs.Values {
-						w.checkExpr(v, held)
+						lf.expr(v, facts, check, false)
 					}
 				}
 			}
 		}
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt, held)
-	case *ast.BranchStmt, *ast.EmptyStmt:
-	default:
+	case ast.Expr:
+		lf.expr(s, facts, check, false)
+	case ast.Stmt:
 		// Conservative default: scan any expressions reachable below.
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				w.checkExpr(e, held)
+		ast.Inspect(s, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				lf.expr(e, facts, check, false)
 				return false
 			}
 			return true
@@ -402,11 +297,43 @@ func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
 	}
 }
 
+// expr walks one expression pre-order: lock-effect calls update facts,
+// guarded selectors are checked, and nested function literals are
+// analyzed with the facts at their definition (spawned: with nothing
+// held, since the goroutine runs later).
+func (lf *lockFlow) expr(e ast.Expr, facts Facts, check, spawned bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if check {
+				init := facts.Clone()
+				if spawned {
+					init = Facts{}
+				}
+				lf.checkBody(BuildCFG(n.Body), init)
+			}
+			return false
+		case *ast.CallExpr:
+			if lf.lockEffect(n, facts, false) {
+				return false
+			}
+		case *ast.SelectorExpr:
+			if check {
+				lf.checkSelector(n, facts)
+			}
+		}
+		return true
+	})
+}
+
 // lockEffect recognizes base.mu.Lock()/Unlock() calls (and RLock /
-// RUnlock) and updates held. Returns true when the expression was a
-// lock-state call. A deferred Unlock keeps the mutex held to function
-// end, so it is a no-op here.
-func (w *lockWalker) lockEffect(e ast.Expr, held map[string]bool, deferred bool) bool {
+// RUnlock) and updates the held set. Returns true when the expression
+// was a lock-state call. A deferred Unlock keeps the mutex held to
+// function end, so it is a no-op here.
+func (lf *lockFlow) lockEffect(e ast.Expr, held Facts, deferred bool) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return false
@@ -419,7 +346,7 @@ func (w *lockWalker) lockEffect(e ast.Expr, held map[string]bool, deferred bool)
 	if method != "Lock" && method != "Unlock" && method != "RLock" && method != "RUnlock" {
 		return false
 	}
-	if t, ok := w.pkg.Info.Types[sel.X]; !ok || !isMutexType(t.Type) {
+	if t, ok := lf.pkg.Info.Types[sel.X]; !ok || !isMutexType(t.Type) {
 		return false
 	}
 	key := exprString(sel.X)
@@ -434,32 +361,8 @@ func (w *lockWalker) lockEffect(e ast.Expr, held map[string]bool, deferred bool)
 	return true
 }
 
-// checkExpr reports guarded-field accesses not covered by the held set.
-func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// Plain literals inherit the current state (sort comparators,
-			// snapshot closures under the lock); their bodies are walked
-			// with a copy so their own Lock/Unlock stays local.
-			w.walkStmts(n.Body.List, copyHeld(held))
-			return false
-		case *ast.CallExpr:
-			if w.lockEffect(n, held, false) {
-				return false
-			}
-		case *ast.SelectorExpr:
-			w.checkSelector(n, held)
-		}
-		return true
-	})
-}
-
-func (w *lockWalker) checkSelector(sel *ast.SelectorExpr, held map[string]bool) {
-	selection, ok := w.pkg.Info.Selections[sel]
+func (lf *lockFlow) checkSelector(sel *ast.SelectorExpr, held Facts) {
+	selection, ok := lf.pkg.Info.Selections[sel]
 	if !ok || selection.Kind() != types.FieldVal {
 		return
 	}
@@ -467,12 +370,12 @@ func (w *lockWalker) checkSelector(sel *ast.SelectorExpr, held map[string]bool) 
 	if !ok {
 		return
 	}
-	info, ok := w.guarded[fieldVar]
+	info, ok := lf.guarded[fieldVar]
 	if !ok {
 		return
 	}
 	if id, ok := sel.X.(*ast.Ident); ok {
-		if obj := w.pkg.Info.Uses[id]; obj != nil && w.fresh[obj] {
+		if obj := lf.pkg.Info.Uses[id]; obj != nil && lf.fresh[obj] {
 			return // freshly built local, not shared yet
 		}
 	}
@@ -480,7 +383,7 @@ func (w *lockWalker) checkSelector(sel *ast.SelectorExpr, held map[string]bool) 
 	if held[key] {
 		return
 	}
-	w.diags = append(w.diags, w.prog.diag("locks", sel.Sel,
+	lf.diags = append(lf.diags, lf.prog.diag("locks", sel.Sel,
 		"%s.%s is guarded by %s but accessed without %s held",
 		exprString(sel.X), fieldVar.Name(), info.mu, key))
 }

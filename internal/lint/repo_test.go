@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"cwc/internal/lint"
 )
@@ -40,11 +41,21 @@ func TestRepositoryIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := prog.Run(lint.DefaultConfig(), lint.Analyzers())
+	diags, timings := prog.RunTimed(lint.DefaultConfig(), lint.Analyzers())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
 	if len(diags) > 0 {
 		t.Logf("run `go run ./cmd/cwc-vet ./...` for the same findings")
+	}
+	// The analysis budget: the whole suite (substrate included, module
+	// load excluded) must finish well inside the 30s CI allowance.
+	var total time.Duration
+	for _, tm := range timings {
+		t.Logf("%-10s %v", tm.Analyzer, tm.Elapsed)
+		total += tm.Elapsed
+	}
+	if total > 30*time.Second {
+		t.Errorf("analyzer suite took %v, over the 30s budget", total)
 	}
 }

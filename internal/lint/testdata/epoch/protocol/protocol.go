@@ -1,0 +1,16 @@
+// Fixture protocol package for the epoch analyzer: a fenced frame type
+// (TypeResult) and an unfenced one (TypePing).
+package protocol
+
+type Type string
+
+const (
+	TypeResult Type = "result"
+	TypePing   Type = "ping"
+)
+
+type Message struct {
+	Type  Type
+	Epoch int64
+	Error string
+}

@@ -139,3 +139,32 @@ func TestLeaksFixture(t *testing.T) {
 	cfg.LeakPkgs = []string{"fix/server"}
 	runFixture(t, "leaks", cfg, "leaks")
 }
+
+func TestLockOrderFixture(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.LockOrderPkgs = []string{"fix/server"}
+	cfg.BlockingUnderLock = []string{"fix/protocol.Conn.Send"}
+	runFixture(t, "lockorder", cfg, "lockorder")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.CtxPkgs = []string{"fix/daemon"}
+	runFixture(t, "ctxflow", cfg, "ctxflow")
+}
+
+func TestEpochFixture(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.ProtocolPkg = "fix/protocol"
+	cfg.WALPkg = "fix/server"
+	cfg.FencedFrameTypes = []string{"TypeResult"}
+	cfg.FencedWALTypes = []string{"walEpochRec"}
+	runFixture(t, "epoch", cfg, "epoch")
+}
+
+func TestMetricsFixture(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.ObsPkg = "fix/obs"
+	cfg.MetricDocFiles = []string{"docs/metrics.md"}
+	runFixture(t, "metrics", cfg, "metrics")
+}

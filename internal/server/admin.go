@@ -121,13 +121,18 @@ func (m *Master) ingestWorkerStats(phoneID int, s *protocol.WorkerStats) {
 	m.mu.Unlock()
 	id := strconv.Itoa(phoneID)
 	r := m.cfg.Metrics
-	r.Gauge("cwc_worker_exec_ms", "phone", id).Set(total.ExecMs)
-	r.Gauge("cwc_worker_transfer_kb", "phone", id).Set(total.TransferKB)
-	r.Gauge("cwc_worker_throttle_pauses", "phone", id).Set(float64(total.ThrottlePauses))
-	r.Gauge("cwc_worker_reconnects", "phone", id).Set(float64(total.Reconnects))
-	r.Gauge("cwc_worker_ckpt_frames", "phone", id).Set(float64(total.CkptFrames))
-	r.Gauge("cwc_worker_ckpt_kb", "phone", id).Set(total.CkptKB)
-	r.Gauge("cwc_worker_assignments", "phone", id).Set(float64(total.Assignments))
+	for fam, v := range map[string]float64{
+		"cwc_worker_exec_ms":         total.ExecMs,
+		"cwc_worker_transfer_kb":     total.TransferKB,
+		"cwc_worker_throttle_pauses": float64(total.ThrottlePauses),
+		"cwc_worker_reconnects":      float64(total.Reconnects),
+		"cwc_worker_ckpt_frames":     float64(total.CkptFrames),
+		"cwc_worker_ckpt_kb":         total.CkptKB,
+		"cwc_worker_assignments":     float64(total.Assignments),
+	} {
+		//lint:ignore metrics the phone label is bounded by fleet size, not by traffic
+		r.Gauge(fam, "phone", id).Set(v)
+	}
 }
 
 // statsRegressed reports whether cur moved backwards relative to prev on
@@ -292,7 +297,11 @@ func (m *Master) refreshGauges() {
 		m.cfg.Metrics.Gauge("cwc_replica_lag_records").Set(float64(m.cfg.ReplicaSink.Lag()))
 	}
 	for _, st := range m.slos.Statuses() {
+		// SLO names are a fixed set chosen at configuration time, so the
+		// label cardinality is operator-bounded, not traffic-bounded.
+		//lint:ignore metrics slo names are a fixed operator-configured set
 		m.cfg.Metrics.Gauge("cwc_slo_error_rate", "slo", st.Name).Set(st.ErrorRate)
+		//lint:ignore metrics slo names are a fixed operator-configured set
 		m.cfg.Metrics.Gauge("cwc_slo_burn", "slo", st.Name).Set(st.Burn)
 	}
 }

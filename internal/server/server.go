@@ -832,7 +832,7 @@ func (m *Master) readLoop(ps *phoneState) {
 			m.observeUnplug(ps)
 			return
 		}
-		m.cfg.Metrics.Counter("cwc_frames_received_total", "type", string(msg.Type)).Inc()
+		m.cfg.Metrics.Counter("cwc_frames_received_total", "type", frameLabel(msg.Type)).Inc()
 		if msg.Stats != nil {
 			m.ingestWorkerStats(ps.info.ID, msg.Stats)
 		}
@@ -889,10 +889,51 @@ func (m *Master) readLoop(ps *phoneState) {
 			// registration, an echo of a server->worker type, a frame from
 			// a newer peer). Dropped for forward compatibility, but counted
 			// and logged so a chattering peer is visible in /metrics.
-			m.cfg.Metrics.Counter("cwc_frames_unexpected_total", "type", string(msg.Type)).Inc()
+			m.cfg.Metrics.Counter("cwc_frames_unexpected_total", "type", frameLabel(msg.Type)).Inc()
 			m.cfg.Logger.With("phone", ps.info.ID, "type", string(msg.Type)).
 				Debugf("ignoring unexpected frame")
 		}
+	}
+}
+
+// frameLabel maps a wire frame type to a bounded metric label: known
+// types keep their name, anything else collapses to "other" so a
+// chattering or malicious phone cannot mint unbounded label values and
+// grow the registry without limit.
+func frameLabel(t protocol.Type) string {
+	switch t {
+	case protocol.TypeHello:
+		return string(protocol.TypeHello)
+	case protocol.TypeWelcome:
+		return string(protocol.TypeWelcome)
+	case protocol.TypeProbe:
+		return string(protocol.TypeProbe)
+	case protocol.TypeProbeAck:
+		return string(protocol.TypeProbeAck)
+	case protocol.TypeAssign:
+		return string(protocol.TypeAssign)
+	case protocol.TypeAssignChunk:
+		return string(protocol.TypeAssignChunk)
+	case protocol.TypeResult:
+		return string(protocol.TypeResult)
+	case protocol.TypeFailure:
+		return string(protocol.TypeFailure)
+	case protocol.TypePing:
+		return string(protocol.TypePing)
+	case protocol.TypePong:
+		return string(protocol.TypePong)
+	case protocol.TypeBye:
+		return string(protocol.TypeBye)
+	case protocol.TypeCheckpoint:
+		return string(protocol.TypeCheckpoint)
+	case protocol.TypeCheckpointAck:
+		return string(protocol.TypeCheckpointAck)
+	case protocol.TypeDrain:
+		return string(protocol.TypeDrain)
+	case protocol.TypeTelemetry:
+		return string(protocol.TypeTelemetry)
+	default:
+		return "other"
 	}
 }
 
@@ -951,7 +992,7 @@ func (m *Master) fenced(msg *protocol.Message) bool {
 // means this master itself is stale (a resurrected old primary watching
 // the fleet move on) — worth the louder log line.
 func (m *Master) rejectFenced(ps *phoneState, msg *protocol.Message) {
-	m.cfg.Metrics.Counter("cwc_frames_fenced_total", "type", string(msg.Type)).Inc()
+	m.cfg.Metrics.Counter("cwc_frames_fenced_total", "type", frameLabel(msg.Type)).Inc()
 	cur := m.Epoch()
 	l := m.cfg.Logger.With("phone", ps.info.ID, "type", string(msg.Type),
 		"frame_epoch", msg.Epoch, "epoch", cur)

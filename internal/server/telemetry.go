@@ -59,6 +59,32 @@ func (m *Master) sloObserve(name string, good bool) {
 	}
 }
 
+// kindLabel maps a worker event kind to a bounded metric label: known
+// kinds keep their wire name, anything from a newer worker collapses to
+// "other" so version skew cannot mint unbounded label values.
+func kindLabel(k protocol.EventKind) string {
+	switch k {
+	case protocol.EventAssignRecv:
+		return string(protocol.EventAssignRecv)
+	case protocol.EventExecStart:
+		return string(protocol.EventExecStart)
+	case protocol.EventExecFinish:
+		return string(protocol.EventExecFinish)
+	case protocol.EventThrottlePause:
+		return string(protocol.EventThrottlePause)
+	case protocol.EventCkptFlush:
+		return string(protocol.EventCkptFlush)
+	case protocol.EventCkptAck:
+		return string(protocol.EventCkptAck)
+	case protocol.EventDrainHandback:
+		return string(protocol.EventDrainHandback)
+	case protocol.EventDial:
+		return string(protocol.EventDial)
+	default:
+		return "other"
+	}
+}
+
 // foldTelemetry merges one worker telemetry frame into the master's
 // trace ring, turning each shipped WorkerEvent into a SpanEvent tagged
 // Src="worker" so /debug/trace and /debug/timeline interleave both sides
@@ -69,11 +95,12 @@ func (m *Master) foldTelemetry(ps *phoneState, msg *protocol.Message) {
 	if msg.Dropped > 0 {
 		// Cumulative per-phone drop count; a gauge because the worker
 		// reports a running total, not a delta.
+		//lint:ignore metrics the phone label is bounded by fleet size, not by traffic
 		m.cfg.Metrics.Gauge("cwc_telemetry_dropped", "phone", strconv.Itoa(ps.info.ID)).
 			Set(float64(msg.Dropped))
 	}
 	for _, ev := range msg.Events {
-		m.cfg.Metrics.Counter("cwc_telemetry_events_total", "kind", string(ev.Kind)).Inc()
+		m.cfg.Metrics.Counter("cwc_telemetry_events_total", "kind", kindLabel(ev.Kind)).Inc()
 		// Classify the kind: span-scoped events anchor to a job's trace
 		// span and are orphan-checked; phone-scoped ones (pauses, dials)
 		// have no span to anchor. cwc-vet's frames analyzer requires
@@ -88,8 +115,13 @@ func (m *Master) foldTelemetry(ps *phoneState, msg *protocol.Message) {
 			// Phone-scoped: folded without a span anchor.
 		default:
 			// A kind from a newer worker: folded for forward
-			// compatibility, counted so version skew is visible.
-			m.cfg.Metrics.Counter("cwc_telemetry_unknown_total", "kind", string(ev.Kind)).Inc()
+			// compatibility, counted so version skew is visible. The
+			// kind itself goes to the log, not a label — a wire-supplied
+			// label value would let version skew (or a hostile phone)
+			// grow the registry without bound.
+			m.cfg.Metrics.Counter("cwc_telemetry_unknown_total").Inc()
+			m.cfg.Logger.With("phone", ps.info.ID, "kind", string(ev.Kind)).
+				Debugf("telemetry event of unknown kind")
 		}
 		if spanScoped && ev.Span != "" && !m.knownSpan(ev.Span) {
 			// An orphan span means the worker attributed work to a job

@@ -110,7 +110,7 @@ func TestFoldTelemetry(t *testing.T) {
 	if v := r.Counter("cwc_telemetry_orphan_spans_total").Value(); v != 1 {
 		t.Fatalf("orphan counter = %d, want 1 (the j999 exec_finish)", v)
 	}
-	if v := r.Counter("cwc_telemetry_unknown_total", "kind", "future_kind").Value(); v != 1 {
+	if v := r.Counter("cwc_telemetry_unknown_total").Value(); v != 1 {
 		t.Fatalf("unknown-kind counter = %d, want 1", v)
 	}
 	if v := r.Gauge("cwc_telemetry_dropped", "phone", strconv.Itoa(phone)).Value(); v != 4 {

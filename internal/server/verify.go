@@ -103,6 +103,7 @@ func (m *Master) verifyResult(a assignment, resp *protocol.Message, est *predict
 		m.mu.Unlock()
 		m.recordFailure(a, &protocol.Message{
 			Type: protocol.TypeFailure, Error: "result digest mismatch",
+			Epoch: m.Epoch(),
 		}, ps.info.ID, 0)
 		return true
 	}
